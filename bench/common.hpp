@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * Each bench binary regenerates one of the paper's tables or figures: it
+ * runs the relevant pipeline configurations over the bundled workloads
+ * and prints the same rows/series the paper reports.  Absolute numbers
+ * differ from the paper (our substrate is a deterministic simulator, not
+ * the authors' gem5+OpenROAD testbed); the *shape* — who wins, by what
+ * rough factor, where the crossovers sit — is the reproduction target
+ * (see EXPERIMENTS.md).
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "baselines/enumeration.hpp"
+#include "baselines/novia.hpp"
+#include "isamore/isamore.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "workloads/libraries.hpp"
+
+namespace isamore {
+namespace bench {
+
+/**
+ * Modeled peak working-set of one RII run in megabytes.
+ *
+ * Process-wide RSS is monotone across the many configurations a bench
+ * binary runs, so per-run memory is modeled from the run's own peak
+ * statistics (e-nodes and AU candidates dominate the footprint), keeping
+ * the LLMT-vs-RII contrast of Table 2 deterministic.
+ */
+inline double
+modeledMemoryMb(const rii::RiiStats& stats)
+{
+    const double nodes = static_cast<double>(stats.peakNodes) * 0.35;
+    const double candidates =
+        static_cast<double>(stats.rawCandidates) * 0.20;
+    return 2.0 + (nodes + candidates) / 1024.0;
+}
+
+/** Best speedup of a solution front. */
+inline double
+bestSpeedup(const std::vector<rii::Solution>& front)
+{
+    double best = 1.0;
+    for (const auto& s : front) {
+        best = std::max(best, s.speedup);
+    }
+    return best;
+}
+
+/** Area of the max-speedup solution. */
+inline double
+bestArea(const std::vector<rii::Solution>& front)
+{
+    double best = 1.0;
+    double area = 0.0;
+    for (const auto& s : front) {
+        if (s.speedup >= best) {
+            best = s.speedup;
+            area = s.areaUm2;
+        }
+    }
+    return area;
+}
+
+/** Print a figure series as "name: (x, y) (x, y) ...". */
+inline void
+printSeries(const std::string& name,
+            const std::vector<rii::Solution>& front)
+{
+    std::cout << "  " << name << ":";
+    for (const auto& s : front) {
+        std::cout << " (" << TextTable::num(s.areaUm2, 0) << ", "
+                  << TextTable::num(s.speedup, 2) << ")";
+    }
+    std::cout << "\n";
+}
+
+}  // namespace bench
+}  // namespace isamore

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces **Figure 10**: speedup/area Pareto fronts of ISAMORE versus
+ * the ENUM, NOVIA, and NoEqSat baselines on the nine kernels plus the
+ * compound "All" benchmark.
+ *
+ * Each benchmark prints four series of (area um^2, speedup x) points.
+ * Expected shape (paper): ISAMORE reaches the highest speedups at
+ * moderate area; ENUM needs more area for similar speedup (duplicated
+ * near-identical instructions); NOVIA's whole-block units pay large areas
+ * and trail on most kernels; NoEqSat trails ISAMORE with more area.
+ */
+#include "../bench/common.hpp"
+
+using namespace isamore;
+
+int
+main()
+{
+    std::cout << "=== Figure 10: Pareto fronts (area um^2, speedup) ===\n";
+
+    auto benchmarks = workloads::benchmarkKernels();
+    benchmarks.push_back(workloads::makeAll());
+
+    TextTable summary({"Benchmark", "ISAMORE", "ENUM", "NOVIA", "NoEqSat",
+                       "ISAMORE/NOVIA", "ISAMORE area/NOVIA area"});
+
+    for (auto& wl : benchmarks) {
+        std::string name = wl.name;
+        AnalyzedWorkload analyzed = analyzeWorkload(std::move(wl));
+
+        auto isamore_r =
+            identifyInstructions(analyzed, rii::Mode::Default);
+        auto noeqsat = identifyInstructions(analyzed, rii::Mode::NoEqSat);
+        auto enum_r = baselines::runEnum(analyzed.workload.module,
+                                         analyzed.profile);
+        auto novia = baselines::runNovia(analyzed.workload.module,
+                                         analyzed.profile);
+
+        std::cout << "\n[" << name << "]\n";
+        bench::printSeries("ISAMORE", isamore_r.front);
+        bench::printSeries("ENUM   ", enum_r.front);
+        bench::printSeries("NOVIA  ", novia.front);
+        bench::printSeries("NoEqSat", noeqsat.front);
+
+        const double si = bench::bestSpeedup(isamore_r.front);
+        const double sn = bench::bestSpeedup(novia.front);
+        const double ai = std::max(1.0, bench::bestArea(isamore_r.front));
+        const double an = bench::bestArea(novia.front);
+        summary.addRow({name, TextTable::num(si),
+                        TextTable::num(bench::bestSpeedup(enum_r.front)),
+                        TextTable::num(sn),
+                        TextTable::num(bench::bestSpeedup(noeqsat.front)),
+                        TextTable::num(si / sn),
+                        an > 0 ? TextTable::num(ai / an, 2) : "-"});
+    }
+
+    std::cout << "\n=== Max-speedup summary ===\n";
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces **Figure 11**: maximum speedup achieved by the ISAMORE
+ * modes (AstSize, Default, KDSample, Vector) on each benchmark, plus the
+ * compound "All".
+ *
+ * Expected shape (paper): AstSize is the worst everywhere
+ * (hardware-agnostic objective); Vector wins on most DLP-rich kernels
+ * (MatMul, MatChain, QRDecomp) but not on 2DConv, whose bounds-check If
+ * blocks vectorization; KDSample edges out Default on a few benchmarks.
+ */
+#include <cmath>
+
+#include "../bench/common.hpp"
+
+using namespace isamore;
+
+int
+main()
+{
+    std::cout << "=== Figure 11: max speedup per ISAMORE mode ===\n\n";
+
+    const rii::Mode modes[] = {rii::Mode::AstSize, rii::Mode::Default,
+                               rii::Mode::KDSample, rii::Mode::Vector};
+    TextTable table(
+        {"Benchmark", "AstSize", "Default", "KDSample", "Vector"});
+
+    auto benchmarks = workloads::benchmarkKernels();
+    benchmarks.push_back(workloads::makeAll());
+
+    double geo[4] = {1, 1, 1, 1};
+    int count = 0;
+    for (auto& wl : benchmarks) {
+        std::string name = wl.name;
+        AnalyzedWorkload analyzed = analyzeWorkload(std::move(wl));
+        std::vector<std::string> row{name};
+        for (int m = 0; m < 4; ++m) {
+            auto result = identifyInstructions(analyzed, modes[m]);
+            double speedup = result.best().speedup;
+            geo[m] *= speedup;
+            row.push_back(TextTable::num(speedup, 2));
+        }
+        ++count;
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> geoRow{"geomean"};
+    for (int m = 0; m < 4; ++m) {
+        geoRow.push_back(
+            TextTable::num(std::pow(geo[m], 1.0 / count), 2));
+    }
+    table.addRow(std::move(geoRow));
+    table.print(std::cout);
+    return 0;
+}

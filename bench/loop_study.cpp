@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces the **§7.1.3 hardware-loop study**: MatChain contains the
+ * matrix-multiply structure twice (the paper inlines matmul twice); the
+ * structured DSL encodes both loop nests as e-graph terms, the two
+ * innermost Loop classes unify structurally, and ISAMORE can identify the
+ * shared (partially unrolled) innermost loop as one reusable pattern and
+ * pipeline it (paper: a loop-pipelined accelerator reaching 50.52x on
+ * that function; baselines cannot represent loops at all).
+ */
+#include "../bench/common.hpp"
+
+#include "egraph/ematch.hpp"
+#include "egraph/extract.hpp"
+#include "hls/estimator.hpp"
+#include "profile/timing.hpp"
+
+using namespace isamore;
+
+int
+main()
+{
+    std::cout << "=== Loop study: reusable hardware loops (sec 7.1.3) ===\n\n";
+
+    AnalyzedWorkload analyzed = analyzeWorkload(workloads::makeMatChain());
+
+    // 1. The two matmul nests produce structurally identical innermost
+    //    loops, so their Loop terms share e-classes: count Loop classes
+    //    vs Loop occurrences in the translated functions.
+    size_t loop_classes = 0;
+    for (EClassId id : analyzed.program.egraph.classIds()) {
+        for (const ENode& n : analyzed.program.egraph.cls(id).nodes) {
+            if (n.op == Op::Loop) {
+                ++loop_classes;
+                break;
+            }
+        }
+    }
+    std::cout << "MatChain has 2 matmul nests (3 loops each = 6 static "
+                 "loops);\ne-graph holds "
+              << loop_classes
+              << " Loop classes: the duplicated nests unified.\n\n";
+
+    // 2. The shared innermost loop is a reusable pattern: cost it as a
+    //    pipelined hardware loop.
+    Extractor extractor(analyzed.program.egraph, astSizeCost);
+    auto sites = analyzed.program.sitesByClass();
+    double bestSaving = 0;
+    TermPtr bestLoop;
+    size_t bestUses = 0;
+    for (EClassId id : analyzed.program.egraph.classIds()) {
+        for (const ENode& n : analyzed.program.egraph.cls(id).nodes) {
+            if (n.op != Op::Loop) {
+                continue;
+            }
+            if (!extractor.costOf(id).has_value()) {
+                continue;
+            }
+            TermPtr loop = extractor.extract(id).term;
+            auto hw = hls::estimatePattern(loop, nullptr, 8);
+            auto found = sites.find(analyzed.program.egraph.find(id));
+            const size_t uses =
+                found == sites.end() ? 0 : found->second.size();
+            if (uses >= 2) {
+                std::cout << "Reusable Loop class " << id << ": " << uses
+                          << " program sites, pipelined II="
+                          << hw.initiationInterval << ", "
+                          << hw.cycles << " cycles, "
+                          << TextTable::num(hw.areaUm2, 0) << " um^2\n";
+                if (static_cast<double>(uses) > bestSaving) {
+                    bestSaving = static_cast<double>(uses);
+                    bestLoop = loop;
+                    bestUses = uses;
+                }
+            }
+            break;
+        }
+    }
+
+    if (bestLoop != nullptr) {
+        // 3. Whole-function speedup when the shared innermost loop runs
+        //    as one pipelined accelerator invocation per (i, j).
+        auto hw = hls::estimatePattern(bestLoop, nullptr, 8);
+        // Software cost of one innermost-loop execution from the profile:
+        // the hot block's per-execution time times 8/unroll iterations.
+        double softwareNsPerCall = 0;
+        const auto& prof = analyzed.profile.functions[0];
+        uint64_t hottest = 0;
+        for (const auto& bs : prof.blocks) {
+            if (bs.cycles > hottest) {
+                hottest = bs.cycles;
+            }
+        }
+        // Both nests' inner loops dominate execution: assume the fraction
+        // covered is (hot cycles)/(total cycles).
+        const double total = analyzed.profile.totalNs();
+        const double hotNs = profile::cyclesToNs(
+            static_cast<double>(2 * hottest));  // two nests
+        const double callCount = 2 * 8 * 8;     // (i, j) pairs, 2 nests
+        const double hwNs = callCount * (hw.latencyNs + 2.0);
+        const double accel = total - hotNs + hwNs;
+        softwareNsPerCall = hotNs / callCount;
+        std::cout << "\nShared innermost loop as one pipelined CI:\n"
+                  << "  software/invocation: "
+                  << TextTable::num(softwareNsPerCall, 1)
+                  << " ns;  hardware/invocation: "
+                  << TextTable::num(hw.latencyNs + 2.0, 1) << " ns\n"
+                  << "  function speedup: "
+                  << TextTable::num(total / accel, 2)
+                  << "x  (paper reports 50.52x with vectorized memory "
+                     "access on its testbed)\n"
+                  << "  reused by " << bestUses
+                  << " sites -- identification granularity beyond both "
+                     "baselines.\n";
+    } else {
+        std::cout << "\nNo multi-site Loop class found (unexpected).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the e-graph engine: hashcons adds,
+ * congruence-closure rebuilds, e-matching, equality saturation, and the
+ * smart-AU sweep.  These quantify the substrate costs behind Table 2.
+ */
+#include <benchmark/benchmark.h>
+
+#include "egraph/rewrite.hpp"
+#include "rii/au.hpp"
+#include "rules/rulesets.hpp"
+
+namespace {
+
+using namespace isamore;
+
+/** A chain of adds/muls over n leaves. */
+EClassId
+buildChain(EGraph& g, int n)
+{
+    EClassId acc = g.addTerm(arg(0, 0));
+    for (int i = 1; i < n; ++i) {
+        EClassId leaf = g.addTerm(arg(0, i % 8));
+        Op op = (i % 3 == 0) ? Op::Mul : Op::Add;
+        acc = g.add(ENode(op, Payload::none(), {acc, leaf}));
+    }
+    return acc;
+}
+
+void
+BM_EGraphAdd(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EGraph g;
+        benchmark::DoNotOptimize(
+            buildChain(g, static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_EGraphAdd)->Arg(64)->Arg(512);
+
+void
+BM_RebuildAfterMerges(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph g;
+        buildChain(g, static_cast<int>(state.range(0)));
+        auto ids = g.classIds();
+        state.ResumeTiming();
+        for (size_t i = 8; i + 1 < ids.size(); i += 7) {
+            g.merge(ids[i], ids[i + 1]);
+        }
+        g.rebuild();
+        benchmark::DoNotOptimize(g.numClasses());
+    }
+}
+BENCHMARK(BM_RebuildAfterMerges)->Arg(256);
+
+void
+BM_EMatch(benchmark::State& state)
+{
+    EGraph g;
+    buildChain(g, 256);
+    TermPtr pattern = parseTerm("(+ (* ?0 ?1) ?2)");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ematchAll(g, pattern, 4096));
+    }
+}
+BENCHMARK(BM_EMatch);
+
+void
+BM_EqSatCoreRules(benchmark::State& state)
+{
+    auto rules = rules::defaultLibrary().intSat();
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph g;
+        buildChain(g, 64);
+        state.ResumeTiming();
+        EqSatLimits limits;
+        limits.maxIterations = 4;
+        runEqSat(g, rules, limits);
+        benchmark::DoNotOptimize(g.numNodes());
+    }
+}
+BENCHMARK(BM_EqSatCoreRules);
+
+void
+BM_SmartAu(benchmark::State& state)
+{
+    EGraph g;
+    for (int i = 0; i < 16; ++i) {
+        g.addTerm(makeTerm(
+            Op::Add,
+            {makeTerm(Op::Mul, {arg(0, i % 4), lit(2 + i % 3)}),
+             arg(0, (i + 1) % 8)}));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rii::identifyPatterns(g, rii::AuOptions{}));
+    }
+}
+BENCHMARK(BM_SmartAu);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces **Table 2**: benchmark kernels and running statistics with
+ * RII features enabled (Default) vs disabled (vanilla LLMT).
+ *
+ * Columns mirror the paper: IR LOC, original e-graph size, peak size and
+ * |P_cand| for LLMT vs RII, runtime, and (modeled) memory.  LLMT is
+ * expected to blow its candidate budget on every kernel — the analogue of
+ * the paper's ">30GB" out-of-memory entries.
+ */
+#include "../bench/common.hpp"
+
+using namespace isamore;
+
+int
+main()
+{
+    std::cout << "=== Table 2: LLMT (vanilla e-graph AU) vs RII ===\n"
+              << "(paper: RII cuts peak size 6-39x and finishes in\n"
+              << " seconds; LLMT exceeds the memory budget everywhere)\n\n";
+
+    TextTable table({"Benchmark", "IR LOC", "Orig", "Peak LLMT",
+                     "Peak RII", "|Pcand| LLMT", "|Pcand| RII",
+                     "Time LLMT", "Time RII", "Mem LLMT", "Mem RII"});
+
+    auto kernels = workloads::benchmarkKernels();
+    for (auto& wl : kernels) {
+        std::string name = wl.name;
+        AnalyzedWorkload analyzed = analyzeWorkload(std::move(wl));
+
+        rii::RiiConfig llmtCfg =
+            rii::RiiConfig::forMode(rii::Mode::LLMT);
+        auto llmt = identifyInstructions(analyzed,
+                                         rules::defaultLibrary(), llmtCfg);
+        auto def = identifyInstructions(analyzed, rii::Mode::Default);
+
+        auto fmtCand = [](const rii::RiiStats& s) {
+            std::string out = std::to_string(s.rawCandidates);
+            return s.auAborted ? ">" + out : out;
+        };
+        auto fmtMem = [](const rii::RiiStats& s) {
+            std::string mb =
+                TextTable::num(bench::modeledMemoryMb(s), 0) + "MB";
+            return s.auAborted ? ">budget(" + mb + ")" : mb;
+        };
+
+        table.addRow(
+            {name, std::to_string(analyzed.irInstructions),
+             std::to_string(analyzed.program.egraph.numNodes()),
+             std::to_string(llmt.stats.peakNodes),
+             std::to_string(def.stats.peakNodes), fmtCand(llmt.stats),
+             std::to_string(def.stats.dedupedCandidates),
+             TextTable::num(llmt.stats.seconds, 2) + "s",
+             TextTable::num(def.stats.seconds, 2) + "s",
+             fmtMem(llmt.stats), fmtMem(def.stats)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRII reduction: peak e-graph size and candidate counts "
+                 "stay orders of magnitude below the exhaustive sweep.\n";
+    return 0;
+}

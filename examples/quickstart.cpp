@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Quickstart: identify reusable custom instructions for one kernel.
+ *
+ * Builds the MatMul workload, runs the full ISAMORE pipeline (profile ->
+ * restructure -> e-graph -> RII), and prints the speedup/area Pareto
+ * front together with the selected instruction patterns.
+ */
+#include <iostream>
+
+#include "isamore/isamore.hpp"
+
+int
+main()
+{
+    using namespace isamore;
+
+    // 1. Pick a workload (any ir::Module + driver works; see
+    //    examples/custom_kernel.cpp for building your own).
+    workloads::Workload workload = workloads::makeMatMul();
+    std::cout << "Workload: " << workload.name << " -- "
+              << workload.description << "\n";
+
+    // 2. Profile + restructure + encode.
+    AnalyzedWorkload analyzed = analyzeWorkload(std::move(workload));
+    std::cout << "IR instructions: " << analyzed.irInstructions
+              << ", e-graph classes: "
+              << analyzed.program.egraph.numClasses()
+              << ", software time: " << analyzed.profile.totalNs()
+              << " ns\n\n";
+
+    // 3. Identify reusable custom instructions (Default mode).
+    rii::RiiResult result = identifyInstructions(analyzed);
+    std::cout << describeResult(result);
+    std::cout << "\nRII ran " << result.stats.phasesRun << " phases, peak "
+              << result.stats.peakNodes << " e-nodes, "
+              << result.stats.rawCandidates << " AU candidates, "
+              << result.stats.seconds << " s\n";
+    return 0;
+}

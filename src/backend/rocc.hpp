@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RoCC integration model (paper §7.2.2-§7.2.3 substitute for the Rocket
+ * tile + Verilator RTL simulation + OpenROAD physical flow).
+ *
+ * Models the cycle-level effect of invoking a custom instruction through
+ * the RoCC interface of a Rocket core:
+ *  - operands move through 32-bit scalar registers, two per instruction,
+ *    so an invocation needs ceil(operandBits / 64) issue cycles — this is
+ *    the IO-bandwidth wall that capped the paper's BitLinear speedup;
+ *  - the accelerator runs at the tile clock, adding its HLS latency;
+ *  - area overhead is reported against a Rocket-tile baseline area.
+ */
+#pragma once
+
+#include <utility>
+
+#include "rii/cost.hpp"
+#include "rii/select.hpp"
+
+namespace isamore {
+namespace backend {
+
+/** Rocket tile baseline area used for the overhead percentage. */
+inline constexpr double kRocketTileAreaUm2 = 118000.0;
+
+/** Result of RTL-level modeling of one solution on a Rocket+RoCC tile. */
+struct RoccReport {
+    double speedup = 1.0;       ///< kernel speedup over the plain tile
+    double areaOverhead = 0.0;  ///< accelerator area / tile area
+    double frequencyMHz = 0.0;  ///< post-integration clock estimate
+    double transferCyclesPerUse = 0.0;  ///< operand-transfer cost
+};
+
+/**
+ * Model @p solution's accelerator attached over RoCC.
+ *
+ * @param cost the workload's cost model (profile + program)
+ * @param solution the selected instruction set
+ * @param registry pattern bodies
+ */
+RoccReport modelRocc(const rii::CostModel& cost,
+                     const rii::Solution& solution,
+                     const rii::PatternRegistry& registry,
+                     const std::unordered_map<int64_t, rii::PatternEval>&
+                         evaluations);
+
+/**
+ * Integration-aware choice: model every solution on the Pareto front and
+ * return the one with the best RoCC-level speedup (what a designer picks
+ * once transfer costs are visible), together with that report.
+ */
+std::pair<const rii::Solution*, RoccReport>
+modelBestOnFront(const rii::CostModel& cost,
+                 const std::vector<rii::Solution>& front,
+                 const rii::PatternRegistry& registry,
+                 const std::unordered_map<int64_t, rii::PatternEval>&
+                     evaluations);
+
+}  // namespace backend
+}  // namespace isamore

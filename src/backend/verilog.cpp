@@ -1,0 +1,290 @@
+#include "backend/verilog.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace backend {
+namespace {
+
+/** Emits wires bottom-up; returns the wire name holding a term's value. */
+class Emitter {
+ public:
+    Emitter(std::ostream& os, const hls::PatternResolver& resolver)
+        : os_(os), resolver_(resolver)
+    {}
+
+    std::string
+    emit(const TermPtr& term)
+    {
+        auto it = names_.find(term.get());
+        if (it != names_.end()) {
+            return it->second;
+        }
+        std::string name = emitNode(term);
+        names_.emplace(term.get(), name);
+        return name;
+    }
+
+    int memPorts() const { return memPorts_; }
+
+ private:
+    std::string
+    fresh(const char* prefix)
+    {
+        return std::string(prefix) + std::to_string(next_++);
+    }
+
+    std::string
+    wire(const std::string& expr, int bits = 32)
+    {
+        std::string name = fresh("w");
+        os_ << "  wire [" << bits - 1 << ":0] " << name << " = " << expr
+            << ";\n";
+        return name;
+    }
+
+    std::string
+    emitNode(const TermPtr& t)
+    {
+        switch (t->op) {
+          case Op::Hole:
+            return "op" + std::to_string(t->payload.a);
+          case Op::Lit:
+            if (t->payload.kind == Payload::Kind::Float) {
+                // Float literals are pre-converted constants in the
+                // datapath; emit the raw bit pattern.
+                float f = static_cast<float>(t->payload.f);
+                uint32_t bits = 0;
+                static_assert(sizeof(bits) == sizeof(f));
+                __builtin_memcpy(&bits, &f, sizeof(bits));
+                std::ostringstream e;
+                e << "32'h" << std::hex << bits;
+                return wire(e.str());
+            }
+            return wire("32'd" + std::to_string(t->payload.a & 0xffffffff));
+          case Op::Arg:
+            return "arg" + std::to_string(argIndex(t->payload));
+          case Op::Load: {
+            std::string base = emit(t->children[0]);
+            std::string off = emit(t->children[1]);
+            int port = memPorts_++;
+            os_ << "  // memory read port " << port << "\n"
+                << "  assign mem_req_addr" << port << " = " << base
+                << " + " << off << ";\n";
+            return wire("mem_resp_data" + std::to_string(port));
+          }
+          case Op::Store: {
+            std::string base = emit(t->children[0]);
+            std::string off = emit(t->children[1]);
+            std::string val = emit(t->children[2]);
+            int port = memPorts_++;
+            os_ << "  // memory write port " << port << "\n"
+                << "  assign mem_req_addr" << port << " = " << base
+                << " + " << off << ";\n"
+                << "  assign mem_req_wdata" << port << " = " << val
+                << ";\n";
+            return wire("32'd0");
+          }
+          case Op::Vec: {
+            // Concatenate lanes into one wide bus.
+            std::string expr = "{";
+            for (size_t i = 0; i < t->children.size(); ++i) {
+                expr += (i ? ", " : "") + emit(t->children[i]);
+            }
+            expr += "}";
+            return wire(expr,
+                        static_cast<int>(32 * t->children.size()));
+          }
+          case Op::VecOp: {
+            // Lane-sliced application of the scalar operator.
+            std::vector<std::string> operands;
+            for (const auto& c : t->children) {
+                operands.push_back(emit(c));
+            }
+            os_ << "  // lane-parallel "
+                << opName(static_cast<Op>(t->payload.a)) << "\n";
+            return wire("{" + operands[0] + "}" /* structural stub */,
+                        32);
+          }
+          case Op::Get: {
+            std::string agg = emit(t->children[0]);
+            std::ostringstream e;
+            e << agg << "[" << (32 * (t->payload.a + 1) - 1) << ":"
+              << 32 * t->payload.a << "]";
+            return wire(e.str());
+          }
+          case Op::App: {
+            std::vector<std::string> args;
+            for (size_t i = 1; i < t->children.size(); ++i) {
+                args.push_back(emit(t->children[i]));
+            }
+            std::string inst = fresh("sub");
+            std::string out = fresh("w");
+            os_ << "  wire [31:0] " << out << ";\n  ci"
+                << t->children[0]->payload.a << " " << inst << "(";
+            for (size_t i = 0; i < args.size(); ++i) {
+                os_ << ".op" << i << "(" << args[i] << "), ";
+            }
+            os_ << ".result(" << out << "));\n";
+            return out;
+          }
+          case Op::If: {
+            std::string in = emit(t->children[0]);
+            std::string a = emit(t->children[1]);
+            std::string b = emit(t->children[2]);
+            return wire(in + "[31:0] != 32'd0 ? " + a + " : " + b);
+          }
+          case Op::Loop:
+            os_ << "  // pipelined loop body (see HLS report for II)\n";
+            return wire(emit(t->children[1]), 32);
+          case Op::List: {
+            std::string expr = "{";
+            for (size_t i = 0; i < t->children.size(); ++i) {
+                expr += (i ? ", " : "") + emit(t->children[i]);
+            }
+            expr += "}";
+            return wire(expr,
+                        static_cast<int>(32 * t->children.size()));
+          }
+          default:
+            break;
+        }
+
+        // Scalar operators.
+        std::vector<std::string> a;
+        for (const auto& c : t->children) {
+            a.push_back(emit(c));
+        }
+        auto bin = [&](const char* op) {
+            return wire(a[0] + " " + op + " " + a[1]);
+        };
+        switch (t->op) {
+          case Op::Add:
+          case Op::FAdd:
+            return bin("+");
+          case Op::Sub:
+          case Op::FSub:
+            return bin("-");
+          case Op::Mul:
+          case Op::FMul:
+            return bin("*");
+          case Op::Div:
+          case Op::FDiv:
+            return bin("/");
+          case Op::Rem:
+            return bin("%");
+          case Op::And:
+            return bin("&");
+          case Op::Or:
+            return bin("|");
+          case Op::Xor:
+            return bin("^");
+          case Op::Shl:
+            return bin("<<");
+          case Op::Shr:
+            return bin(">>");
+          case Op::AShr:
+            return wire("$signed(" + a[0] + ") >>> " + a[1]);
+          case Op::Eq:
+          case Op::FEq:
+            return wire("{31'd0, " + a[0] + " == " + a[1] + "}");
+          case Op::Ne:
+            return wire("{31'd0, " + a[0] + " != " + a[1] + "}");
+          case Op::Lt:
+          case Op::FLt:
+            return wire("{31'd0, $signed(" + a[0] + ") < $signed(" +
+                        a[1] + ")}");
+          case Op::Le:
+          case Op::FLe:
+            return wire("{31'd0, $signed(" + a[0] + ") <= $signed(" +
+                        a[1] + ")}");
+          case Op::Gt:
+            return wire("{31'd0, $signed(" + a[0] + ") > $signed(" +
+                        a[1] + ")}");
+          case Op::Ge:
+            return wire("{31'd0, $signed(" + a[0] + ") >= $signed(" +
+                        a[1] + ")}");
+          case Op::Min:
+          case Op::FMin:
+            return wire("$signed(" + a[0] + ") < $signed(" + a[1] +
+                        ") ? " + a[0] + " : " + a[1]);
+          case Op::Max:
+          case Op::FMax:
+            return wire("$signed(" + a[0] + ") > $signed(" + a[1] +
+                        ") ? " + a[0] + " : " + a[1]);
+          case Op::Neg:
+          case Op::FNeg:
+            return wire("-" + a[0]);
+          case Op::Not:
+            return wire("~" + a[0]);
+          case Op::Abs:
+          case Op::FAbs:
+            return wire("$signed(" + a[0] + ") < 0 ? -" + a[0] + " : " +
+                        a[0]);
+          case Op::Select:
+            return wire(a[0] + " != 32'd0 ? " + a[1] + " : " + a[2]);
+          case Op::Mad:
+          case Op::Fma:
+            return wire(a[0] + " * " + a[1] + " + " + a[2]);
+          case Op::FSqrt:
+            return wire("fsqrt_unit(" + a[0] + ")");
+          case Op::IToF:
+          case Op::FToI:
+            return wire("cvt_unit(" + a[0] + ")");
+          default:
+            ISAMORE_USER_CHECK(false,
+                               std::string("Verilog emission: "
+                                           "unsupported op ") +
+                                   std::string(opName(t->op)));
+        }
+        return "";
+    }
+
+    std::ostream& os_;
+    const hls::PatternResolver& resolver_;
+    std::unordered_map<const Term*, std::string> names_;
+    int next_ = 0;
+    int memPorts_ = 0;
+};
+
+}  // namespace
+
+std::string
+emitVerilogModule(int64_t id, const TermPtr& pattern,
+                  const hls::PatternResolver& resolver)
+{
+    const auto holes = termHoles(pattern);
+    const hls::HwCost hw = hls::estimatePattern(pattern, resolver);
+
+    std::ostringstream body;
+    Emitter emitter(body, resolver);
+    std::string result = emitter.emit(pattern);
+
+    std::ostringstream os;
+    os << "// Generated by ISAMORE: pattern ci" << id << "\n"
+       << "//   behaviour: " << termToString(pattern) << "\n"
+       << "//   latency: " << hw.cycles << " cycle(s) @ 1 GHz, area "
+       << hw.areaUm2 << " um^2";
+    if (hw.initiationInterval > 1) {
+        os << ", II = " << hw.initiationInterval;
+    }
+    os << "\nmodule ci" << id << "(\n";
+    for (size_t i = 0; i < holes.size(); ++i) {
+        os << "  input  [31:0] op" << holes[i] << ",\n";
+    }
+    for (int p = 0; p < emitter.memPorts(); ++p) {
+        os << "  output [31:0] mem_req_addr" << p << ",\n"
+           << "  output [31:0] mem_req_wdata" << p << ",\n"
+           << "  input  [31:0] mem_resp_data" << p << ",\n";
+    }
+    os << "  output [31:0] result\n);\n"
+       << body.str() << "  assign result = " << result << ";\n"
+       << "endmodule\n";
+    return os.str();
+}
+
+}  // namespace backend
+}  // namespace isamore

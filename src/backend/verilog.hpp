@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Verilog backend (paper §6: "synthesizes the solution patterns into
+ * Verilog through CIRCT" — here a direct structural emitter).
+ *
+ * Emits one synthesizable module per pattern: holes become operand input
+ * ports, the pattern root drives the result port, and every operator maps
+ * to an RTL expression (memory operators become request/response port
+ * pairs in the RoCC style).  Loop patterns emit a pipelined skeleton with
+ * an II annotation from the HLS engine.
+ */
+#pragma once
+
+#include <string>
+
+#include "dsl/term.hpp"
+#include "hls/estimator.hpp"
+
+namespace isamore {
+namespace backend {
+
+/** Emit a Verilog module named ci<id> implementing @p pattern. */
+std::string emitVerilogModule(int64_t id, const TermPtr& pattern,
+                              const hls::PatternResolver& resolver = nullptr);
+
+}  // namespace backend
+}  // namespace isamore

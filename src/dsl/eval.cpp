@@ -1,0 +1,539 @@
+#include "dsl/eval.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace isamore {
+
+bool
+Value::operator==(const Value& other) const
+{
+    if (kind != other.kind) {
+        return false;
+    }
+    switch (kind) {
+      case Kind::Int:
+        return i == other.i;
+      case Kind::Float: {
+        // Compare by bit pattern so NaN == NaN for equivalence checking.
+        uint64_t a = 0;
+        uint64_t b = 0;
+        std::memcpy(&a, &f, sizeof(a));
+        std::memcpy(&b, &other.f, sizeof(b));
+        return a == b;
+      }
+      case Kind::Vec:
+      case Kind::Tuple:
+        return elems == other.elems;
+      case Kind::Effect:
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+/**
+ * Region-stack evaluator.
+ *
+ * Shared term nodes are memoized per (term, region context): a DAG node
+ * referenced from several parents evaluates exactly once per execution of
+ * its region, matching SSA semantics (one instruction, one value, side
+ * effects once).  The context id changes on every region-frame push and on
+ * App entry (holes rebind there) and reverts on exit.
+ */
+class Evaluator {
+ public:
+    explicit Evaluator(EvalContext& ctx) : ctx_(ctx)
+    {
+        frames_.push_back(&ctx.functionArgs);
+        contexts_.push_back(nextContext_++);
+    }
+
+    Value
+    eval(const TermPtr& term)
+    {
+        if (term->children.empty()) {
+            return evalUncached(term);
+        }
+        const MemoKey key{term.get(), contexts_.back()};
+        auto it = memo_.find(key);
+        if (it != memo_.end()) {
+            return it->second;
+        }
+        Value v = evalUncached(term);
+        memo_.emplace(key, v);
+        return v;
+    }
+
+    Value
+    evalUncached(const TermPtr& term)
+    {
+        switch (term->op) {
+          case Op::Lit:
+            if (term->payload.kind == Payload::Kind::Float) {
+                return Value::ofFloat(term->payload.f);
+            }
+            return Value::ofInt(term->payload.a);
+          case Op::Arg:
+            return evalArg(argDepth(term->payload),
+                           argIndex(term->payload));
+          case Op::Hole:
+            if (!ctx_.holeValue) {
+                throw EvalError("unbound hole in evaluation");
+            }
+            return ctx_.holeValue(term->payload.a);
+          case Op::PatRef:
+            throw EvalError("PatRef evaluated outside App");
+          case Op::If:
+            return evalIf(term);
+          case Op::Loop:
+            return evalLoop(term);
+          case Op::List:
+            return evalList(term);
+          case Op::Get:
+            return evalGet(term);
+          case Op::Vec:
+            return evalVec(term);
+          case Op::VecOp:
+            return evalVecOp(term);
+          case Op::App:
+            return evalApp(term);
+          case Op::Load:
+            return evalLoad(term);
+          case Op::Store:
+            return evalStore(term);
+          default:
+            break;
+        }
+        // Scalar arithmetic / logic / comparison / select.
+        std::vector<Value> args;
+        args.reserve(term->children.size());
+        for (const auto& child : term->children) {
+            args.push_back(eval(child));
+        }
+        return applyScalar(term->op, args);
+    }
+
+    /** Apply a scalar operator to already-evaluated operands. */
+    static Value
+    applyScalar(Op op, const std::vector<Value>& a)
+    {
+        auto iv = [&](size_t k) -> int64_t {
+            if (a[k].kind != Value::Kind::Int) {
+                throw EvalError("expected int operand");
+            }
+            return a[k].i;
+        };
+        auto fv = [&](size_t k) -> double {
+            if (a[k].kind != Value::Kind::Float) {
+                throw EvalError("expected float operand");
+            }
+            return a[k].f;
+        };
+        auto I = Value::ofInt;
+        auto F = Value::ofFloat;
+
+        switch (op) {
+          case Op::Neg:
+            // Two's-complement wrapping (negating INT64_MIN is UB in
+            // plain signed arithmetic).
+            return I(wrapSub(0, iv(0)));
+          case Op::Not:
+            return I(~iv(0));
+          case Op::Abs:
+            return I(iv(0) < 0 ? wrapSub(0, iv(0)) : iv(0));
+          case Op::FNeg:
+            return F(-fv(0));
+          case Op::FAbs:
+            return F(std::fabs(fv(0)));
+          case Op::FSqrt:
+            return F(std::sqrt(fv(0)));
+          case Op::IToF:
+            return F(static_cast<double>(iv(0)));
+          case Op::FToI:
+            return I(static_cast<int64_t>(fv(0)));
+          case Op::Add:
+            return I(wrapAdd(iv(0), iv(1)));
+          case Op::Sub:
+            return I(wrapSub(iv(0), iv(1)));
+          case Op::Mul:
+            return I(wrapMul(iv(0), iv(1)));
+          case Op::Div:
+            return I(iv(1) == 0 ? 0 : safeDiv(iv(0), iv(1)));
+          case Op::Rem:
+            return I(iv(1) == 0 ? 0 : safeRem(iv(0), iv(1)));
+          case Op::And:
+            return I(iv(0) & iv(1));
+          case Op::Or:
+            return I(iv(0) | iv(1));
+          case Op::Xor:
+            return I(iv(0) ^ iv(1));
+          case Op::Shl:
+            return I(static_cast<int64_t>(static_cast<uint64_t>(iv(0))
+                                          << (iv(1) & 63)));
+          case Op::Shr:
+            return I(static_cast<int64_t>(static_cast<uint64_t>(iv(0)) >>
+                                          (iv(1) & 63)));
+          case Op::AShr:
+            return I(iv(0) >> (iv(1) & 63));
+          case Op::Min:
+            return I(std::min(iv(0), iv(1)));
+          case Op::Max:
+            return I(std::max(iv(0), iv(1)));
+          case Op::Eq:
+            return I(iv(0) == iv(1) ? 1 : 0);
+          case Op::Ne:
+            return I(iv(0) != iv(1) ? 1 : 0);
+          case Op::Lt:
+            return I(iv(0) < iv(1) ? 1 : 0);
+          case Op::Le:
+            return I(iv(0) <= iv(1) ? 1 : 0);
+          case Op::Gt:
+            return I(iv(0) > iv(1) ? 1 : 0);
+          case Op::Ge:
+            return I(iv(0) >= iv(1) ? 1 : 0);
+          case Op::FAdd:
+            return F(fv(0) + fv(1));
+          case Op::FSub:
+            return F(fv(0) - fv(1));
+          case Op::FMul:
+            return F(fv(0) * fv(1));
+          case Op::FDiv:
+            return F(fv(0) / fv(1));
+          case Op::FMin:
+            return F(std::fmin(fv(0), fv(1)));
+          case Op::FMax:
+            return F(std::fmax(fv(0), fv(1)));
+          case Op::FEq:
+            return I(fv(0) == fv(1) ? 1 : 0);
+          case Op::FLt:
+            return I(fv(0) < fv(1) ? 1 : 0);
+          case Op::FLe:
+            return I(fv(0) <= fv(1) ? 1 : 0);
+          case Op::Select:
+            return iv(0) != 0 ? a[1] : a[2];
+          case Op::Mad:
+            return I(wrapAdd(wrapMul(iv(0), iv(1)), iv(2)));
+          case Op::Fma:
+            return F(fv(0) * fv(1) + fv(2));
+          default:
+            throw EvalError(std::string("unhandled scalar op: ") +
+                            std::string(opName(op)));
+        }
+    }
+
+ private:
+    static int64_t
+    wrapAdd(int64_t x, int64_t y)
+    {
+        return static_cast<int64_t>(static_cast<uint64_t>(x) +
+                                    static_cast<uint64_t>(y));
+    }
+
+    static int64_t
+    wrapSub(int64_t x, int64_t y)
+    {
+        return static_cast<int64_t>(static_cast<uint64_t>(x) -
+                                    static_cast<uint64_t>(y));
+    }
+
+    static int64_t
+    wrapMul(int64_t x, int64_t y)
+    {
+        return static_cast<int64_t>(static_cast<uint64_t>(x) *
+                                    static_cast<uint64_t>(y));
+    }
+
+    static int64_t
+    safeDiv(int64_t x, int64_t y)
+    {
+        if (x == INT64_MIN && y == -1) {
+            return INT64_MIN;  // wraps
+        }
+        return x / y;
+    }
+
+    static int64_t
+    safeRem(int64_t x, int64_t y)
+    {
+        if (x == INT64_MIN && y == -1) {
+            return 0;
+        }
+        return x % y;
+    }
+
+    Value
+    evalArg(int64_t depth, int64_t index)
+    {
+        if (depth < 0 ||
+            static_cast<size_t>(depth) >= frames_.size()) {
+            throw EvalError("Arg depth out of range");
+        }
+        const auto& frame = *frames_[frames_.size() - 1 -
+                                     static_cast<size_t>(depth)];
+        if (index < 0 || static_cast<size_t>(index) >= frame.size()) {
+            throw EvalError("Arg index out of range");
+        }
+        return frame[static_cast<size_t>(index)];
+    }
+
+    Value
+    evalIf(const TermPtr& term)
+    {
+        Value input = eval(term->children[0]);
+        if (input.kind != Value::Kind::Tuple || input.elems.empty()) {
+            throw EvalError("If input must be a (cond, args...) tuple");
+        }
+        bool take_then = input.elems[0].kind == Value::Kind::Int
+                             ? input.elems[0].i != 0
+                             : input.elems[0].f != 0.0;
+        std::vector<Value> frame(input.elems.begin() + 1, input.elems.end());
+        pushFrame(&frame);
+        Value result = eval(term->children[take_then ? 1 : 2]);
+        popFrame();
+        return result;
+    }
+
+    Value
+    evalLoop(const TermPtr& term)
+    {
+        Value init = eval(term->children[0]);
+        if (init.kind != Value::Kind::Tuple) {
+            throw EvalError("Loop init must be a tuple");
+        }
+        std::vector<Value> carried = init.elems;
+        uint64_t iterations = 0;
+        while (true) {
+            if (++iterations > ctx_.maxLoopIterations) {
+                throw EvalError("Loop iteration bound exceeded");
+            }
+            pushFrame(&carried);
+            Value out = eval(term->children[1]);
+            popFrame();
+            if (out.kind != Value::Kind::Tuple || out.elems.empty() ||
+                out.elems.size() != carried.size() + 1) {
+                throw EvalError(
+                    "Loop body must yield (continue, carried...)");
+            }
+            bool go_on = out.elems[0].kind == Value::Kind::Int
+                             ? out.elems[0].i != 0
+                             : out.elems[0].f != 0.0;
+            carried.assign(out.elems.begin() + 1, out.elems.end());
+            if (!go_on) {
+                break;
+            }
+        }
+        return Value::tuple(std::move(carried));
+    }
+
+    Value
+    evalList(const TermPtr& term)
+    {
+        std::vector<Value> elems;
+        elems.reserve(term->children.size());
+        for (const auto& child : term->children) {
+            elems.push_back(eval(child));
+        }
+        return Value::tuple(std::move(elems));
+    }
+
+    Value
+    evalGet(const TermPtr& term)
+    {
+        Value agg = eval(term->children[0]);
+        if (agg.kind != Value::Kind::Tuple && agg.kind != Value::Kind::Vec) {
+            throw EvalError("Get requires a tuple or vector");
+        }
+        int64_t index = term->payload.a;
+        if (index < 0 || static_cast<size_t>(index) >= agg.elems.size()) {
+            throw EvalError("Get index out of range");
+        }
+        return agg.elems[static_cast<size_t>(index)];
+    }
+
+    Value
+    evalVec(const TermPtr& term)
+    {
+        std::vector<Value> lanes;
+        lanes.reserve(term->children.size());
+        for (const auto& child : term->children) {
+            lanes.push_back(eval(child));
+        }
+        return Value::vec(std::move(lanes));
+    }
+
+    Value
+    evalVecOp(const TermPtr& term)
+    {
+        const Op scalar_op = static_cast<Op>(term->payload.a);
+        std::vector<Value> operands;
+        operands.reserve(term->children.size());
+        for (const auto& child : term->children) {
+            operands.push_back(eval(child));
+        }
+        size_t lanes = 0;
+        for (const auto& v : operands) {
+            if (v.kind != Value::Kind::Vec) {
+                throw EvalError("VecOp operand must be a vector");
+            }
+            if (lanes == 0) {
+                lanes = v.elems.size();
+            } else if (lanes != v.elems.size()) {
+                throw EvalError("VecOp lane count mismatch");
+            }
+        }
+        std::vector<Value> result;
+        result.reserve(lanes);
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            std::vector<Value> scalars;
+            scalars.reserve(operands.size());
+            for (const auto& v : operands) {
+                scalars.push_back(v.elems[lane]);
+            }
+            result.push_back(applyScalar(scalar_op, scalars));
+        }
+        return Value::vec(std::move(result));
+    }
+
+    Value
+    evalApp(const TermPtr& term)
+    {
+        if (term->children.empty() ||
+            term->children[0]->op != Op::PatRef) {
+            throw EvalError("App requires a leading PatRef");
+        }
+        if (!ctx_.patternBody) {
+            throw EvalError("App evaluated without a pattern registry");
+        }
+        TermPtr body = ctx_.patternBody(term->children[0]->payload.a);
+        if (body == nullptr) {
+            throw EvalError("unknown pattern id in App");
+        }
+        std::vector<Value> args;
+        args.reserve(term->children.size() - 1);
+        for (size_t i = 1; i < term->children.size(); ++i) {
+            args.push_back(eval(term->children[i]));
+        }
+        const auto holes = termHoles(body);
+        if (holes.size() != args.size()) {
+            throw EvalError("App argument count does not match pattern");
+        }
+        // Evaluate the body with holes bound positionally.
+        auto saved = ctx_.holeValue;
+        // Holes rebind inside the App body: give it a fresh memo context.
+        contexts_.push_back(nextContext_++);
+        ctx_.holeValue = [&](int64_t holeId) -> Value {
+            for (size_t i = 0; i < holes.size(); ++i) {
+                if (holes[i] == holeId) {
+                    return args[i];
+                }
+            }
+            throw EvalError("hole not bound by App");
+        };
+        Value result = eval(body);
+        contexts_.pop_back();
+        ctx_.holeValue = saved;
+        return result;
+    }
+
+    Value
+    evalLoad(const TermPtr& term)
+    {
+        Value base = eval(term->children[0]);
+        Value offset = eval(term->children[1]);
+        uint64_t addr = address(base, offset);
+        const auto kind = static_cast<ScalarKind>(term->payload.a);
+        uint64_t bits = ctx_.memory[addr];
+        if (scalarIsFloat(kind)) {
+            double d = 0;
+            std::memcpy(&d, &bits, sizeof(d));
+            return Value::ofFloat(d);
+        }
+        return Value::ofInt(static_cast<int64_t>(bits));
+    }
+
+    Value
+    evalStore(const TermPtr& term)
+    {
+        Value base = eval(term->children[0]);
+        Value offset = eval(term->children[1]);
+        Value value = eval(term->children[2]);
+        uint64_t addr = address(base, offset);
+        if (value.kind == Value::Kind::Float) {
+            uint64_t bits = 0;
+            std::memcpy(&bits, &value.f, sizeof(bits));
+            ctx_.memory[addr] = bits;
+        } else if (value.kind == Value::Kind::Int) {
+            ctx_.memory[addr] = static_cast<uint64_t>(value.i);
+        } else {
+            throw EvalError("Store value must be scalar");
+        }
+        // Stores yield an i32 zero token (see type_infer.cpp).
+        return Value::ofInt(0);
+    }
+
+    uint64_t
+    address(const Value& base, const Value& offset)
+    {
+        if (base.kind != Value::Kind::Int ||
+            offset.kind != Value::Kind::Int) {
+            throw EvalError("memory address operands must be ints");
+        }
+        int64_t addr = base.i + offset.i;
+        if (addr < 0 ||
+            static_cast<size_t>(addr) >= ctx_.memory.size()) {
+            throw EvalError("memory address out of range");
+        }
+        return static_cast<uint64_t>(addr);
+    }
+
+    struct MemoKey {
+        const Term* term;
+        uint64_t context;
+        bool
+        operator==(const MemoKey& other) const
+        {
+            return term == other.term && context == other.context;
+        }
+    };
+    struct MemoKeyHash {
+        size_t
+        operator()(const MemoKey& k) const
+        {
+            return std::hash<const Term*>{}(k.term) ^
+                   (static_cast<size_t>(k.context) * 0x9e3779b97f4a7c15ull);
+        }
+    };
+
+    void
+    pushFrame(std::vector<Value>* frame)
+    {
+        frames_.push_back(frame);
+        contexts_.push_back(nextContext_++);
+    }
+
+    void
+    popFrame()
+    {
+        frames_.pop_back();
+        contexts_.pop_back();
+    }
+
+    EvalContext& ctx_;
+    std::vector<std::vector<Value>*> frames_;
+    std::vector<uint64_t> contexts_;
+    uint64_t nextContext_ = 0;
+    std::unordered_map<MemoKey, Value, MemoKeyHash> memo_;
+};
+
+}  // namespace
+
+Value
+evaluate(const TermPtr& term, EvalContext& ctx)
+{
+    return Evaluator(ctx).eval(term);
+}
+
+}  // namespace isamore

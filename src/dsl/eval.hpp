@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reference interpreter for the structured DSL.
+ *
+ * Used to (a) prove candidate rewrite rules by evaluation-equivalence in the
+ * offline ruleset generator, (b) cross-check the frontend (a MiniIR function
+ * and its DSL translation must compute the same values), and (c) drive
+ * property tests on e-graph soundness.
+ *
+ * Evaluation semantics:
+ *  - integers are 64-bit two's complement; shifts mask the amount by 63;
+ *    division by zero yields 0 (a total semantics so fuzzing never traps)
+ *  - Arg(d, i) is de Bruijn-style: element i of the frame d levels up the
+ *    region stack (0 = innermost If/Loop body; the function parameters are
+ *    the outermost frame)
+ *  - Loop(init, body) is a do-while: body maps the loop-carried tuple to
+ *    (continue?, carried...) and repeats while continue is non-zero
+ *  - memory is an array of 64-bit cells addressed by (base + offset)
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dsl/term.hpp"
+
+namespace isamore {
+
+/** A runtime value: scalar int/float, vector, tuple, or effect token. */
+struct Value {
+    enum class Kind : uint8_t { Int, Float, Vec, Tuple, Effect };
+
+    Kind kind = Kind::Int;
+    int64_t i = 0;
+    double f = 0.0;
+    std::vector<Value> elems;
+
+    static Value
+    ofInt(int64_t v)
+    {
+        Value out;
+        out.kind = Kind::Int;
+        out.i = v;
+        return out;
+    }
+
+    static Value
+    ofFloat(double v)
+    {
+        Value out;
+        out.kind = Kind::Float;
+        out.f = v;
+        return out;
+    }
+
+    static Value
+    vec(std::vector<Value> lanes)
+    {
+        Value out;
+        out.kind = Kind::Vec;
+        out.elems = std::move(lanes);
+        return out;
+    }
+
+    static Value
+    tuple(std::vector<Value> elems)
+    {
+        Value out;
+        out.kind = Kind::Tuple;
+        out.elems = std::move(elems);
+        return out;
+    }
+
+    static Value
+    effect()
+    {
+        Value out;
+        out.kind = Kind::Effect;
+        return out;
+    }
+
+    bool operator==(const Value& other) const;
+    bool operator!=(const Value& other) const { return !(*this == other); }
+};
+
+/** Thrown when evaluation cannot proceed (unbound hole, bad shapes). */
+class EvalError : public std::runtime_error {
+ public:
+    explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Mutable evaluation context. */
+struct EvalContext {
+    /** Outermost frame = function arguments. */
+    std::vector<Value> functionArgs;
+
+    /** Values for pattern holes, by hole id (may be empty if no holes). */
+    std::function<Value(int64_t holeId)> holeValue;
+
+    /** 64-bit word-addressed memory; empty means memory ops are errors. */
+    std::vector<uint64_t> memory;
+
+    /** Resolve App pattern bodies, by pattern id (may be null). */
+    std::function<TermPtr(int64_t patternId)> patternBody;
+
+    /** Safety bound on total Loop iterations. */
+    uint64_t maxLoopIterations = 1u << 20;
+};
+
+/**
+ * Evaluate @p term in @p ctx.
+ * @throws EvalError on unbound holes, shape mismatches, or loop overrun.
+ */
+Value evaluate(const TermPtr& term, EvalContext& ctx);
+
+}  // namespace isamore

@@ -1,0 +1,48 @@
+#include "dsl/op.hpp"
+
+#include <array>
+#include <string_view>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace {
+
+constexpr std::array<OpInfo, kNumOps> kOpInfos = {{
+#define ISAMORE_OP_INFO(name, str, arity, flags) OpInfo{str, arity, (flags)},
+    ISAMORE_OP_TABLE(ISAMORE_OP_INFO)
+#undef ISAMORE_OP_INFO
+}};
+
+const std::unordered_map<std::string_view, Op>&
+nameIndex()
+{
+    static const auto* index = [] {
+        auto* map = new std::unordered_map<std::string_view, Op>();
+        for (size_t i = 0; i < kNumOps; ++i) {
+            map->emplace(kOpInfos[i].name, static_cast<Op>(i));
+        }
+        return map;
+    }();
+    return *index;
+}
+
+}  // namespace
+
+const OpInfo&
+opInfo(Op op)
+{
+    const auto index = static_cast<size_t>(op);
+    ISAMORE_CHECK(index < kNumOps);
+    return kOpInfos[index];
+}
+
+Op
+opFromName(std::string_view name)
+{
+    auto it = nameIndex().find(name);
+    return it == nameIndex().end() ? Op::kCount : it->second;
+}
+
+}  // namespace isamore

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Operator vocabulary of ISAMORE's structured DSL (paper Fig. 5).
+ *
+ * Every e-node constructor in the framework is one of these operators.  The
+ * table below records, per operator: its printable name, its arity (-1 means
+ * variadic), and classification flags used by ruleset construction
+ * (int/float/vector) and by the hardware cost model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace isamore {
+
+/**
+ * X-macro operator table: OP(enumName, printName, arity, flags).
+ *
+ * Flags is a bitwise-or of OpFlag values (spelled without the kOp prefix
+ * below for brevity).
+ */
+#define ISAMORE_OP_TABLE(OP)                                              \
+    /* ---- leaves ---- */                                                \
+    OP(Lit, "lit", 0, kLeaf)                                              \
+    OP(Arg, "arg", 0, kLeaf)                                              \
+    OP(Hole, "?", 0, kLeaf | kPattern)                                    \
+    OP(PatRef, "pat", 0, kLeaf | kPattern)                                \
+    /* ---- unary integer ---- */                                         \
+    OP(Neg, "neg", 1, kInt)                                               \
+    OP(Not, "not", 1, kInt)                                               \
+    OP(Abs, "abs", 1, kInt)                                               \
+    /* ---- unary float ---- */                                           \
+    OP(FNeg, "fneg", 1, kFloat)                                           \
+    OP(FAbs, "fabs", 1, kFloat)                                           \
+    OP(FSqrt, "fsqrt", 1, kFloat)                                         \
+    /* ---- conversions ---- */                                           \
+    OP(IToF, "itof", 1, kInt | kFloat)                                    \
+    OP(FToI, "ftoi", 1, kInt | kFloat)                                    \
+    /* ---- binary integer ---- */                                        \
+    OP(Add, "+", 2, kInt | kCommutative | kAssociative)                   \
+    OP(Sub, "-", 2, kInt)                                                 \
+    OP(Mul, "*", 2, kInt | kCommutative | kAssociative)                   \
+    OP(Div, "/", 2, kInt)                                                 \
+    OP(Rem, "%", 2, kInt)                                                 \
+    OP(And, "&", 2, kInt | kCommutative | kAssociative)                   \
+    OP(Or, "|", 2, kInt | kCommutative | kAssociative)                    \
+    OP(Xor, "^", 2, kInt | kCommutative | kAssociative)                   \
+    OP(Shl, "<<", 2, kInt)                                                \
+    OP(Shr, ">>", 2, kInt)                                                \
+    OP(AShr, ">>a", 2, kInt)                                              \
+    OP(Min, "min", 2, kInt | kCommutative | kAssociative)                 \
+    OP(Max, "max", 2, kInt | kCommutative | kAssociative)                 \
+    /* ---- integer comparisons (yield i1) ---- */                        \
+    OP(Eq, "==", 2, kInt | kCommutative | kCompare)                       \
+    OP(Ne, "!=", 2, kInt | kCommutative | kCompare)                       \
+    OP(Lt, "<", 2, kInt | kCompare)                                       \
+    OP(Le, "<=", 2, kInt | kCompare)                                      \
+    OP(Gt, ">", 2, kInt | kCompare)                                       \
+    OP(Ge, ">=", 2, kInt | kCompare)                                      \
+    /* ---- binary float ---- */                                          \
+    OP(FAdd, "f+", 2, kFloat | kCommutative)                              \
+    OP(FSub, "f-", 2, kFloat)                                             \
+    OP(FMul, "f*", 2, kFloat | kCommutative)                              \
+    OP(FDiv, "f/", 2, kFloat)                                             \
+    OP(FMin, "fmin", 2, kFloat | kCommutative)                            \
+    OP(FMax, "fmax", 2, kFloat | kCommutative)                            \
+    OP(FEq, "f==", 2, kFloat | kCompare | kCommutative)                   \
+    OP(FLt, "f<", 2, kFloat | kCompare)                                   \
+    OP(FLe, "f<=", 2, kFloat | kCompare)                                  \
+    /* ---- memory ---- */                                                \
+    OP(Load, "load", 2, kMemory)                                          \
+    OP(Store, "store", 3, kMemory | kEffect)                              \
+    /* ---- ternary ---- */                                               \
+    OP(Select, "select", 3, kInt)                                         \
+    OP(Mad, "mad", 3, kInt)                                               \
+    OP(Fma, "fma", 3, kFloat)                                             \
+    /* ---- control ---- */                                               \
+    OP(If, "if", 3, kControl)                                             \
+    OP(Loop, "loop", 2, kControl)                                         \
+    OP(List, "list", -1, kControl)                                        \
+    OP(Get, "get", 1, kControl)                                           \
+    /* ---- vectors ---- */                                               \
+    OP(Vec, "vec", -1, kVector)                                           \
+    OP(VecOp, "vop", -1, kVector)                                         \
+    /* ---- pattern application ---- */                                   \
+    OP(App, "app", -1, kPattern)
+
+/** Classification flags for operators. */
+enum OpFlag : uint32_t {
+    kLeaf = 1u << 0,         ///< nullary; meaning carried in the payload
+    kInt = 1u << 1,          ///< integer arithmetic/logic
+    kFloat = 1u << 2,        ///< floating-point arithmetic
+    kCommutative = 1u << 3,  ///< arguments may be swapped
+    kAssociative = 1u << 4,  ///< regrouping is meaning-preserving
+    kCompare = 1u << 5,      ///< yields an i1
+    kMemory = 1u << 6,       ///< touches the memory system
+    kEffect = 1u << 7,       ///< has a side effect (must be preserved)
+    kControl = 1u << 8,      ///< structured control / aggregation
+    kVector = 1u << 9,       ///< vector constructor or lane-parallel op
+    kPattern = 1u << 10,     ///< pattern machinery (holes, App, PatRef)
+};
+
+/** The DSL operator set. */
+enum class Op : uint16_t {
+#define ISAMORE_OP_ENUM(name, str, arity, flags) name,
+    ISAMORE_OP_TABLE(ISAMORE_OP_ENUM)
+#undef ISAMORE_OP_ENUM
+        kCount
+};
+
+/** Number of operators. */
+inline constexpr size_t kNumOps = static_cast<size_t>(Op::kCount);
+
+/** Static metadata for one operator. */
+struct OpInfo {
+    std::string_view name;  ///< printable s-expression head
+    int arity;              ///< fixed arity, or -1 for variadic
+    uint32_t flags;         ///< bitwise-or of OpFlag
+};
+
+/** Metadata for @p op. */
+const OpInfo& opInfo(Op op);
+
+/** Printable name of @p op. */
+inline std::string_view opName(Op op) { return opInfo(op).name; }
+
+/** Fixed arity of @p op, or -1 when variadic (List, Vec, VecOp, App). */
+inline int opArity(Op op) { return opInfo(op).arity; }
+
+/** Whether @p op carries flag @p flag. */
+inline bool
+opHasFlag(Op op, OpFlag flag)
+{
+    return (opInfo(op).flags & flag) != 0;
+}
+
+/** Look an operator up by its printable name; Op::kCount when unknown. */
+Op opFromName(std::string_view name);
+
+}  // namespace isamore

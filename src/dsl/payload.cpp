@@ -1,0 +1,28 @@
+#include "dsl/payload.hpp"
+
+#include <sstream>
+
+namespace isamore {
+
+std::string
+Payload::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::None:
+        os << "none";
+        break;
+      case Kind::Int:
+        os << a;
+        break;
+      case Kind::Float:
+        os << f << 'f';
+        break;
+      case Kind::Pair:
+        os << '(' << a << ", " << b << ')';
+        break;
+    }
+    return os.str();
+}
+
+}  // namespace isamore

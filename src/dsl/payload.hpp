@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Constructor payloads.
+ *
+ * Leaf and index-carrying operators keep their distinguishing data in a
+ * small value-semantic Payload that participates in hashing/equality of
+ * terms and e-nodes:
+ *
+ *  - Lit: Int(value) or Float(value)
+ *  - Arg: Pair(functionId, argIndex)
+ *  - Hole: Int(holeId)
+ *  - PatRef: Int(patternId)
+ *  - Get: Int(elementIndex)
+ *  - Load: Int(ScalarKind of the loaded value)
+ *  - VecOp: Int(underlying scalar Op)
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "support/hashing.hpp"
+
+namespace isamore {
+
+/** Small tagged value attached to a constructor. */
+struct Payload {
+    enum class Kind : uint8_t { None, Int, Float, Pair };
+
+    Kind kind = Kind::None;
+    int64_t a = 0;
+    int64_t b = 0;
+    double f = 0.0;
+
+    static Payload none() { return {}; }
+
+    static Payload
+    ofInt(int64_t value)
+    {
+        Payload p;
+        p.kind = Kind::Int;
+        p.a = value;
+        return p;
+    }
+
+    static Payload
+    ofFloat(double value)
+    {
+        Payload p;
+        p.kind = Kind::Float;
+        p.f = value;
+        return p;
+    }
+
+    static Payload
+    ofPair(int64_t first, int64_t second)
+    {
+        Payload p;
+        p.kind = Kind::Pair;
+        p.a = first;
+        p.b = second;
+        return p;
+    }
+
+    /** Float compared by bit pattern so -0.0 != +0.0 and NaN == NaN. */
+    bool
+    operator==(const Payload& other) const
+    {
+        if (kind != other.kind) {
+            return false;
+        }
+        switch (kind) {
+          case Kind::None:
+            return true;
+          case Kind::Int:
+            return a == other.a;
+          case Kind::Float:
+            return floatBits() == other.floatBits();
+          case Kind::Pair:
+            return a == other.a && b == other.b;
+        }
+        return false;
+    }
+
+    bool operator!=(const Payload& other) const { return !(*this == other); }
+
+    uint64_t
+    hash() const
+    {
+        uint64_t h = mix64(static_cast<uint64_t>(kind));
+        switch (kind) {
+          case Kind::None:
+            break;
+          case Kind::Int:
+            h = hashCombine(h, static_cast<uint64_t>(a));
+            break;
+          case Kind::Float:
+            h = hashCombine(h, floatBits());
+            break;
+          case Kind::Pair:
+            h = hashCombine(hashCombine(h, static_cast<uint64_t>(a)),
+                            static_cast<uint64_t>(b));
+            break;
+        }
+        return h;
+    }
+
+    /** Render for debugging / s-expression printing. */
+    std::string str() const;
+
+ private:
+    uint64_t
+    floatBits() const
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(f));
+        std::memcpy(&bits, &f, sizeof(bits));
+        return bits;
+    }
+};
+
+}  // namespace isamore

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Immutable DSL terms.
+ *
+ * A Term is a node of an immutable tree: an operator, its payload, and
+ * child terms.  Terms double as *patterns* when they contain Hole nodes
+ * (paper: pattern variables ?x).  All terms are shared via TermPtr.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/op.hpp"
+#include "dsl/payload.hpp"
+#include "dsl/type.hpp"
+
+namespace isamore {
+
+struct Term;
+
+/** Shared handle to an immutable term. */
+using TermPtr = std::shared_ptr<const Term>;
+
+/** One immutable DSL term node. */
+struct Term {
+    Op op;
+    Payload payload;
+    std::vector<TermPtr> children;
+
+    Term(Op op_, Payload payload_, std::vector<TermPtr> children_)
+        : op(op_), payload(std::move(payload_)),
+          children(std::move(children_))
+    {}
+};
+
+/** @name Term factories
+ *  @{ */
+
+/** Generic constructor; validates arity for fixed-arity operators. */
+TermPtr makeTerm(Op op, Payload payload, std::vector<TermPtr> children);
+
+/** Fixed-arity convenience overload with no payload. */
+TermPtr makeTerm(Op op, std::vector<TermPtr> children);
+
+/** Integer literal. */
+TermPtr lit(int64_t value);
+/** Float literal. */
+TermPtr litF(double value);
+/**
+ * Region argument (de Bruijn style): element @p index of the region frame
+ * @p depth levels up the region stack (0 = innermost If/Loop body; the
+ * function's parameter frame is outermost).  The value's scalar kind is
+ * carried in the payload so types are intrinsic to the term; this overload
+ * defaults to i32.
+ */
+TermPtr arg(int64_t depth, int64_t index);
+
+/** Region argument with an explicit scalar kind. */
+TermPtr argT(int64_t depth, int64_t index, ScalarKind kind);
+
+/** @name Arg payload accessors
+ *  @{ */
+inline int64_t argDepth(const Payload& p) { return p.a; }
+inline int64_t argIndex(const Payload& p) { return p.b & 0xffffffff; }
+inline ScalarKind
+argKind(const Payload& p)
+{
+    return static_cast<ScalarKind>(p.b >> 32);
+}
+/** @} */
+/** Pattern variable (hole) with identifier @p holeId. */
+TermPtr hole(int64_t holeId);
+/** Reference to registered pattern @p patternId (used under App). */
+TermPtr patRef(int64_t patternId);
+/** Tuple element access. */
+TermPtr get(TermPtr aggregate, int64_t index);
+/** Memory load of a value of @p kind at (base, offset). */
+TermPtr load(ScalarKind kind, TermPtr base, TermPtr offset);
+/** Lane-parallel application of scalar @p op to vector operands. */
+TermPtr vecOp(Op scalarOp, std::vector<TermPtr> operands);
+/** Pattern application App(patRef, args...). */
+TermPtr app(int64_t patternId, std::vector<TermPtr> args);
+
+/** @} */
+
+/** Number of nodes in the term tree. */
+size_t termSize(const TermPtr& term);
+
+/** Number of non-leaf operation nodes (excludes Lit/Arg/Hole/PatRef). */
+size_t termOpCount(const TermPtr& term);
+
+/**
+ * Number of *distinct* non-leaf operation subterms.  Approximates the
+ * dynamic instruction count of executing the term on a CPU with CSE:
+ * structurally identical subtrees execute once.
+ */
+size_t termOpCountUnique(const TermPtr& term);
+
+/** Structural equality (payloads compared exactly). */
+bool termEquals(const TermPtr& a, const TermPtr& b);
+
+/** Structural hash consistent with termEquals. */
+uint64_t termHash(const TermPtr& term);
+
+/** Collect hole ids in first-occurrence (left-to-right) order, deduped. */
+std::vector<int64_t> termHoles(const TermPtr& term);
+
+/**
+ * Rename holes to 0..n-1 in first-occurrence order, producing a canonical
+ * pattern so that (?a + ?b) and (?x + ?y) compare equal.
+ */
+TermPtr canonicalizeHoles(const TermPtr& term);
+
+/** Substitute each hole id via @p mapping (ids absent stay as holes). */
+TermPtr substituteHoles(
+    const TermPtr& term,
+    const std::function<TermPtr(int64_t holeId)>& mapping);
+
+/** Render as an s-expression, e.g. "(* (+ ?0 ?1) 2)". */
+std::string termToString(const TermPtr& term);
+
+/**
+ * Parse an s-expression term.
+ *
+ * Grammar: integers ("42"), floats ("4.2f"), holes ("?3"), args
+ * ("$f.i" = Arg(f, i)), and "(head child...)" where head is an operator
+ * name from the Op table.  Get takes its index as a first bare integer:
+ * "(get 1 x)"; Load takes its scalar kind: "(load i32 base off)";
+ * VecOp takes its scalar op name: "(vop + a b)".
+ *
+ * @throws UserError on malformed input.
+ */
+TermPtr parseTerm(const std::string& text);
+
+}  // namespace isamore

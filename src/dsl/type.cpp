@@ -1,0 +1,284 @@
+#include "dsl/type.hpp"
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace isamore {
+
+int
+scalarBits(ScalarKind kind)
+{
+    switch (kind) {
+      case ScalarKind::I1:
+        return 1;
+      case ScalarKind::I8:
+        return 8;
+      case ScalarKind::I16:
+        return 16;
+      case ScalarKind::I32:
+        return 32;
+      case ScalarKind::I64:
+        return 64;
+      case ScalarKind::F32:
+        return 32;
+      case ScalarKind::F64:
+        return 64;
+    }
+    return 0;
+}
+
+bool
+scalarIsFloat(ScalarKind kind)
+{
+    return kind == ScalarKind::F32 || kind == ScalarKind::F64;
+}
+
+std::string
+scalarName(ScalarKind kind)
+{
+    switch (kind) {
+      case ScalarKind::I1:
+        return "i1";
+      case ScalarKind::I8:
+        return "i8";
+      case ScalarKind::I16:
+        return "i16";
+      case ScalarKind::I32:
+        return "i32";
+      case ScalarKind::I64:
+        return "i64";
+      case ScalarKind::F32:
+        return "f32";
+      case ScalarKind::F64:
+        return "f64";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Structural description of one interned type. */
+struct TypeDesc {
+    Type::Tag tag = Type::Tag::Bottom;
+    ScalarKind elem = ScalarKind::I1;
+    int lanes = 0;
+    std::vector<Type> elems;
+
+    bool
+    operator<(const TypeDesc& other) const
+    {
+        if (tag != other.tag) {
+            return tag < other.tag;
+        }
+        if (elem != other.elem) {
+            return elem < other.elem;
+        }
+        if (lanes != other.lanes) {
+            return lanes < other.lanes;
+        }
+        return elems < other.elems;
+    }
+};
+
+/**
+ * Process-global intern table for types.  Descriptors live in a deque so
+ * they are never relocated; desc() hands out stable references.
+ */
+class TypeContext {
+ public:
+    static TypeContext&
+    instance()
+    {
+        static TypeContext ctx;
+        return ctx;
+    }
+
+    TypeContext()
+    {
+        // id 0 = Bottom, id 1 = Effect.
+        intern(TypeDesc{});
+        TypeDesc effect;
+        effect.tag = Type::Tag::Effect;
+        intern(effect);
+    }
+
+    uint32_t
+    intern(const TypeDesc& desc)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = ids_.find(desc);
+        if (it != ids_.end()) {
+            return it->second;
+        }
+        descs_.push_back(desc);
+        uint32_t id = static_cast<uint32_t>(descs_.size() - 1);
+        ids_.emplace(desc, id);
+        return id;
+    }
+
+    const TypeDesc&
+    desc(uint32_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ISAMORE_CHECK(id < descs_.size());
+        return descs_[id];
+    }
+
+ private:
+    std::mutex mutex_;
+    std::deque<TypeDesc> descs_;
+    std::map<TypeDesc, uint32_t> ids_;
+};
+
+}  // namespace
+
+namespace detail {
+
+Type
+typeFromId(uint32_t id)
+{
+    return Type(id);
+}
+
+}  // namespace detail
+
+Type
+Type::bottom()
+{
+    return detail::typeFromId(0);
+}
+
+Type
+Type::effect()
+{
+    return detail::typeFromId(1);
+}
+
+Type
+Type::scalar(ScalarKind kind)
+{
+    TypeDesc d;
+    d.tag = Tag::Scalar;
+    d.elem = kind;
+    return detail::typeFromId(TypeContext::instance().intern(d));
+}
+
+Type
+Type::vector(ScalarKind elem, int lanes)
+{
+    ISAMORE_USER_CHECK(lanes >= 2, "vector types need at least two lanes");
+    TypeDesc d;
+    d.tag = Tag::Vector;
+    d.elem = elem;
+    d.lanes = lanes;
+    return detail::typeFromId(TypeContext::instance().intern(d));
+}
+
+Type
+Type::tuple(const std::vector<Type>& elems)
+{
+    TypeDesc d;
+    d.tag = Tag::Tuple;
+    d.elems = elems;
+    return detail::typeFromId(TypeContext::instance().intern(d));
+}
+
+Type::Tag
+Type::tag() const
+{
+    return TypeContext::instance().desc(id_).tag;
+}
+
+bool
+Type::isInt() const
+{
+    return isScalar() && !scalarIsFloat(scalarKind());
+}
+
+bool
+Type::isFloat() const
+{
+    return isScalar() && scalarIsFloat(scalarKind());
+}
+
+ScalarKind
+Type::scalarKind() const
+{
+    const auto& d = TypeContext::instance().desc(id_);
+    ISAMORE_CHECK(d.tag == Tag::Scalar || d.tag == Tag::Vector);
+    return d.elem;
+}
+
+int
+Type::lanes() const
+{
+    const auto& d = TypeContext::instance().desc(id_);
+    ISAMORE_CHECK(d.tag == Tag::Vector);
+    return d.lanes;
+}
+
+const std::vector<Type>&
+Type::tupleElems() const
+{
+    const auto& d = TypeContext::instance().desc(id_);
+    ISAMORE_CHECK(d.tag == Tag::Tuple);
+    return d.elems;
+}
+
+int
+Type::bits() const
+{
+    const auto& d = TypeContext::instance().desc(id_);
+    switch (d.tag) {
+      case Tag::Bottom:
+      case Tag::Effect:
+        return 0;
+      case Tag::Scalar:
+        return scalarBits(d.elem);
+      case Tag::Vector:
+        return scalarBits(d.elem) * d.lanes;
+      case Tag::Tuple: {
+        int total = 0;
+        for (Type t : d.elems) {
+            total += t.bits();
+        }
+        return total;
+      }
+    }
+    return 0;
+}
+
+std::string
+Type::str() const
+{
+    const auto& d = TypeContext::instance().desc(id_);
+    switch (d.tag) {
+      case Tag::Bottom:
+        return "bot";
+      case Tag::Effect:
+        return "effect";
+      case Tag::Scalar:
+        return scalarName(d.elem);
+      case Tag::Vector: {
+        std::ostringstream os;
+        os << 'v' << d.lanes << 'x' << scalarName(d.elem);
+        return os.str();
+      }
+      case Tag::Tuple: {
+        std::ostringstream os;
+        os << '(';
+        for (size_t i = 0; i < d.elems.size(); ++i) {
+            os << (i == 0 ? "" : ", ") << d.elems[i].str();
+        }
+        os << ')';
+        return os.str();
+      }
+    }
+    return "bot";
+}
+
+}  // namespace isamore

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The structured DSL's type system (paper §4.3).
+ *
+ * Types are interned in a process-global context; a Type is a cheap handle.
+ * The domain covers scalar integer/float widths, fixed-length vectors of
+ * scalars, tuples (for If/Loop/List aggregation), an Effect type produced by
+ * Store, and Bottom for ill-typed terms.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isamore {
+
+/** Scalar element kinds, ordered by integer width then float width. */
+enum class ScalarKind : uint8_t { I1, I8, I16, I32, I64, F32, F64 };
+
+/** Bit width of a scalar kind. */
+int scalarBits(ScalarKind kind);
+
+/** Whether the scalar kind is a float. */
+bool scalarIsFloat(ScalarKind kind);
+
+/** Printable name ("i32", "f64", ...). */
+std::string scalarName(ScalarKind kind);
+
+class Type;
+namespace detail {
+/** Internal: wrap an interned id as a Type handle. */
+Type typeFromId(uint32_t id);
+}  // namespace detail
+
+/** Interned type handle. Default-constructed == Bottom. */
+class Type {
+ public:
+    enum class Tag : uint8_t { Bottom, Scalar, Vector, Tuple, Effect };
+
+    Type() = default;
+
+    /** The ill-typed / unknown type. */
+    static Type bottom();
+    /** The Store-result effect token type. */
+    static Type effect();
+    /** A scalar type. */
+    static Type scalar(ScalarKind kind);
+    /** A vector of @p lanes scalars. */
+    static Type vector(ScalarKind elem, int lanes);
+    /** A tuple of element types. */
+    static Type tuple(const std::vector<Type>& elems);
+
+    /** Common scalar shorthands. */
+    static Type i1() { return scalar(ScalarKind::I1); }
+    static Type i8() { return scalar(ScalarKind::I8); }
+    static Type i16() { return scalar(ScalarKind::I16); }
+    static Type i32() { return scalar(ScalarKind::I32); }
+    static Type i64() { return scalar(ScalarKind::I64); }
+    static Type f32() { return scalar(ScalarKind::F32); }
+    static Type f64() { return scalar(ScalarKind::F64); }
+
+    Tag tag() const;
+    bool isBottom() const { return tag() == Tag::Bottom; }
+    bool isScalar() const { return tag() == Tag::Scalar; }
+    bool isVector() const { return tag() == Tag::Vector; }
+    bool isTuple() const { return tag() == Tag::Tuple; }
+    bool isEffect() const { return tag() == Tag::Effect; }
+
+    /** Whether this is a scalar integer type. */
+    bool isInt() const;
+    /** Whether this is a scalar float type. */
+    bool isFloat() const;
+
+    /** Element kind of a Scalar or Vector type. @pre isScalar()||isVector() */
+    ScalarKind scalarKind() const;
+    /** Lane count of a Vector type. @pre isVector() */
+    int lanes() const;
+    /** Elements of a Tuple type. @pre isTuple() */
+    const std::vector<Type>& tupleElems() const;
+
+    /** Total bit width (tuples sum their elements; Effect/Bottom are 0). */
+    int bits() const;
+
+    /** Printable form, e.g. "i32", "v4xf32", "(i1, i32)". */
+    std::string str() const;
+
+    uint32_t id() const { return id_; }
+    bool operator==(const Type& other) const { return id_ == other.id_; }
+    bool operator!=(const Type& other) const { return id_ != other.id_; }
+    bool operator<(const Type& other) const { return id_ < other.id_; }
+
+ private:
+    explicit Type(uint32_t id) : id_(id) {}
+    friend Type detail::typeFromId(uint32_t id);
+
+    uint32_t id_ = 0;  // 0 is always Bottom
+};
+
+}  // namespace isamore
+
+template <>
+struct std::hash<isamore::Type> {
+    size_t
+    operator()(const isamore::Type& t) const noexcept
+    {
+        return t.id();
+    }
+};

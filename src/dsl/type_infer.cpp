@@ -1,0 +1,237 @@
+#include "dsl/type_infer.hpp"
+
+namespace isamore {
+namespace {
+
+/** Result of binary int ops: both children the same int type. */
+Type
+joinInt(Type a, Type b)
+{
+    if (!a.isInt() || !b.isInt()) {
+        return Type::bottom();
+    }
+    // Allow mixing widths by widening to the larger (LLVM-lowered code
+    // often mixes i32 indices with i64 products after our frontend).
+    return scalarBits(a.scalarKind()) >= scalarBits(b.scalarKind()) ? a : b;
+}
+
+Type
+joinFloat(Type a, Type b)
+{
+    if (!a.isFloat() || !b.isFloat()) {
+        return Type::bottom();
+    }
+    return scalarBits(a.scalarKind()) >= scalarBits(b.scalarKind()) ? a : b;
+}
+
+}  // namespace
+
+Type
+inferNodeType(Op op, const Payload& payload,
+              const std::vector<Type>& childTypes)
+{
+    auto child = [&](size_t i) -> Type {
+        return i < childTypes.size() ? childTypes[i] : Type::bottom();
+    };
+
+    switch (op) {
+      case Op::Lit:
+        return payload.kind == Payload::Kind::Float ? Type::f32()
+                                                    : Type::i32();
+      case Op::Arg:
+        return Type::scalar(argKind(payload));
+      case Op::Hole:
+      case Op::PatRef:
+        return Type::bottom();
+
+      case Op::Neg:
+      case Op::Not:
+      case Op::Abs:
+        return child(0).isInt() ? child(0) : Type::bottom();
+      case Op::FNeg:
+      case Op::FAbs:
+      case Op::FSqrt:
+        return child(0).isFloat() ? child(0) : Type::bottom();
+      case Op::IToF:
+        return child(0).isInt() ? Type::f32() : Type::bottom();
+      case Op::FToI:
+        return child(0).isFloat() ? Type::i32() : Type::bottom();
+
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Div:
+      case Op::Rem:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::AShr:
+      case Op::Min:
+      case Op::Max:
+        return joinInt(child(0), child(1));
+
+      case Op::Eq:
+      case Op::Ne:
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+        return child(0).isInt() && child(1).isInt() ? Type::i1()
+                                                    : Type::bottom();
+
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMul:
+      case Op::FDiv:
+      case Op::FMin:
+      case Op::FMax:
+        return joinFloat(child(0), child(1));
+
+      case Op::FEq:
+      case Op::FLt:
+      case Op::FLe:
+        return child(0).isFloat() && child(1).isFloat() ? Type::i1()
+                                                        : Type::bottom();
+
+      case Op::Load:
+        return child(0).isInt() && child(1).isInt()
+                   ? Type::scalar(static_cast<ScalarKind>(payload.a))
+                   : Type::bottom();
+      case Op::Store:
+        // Stores yield an i32 zero "effect token" (not Type::effect()) so
+        // that region outputs can carry side effects through Loop/If with
+        // ordinary tuple typing; the frontend initializes the carried slot
+        // with a zero literal.
+        return child(0).isInt() && child(1).isInt() && child(2).isScalar()
+                   ? Type::i32()
+                   : Type::bottom();
+
+      case Op::Select:
+        if (!child(0).isInt()) {
+            return Type::bottom();
+        }
+        return child(1) == child(2) ? child(1) : Type::bottom();
+      case Op::Mad:
+        return joinInt(joinInt(child(0), child(1)), child(2));
+      case Op::Fma:
+        return joinFloat(joinFloat(child(0), child(1)), child(2));
+
+      case Op::If: {
+        Type in = child(0);
+        if (!in.isTuple() || in.tupleElems().empty() ||
+            !in.tupleElems()[0].isInt()) {
+            return Type::bottom();
+        }
+        if (child(1) != child(2)) {
+            return Type::bottom();
+        }
+        return child(1);
+      }
+      case Op::Loop: {
+        Type in = child(0);
+        Type body = child(1);
+        if (!in.isTuple() || !body.isTuple()) {
+            return Type::bottom();
+        }
+        const auto& carried = in.tupleElems();
+        const auto& produced = body.tupleElems();
+        if (produced.size() != carried.size() + 1 ||
+            !produced[0].isInt()) {
+            return Type::bottom();
+        }
+        for (size_t i = 0; i < carried.size(); ++i) {
+            if (produced[i + 1] != carried[i]) {
+                return Type::bottom();
+            }
+        }
+        return in;
+      }
+      case Op::List:
+        return Type::tuple(childTypes);
+      case Op::Get: {
+        Type agg = child(0);
+        int64_t index = payload.a;
+        if (agg.isTuple()) {
+            const auto& elems = agg.tupleElems();
+            if (index < 0 ||
+                static_cast<size_t>(index) >= elems.size()) {
+                return Type::bottom();
+            }
+            return elems[static_cast<size_t>(index)];
+        }
+        if (agg.isVector()) {
+            if (index < 0 || index >= agg.lanes()) {
+                return Type::bottom();
+            }
+            return Type::scalar(agg.scalarKind());
+        }
+        return Type::bottom();
+      }
+
+      case Op::Vec: {
+        if (childTypes.size() < 2) {
+            return Type::bottom();
+        }
+        Type first = child(0);
+        if (!first.isScalar()) {
+            return Type::bottom();
+        }
+        for (const auto& t : childTypes) {
+            if (t != first) {
+                return Type::bottom();
+            }
+        }
+        return Type::vector(first.scalarKind(),
+                            static_cast<int>(childTypes.size()));
+      }
+      case Op::VecOp: {
+        if (childTypes.empty()) {
+            return Type::bottom();
+        }
+        int lanes = 0;
+        std::vector<Type> scalars;
+        scalars.reserve(childTypes.size());
+        for (const auto& t : childTypes) {
+            if (!t.isVector()) {
+                return Type::bottom();
+            }
+            if (lanes == 0) {
+                lanes = t.lanes();
+            } else if (lanes != t.lanes()) {
+                return Type::bottom();
+            }
+            scalars.push_back(Type::scalar(t.scalarKind()));
+        }
+        Type elem = inferNodeType(static_cast<Op>(payload.a),
+                                  Payload::none(), scalars);
+        if (!elem.isScalar()) {
+            return Type::bottom();
+        }
+        return Type::vector(elem.scalarKind(), lanes);
+      }
+
+      case Op::App:
+        // The App result is the pattern's result type, which callers with a
+        // registry resolve separately; structurally unknown here.
+        return Type::bottom();
+
+      case Op::kCount:
+        break;
+    }
+    return Type::bottom();
+}
+
+Type
+inferTermType(const TermPtr& term)
+{
+    std::vector<Type> childTypes;
+    childTypes.reserve(term->children.size());
+    for (const auto& child : term->children) {
+        childTypes.push_back(inferTermType(child));
+    }
+    return inferNodeType(term->op, term->payload, childTypes);
+}
+
+}  // namespace isamore

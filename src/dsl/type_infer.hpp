@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Type inference for the structured DSL (paper §4.3).
+ *
+ * Types are intrinsic to terms (literals, typed Args, Load kinds), so a
+ * single bottom-up pass infers the result type of any node from its
+ * operator, payload, and child types.  The same node-level function backs
+ * the e-graph's result-type e-class analysis.
+ *
+ * Structural constraints enforced:
+ *  - If(in, then, else): in : (i1, τ1..τk); then/else agree on the result
+ *  - Loop(in, body): in : (τ1..τk); body : (i1, τ1..τk); result (τ1..τk)
+ *  - Vec: all lanes the same scalar kind
+ *  - VecOp: operands are same-lane vectors; result lifts the scalar typing
+ *
+ * Any violation yields Type::bottom() rather than throwing, because during
+ * equality saturation partially-typed speculative nodes are normal.
+ */
+#pragma once
+
+#include <vector>
+
+#include "dsl/term.hpp"
+#include "dsl/type.hpp"
+
+namespace isamore {
+
+/**
+ * Infer the result type of one constructor from its child types.
+ *
+ * @param op operator
+ * @param payload the node payload (Arg kind, Load kind, Get index, ...)
+ * @param childTypes result types of the children, in order
+ * @return the result type, or Type::bottom() when ill-typed/unknown
+ */
+Type inferNodeType(Op op, const Payload& payload,
+                   const std::vector<Type>& childTypes);
+
+/** Infer the type of a whole term bottom-up. Holes infer as bottom. */
+Type inferTermType(const TermPtr& term);
+
+}  // namespace isamore

@@ -1,0 +1,83 @@
+#include "egraph/analysis.hpp"
+
+#include <algorithm>
+
+#include "dsl/type_infer.hpp"
+
+namespace isamore {
+
+ClassMap<Type>
+computeClassTypes(const EGraph& egraph, int maxRounds)
+{
+    ClassMap<Type> types;
+    const auto ids = egraph.classIds();
+    for (EClassId id : ids) {
+        types[id] = Type::bottom();
+    }
+
+    for (int round = 0; round < maxRounds; ++round) {
+        bool changed = false;
+        for (EClassId id : ids) {
+            if (!types[id].isBottom()) {
+                continue;  // types only move bottom -> concrete once
+            }
+            for (const ENode& node : egraph.cls(id).nodes) {
+                std::vector<Type> childTypes;
+                childTypes.reserve(node.children.size());
+                for (EClassId child : node.children) {
+                    childTypes.push_back(types[egraph.find(child)]);
+                }
+                Type t = inferNodeType(node.op, node.payload, childTypes);
+                if (!t.isBottom()) {
+                    types[id] = t;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if (!changed) {
+            break;
+        }
+    }
+    return types;
+}
+
+ClassMap<int>
+computeClassDepths(const EGraph& egraph, int maxRounds)
+{
+    ClassMap<int> depths;
+    const auto ids = egraph.classIds();
+
+    for (int round = 0; round < maxRounds; ++round) {
+        bool changed = false;
+        for (EClassId id : ids) {
+            int best = depths.count(id) ? depths[id] : INT32_MAX;
+            for (const ENode& node : egraph.cls(id).nodes) {
+                int worst_child = 0;
+                bool feasible = true;
+                for (EClassId child : node.children) {
+                    auto it = depths.find(egraph.find(child));
+                    if (it == depths.end()) {
+                        feasible = false;
+                        break;
+                    }
+                    worst_child = std::max(worst_child, it->second);
+                }
+                if (feasible) {
+                    best = std::min(best, worst_child + 1);
+                }
+            }
+            if (best != INT32_MAX &&
+                (!depths.count(id) || depths[id] != best)) {
+                depths[id] = best;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            break;
+        }
+    }
+    return depths;
+}
+
+}  // namespace isamore

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * E-class analyses (paper §4.3, §5.2): per-class metadata computed to a
+ * fixpoint over the e-graph.  This header provides the result-type domain;
+ * RII's structural-hash domain builds on the same fixpoint driver.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "dsl/type.hpp"
+#include "egraph/egraph.hpp"
+
+namespace isamore {
+
+/** Map from canonical e-class id to analysis data. */
+template <typename T>
+using ClassMap = std::unordered_map<EClassId, T>;
+
+/**
+ * Result-type e-class analysis.
+ *
+ * Computes the result type of every e-class by iterating inferNodeType()
+ * over member e-nodes until a fixpoint.  E-classes whose nodes disagree or
+ * which never resolve keep Type::bottom(); cyclic classes converge because
+ * the lattice only moves bottom → concrete once.
+ *
+ * @param maxRounds safety bound on the fixpoint sweeps.
+ */
+ClassMap<Type> computeClassTypes(const EGraph& egraph, int maxRounds = 64);
+
+/**
+ * Depth analysis: length of the shortest ground derivation of each class
+ * (leaves = 1).  Classes with no finite derivation (pure cycles) are absent
+ * from the result.  Used as a cheap acyclicity/feasibility probe and by AU
+ * depth limiting.
+ */
+ClassMap<int> computeClassDepths(const EGraph& egraph, int maxRounds = 128);
+
+}  // namespace isamore

@@ -1,0 +1,93 @@
+#include "egraph/constfold.hpp"
+
+#include "dsl/eval.hpp"
+
+namespace isamore {
+namespace {
+
+/** Evaluate one node given known child constants; nullopt when unknown
+ *  or when the operator has no pure integer semantics. */
+std::optional<int64_t>
+foldNode(const ENode& node, const EGraph& egraph,
+         const ClassMap<int64_t>& known)
+{
+    if (node.op == Op::Lit && node.payload.kind == Payload::Kind::Int) {
+        return node.payload.a;
+    }
+    if (!opHasFlag(node.op, kInt) || opHasFlag(node.op, kLeaf) ||
+        opHasFlag(node.op, kMemory) || opHasFlag(node.op, kControl)) {
+        return std::nullopt;
+    }
+    std::vector<Value> args;
+    args.reserve(node.children.size());
+    for (EClassId child : node.children) {
+        auto it = known.find(egraph.find(child));
+        if (it == known.end()) {
+            return std::nullopt;
+        }
+        args.push_back(Value::ofInt(it->second));
+    }
+    // Evaluate through the shared DSL semantics (total: div/0 folds to 0).
+    std::vector<TermPtr> holes;
+    holes.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+        holes.push_back(hole(static_cast<int64_t>(i)));
+    }
+    EvalContext ctx;
+    ctx.holeValue = [&](int64_t id) {
+        return args[static_cast<size_t>(id)];
+    };
+    Value v = evaluate(makeTerm(node.op, node.payload, std::move(holes)),
+                       ctx);
+    if (v.kind != Value::Kind::Int) {
+        return std::nullopt;
+    }
+    return v.i;
+}
+
+}  // namespace
+
+ClassMap<int64_t>
+computeConstants(const EGraph& egraph, int maxRounds)
+{
+    ClassMap<int64_t> known;
+    const auto ids = egraph.classIds();
+    for (int round = 0; round < maxRounds; ++round) {
+        bool changed = false;
+        for (EClassId id : ids) {
+            if (known.count(id) != 0) {
+                continue;
+            }
+            for (const ENode& node : egraph.cls(id).nodes) {
+                auto value = foldNode(node, egraph, known);
+                if (value.has_value()) {
+                    known.emplace(id, *value);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if (!changed) {
+            break;
+        }
+    }
+    return known;
+}
+
+size_t
+foldConstants(EGraph& egraph)
+{
+    auto known = computeConstants(egraph);
+    size_t folded = 0;
+    for (const auto& [id, value] : known) {
+        ENode literal(Op::Lit, Payload::ofInt(value), {});
+        EClassId lit_class = egraph.add(literal);
+        if (egraph.merge(id, lit_class)) {
+            ++folded;
+        }
+    }
+    egraph.rebuild();
+    return folded;
+}
+
+}  // namespace isamore

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Constant-folding e-class analysis (the canonical egg analysis, §4.3's
+ * "e-class analysis" machinery applied to the constant domain).
+ *
+ * Computes, for every e-class whose value is forced by its structure, the
+ * constant it denotes; foldConstants() then materializes those constants
+ * as literal e-nodes and unions them in, which both shrinks extraction
+ * results and exposes more anti-unification structure (literals hash
+ * uniformly).
+ */
+#pragma once
+
+#include <optional>
+
+#include "egraph/analysis.hpp"
+
+namespace isamore {
+
+/** Constant value of every class that denotes one (ints only). */
+ClassMap<int64_t> computeConstants(const EGraph& egraph,
+                                   int maxRounds = 32);
+
+/**
+ * Add a literal e-node to every constant-valued class and union it in.
+ * @return the number of classes folded.
+ */
+size_t foldConstants(EGraph& egraph);
+
+}  // namespace isamore

@@ -1,0 +1,60 @@
+#include "egraph/dump.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace isamore {
+
+std::string
+dumpDot(const EGraph& egraph)
+{
+    std::ostringstream os;
+    os << "digraph egraph {\n  compound=true;\n  node [shape=box];\n";
+    for (EClassId id : egraph.classIds()) {
+        os << "  subgraph cluster_" << id << " {\n    label=\"c" << id
+           << "\";\n";
+        const auto& nodes = egraph.cls(id).nodes;
+        for (size_t n = 0; n < nodes.size(); ++n) {
+            os << "    n" << id << "_" << n << " [label=\""
+               << opName(nodes[n].op);
+            if (nodes[n].payload.kind != Payload::Kind::None) {
+                os << " " << nodes[n].payload.str();
+            }
+            os << "\"];\n";
+        }
+        os << "  }\n";
+    }
+    for (EClassId id : egraph.classIds()) {
+        const auto& nodes = egraph.cls(id).nodes;
+        for (size_t n = 0; n < nodes.size(); ++n) {
+            for (EClassId child : nodes[n].children) {
+                const EClassId canonical = egraph.find(child);
+                os << "  n" << id << "_" << n << " -> n" << canonical
+                   << "_0 [lhead=cluster_" << canonical << "];\n";
+            }
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+dumpText(const EGraph& egraph)
+{
+    std::ostringstream os;
+    for (EClassId id : egraph.classIds()) {
+        std::vector<std::string> lines;
+        for (const ENode& node : egraph.cls(id).nodes) {
+            lines.push_back(node.str());
+        }
+        std::sort(lines.begin(), lines.end());
+        os << 'c' << id << ':';
+        for (const auto& line : lines) {
+            os << ' ' << line;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace isamore

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Debug/visualization dumps of an e-graph: a GraphViz cluster rendering
+ * (one cluster per e-class, egg-style) and a stable text summary used in
+ * tests and bug reports.
+ */
+#pragma once
+
+#include <string>
+
+#include "egraph/egraph.hpp"
+
+namespace isamore {
+
+/**
+ * Render the e-graph as GraphViz dot: every canonical e-class becomes a
+ * cluster of its e-nodes, and child edges point at the child cluster's
+ * first node (the usual egg visualization).
+ */
+std::string dumpDot(const EGraph& egraph);
+
+/**
+ * Stable, human-readable text listing: one line per class with its
+ * canonicalized nodes, sorted for deterministic diffs.
+ */
+std::string dumpText(const EGraph& egraph);
+
+}  // namespace isamore

@@ -1,0 +1,237 @@
+#include "egraph/egraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/hashing.hpp"
+
+namespace isamore {
+
+uint64_t
+ENode::hash() const
+{
+    uint64_t h = mix64(static_cast<uint64_t>(op));
+    h = hashCombine(h, payload.hash());
+    for (EClassId child : children) {
+        h = hashCombine(h, child);
+    }
+    return h;
+}
+
+std::string
+ENode::str() const
+{
+    std::ostringstream os;
+    os << '(' << opName(op);
+    if (payload.kind != Payload::Kind::None) {
+        os << '[' << payload.str() << ']';
+    }
+    for (EClassId child : children) {
+        os << ' ' << child;
+    }
+    os << ')';
+    return os.str();
+}
+
+EClassId
+EGraph::find(EClassId id) const
+{
+    ISAMORE_CHECK(id < parent_.size());
+    // Path halving.
+    while (parent_[id] != id) {
+        parent_[id] = parent_[parent_[id]];
+        id = parent_[id];
+    }
+    return id;
+}
+
+ENode
+EGraph::canonicalize(const ENode& node) const
+{
+    ENode out = node;
+    for (EClassId& child : out.children) {
+        child = find(child);
+    }
+    return out;
+}
+
+EClassId
+EGraph::lookup(const ENode& node) const
+{
+    ENode canonical = canonicalize(node);
+    auto it = memo_.find(canonical);
+    return it == memo_.end() ? kInvalidClass : find(it->second);
+}
+
+EClassId
+EGraph::makeClass(ENode node)
+{
+    const EClassId id = static_cast<EClassId>(parent_.size());
+    parent_.push_back(id);
+    EClass& data = classes_[id];
+    for (EClassId child : node.children) {
+        classes_.at(child).parents.emplace_back(node, id);
+    }
+    memo_.emplace(node, id);
+    data.nodes.push_back(std::move(node));
+    return id;
+}
+
+EClassId
+EGraph::add(ENode node)
+{
+    ENode canonical = canonicalize(node);
+    auto it = memo_.find(canonical);
+    if (it != memo_.end()) {
+        return find(it->second);
+    }
+    return makeClass(std::move(canonical));
+}
+
+EClassId
+EGraph::addTerm(const TermPtr& term)
+{
+    std::vector<EClassId> children;
+    children.reserve(term->children.size());
+    for (const auto& child : term->children) {
+        children.push_back(addTerm(child));
+    }
+    return add(ENode(term->op, term->payload, std::move(children)));
+}
+
+bool
+EGraph::merge(EClassId a, EClassId b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+        return false;
+    }
+    // Union by (node-count) size: keep the larger class canonical.
+    EClass& ca = classes_.at(a);
+    EClass& cb = classes_.at(b);
+    if (ca.nodes.size() + ca.parents.size() <
+        cb.nodes.size() + cb.parents.size()) {
+        std::swap(a, b);
+    }
+    EClass& winner = classes_.at(a);
+    EClass& loser = classes_.at(b);
+    parent_[b] = a;
+    winner.nodes.insert(winner.nodes.end(),
+                        std::make_move_iterator(loser.nodes.begin()),
+                        std::make_move_iterator(loser.nodes.end()));
+    winner.parents.insert(winner.parents.end(),
+                          std::make_move_iterator(loser.parents.begin()),
+                          std::make_move_iterator(loser.parents.end()));
+    classes_.erase(b);
+    worklist_.push_back(a);
+    ++version_;
+    return true;
+}
+
+void
+EGraph::rebuild()
+{
+    while (!worklist_.empty()) {
+        std::vector<EClassId> todo;
+        todo.swap(worklist_);
+        std::unordered_set<EClassId> seen;
+        for (EClassId id : todo) {
+            EClassId canonical = find(id);
+            if (seen.insert(canonical).second) {
+                repair(canonical);
+            }
+        }
+    }
+}
+
+void
+EGraph::repair(EClassId id)
+{
+    ISAMORE_CHECK(classes_.count(id) != 0);
+
+    // Repair uses: re-canonicalize parent nodes, fix the hashcons, and
+    // merge classes made congruent by this union.
+    auto parents = std::move(classes_.at(id).parents);
+    classes_.at(id).parents.clear();
+
+    std::unordered_map<ENode, EClassId, ENodeHash> fresh;
+    fresh.reserve(parents.size());
+    for (auto& [pnode, pclass] : parents) {
+        memo_.erase(pnode);
+        ENode canonical = canonicalize(pnode);
+        EClassId canonical_class = find(pclass);
+        auto it = fresh.find(canonical);
+        if (it != fresh.end()) {
+            // Congruent duplicates: union their classes.
+            merge(it->second, canonical_class);
+        } else {
+            fresh.emplace(canonical, find(canonical_class));
+        }
+    }
+
+    EClass& data = classes_.at(find(id));
+    for (auto& [node, klass] : fresh) {
+        EClassId canonical_class = find(klass);
+        memo_[node] = canonical_class;
+        data.parents.emplace_back(node, canonical_class);
+    }
+
+    // Deduplicate this class's own nodes after canonicalization.
+    EClass& self = classes_.at(find(id));
+    std::unordered_set<uint64_t> hashes;
+    std::vector<ENode> unique;
+    unique.reserve(self.nodes.size());
+    for (ENode& node : self.nodes) {
+        ENode canonical = canonicalize(node);
+        uint64_t h = canonical.hash();
+        bool duplicate = false;
+        if (!hashes.insert(h).second) {
+            for (const ENode& existing : unique) {
+                if (existing == canonical) {
+                    duplicate = true;
+                    break;
+                }
+            }
+        }
+        if (!duplicate) {
+            unique.push_back(std::move(canonical));
+        }
+    }
+    self.nodes = std::move(unique);
+}
+
+const EClass&
+EGraph::cls(EClassId id) const
+{
+    auto it = classes_.find(id);
+    ISAMORE_CHECK_MSG(it != classes_.end(),
+                      "cls() requires a canonical id; call find() first");
+    return it->second;
+}
+
+size_t
+EGraph::numNodes() const
+{
+    size_t total = 0;
+    for (const auto& [id, data] : classes_) {
+        total += data.nodes.size();
+    }
+    return total;
+}
+
+std::vector<EClassId>
+EGraph::classIds() const
+{
+    std::vector<EClassId> ids;
+    ids.reserve(classes_.size());
+    for (const auto& [id, data] : classes_) {
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+}  // namespace isamore

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The e-graph data structure (paper §2.2, Fig. 2; egg-style implementation).
+ *
+ * An e-graph compactly represents sets of equivalent terms.  E-classes group
+ * equivalent e-nodes; each e-node is a constructor applied to child e-class
+ * ids.  Congruence closure is maintained lazily: merge() records pending
+ * unions and rebuild() repairs the hashcons and parent lists to a fixpoint
+ * (the deferred-rebuilding design from egg).
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsl/term.hpp"
+
+namespace isamore {
+
+/** Identifier of an e-class. */
+using EClassId = uint32_t;
+
+/** Sentinel invalid e-class id. */
+inline constexpr EClassId kInvalidClass = ~0u;
+
+/** One constructor application: op + payload + child e-class ids. */
+struct ENode {
+    Op op = Op::Lit;
+    Payload payload;
+    std::vector<EClassId> children;
+
+    ENode() = default;
+    ENode(Op op_, Payload payload_, std::vector<EClassId> children_)
+        : op(op_), payload(payload_), children(std::move(children_))
+    {}
+
+    bool
+    operator==(const ENode& other) const
+    {
+        return op == other.op && payload == other.payload &&
+               children == other.children;
+    }
+
+    uint64_t hash() const;
+
+    /** Whether this node is a leaf (no children). */
+    bool isLeaf() const { return children.empty(); }
+
+    /** Printable form for debugging. */
+    std::string str() const;
+};
+
+/** Hash functor for hashcons maps. */
+struct ENodeHash {
+    size_t operator()(const ENode& n) const { return n.hash(); }
+};
+
+/** Per-class storage. */
+struct EClass {
+    /** Canonicalized member e-nodes (deduplicated after rebuild()). */
+    std::vector<ENode> nodes;
+
+    /**
+     * Uses of this class: (parent node as last canonicalized, parent class).
+     * Maintained for congruence repair.
+     */
+    std::vector<std::pair<ENode, EClassId>> parents;
+};
+
+/** E-graph with deferred congruence repair. */
+class EGraph {
+ public:
+    EGraph() = default;
+
+    /** @name Construction
+     *  @{ */
+
+    /**
+     * Add (hashcons) a node; children must be existing class ids.
+     * @return the canonical class containing the node.
+     */
+    EClassId add(ENode node);
+
+    /** Recursively encode a DSL term. Returns the root class. */
+    EClassId addTerm(const TermPtr& term);
+
+    /**
+     * Merge two e-classes; repair is deferred until rebuild().
+     * @return true when the classes were distinct.
+     */
+    bool merge(EClassId a, EClassId b);
+
+    /** Restore the hashcons/congruence invariants after merges. */
+    void rebuild();
+
+    /** @} */
+
+    /** @name Queries
+     *  @{ */
+
+    /** Canonical representative of @p id. */
+    EClassId find(EClassId id) const;
+
+    /** Canonicalize a node's children. */
+    ENode canonicalize(const ENode& node) const;
+
+    /**
+     * Look a canonicalized node up without inserting.
+     * @return the containing class or kInvalidClass.
+     */
+    EClassId lookup(const ENode& node) const;
+
+    /** Class data. @pre @p id is canonical (call find() first). */
+    const EClass& cls(EClassId id) const;
+
+    /** Number of live (canonical) e-classes. */
+    size_t numClasses() const { return classes_.size(); }
+
+    /** Number of e-nodes across live classes. */
+    size_t numNodes() const;
+
+    /** Snapshot of all canonical class ids (stable order: ascending). */
+    std::vector<EClassId> classIds() const;
+
+    /** Whether there are pending merges not yet rebuilt. */
+    bool needsRebuild() const { return !worklist_.empty(); }
+
+    /** Monotone counter of merges performed (for saturation detection). */
+    uint64_t version() const { return version_; }
+
+    /** @} */
+
+ private:
+    EClassId makeClass(ENode node);
+    void repair(EClassId id);
+    EClassId findMutable(EClassId id);
+
+    mutable std::vector<EClassId> parent_;  // union-find (path compression)
+    std::unordered_map<ENode, EClassId, ENodeHash> memo_;
+    std::unordered_map<EClassId, EClass> classes_;
+    std::vector<EClassId> worklist_;
+    uint64_t version_ = 0;
+};
+
+}  // namespace isamore

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * E-matching: find instances of a pattern (a term with Hole variables)
+ * inside an e-graph.  Used by the rewrite engine's searchers, by κ(P)
+ * pattern-application rewrites, and by the cost model to count pattern uses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsl/term.hpp"
+#include "egraph/egraph.hpp"
+
+namespace isamore {
+
+/** A substitution from hole ids to e-class ids. */
+using Subst = std::unordered_map<int64_t, EClassId>;
+
+/** One pattern instance: the matched root class and its hole bindings. */
+struct EMatch {
+    EClassId root = kInvalidClass;
+    Subst subst;
+};
+
+/**
+ * Enumerate matches of @p pattern rooted at e-class @p root.
+ *
+ * @param maxMatches cap on the number of substitutions produced (guards
+ *        against the multiplicative blowup of matching inside large
+ *        classes).
+ */
+std::vector<Subst> ematchAt(const EGraph& egraph, const TermPtr& pattern,
+                            EClassId root, size_t maxMatches = 64);
+
+/**
+ * Enumerate matches of @p pattern across all e-classes.
+ *
+ * @param maxTotal cap on the total number of matches returned.
+ */
+std::vector<EMatch> ematchAll(const EGraph& egraph, const TermPtr& pattern,
+                              size_t maxTotal = 4096);
+
+/**
+ * Instantiate @p term in the e-graph, resolving holes through @p subst.
+ * Holes absent from @p subst are added as Hole leaves (useful when encoding
+ * pattern bodies themselves).
+ *
+ * @return the root class of the instantiated term.
+ */
+EClassId instantiate(EGraph& egraph, const TermPtr& term,
+                     const Subst& subst);
+
+}  // namespace isamore

@@ -1,0 +1,125 @@
+#include "egraph/extract.hpp"
+
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace isamore {
+
+double
+astSizeCost(const ENode& /*node*/, const std::vector<double>& childCosts)
+{
+    double total = 1.0;
+    for (double c : childCosts) {
+        total += c;
+    }
+    return total;
+}
+
+Extractor::Extractor(const EGraph& egraph, CostFn costFn)
+    : egraph_(egraph), costFn_(std::move(costFn))
+{
+    ISAMORE_USER_CHECK(!egraph_.needsRebuild(),
+                       "extract requires a rebuilt e-graph");
+    const auto ids = egraph_.classIds();
+
+    // Greedy relaxation to a fixpoint.  Cost functions must strictly
+    // increase along edges (>= max(child) + epsilon) so cyclic choices can
+    // never beat ground ones.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (EClassId id : ids) {
+            for (const ENode& node : egraph_.cls(id).nodes) {
+                std::vector<double> childCosts;
+                childCosts.reserve(node.children.size());
+                bool feasible = true;
+                for (EClassId child : node.children) {
+                    auto it = bestCost_.find(egraph_.find(child));
+                    if (it == bestCost_.end()) {
+                        feasible = false;
+                        break;
+                    }
+                    childCosts.push_back(it->second);
+                }
+                if (!feasible) {
+                    continue;
+                }
+                const double cost = costFn_(node, childCosts);
+                auto it = bestCost_.find(id);
+                if (it == bestCost_.end() || cost < it->second - 1e-12) {
+                    bestCost_[id] = cost;
+                    bestNode_[id] = node;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+std::optional<double>
+Extractor::costOf(EClassId klass) const
+{
+    auto it = bestCost_.find(egraph_.find(klass));
+    if (it == bestCost_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+const ENode*
+Extractor::chosenNode(EClassId klass) const
+{
+    auto it = bestNode_.find(egraph_.find(klass));
+    return it == bestNode_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+TermPtr
+materialize(const EGraph& egraph,
+            const std::unordered_map<EClassId, ENode>& bestNode,
+            EClassId klass, std::unordered_map<EClassId, TermPtr>& memo,
+            std::unordered_set<EClassId>& inProgress)
+{
+    klass = egraph.find(klass);
+    auto memoized = memo.find(klass);
+    if (memoized != memo.end()) {
+        return memoized->second;
+    }
+    ISAMORE_CHECK_MSG(inProgress.insert(klass).second,
+                      "cyclic extraction choice; cost function must "
+                      "strictly increase along edges");
+    auto it = bestNode.find(klass);
+    ISAMORE_CHECK_MSG(it != bestNode.end(),
+                      "class has no extractable ground term");
+    const ENode& node = it->second;
+    std::vector<TermPtr> children;
+    children.reserve(node.children.size());
+    for (EClassId child : node.children) {
+        children.push_back(
+            materialize(egraph, bestNode, child, memo, inProgress));
+    }
+    TermPtr term = makeTerm(node.op, node.payload, std::move(children));
+    inProgress.erase(klass);
+    memo.emplace(klass, term);
+    return term;
+}
+
+}  // namespace
+
+Extraction
+Extractor::extract(EClassId root) const
+{
+    root = egraph_.find(root);
+    auto cost = costOf(root);
+    ISAMORE_CHECK_MSG(cost.has_value(), "root class is not extractable");
+    std::unordered_map<EClassId, TermPtr> memo;
+    std::unordered_set<EClassId> inProgress;
+    Extraction out;
+    out.term = materialize(egraph_, bestNode_, root, memo, inProgress);
+    out.cost = *cost;
+    return out;
+}
+
+}  // namespace isamore

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cost-based term extraction from an e-graph.
+ *
+ * A greedy bottom-up extractor: given a cost function over e-nodes (whose
+ * value may depend on the chosen children's costs), it relaxes per-class
+ * best costs to a fixpoint and then materializes the cheapest term for any
+ * root.  Cycles are handled naturally: a class is only extractable once at
+ * least one of its nodes has all children extractable.
+ *
+ * Used by RII for: AstSize extraction, latency-saving extraction (§5.4.3),
+ * and the DLP-favoring extraction inside acyclic pruning (§5.3).
+ */
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "egraph/egraph.hpp"
+
+namespace isamore {
+
+/**
+ * Cost of selecting @p node given the best costs of its (canonical)
+ * children.  Must be >= max(childCosts) for termination of the greedy
+ * relaxation (monotone cost functions).
+ */
+using CostFn =
+    std::function<double(const ENode& node,
+                         const std::vector<double>& childCosts)>;
+
+/** The standard term-size cost (1 + sum of children). */
+double astSizeCost(const ENode& node, const std::vector<double>& childCosts);
+
+/** Extraction result for one root. */
+struct Extraction {
+    TermPtr term;
+    double cost = 0.0;
+};
+
+/** Greedy bottom-up extractor over a (rebuilt) e-graph. */
+class Extractor {
+ public:
+    /** Computes best costs for all classes immediately. */
+    Extractor(const EGraph& egraph, CostFn costFn);
+
+    /** Best cost of @p klass, if any ground term exists. */
+    std::optional<double> costOf(EClassId klass) const;
+
+    /** Best e-node chosen for @p klass, if extractable. */
+    const ENode* chosenNode(EClassId klass) const;
+
+    /** Materialize the best term for @p root.
+     *  @throws InternalError if the class is not extractable. */
+    Extraction extract(EClassId root) const;
+
+ private:
+    const EGraph& egraph_;
+    CostFn costFn_;
+    std::unordered_map<EClassId, double> bestCost_;
+    std::unordered_map<EClassId, ENode> bestNode_;
+};
+
+}  // namespace isamore

@@ -1,0 +1,130 @@
+#include "egraph/rewrite.hpp"
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace isamore {
+
+RewriteRule
+makeRule(std::string name, const std::string& lhs, const std::string& rhs,
+         uint32_t flags)
+{
+    RewriteRule rule;
+    rule.name = std::move(name);
+    rule.lhs = parseTerm(lhs);
+    rule.rhs = parseTerm(rhs);
+    rule.flags = flags;
+    ISAMORE_USER_CHECK(rule.lhs->op != Op::Hole,
+                       "rule LHS must not be a bare hole: " + rule.name);
+    return rule;
+}
+
+EqSatStats
+runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
+         const EqSatLimits& limits)
+{
+    EqSatStats stats;
+    Stopwatch watch;
+    egraph.rebuild();
+    stats.peakNodes = egraph.numNodes();
+    stats.peakClasses = egraph.numClasses();
+
+    // Backoff bookkeeping, parallel to `rules`.
+    struct Backoff {
+        size_t bannedUntil = 0;
+        size_t timesBanned = 0;
+    };
+    std::vector<Backoff> backoff(rules.size());
+
+    for (size_t iter = 0; iter < limits.maxIterations; ++iter) {
+        stats.iterations = iter + 1;
+
+        // Phase 1: search all rules against the current (stable) e-graph.
+        struct PendingUnion {
+            const RewriteRule* rule;
+            EMatch match;
+        };
+        std::vector<PendingUnion> pending;
+        bool any_banned = false;
+        for (size_t r = 0; r < rules.size(); ++r) {
+            const RewriteRule& rule = rules[r];
+            if (limits.useBackoff && iter < backoff[r].bannedUntil) {
+                any_banned = true;
+                continue;
+            }
+            // With backoff, the per-rule cap doubles with every ban (as
+            // in egg), so a once-explosive rule eventually fits its
+            // budget and resumes; search one past the cap to detect
+            // overflow.
+            const size_t cap = limits.useBackoff
+                                   ? limits.maxMatchesPerRule
+                                         << backoff[r].timesBanned
+                                   : limits.maxMatchesPerRule;
+            auto matches = ematchAll(
+                egraph, rule.lhs, limits.useBackoff ? cap + 1 : cap);
+            if (limits.useBackoff && matches.size() > cap) {
+                // Ban for an exponentially growing span and skip.
+                backoff[r].bannedUntil =
+                    iter + (size_t{1} << ++backoff[r].timesBanned);
+                ++stats.rulesBanned;
+                any_banned = true;
+                continue;
+            }
+            for (EMatch& match : matches) {
+                if (rule.guard && !rule.guard(egraph, match)) {
+                    continue;
+                }
+                pending.push_back(PendingUnion{&rule, std::move(match)});
+            }
+            if (watch.seconds() > limits.maxSeconds) {
+                break;
+            }
+        }
+
+        // Phase 2: apply.
+        const uint64_t version_before = egraph.version();
+        size_t nodes_before = egraph.numNodes();
+        bool added_nodes = false;
+        size_t applied = 0;
+        for (const PendingUnion& p : pending) {
+            EClassId rhs_class =
+                instantiate(egraph, p.rule->rhs, p.match.subst);
+            if (egraph.merge(p.match.root, rhs_class)) {
+                ++stats.applications;
+            }
+            // numNodes() is O(#classes); poll the limit periodically.
+            if ((++applied & 63u) == 0 &&
+                egraph.numNodes() > limits.maxNodes &&
+                egraph.numNodes() > nodes_before) {
+                added_nodes = true;
+                break;
+            }
+        }
+        egraph.rebuild();
+
+        stats.peakNodes = std::max(stats.peakNodes, egraph.numNodes());
+        stats.peakClasses = std::max(stats.peakClasses, egraph.numClasses());
+        stats.seconds = watch.seconds();
+
+        if (egraph.version() == version_before &&
+            egraph.numNodes() == nodes_before && !any_banned) {
+            // A quiet iteration only means saturation when no rule sat
+            // out a backoff ban.
+            stats.stopReason = StopReason::Saturated;
+            return stats;
+        }
+        if (added_nodes || egraph.numNodes() > limits.maxNodes) {
+            stats.stopReason = StopReason::NodeLimit;
+            return stats;
+        }
+        if (watch.seconds() > limits.maxSeconds) {
+            stats.stopReason = StopReason::TimeLimit;
+            return stats;
+        }
+    }
+    stats.stopReason = StopReason::IterLimit;
+    stats.seconds = watch.seconds();
+    return stats;
+}
+
+}  // namespace isamore

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Rewrite rules and the equality-saturation runner.
+ *
+ * A rewrite rule l ⇝ r searches its LHS pattern in the e-graph and, for
+ * every match, instantiates the RHS and unions the two classes.  Rules carry
+ * classification flags used by RII's ruleset construction (paper §5.1):
+ * saturating vs non-saturating, int vs float, scalar vs vector.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+#include "egraph/ematch.hpp"
+
+namespace isamore {
+
+/** Classification flags for rewrite rules (paper §5.1 base rulesets). */
+enum RuleFlag : uint32_t {
+    kRuleSat = 1u << 0,     ///< cannot create new e-classes (only unions)
+    kRuleInt = 1u << 1,     ///< mentions integer operators
+    kRuleFloat = 1u << 2,   ///< mentions float operators
+    kRuleVector = 1u << 3,  ///< mentions vector terms
+    kRuleLift = 1u << 4,    ///< vectorization "lift" rewrite (§5.3)
+    kRuleCouple = 1u << 5,  ///< vectorization "couple" rewrite (§5.3)
+};
+
+/** An equational rewrite rule. */
+struct RewriteRule {
+    std::string name;
+    TermPtr lhs;
+    TermPtr rhs;
+    uint32_t flags = 0;
+
+    /** Optional guard evaluated per match; the rewrite fires when true. */
+    std::function<bool(const EGraph&, const EMatch&)> guard;
+
+    bool isSaturating() const { return (flags & kRuleSat) != 0; }
+    bool usesVector() const { return (flags & kRuleVector) != 0; }
+};
+
+/** Construct a rule by parsing LHS/RHS s-expressions. */
+RewriteRule makeRule(std::string name, const std::string& lhs,
+                     const std::string& rhs, uint32_t flags);
+
+/** Resource limits for one equality-saturation run. */
+struct EqSatLimits {
+    size_t maxNodes = 100000;        ///< stop when the e-graph exceeds this
+    size_t maxIterations = 16;       ///< rewrite sweeps
+    double maxSeconds = 30.0;        ///< wall-clock budget
+    size_t maxMatchesPerRule = 2048; ///< per-rule per-iteration match cap
+
+    /**
+     * egg-style backoff scheduling: a rule whose match count exceeds the
+     * cap is banned for exponentially growing spans of iterations, which
+     * lets slow rules keep contributing while explosive ones cool off.
+     */
+    bool useBackoff = false;
+};
+
+/** Why an equality-saturation run stopped. */
+enum class StopReason { Saturated, NodeLimit, IterLimit, TimeLimit };
+
+/** Statistics from one equality-saturation run. */
+struct EqSatStats {
+    size_t iterations = 0;
+    size_t peakNodes = 0;
+    size_t peakClasses = 0;
+    size_t applications = 0;
+    size_t rulesBanned = 0;  ///< backoff bans issued (when enabled)
+    StopReason stopReason = StopReason::Saturated;
+    double seconds = 0.0;
+};
+
+/**
+ * Run equality saturation: repeatedly search all rules (read-only), apply
+ * all matches, and rebuild, until saturation or a limit trips.
+ */
+EqSatStats runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
+                    const EqSatLimits& limits = {});
+
+}  // namespace isamore

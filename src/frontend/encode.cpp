@@ -1,0 +1,66 @@
+#include "frontend/encode.hpp"
+
+#include <unordered_set>
+
+namespace isamore {
+namespace frontend {
+namespace {
+
+/** Recursive add that records provenance sites once per term object. */
+EClassId
+addWithSites(EGraph& egraph, const TermPtr& term, const DslFunction& fn,
+             std::vector<Site>& sites,
+             std::unordered_map<const Term*, EClassId>& visited)
+{
+    auto it = visited.find(term.get());
+    if (it != visited.end()) {
+        return it->second;
+    }
+    std::vector<EClassId> children;
+    children.reserve(term->children.size());
+    for (const auto& child : term->children) {
+        children.push_back(
+            addWithSites(egraph, child, fn, sites, visited));
+    }
+    EClassId id =
+        egraph.add(ENode(term->op, term->payload, std::move(children)));
+    visited.emplace(term.get(), id);
+
+    auto prov = fn.provenance.find(term.get());
+    if (prov != fn.provenance.end()) {
+        sites.push_back(Site{id, fn.funcIndex, prov->second});
+    }
+    return id;
+}
+
+}  // namespace
+
+std::unordered_map<EClassId, std::vector<const Site*>>
+EncodedProgram::sitesByClass() const
+{
+    std::unordered_map<EClassId, std::vector<const Site*>> grouped;
+    for (const Site& site : sites) {
+        grouped[egraph.find(site.klass)].push_back(&site);
+    }
+    return grouped;
+}
+
+EncodedProgram
+encodeProgram(const std::vector<DslFunction>& functions)
+{
+    EncodedProgram out;
+    std::vector<EClassId> roots;
+    for (const DslFunction& fn : functions) {
+        std::unordered_map<const Term*, EClassId> visited;
+        EClassId root =
+            addWithSites(out.egraph, fn.root, fn, out.sites, visited);
+        out.functionRoots.push_back(root);
+        roots.push_back(root);
+    }
+    out.root = out.egraph.add(ENode(Op::List, Payload::none(), roots));
+    out.egraph.rebuild();
+    return out;
+}
+
+}  // namespace frontend
+}  // namespace isamore

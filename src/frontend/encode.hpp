@@ -1,0 +1,49 @@
+/**
+ * @file
+ * E-graph encoding of translated programs (paper §4.2), with provenance.
+ *
+ * Every DSL function root is added to one shared e-graph; identical
+ * subterms across functions land in the same e-class (the basis of
+ * cross-function reuse detection).  For the cost model and seed packing we
+ * record *sites*: for every operation term of the original program, the
+ * e-class it was inserted into plus its (function, basic block) origin.
+ * Because e-classes merge during saturation, site classes are re-canonized
+ * through find() at query time.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "egraph/egraph.hpp"
+#include "frontend/restructure.hpp"
+
+namespace isamore {
+namespace frontend {
+
+/** One original-program operation site. */
+struct Site {
+    EClassId klass = kInvalidClass;  ///< class id at insertion time
+    int func = 0;                    ///< function index
+    ir::BlockId block = 0;           ///< source basic block
+};
+
+/** A program encoded into an e-graph. */
+struct EncodedProgram {
+    EGraph egraph;
+    EClassId root = kInvalidClass;        ///< List(functionRoots...)
+    std::vector<EClassId> functionRoots;  ///< per function
+    std::vector<Site> sites;              ///< op-term occurrences
+
+    /**
+     * Group sites by canonical e-class (call after saturation).  A class
+     * with several sites is syntactically or semantically recurring.
+     */
+    std::unordered_map<EClassId, std::vector<const Site*>>
+    sitesByClass() const;
+};
+
+/** Encode translated functions into a fresh e-graph. */
+EncodedProgram encodeProgram(const std::vector<DslFunction>& functions);
+
+}  // namespace frontend
+}  // namespace isamore

@@ -1,0 +1,709 @@
+#include "frontend/restructure.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/cfg.hpp"
+#include "support/check.hpp"
+
+namespace isamore {
+namespace frontend {
+
+using ir::Block;
+using ir::BlockId;
+using ir::Function;
+using ir::Instr;
+using ir::kNoBlock;
+using ir::kNoValue;
+using ir::NaturalLoop;
+using ir::ValueId;
+
+namespace {
+
+/** Generic iterative dominator computation over an adjacency list. */
+std::vector<int>
+dominatorsOf(const std::vector<std::vector<int>>& succs, int root)
+{
+    const int n = static_cast<int>(succs.size());
+    // Post-order from root.
+    std::vector<int> order;
+    std::vector<bool> seen(n, false);
+    std::vector<std::pair<int, size_t>> stack{{root, 0}};
+    seen[root] = true;
+    while (!stack.empty()) {
+        auto& [node, idx] = stack.back();
+        if (idx < succs[node].size()) {
+            int next = succs[node][idx++];
+            if (!seen[next]) {
+                seen[next] = true;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::vector<int> rpo(order.rbegin(), order.rend());
+    std::vector<int> rpo_index(n, -1);
+    for (size_t i = 0; i < rpo.size(); ++i) {
+        rpo_index[rpo[i]] = static_cast<int>(i);
+    }
+
+    std::vector<std::vector<int>> preds(n);
+    for (int u = 0; u < n; ++u) {
+        for (int v : succs[u]) {
+            preds[v].push_back(u);
+        }
+    }
+
+    std::vector<int> idom(n, -1);
+    idom[root] = root;
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b]) {
+                a = idom[a];
+            }
+            while (rpo_index[b] > rpo_index[a]) {
+                b = idom[b];
+            }
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == root) {
+                continue;
+            }
+            int new_idom = -1;
+            for (int p : preds[b]) {
+                if (rpo_index[p] < 0 || idom[p] < 0) {
+                    continue;
+                }
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+/** Immediate postdominators over the reversed CFG with a virtual exit. */
+std::vector<BlockId>
+immediatePostdominators(const Function& fn)
+{
+    const int n = static_cast<int>(fn.blocks.size());
+    const int exit_node = n;
+    std::vector<std::vector<int>> rsuccs(n + 1);
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        const Instr& term = fn.blocks[b].terminator();
+        if (term.kind == Instr::Kind::Ret) {
+            rsuccs[exit_node].push_back(static_cast<int>(b));
+        }
+        for (BlockId s : term.succs) {
+            rsuccs[s].push_back(static_cast<int>(b));
+        }
+    }
+    auto ipdom = dominatorsOf(rsuccs, exit_node);
+    std::vector<BlockId> out(fn.blocks.size(), kNoBlock);
+    for (int b = 0; b < n; ++b) {
+        if (ipdom[b] >= 0 && ipdom[b] != exit_node) {
+            out[b] = static_cast<BlockId>(ipdom[b]);
+        }
+    }
+    return out;
+}
+
+/** The converter proper; see the header for the conversion conventions. */
+class Converter {
+ public:
+    Converter(const Function& fn, int funcIndex)
+        : fn_(fn), preds_(ir::predecessors(fn)),
+          ipdom_(immediatePostdominators(fn)), loops_(ir::naturalLoops(fn))
+    {
+        out_.name = fn.name;
+        out_.funcIndex = funcIndex;
+        for (const NaturalLoop& loop : loops_) {
+            loopByHeader_.emplace(loop.header, &loop);
+        }
+    }
+
+    DslFunction
+    run()
+    {
+        Env env;
+        for (size_t i = 0; i < fn_.paramTypes.size(); ++i) {
+            env.values[static_cast<ValueId>(i)] = argT(
+                0, static_cast<int64_t>(i), kindOf(fn_.paramTypes[i]));
+        }
+        std::vector<TermPtr> effects;
+        env.effects = &effects;
+        convertChain(0, kNoBlock, env, kNoBlock);
+        ISAMORE_USER_CHECK(returned_,
+                           fn_.name + ": no return reached at top level");
+
+        std::vector<TermPtr> rootElems;
+        rootElems.push_back(retTerm_ ? retTerm_ : lit(0));
+        for (TermPtr& e : effects) {
+            rootElems.push_back(std::move(e));
+        }
+        out_.root = makeTerm(Op::List, std::move(rootElems));
+        return std::move(out_);
+    }
+
+ private:
+    struct Env {
+        std::unordered_map<ValueId, TermPtr> values;
+        std::vector<TermPtr>* effects = nullptr;
+    };
+
+    static ScalarKind
+    kindOf(Type type)
+    {
+        ISAMORE_USER_CHECK(type.isScalar(),
+                           "region values must be scalar: " + type.str());
+        return type.scalarKind();
+    }
+
+    [[noreturn]] void
+    fail(const std::string& what) const
+    {
+        throw RestructureError(fn_.name + ": " + what);
+    }
+
+    void
+    note(const TermPtr& term, BlockId b)
+    {
+        out_.provenance[term.get()] = b;
+    }
+
+    TermPtr
+    value(const Env& env, ValueId v) const
+    {
+        auto it = env.values.find(v);
+        if (it == env.values.end()) {
+            fail("value %" + std::to_string(v) +
+                 " is not visible in the current region (defined inside "
+                 "a region but used outside without being carried)");
+        }
+        return it->second;
+    }
+
+    /** Convert the non-phi, non-terminator instructions of @p b. */
+    void
+    convertBlockBody(BlockId b, Env& env)
+    {
+        const Block& block = fn_.blocks[b];
+        for (const Instr& ins : block.instrs) {
+            if (ins.isTerminator()) {
+                break;
+            }
+            switch (ins.kind) {
+              case Instr::Kind::Phi:
+                // Single-pred phis are plain copies; others are bound by
+                // the surrounding region conversion (loop/if).
+                if (ins.phiPreds.size() == 1 &&
+                    env.values.count(ins.dest) == 0 &&
+                    env.values.count(ins.args[0]) != 0) {
+                    env.values[ins.dest] = value(env, ins.args[0]);
+                }
+                break;
+              case Instr::Kind::Const: {
+                TermPtr t = ins.payload.kind == Payload::Kind::Float
+                                ? litF(ins.payload.f)
+                                : lit(ins.payload.a);
+                env.values[ins.dest] = t;
+                break;
+              }
+              case Instr::Kind::Compute: {
+                std::vector<TermPtr> children;
+                children.reserve(ins.args.size());
+                for (ValueId a : ins.args) {
+                    children.push_back(value(env, a));
+                }
+                TermPtr t =
+                    makeTerm(ins.op, ins.payload, std::move(children));
+                note(t, b);
+                env.values[ins.dest] = t;
+                if (ins.op == Op::Store) {
+                    env.effects->push_back(t);
+                }
+                break;
+              }
+              default:
+                fail("unexpected instruction kind mid-block");
+            }
+        }
+    }
+
+    /**
+     * Convert the region chain starting at @p b until reaching @p stop.
+     * @p skipLoopAt suppresses loop conversion for the body's own header.
+     */
+    void
+    convertChain(BlockId b, BlockId stop, Env& env, BlockId skipLoopAt)
+    {
+        while (b != stop) {
+            if (b == kNoBlock) {
+                fail("chain ran off the CFG");
+            }
+            auto loop_it = loopByHeader_.find(b);
+            if (loop_it != loopByHeader_.end() && b != skipLoopAt) {
+                b = convertLoop(*loop_it->second, env);
+                skipLoopAt = kNoBlock;
+                continue;
+            }
+            convertBlockBody(b, env);
+            const Instr& term = fn_.blocks[b].terminator();
+            switch (term.kind) {
+              case Instr::Kind::Br:
+                skipLoopAt = kNoBlock;
+                b = term.succs[0];
+                break;
+              case Instr::Kind::CondBr:
+                b = convertIf(b, env);
+                skipLoopAt = kNoBlock;
+                break;
+              case Instr::Kind::Ret:
+                if (stop != kNoBlock) {
+                    fail("return inside a nested region");
+                }
+                if (!term.args.empty()) {
+                    retTerm_ = value(env, term.args[0]);
+                }
+                returned_ = true;
+                return;
+              default:
+                fail("block without terminator");
+            }
+        }
+    }
+
+    /** Blocks reachable from @p from without entering @p stop. */
+    std::vector<BlockId>
+    regionBlocks(BlockId from, BlockId stop) const
+    {
+        std::vector<BlockId> blocks;
+        if (from == stop) {
+            return blocks;
+        }
+        std::unordered_set<BlockId> seen{stop};
+        std::vector<BlockId> stack{from};
+        while (!stack.empty()) {
+            BlockId n = stack.back();
+            stack.pop_back();
+            if (!seen.insert(n).second) {
+                continue;
+            }
+            blocks.push_back(n);
+            for (BlockId s : ir::successors(fn_, n)) {
+                stack.push_back(s);
+            }
+        }
+        std::sort(blocks.begin(), blocks.end());
+        return blocks;
+    }
+
+    /** Values defined by instructions of @p blocks. */
+    std::unordered_set<ValueId>
+    definedIn(const std::vector<BlockId>& blocks) const
+    {
+        std::unordered_set<ValueId> defined;
+        for (BlockId b : blocks) {
+            for (const Instr& ins : fn_.blocks[b].instrs) {
+                if (ins.dest != kNoValue) {
+                    defined.insert(ins.dest);
+                }
+            }
+        }
+        return defined;
+    }
+
+    /**
+     * Outer values used by @p blocks, in deterministic first-use order.
+     * Header-phi incoming values from outside the region are excluded
+     * (they become e_in initializers, not Args).
+     */
+    std::vector<ValueId>
+    outerUses(const std::vector<BlockId>& blocks,
+              const std::unordered_set<ValueId>& defined,
+              BlockId phiHeader) const
+    {
+        std::vector<ValueId> uses;
+        std::unordered_set<ValueId> seen;
+        for (BlockId b : blocks) {
+            for (const Instr& ins : fn_.blocks[b].instrs) {
+                for (size_t i = 0; i < ins.args.size(); ++i) {
+                    if (ins.kind == Instr::Kind::Phi && b == phiHeader) {
+                        continue;  // init values handled separately
+                    }
+                    ValueId v = ins.args[i];
+                    if (defined.count(v) == 0 && seen.insert(v).second) {
+                        uses.push_back(v);
+                    }
+                }
+            }
+        }
+        return uses;
+    }
+
+    /** Convert a natural loop; returns the loop's exit block. */
+    BlockId
+    convertLoop(const NaturalLoop& loop, Env& env)
+    {
+        if (loop.latches.size() != 1) {
+            fail("loop with multiple latches is unsupported");
+        }
+        const BlockId header = loop.header;
+        const BlockId latch = loop.latches[0];
+        const Instr& lterm = fn_.blocks[latch].terminator();
+        if (lterm.kind != Instr::Kind::CondBr) {
+            fail("loop latch must end in a conditional branch");
+        }
+        const bool cont_on_true = lterm.succs[0] == header;
+        if (!cont_on_true && lterm.succs[1] != header) {
+            fail("loop latch does not branch back to the header");
+        }
+        const BlockId exit_block = cont_on_true ? lterm.succs[1]
+                                                : lterm.succs[0];
+        if (loop.contains(exit_block)) {
+            fail("loop exit edge stays inside the loop");
+        }
+        // Reject other exits (break statements).
+        for (BlockId b : loop.blocks) {
+            for (BlockId s : ir::successors(fn_, b)) {
+                if (!loop.contains(s) && !(b == latch && s == exit_block)) {
+                    fail("loop has multiple exits");
+                }
+            }
+        }
+
+        // Header phis: carried values.
+        struct Carried {
+            ValueId phi;
+            ValueId init;
+            ValueId next;
+            ScalarKind kind;
+        };
+        std::vector<Carried> carried;
+        for (const Instr& ins : fn_.blocks[header].instrs) {
+            if (ins.kind != Instr::Kind::Phi) {
+                break;
+            }
+            Carried c;
+            c.phi = ins.dest;
+            c.init = kNoValue;
+            c.next = kNoValue;
+            c.kind = kindOf(ins.type);
+            for (size_t i = 0; i < ins.phiPreds.size(); ++i) {
+                if (loop.contains(ins.phiPreds[i])) {
+                    if (c.next != kNoValue && c.next != ins.args[i]) {
+                        fail("phi with conflicting back-edge values");
+                    }
+                    c.next = ins.args[i];
+                } else {
+                    if (c.init != kNoValue && c.init != ins.args[i]) {
+                        fail("loop header with multiple entry values");
+                    }
+                    c.init = ins.args[i];
+                }
+            }
+            if (c.init == kNoValue || c.next == kNoValue) {
+                fail("loop header phi missing init or back-edge value");
+            }
+            carried.push_back(c);
+        }
+        const size_t P = carried.size();
+
+        auto defined = definedIn(loop.blocks);
+        auto outer = outerUses(loop.blocks, defined, header);
+
+        // Body environment: phis then invariants through the region frame.
+        Env body;
+        std::vector<TermPtr> body_effects;
+        body.effects = &body_effects;
+        for (size_t j = 0; j < P; ++j) {
+            body.values[carried[j].phi] =
+                argT(0, static_cast<int64_t>(j), carried[j].kind);
+        }
+        std::vector<ScalarKind> outer_kinds;
+        for (size_t k = 0; k < outer.size(); ++k) {
+            Type t = typeOfValue(outer[k]);
+            outer_kinds.push_back(kindOf(t));
+            body.values[outer[k]] = argT(
+                0, static_cast<int64_t>(2 * P + k), outer_kinds.back());
+        }
+
+        // Convert the body: header..latch exclusive (a no-op for
+        // single-block loops where header == latch), then the latch block
+        // itself; its terminator supplies the continue condition.
+        convertChain(header, latch, body, header);
+        convertBlockBody(latch, body);
+
+        TermPtr cont = value(body, lterm.args[0]);
+        if (!cont_on_true) {
+            cont = makeTerm(Op::Eq, {cont, lit(0)});
+            note(cont, latch);
+        }
+
+        // Body output list: (cond, next..., prev..., invariants...,
+        // stores...).
+        std::vector<TermPtr> body_out;
+        body_out.push_back(cont);
+        for (size_t j = 0; j < P; ++j) {
+            body_out.push_back(value(body, carried[j].next));
+        }
+        for (size_t j = 0; j < P; ++j) {
+            body_out.push_back(
+                argT(0, static_cast<int64_t>(j), carried[j].kind));
+        }
+        for (size_t k = 0; k < outer.size(); ++k) {
+            body_out.push_back(argT(0, static_cast<int64_t>(2 * P + k),
+                                    outer_kinds[k]));
+        }
+        for (TermPtr& s : body_effects) {
+            body_out.push_back(std::move(s));
+        }
+
+        // Input list, in the same slot order.
+        std::vector<TermPtr> inits;
+        for (size_t j = 0; j < P; ++j) {
+            inits.push_back(value(env, carried[j].init));
+        }
+        for (size_t j = 0; j < P; ++j) {
+            inits.push_back(value(env, carried[j].init));
+        }
+        for (ValueId u : outer) {
+            inits.push_back(value(env, u));
+        }
+        for (size_t s = 0; s < body_effects.size(); ++s) {
+            inits.push_back(lit(0));
+        }
+
+        TermPtr loop_term =
+            makeTerm(Op::Loop, {makeTerm(Op::List, std::move(inits)),
+                                makeTerm(Op::List, std::move(body_out))});
+        note(loop_term, header);
+
+        // Surface the loop's effect slots into the enclosing region so the
+        // loop (and its stores) stays reachable from the function root
+        // even when no data value flows out.
+        for (size_t s = 0; s < body_effects.size(); ++s) {
+            TermPtr g = get(loop_term, static_cast<int64_t>(
+                                           2 * P + outer.size() + s));
+            note(g, header);
+            env.effects->push_back(g);
+        }
+
+        // Post-loop bindings: next values and pre-update phi values.
+        for (size_t j = 0; j < P; ++j) {
+            TermPtr prev = get(loop_term, static_cast<int64_t>(P + j));
+            note(prev, header);
+            env.values[carried[j].phi] = prev;
+        }
+        for (size_t j = 0; j < P; ++j) {
+            if (defined.count(carried[j].next) != 0) {
+                TermPtr next = get(loop_term, static_cast<int64_t>(j));
+                note(next, header);
+                env.values[carried[j].next] = next;
+            }
+        }
+        return exit_block;
+    }
+
+    /** Convert an if region rooted at @p b; returns the join block. */
+    BlockId
+    convertIf(BlockId b, Env& env)
+    {
+        const Instr& term = fn_.blocks[b].terminator();
+        const BlockId then_entry = term.succs[0];
+        const BlockId else_entry = term.succs[1];
+        const BlockId join = ipdom_[b];
+        if (join == kNoBlock) {
+            fail("conditional without a postdominating join");
+        }
+
+        auto then_blocks = regionBlocks(then_entry, join);
+        auto else_blocks = regionBlocks(else_entry, join);
+        auto then_defined = definedIn(then_blocks);
+        auto else_defined = definedIn(else_blocks);
+
+        // Join phis: per-side incoming values.
+        struct JoinPhi {
+            ValueId dest;
+            ValueId thenVal = kNoValue;
+            ValueId elseVal = kNoValue;
+        };
+        std::vector<JoinPhi> join_phis;
+        for (const Instr& ins : fn_.blocks[join].instrs) {
+            if (ins.kind != Instr::Kind::Phi) {
+                break;
+            }
+            JoinPhi jp;
+            jp.dest = ins.dest;
+            for (size_t i = 0; i < ins.phiPreds.size(); ++i) {
+                BlockId p = ins.phiPreds[i];
+                bool on_then =
+                    (p == b && then_entry == join) ||
+                    std::binary_search(then_blocks.begin(),
+                                       then_blocks.end(), p);
+                bool on_else =
+                    (p == b && else_entry == join) ||
+                    std::binary_search(else_blocks.begin(),
+                                       else_blocks.end(), p);
+                if (on_then) {
+                    jp.thenVal = ins.args[i];
+                } else if (on_else) {
+                    jp.elseVal = ins.args[i];
+                } else {
+                    fail("join phi has an incoming edge from outside the "
+                         "if region");
+                }
+            }
+            if (jp.thenVal == kNoValue || jp.elseVal == kNoValue) {
+                fail("join phi missing a branch incoming value");
+            }
+            join_phis.push_back(jp);
+        }
+
+        // Outer values used by either branch, including phi incoming
+        // values that are defined outside the branches.
+        std::vector<ValueId> outer;
+        std::unordered_set<ValueId> outer_seen;
+        auto add_outer = [&](ValueId v) {
+            if (then_defined.count(v) == 0 && else_defined.count(v) == 0 &&
+                outer_seen.insert(v).second) {
+                outer.push_back(v);
+            }
+        };
+        for (ValueId v :
+             outerUses(then_blocks, then_defined, kNoBlock)) {
+            add_outer(v);
+        }
+        for (ValueId v :
+             outerUses(else_blocks, else_defined, kNoBlock)) {
+            add_outer(v);
+        }
+        for (const JoinPhi& jp : join_phis) {
+            add_outer(jp.thenVal);
+            add_outer(jp.elseVal);
+        }
+
+        // Branch environments share the same frame layout.
+        auto make_branch_env = [&](std::vector<TermPtr>* effects) {
+            Env branch;
+            branch.effects = effects;
+            for (size_t k = 0; k < outer.size(); ++k) {
+                branch.values[outer[k]] =
+                    argT(0, static_cast<int64_t>(k),
+                         kindOf(typeOfValue(outer[k])));
+            }
+            return branch;
+        };
+        std::vector<TermPtr> then_effects;
+        std::vector<TermPtr> else_effects;
+        Env then_env = make_branch_env(&then_effects);
+        Env else_env = make_branch_env(&else_effects);
+        if (then_entry != join) {
+            convertChain(then_entry, join, then_env, kNoBlock);
+        }
+        if (else_entry != join) {
+            convertChain(else_entry, join, else_env, kNoBlock);
+        }
+
+        const size_t max_effects =
+            std::max(then_effects.size(), else_effects.size());
+        auto make_outputs = [&](Env& branch, std::vector<TermPtr>& effects,
+                                bool then_side) {
+            std::vector<TermPtr> outs;
+            for (const JoinPhi& jp : join_phis) {
+                outs.push_back(
+                    value(branch, then_side ? jp.thenVal : jp.elseVal));
+            }
+            for (TermPtr& e : effects) {
+                outs.push_back(std::move(e));
+            }
+            for (size_t i = effects.size(); i < max_effects; ++i) {
+                outs.push_back(lit(0));
+            }
+            return outs;
+        };
+        std::vector<TermPtr> then_out =
+            make_outputs(then_env, then_effects, true);
+        std::vector<TermPtr> else_out =
+            make_outputs(else_env, else_effects, false);
+
+        std::vector<TermPtr> inputs;
+        inputs.push_back(value(env, term.args[0]));
+        for (ValueId u : outer) {
+            inputs.push_back(value(env, u));
+        }
+
+        TermPtr if_term =
+            makeTerm(Op::If, {makeTerm(Op::List, std::move(inputs)),
+                              makeTerm(Op::List, std::move(then_out)),
+                              makeTerm(Op::List, std::move(else_out))});
+        note(if_term, b);
+
+        // The if's side effects must survive extraction: surface each
+        // effect slot as a scalar Get in the enclosing region's effect
+        // list (scalar so it can become an i32 loop-carried slot).
+        for (size_t e = 0; e < max_effects; ++e) {
+            TermPtr g = get(if_term,
+                            static_cast<int64_t>(join_phis.size() + e));
+            note(g, b);
+            env.effects->push_back(g);
+        }
+        for (size_t m = 0; m < join_phis.size(); ++m) {
+            TermPtr g = get(if_term, static_cast<int64_t>(m));
+            note(g, join);
+            env.values[join_phis[m].dest] = g;
+        }
+        return join;
+    }
+
+    Type
+    typeOfValue(ValueId v) const
+    {
+        ISAMORE_CHECK(v < fn_.valueTypes.size());
+        return fn_.valueTypes[v];
+    }
+
+    const Function& fn_;
+    std::vector<std::vector<BlockId>> preds_;
+    std::vector<BlockId> ipdom_;
+    std::vector<NaturalLoop> loops_;
+    std::unordered_map<BlockId, const NaturalLoop*> loopByHeader_;
+
+    DslFunction out_;
+    TermPtr retTerm_;
+    bool returned_ = false;
+};
+
+}  // namespace
+
+DslFunction
+convertFunction(const Function& fn, int funcIndex)
+{
+    ir::verifyFunction(fn);
+    return Converter(fn, funcIndex).run();
+}
+
+std::vector<DslFunction>
+convertModule(const ir::Module& module)
+{
+    std::vector<DslFunction> out;
+    out.reserve(module.functions.size());
+    for (size_t i = 0; i < module.functions.size(); ++i) {
+        out.push_back(
+            convertFunction(module.functions[i], static_cast<int>(i)));
+    }
+    return out;
+}
+
+}  // namespace frontend
+}  // namespace isamore

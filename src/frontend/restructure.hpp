@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Control-flow restructuring: MiniIR functions -> structured DSL terms
+ * (paper §4 and §6; the JLM/RVSDG-restructuring substitute).
+ *
+ * Supported CFG shapes (what the bundled kernel builder produces, and what
+ * reducible LLVM -O3 output for the paper's kernels looks like after
+ * canonicalization):
+ *   - straight-line chains of blocks,
+ *   - if/then/else diamonds and if/then triangles that converge at the
+ *     branch's immediate postdominator,
+ *   - natural do-while loops with a single latch and a single exit edge
+ *     (arbitrarily nested).
+ *
+ * Conversion conventions:
+ *   - every region receives *all* outer values it uses through its input
+ *     tuple, so generated Arg terms are always depth 0;
+ *   - loop regions carry, in order: the header phis' next values, the
+ *     phis' previous values (so post-loop uses of the pre-update value
+ *     remain expressible), passed-through invariants, and one i32 slot per
+ *     store site in the region body (stores evaluate to an i32 zero);
+ *   - the function root is List(returnValue-or-0, <top-level stores...>),
+ *     so extraction preserves all side effects.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "dsl/term.hpp"
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace frontend {
+
+/** A function translated to the structured DSL. */
+struct DslFunction {
+    std::string name;
+    int funcIndex = 0;
+
+    /** Root term: List(returnValue-or-0, top-level stores...). */
+    TermPtr root;
+
+    /**
+     * Which basic block each operation term came from (op terms only;
+     * leaves are omitted).  Keys are exact term nodes of @ref root.
+     */
+    std::unordered_map<const Term*, ir::BlockId> provenance;
+};
+
+/** Thrown when the CFG is outside the supported structured family. */
+class RestructureError : public std::runtime_error {
+ public:
+    explicit RestructureError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Translate @p fn into the structured DSL. */
+DslFunction convertFunction(const ir::Function& fn, int funcIndex);
+
+/** Translate every function of @p module. */
+std::vector<DslFunction> convertModule(const ir::Module& module);
+
+}  // namespace frontend
+}  // namespace isamore

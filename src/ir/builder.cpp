@@ -1,0 +1,217 @@
+#include "ir/builder.hpp"
+
+#include "dsl/type_infer.hpp"
+#include "support/check.hpp"
+
+namespace isamore {
+namespace ir {
+
+FunctionBuilder::FunctionBuilder(std::string name,
+                                 std::vector<Type> paramTypes)
+{
+    fn_.name = std::move(name);
+    fn_.paramTypes = paramTypes;
+    fn_.valueTypes = std::move(paramTypes);
+    fn_.blocks.emplace_back();
+}
+
+BlockId
+FunctionBuilder::newBlock()
+{
+    fn_.blocks.emplace_back();
+    return static_cast<BlockId>(fn_.blocks.size() - 1);
+}
+
+void
+FunctionBuilder::setInsertPoint(BlockId block)
+{
+    ISAMORE_USER_CHECK(block < fn_.blocks.size(),
+                       "setInsertPoint: no such block");
+    current_ = block;
+}
+
+ValueId
+FunctionBuilder::param(size_t index) const
+{
+    ISAMORE_USER_CHECK(index < fn_.paramTypes.size(),
+                       "param index out of range");
+    return static_cast<ValueId>(index);
+}
+
+ValueId
+FunctionBuilder::newValue(Type type)
+{
+    fn_.valueTypes.push_back(type);
+    return static_cast<ValueId>(fn_.valueTypes.size() - 1);
+}
+
+Instr&
+FunctionBuilder::append(Instr instr)
+{
+    ISAMORE_USER_CHECK(!finished_, "builder already finished");
+    Block& block = fn_.blocks[current_];
+    ISAMORE_USER_CHECK(
+        block.instrs.empty() || !block.instrs.back().isTerminator(),
+        "appending after a terminator in bb" + std::to_string(current_));
+    block.instrs.push_back(std::move(instr));
+    return block.instrs.back();
+}
+
+ValueId
+FunctionBuilder::constI(int64_t value, Type type)
+{
+    Instr ins;
+    ins.kind = Instr::Kind::Const;
+    ins.payload = Payload::ofInt(value);
+    ins.type = type;
+    ins.dest = newValue(type);
+    return append(std::move(ins)).dest;
+}
+
+ValueId
+FunctionBuilder::constF(double value, Type type)
+{
+    Instr ins;
+    ins.kind = Instr::Kind::Const;
+    ins.payload = Payload::ofFloat(value);
+    ins.type = type;
+    ins.dest = newValue(type);
+    return append(std::move(ins)).dest;
+}
+
+ValueId
+FunctionBuilder::compute(Op op, std::vector<ValueId> args)
+{
+    std::vector<Type> argTypes;
+    argTypes.reserve(args.size());
+    for (ValueId v : args) {
+        argTypes.push_back(typeOf(v));
+    }
+    Type type = inferNodeType(op, Payload::none(), argTypes);
+    ISAMORE_USER_CHECK(!type.isBottom(),
+                       std::string("ill-typed compute op ") +
+                           std::string(opName(op)));
+    Instr ins;
+    ins.kind = Instr::Kind::Compute;
+    ins.op = op;
+    ins.type = type;
+    ins.args = std::move(args);
+    ins.dest = newValue(type);
+    return append(std::move(ins)).dest;
+}
+
+ValueId
+FunctionBuilder::load(ScalarKind kind, ValueId base, ValueId offset)
+{
+    ISAMORE_USER_CHECK(typeOf(base).isInt() && typeOf(offset).isInt(),
+                       "load address operands must be ints");
+    Instr ins;
+    ins.kind = Instr::Kind::Compute;
+    ins.op = Op::Load;
+    ins.payload = Payload::ofInt(static_cast<int64_t>(kind));
+    ins.type = Type::scalar(kind);
+    ins.args = {base, offset};
+    ins.dest = newValue(ins.type);
+    return append(std::move(ins)).dest;
+}
+
+void
+FunctionBuilder::store(ValueId base, ValueId offset, ValueId value)
+{
+    ISAMORE_USER_CHECK(typeOf(base).isInt() && typeOf(offset).isInt(),
+                       "store address operands must be ints");
+    ISAMORE_USER_CHECK(typeOf(value).isScalar(),
+                       "store value must be scalar");
+    Instr ins;
+    ins.kind = Instr::Kind::Compute;
+    ins.op = Op::Store;
+    ins.type = Type::i32();  // effect token (see dsl/type_infer.cpp)
+    ins.args = {base, offset, value};
+    ins.dest = newValue(ins.type);
+    append(std::move(ins));
+}
+
+ValueId
+FunctionBuilder::phi(Type type,
+                     std::vector<std::pair<BlockId, ValueId>> incoming)
+{
+    Block& block = fn_.blocks[current_];
+    for (const Instr& existing : block.instrs) {
+        ISAMORE_USER_CHECK(existing.kind == Instr::Kind::Phi,
+                           "phi must be created at the block start");
+    }
+    Instr ins;
+    ins.kind = Instr::Kind::Phi;
+    ins.type = type;
+    ins.dest = newValue(type);
+    for (auto& [pred, value] : incoming) {
+        ins.phiPreds.push_back(pred);
+        ins.args.push_back(value);
+    }
+    return append(std::move(ins)).dest;
+}
+
+void
+FunctionBuilder::addPhiIncoming(ValueId phiValue, BlockId pred,
+                                ValueId value)
+{
+    for (Block& block : fn_.blocks) {
+        for (Instr& ins : block.instrs) {
+            if (ins.kind == Instr::Kind::Phi && ins.dest == phiValue) {
+                ins.phiPreds.push_back(pred);
+                ins.args.push_back(value);
+                return;
+            }
+        }
+    }
+    ISAMORE_USER_CHECK(false, "addPhiIncoming: no such phi");
+}
+
+void
+FunctionBuilder::br(BlockId target)
+{
+    Instr ins;
+    ins.kind = Instr::Kind::Br;
+    ins.succs = {target};
+    append(std::move(ins));
+}
+
+void
+FunctionBuilder::condBr(ValueId cond, BlockId ifTrue, BlockId ifFalse)
+{
+    Instr ins;
+    ins.kind = Instr::Kind::CondBr;
+    ins.args = {cond};
+    ins.succs = {ifTrue, ifFalse};
+    append(std::move(ins));
+}
+
+void
+FunctionBuilder::ret(ValueId value)
+{
+    Instr ins;
+    ins.kind = Instr::Kind::Ret;
+    if (value != kNoValue) {
+        ins.args = {value};
+    }
+    append(std::move(ins));
+}
+
+Type
+FunctionBuilder::typeOf(ValueId v) const
+{
+    ISAMORE_USER_CHECK(v < fn_.valueTypes.size(), "typeOf: no such value");
+    return fn_.valueTypes[v];
+}
+
+Function
+FunctionBuilder::finish()
+{
+    ISAMORE_USER_CHECK(!finished_, "builder already finished");
+    finished_ = true;
+    verifyFunction(fn_);
+    return std::move(fn_);
+}
+
+}  // namespace ir
+}  // namespace isamore

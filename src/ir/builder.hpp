@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SSA construction API for MiniIR.
+ *
+ * The builder keeps an insertion point (a block) and appends instructions,
+ * assigning fresh value ids and inferring result types.  Loop phis can be
+ * created before their latch exists and patched with addPhiIncoming().
+ * finish() verifies the function.
+ */
+#pragma once
+
+#include <utility>
+
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace ir {
+
+/** Builds one Function. */
+class FunctionBuilder {
+ public:
+    FunctionBuilder(std::string name, std::vector<Type> paramTypes);
+
+    /** Append a new empty block; does not move the insertion point. */
+    BlockId newBlock();
+
+    /** Set the block receiving subsequent instructions. */
+    void setInsertPoint(BlockId block);
+
+    BlockId insertPoint() const { return current_; }
+
+    /** Value id of parameter @p index. */
+    ValueId param(size_t index) const;
+
+    /** @name Instructions
+     *  @{ */
+
+    /** Integer literal of type @p type. */
+    ValueId constI(int64_t value, Type type = Type::i32());
+    /** Float literal of type @p type. */
+    ValueId constF(double value, Type type = Type::f32());
+
+    /** Computational instruction; result type inferred from operands. */
+    ValueId compute(Op op, std::vector<ValueId> args);
+
+    /** Memory load of a @p kind scalar at (base + offset). */
+    ValueId load(ScalarKind kind, ValueId base, ValueId offset);
+
+    /** Memory store of @p value at (base + offset). */
+    void store(ValueId base, ValueId offset, ValueId value);
+
+    /** Block-entry phi. Incoming edges may be added later. */
+    ValueId phi(Type type,
+                std::vector<std::pair<BlockId, ValueId>> incoming = {});
+
+    /** Add an incoming edge to an existing phi (by its defined value). */
+    void addPhiIncoming(ValueId phiValue, BlockId pred, ValueId value);
+
+    void br(BlockId target);
+    void condBr(ValueId cond, BlockId ifTrue, BlockId ifFalse);
+    void ret(ValueId value = kNoValue);
+
+    /** @} */
+
+    /** Type of an already-defined value. */
+    Type typeOf(ValueId v) const;
+
+    /** Verify and return the function. The builder must not be reused. */
+    Function finish();
+
+ private:
+    ValueId newValue(Type type);
+    Instr& append(Instr instr);
+
+    Function fn_;
+    BlockId current_ = 0;
+    bool finished_ = false;
+};
+
+}  // namespace ir
+}  // namespace isamore

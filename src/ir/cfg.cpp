@@ -1,0 +1,169 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace ir {
+
+std::vector<BlockId>
+successors(const Function& fn, BlockId b)
+{
+    return fn.blocks[b].terminator().succs;
+}
+
+std::vector<std::vector<BlockId>>
+predecessors(const Function& fn)
+{
+    std::vector<std::vector<BlockId>> preds(fn.blocks.size());
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        for (BlockId s : successors(fn, b)) {
+            preds[s].push_back(b);
+        }
+    }
+    return preds;
+}
+
+namespace {
+
+void
+postOrderVisit(const Function& fn, BlockId b, std::vector<bool>& seen,
+               std::vector<BlockId>& order)
+{
+    seen[b] = true;
+    for (BlockId s : successors(fn, b)) {
+        if (!seen[s]) {
+            postOrderVisit(fn, s, seen, order);
+        }
+    }
+    order.push_back(b);
+}
+
+}  // namespace
+
+std::vector<BlockId>
+reversePostOrder(const Function& fn)
+{
+    std::vector<bool> seen(fn.blocks.size(), false);
+    std::vector<BlockId> order;
+    postOrderVisit(fn, 0, seen, order);
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<BlockId>
+immediateDominators(const Function& fn)
+{
+    const auto rpo = reversePostOrder(fn);
+    std::vector<int> rpo_index(fn.blocks.size(), -1);
+    for (size_t i = 0; i < rpo.size(); ++i) {
+        rpo_index[rpo[i]] = static_cast<int>(i);
+    }
+    const auto preds = predecessors(fn);
+
+    std::vector<BlockId> idom(fn.blocks.size(), kNoBlock);
+    idom[0] = 0;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b]) {
+                a = idom[a];
+            }
+            while (rpo_index[b] > rpo_index[a]) {
+                b = idom[b];
+            }
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == 0) {
+                continue;
+            }
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds[b]) {
+                if (rpo_index[p] < 0 || idom[p] == kNoBlock) {
+                    continue;  // unreachable or not yet processed
+                }
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b)
+{
+    ISAMORE_CHECK(b < idom.size());
+    while (true) {
+        if (a == b) {
+            return true;
+        }
+        if (b == 0 || idom[b] == kNoBlock || idom[b] == b) {
+            return false;
+        }
+        b = idom[b];
+    }
+}
+
+std::vector<NaturalLoop>
+naturalLoops(const Function& fn)
+{
+    const auto idom = immediateDominators(fn);
+    const auto preds = predecessors(fn);
+
+    std::map<BlockId, NaturalLoop> byHeader;
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        for (BlockId s : successors(fn, b)) {
+            if (!dominates(idom, s, b)) {
+                continue;  // not a back edge
+            }
+            NaturalLoop& loop = byHeader[s];
+            loop.header = s;
+            loop.latches.push_back(b);
+            // Loop body: reverse-reachable from the latch without passing
+            // through the header.
+            std::vector<bool> in(fn.blocks.size(), false);
+            in[s] = true;
+            std::vector<BlockId> stack{b};
+            while (!stack.empty()) {
+                BlockId n = stack.back();
+                stack.pop_back();
+                if (in[n]) {
+                    continue;
+                }
+                in[n] = true;
+                for (BlockId p : preds[n]) {
+                    stack.push_back(p);
+                }
+            }
+            for (BlockId n = 0; n < fn.blocks.size(); ++n) {
+                if (in[n] && !loop.contains(n)) {
+                    loop.blocks.push_back(n);
+                }
+            }
+        }
+    }
+
+    std::vector<NaturalLoop> loops;
+    loops.reserve(byHeader.size());
+    for (auto& [header, loop] : byHeader) {
+        std::sort(loop.blocks.begin(), loop.blocks.end());
+        loops.push_back(std::move(loop));
+    }
+    return loops;
+}
+
+}  // namespace ir
+}  // namespace isamore

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CFG analyses over MiniIR functions: predecessors, reverse post-order,
+ * dominators (iterative Cooper-Harvey-Kennedy), and natural-loop detection.
+ * These feed the frontend's control-flow restructuring and the loop
+ * unroller.
+ */
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace ir {
+
+/** Predecessor lists, indexed by block. */
+std::vector<std::vector<BlockId>> predecessors(const Function& fn);
+
+/** Successor list of one block (from its terminator). */
+std::vector<BlockId> successors(const Function& fn, BlockId b);
+
+/** Reverse post-order over blocks reachable from the entry. */
+std::vector<BlockId> reversePostOrder(const Function& fn);
+
+/**
+ * Immediate dominators, indexed by block; idom[entry] == entry and
+ * unreachable blocks get kNoBlock.
+ */
+std::vector<BlockId> immediateDominators(const Function& fn);
+
+/** Whether @p a dominates @p b under @p idom. */
+bool dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b);
+
+/** A natural loop: header plus the set of member blocks. */
+struct NaturalLoop {
+    BlockId header = kNoBlock;
+    std::vector<BlockId> blocks;  ///< includes the header
+    std::vector<BlockId> latches; ///< sources of back edges into header
+
+    bool
+    contains(BlockId b) const
+    {
+        for (BlockId m : blocks) {
+            if (m == b) {
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/** All natural loops (one per header; multiple back edges are merged). */
+std::vector<NaturalLoop> naturalLoops(const Function& fn);
+
+}  // namespace ir
+}  // namespace isamore

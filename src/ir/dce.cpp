@@ -1,0 +1,49 @@
+#include "ir/dce.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace isamore {
+namespace ir {
+
+size_t
+eliminateDeadCode(Function& fn)
+{
+    size_t removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::unordered_set<ValueId> used;
+        for (const Block& block : fn.blocks) {
+            for (const Instr& ins : block.instrs) {
+                for (ValueId v : ins.args) {
+                    used.insert(v);
+                }
+            }
+        }
+        for (Block& block : fn.blocks) {
+            auto dead = [&](const Instr& ins) {
+                if (ins.isTerminator() ||
+                    (ins.kind == Instr::Kind::Compute &&
+                     ins.op == Op::Store)) {
+                    return false;
+                }
+                return ins.dest != kNoValue && used.count(ins.dest) == 0;
+            };
+            const size_t before = block.instrs.size();
+            block.instrs.erase(std::remove_if(block.instrs.begin(),
+                                              block.instrs.end(), dead),
+                               block.instrs.end());
+            const size_t delta = before - block.instrs.size();
+            removed += delta;
+            changed = changed || delta != 0;
+        }
+    }
+    if (removed > 0) {
+        verifyFunction(fn);
+    }
+    return removed;
+}
+
+}  // namespace ir
+}  // namespace isamore

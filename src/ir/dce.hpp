@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Dead-code elimination for MiniIR.
+ *
+ * Deletes instructions whose results are never used, iterating to a
+ * fixpoint (a dead user can make its producers dead).  Stores and
+ * terminators are roots; phis die like any other value.  Run after loop
+ * unrolling, which leaves behind the intermediate copies' loop-exit
+ * conditions — exactly what LLVM's -O3 pipeline would clean up.
+ */
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace ir {
+
+/** Remove dead instructions from @p fn. @return instructions removed. */
+size_t eliminateDeadCode(Function& fn);
+
+}  // namespace ir
+}  // namespace isamore

@@ -1,0 +1,157 @@
+#include "ir/ir.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "ir/cfg.hpp"
+
+namespace isamore {
+namespace ir {
+
+size_t
+Function::instructionCount() const
+{
+    size_t total = 0;
+    for (const Block& b : blocks) {
+        total += b.instrs.size();
+    }
+    return total;
+}
+
+int
+Module::findFunction(const std::string& name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+std::string
+printFunction(const Function& fn)
+{
+    std::ostringstream os;
+    os << "func @" << fn.name << '(';
+    for (size_t i = 0; i < fn.paramTypes.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << '%' << i << ": "
+           << fn.paramTypes[i].str();
+    }
+    os << ")\n";
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        os << "bb" << b << ":\n";
+        for (const Instr& ins : fn.blocks[b].instrs) {
+            os << "  ";
+            if (ins.dest != kNoValue) {
+                os << '%' << ins.dest << " = ";
+            }
+            switch (ins.kind) {
+              case Instr::Kind::Const:
+                os << "const " << ins.payload.str();
+                break;
+              case Instr::Kind::Compute:
+                os << opName(ins.op);
+                if (ins.op == Op::Load) {
+                    os << '.'
+                       << scalarName(
+                              static_cast<ScalarKind>(ins.payload.a));
+                }
+                for (ValueId v : ins.args) {
+                    os << " %" << v;
+                }
+                break;
+              case Instr::Kind::Phi:
+                os << "phi";
+                for (size_t i = 0; i < ins.args.size(); ++i) {
+                    os << " [bb" << ins.phiPreds[i] << ": %" << ins.args[i]
+                       << ']';
+                }
+                break;
+              case Instr::Kind::Br:
+                os << "br bb" << ins.succs[0];
+                break;
+              case Instr::Kind::CondBr:
+                os << "condbr %" << ins.args[0] << ", bb" << ins.succs[0]
+                   << ", bb" << ins.succs[1];
+                break;
+              case Instr::Kind::Ret:
+                os << "ret";
+                if (!ins.args.empty()) {
+                    os << " %" << ins.args[0];
+                }
+                break;
+            }
+            if (ins.dest != kNoValue) {
+                os << " : " << ins.type.str();
+            }
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+void
+verifyFunction(const Function& fn)
+{
+    ISAMORE_USER_CHECK(!fn.blocks.empty(),
+                       fn.name + ": function has no blocks");
+    ISAMORE_USER_CHECK(fn.valueTypes.size() >= fn.paramTypes.size(),
+                       fn.name + ": value table smaller than params");
+
+    auto preds = predecessors(fn);
+
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        const Block& block = fn.blocks[b];
+        auto where = [&](const char* what) {
+            return fn.name + " bb" + std::to_string(b) + ": " + what;
+        };
+        ISAMORE_USER_CHECK(!block.instrs.empty(), where("empty block"));
+        ISAMORE_USER_CHECK(block.instrs.back().isTerminator(),
+                           where("block does not end with a terminator"));
+
+        bool seen_non_phi = false;
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const Instr& ins = block.instrs[i];
+            ISAMORE_USER_CHECK(
+                !ins.isTerminator() || i + 1 == block.instrs.size(),
+                where("terminator before the end of the block"));
+            if (ins.kind == Instr::Kind::Phi) {
+                ISAMORE_USER_CHECK(!seen_non_phi,
+                                   where("phi after non-phi instruction"));
+                ISAMORE_USER_CHECK(
+                    ins.args.size() == ins.phiPreds.size(),
+                    where("phi arg/pred arity mismatch"));
+                // Each phi pred must be an actual CFG predecessor and all
+                // CFG predecessors must be covered.
+                std::unordered_set<BlockId> cfg_preds(preds[b].begin(),
+                                                      preds[b].end());
+                std::unordered_set<BlockId> phi_preds(ins.phiPreds.begin(),
+                                                      ins.phiPreds.end());
+                ISAMORE_USER_CHECK(phi_preds == cfg_preds,
+                                   where("phi preds do not match CFG"));
+            } else {
+                seen_non_phi = true;
+            }
+            for (ValueId v : ins.args) {
+                ISAMORE_USER_CHECK(v < fn.numValues(),
+                                   where("operand out of range"));
+            }
+            for (BlockId s : ins.succs) {
+                ISAMORE_USER_CHECK(s < fn.blocks.size(),
+                                   where("successor out of range"));
+            }
+            if (ins.dest != kNoValue) {
+                ISAMORE_USER_CHECK(ins.dest < fn.numValues(),
+                                   where("dest out of range"));
+                ISAMORE_USER_CHECK(
+                    fn.valueTypes[ins.dest] == ins.type,
+                    where("dest type disagrees with value table"));
+            }
+        }
+    }
+}
+
+}  // namespace ir
+}  // namespace isamore

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MiniIR: the SSA intermediate representation that stands in for LLVM IR.
+ *
+ * A Module holds Functions; a Function holds BasicBlocks of Instrs in SSA
+ * form.  Computational instructions reuse the DSL operator vocabulary (Op),
+ * so the frontend's IR->DSL translation is a structural transformation, not
+ * an opcode mapping.  Control flow is explicit: every block ends with
+ * exactly one terminator (Br / CondBr / Ret); block-entry Phis merge values
+ * across predecessors.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/op.hpp"
+#include "dsl/payload.hpp"
+#include "dsl/type.hpp"
+
+namespace isamore {
+namespace ir {
+
+/** SSA value identifier (function-scoped). */
+using ValueId = uint32_t;
+/** Basic-block identifier (function-scoped; block 0 is the entry). */
+using BlockId = uint32_t;
+
+inline constexpr ValueId kNoValue = ~0u;
+inline constexpr BlockId kNoBlock = ~0u;
+
+/** One instruction. */
+struct Instr {
+    enum class Kind : uint8_t {
+        Compute,  ///< op applied to args (includes Load/Store/Select/Mad)
+        Const,    ///< literal; value in payload
+        Phi,      ///< SSA merge; args parallel to phiPreds
+        Br,       ///< unconditional branch to succs[0]
+        CondBr,   ///< args[0] cond; succs[0] taken when non-zero
+        Ret,      ///< optional args[0] return value
+    };
+
+    Kind kind = Kind::Compute;
+    Op op = Op::Add;             ///< for Kind::Compute
+    Payload payload;             ///< Const literal / Load scalar kind
+    Type type;                   ///< result type (bottom when no result)
+    ValueId dest = kNoValue;     ///< defined value, if any
+    std::vector<ValueId> args;
+    std::vector<BlockId> succs;    ///< Br/CondBr successors
+    std::vector<BlockId> phiPreds; ///< Phi predecessors, parallel to args
+
+    bool isTerminator() const
+    {
+        return kind == Kind::Br || kind == Kind::CondBr ||
+               kind == Kind::Ret;
+    }
+};
+
+/** A basic block: phis first, then straight-line code, then a terminator. */
+struct Block {
+    std::vector<Instr> instrs;
+
+    const Instr&
+    terminator() const
+    {
+        return instrs.back();
+    }
+};
+
+/** An SSA function. */
+struct Function {
+    std::string name;
+    std::vector<Type> paramTypes;
+    std::vector<Block> blocks;
+
+    /** Result type of each SSA value (params first). */
+    std::vector<Type> valueTypes;
+
+    size_t numValues() const { return valueTypes.size(); }
+    size_t numParams() const { return paramTypes.size(); }
+
+    /** Total instruction count (the paper's "LLVM IR LOC" analogue). */
+    size_t instructionCount() const;
+};
+
+/** A translation unit. */
+struct Module {
+    std::vector<Function> functions;
+
+    /** Index of the function named @p name, or -1. */
+    int findFunction(const std::string& name) const;
+};
+
+/** Render a function as readable text (for tests and debugging). */
+std::string printFunction(const Function& fn);
+
+/**
+ * Check SSA structural invariants: one terminator per block (at the end),
+ * phis only at block starts, operand/type sanity, phi preds match actual
+ * CFG predecessors.
+ * @throws UserError describing the first violation.
+ */
+void verifyFunction(const Function& fn);
+
+}  // namespace ir
+}  // namespace isamore

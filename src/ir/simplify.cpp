@@ -1,0 +1,114 @@
+#include "ir/simplify.hpp"
+
+#include <unordered_map>
+
+namespace isamore {
+namespace ir {
+namespace {
+
+/** Definition site lookup: value -> (block, index). */
+std::unordered_map<ValueId, std::pair<BlockId, size_t>>
+defSites(const Function& fn)
+{
+    std::unordered_map<ValueId, std::pair<BlockId, size_t>> defs;
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        for (size_t i = 0; i < fn.blocks[b].instrs.size(); ++i) {
+            const Instr& ins = fn.blocks[b].instrs[i];
+            if (ins.dest != kNoValue) {
+                defs[ins.dest] = {b, i};
+            }
+        }
+    }
+    return defs;
+}
+
+}  // namespace
+
+size_t
+simplifyConstantChains(Function& fn)
+{
+    size_t rewritten = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        auto defs = defSites(fn);
+
+        auto constOf = [&](ValueId v) -> const Instr* {
+            auto it = defs.find(v);
+            if (it == defs.end()) {
+                return nullptr;
+            }
+            const Instr& ins =
+                fn.blocks[it->second.first].instrs[it->second.second];
+            return ins.kind == Instr::Kind::Const &&
+                           ins.payload.kind == Payload::Kind::Int
+                       ? &ins
+                       : nullptr;
+        };
+        auto addOf = [&](ValueId v) -> const Instr* {
+            auto it = defs.find(v);
+            if (it == defs.end()) {
+                return nullptr;
+            }
+            const Instr& ins =
+                fn.blocks[it->second.first].instrs[it->second.second];
+            return ins.kind == Instr::Kind::Compute && ins.op == Op::Add
+                       ? &ins
+                       : nullptr;
+        };
+
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            Block& block = fn.blocks[b];
+            for (size_t i = 0; i < block.instrs.size(); ++i) {
+                Instr& ins = block.instrs[i];
+                if (ins.kind != Instr::Kind::Compute ||
+                    ins.op != Op::Add || ins.args.size() != 2) {
+                    continue;
+                }
+                // (x + c1) + c2  ==>  x + (c1 + c2), with the combined
+                // constant materialized right before this instruction.
+                const Instr* c2 = constOf(ins.args[1]);
+                const Instr* inner = addOf(ins.args[0]);
+                if (c2 == nullptr || inner == nullptr) {
+                    continue;
+                }
+                const Instr* c1 = constOf(inner->args[1]);
+                if (c1 == nullptr) {
+                    continue;
+                }
+                // Only rewrite when the inner add is in the same block
+                // (dominance is then trivially preserved for its x).
+                auto innerSite = defs.at(ins.args[0]);
+                if (innerSite.first != b) {
+                    continue;
+                }
+                const int64_t folded = c1->payload.a + c2->payload.a;
+                const ValueId base = inner->args[0];
+
+                Instr constant;
+                constant.kind = Instr::Kind::Const;
+                constant.payload = Payload::ofInt(folded);
+                constant.type = ins.type;
+                fn.valueTypes.push_back(ins.type);
+                constant.dest =
+                    static_cast<ValueId>(fn.valueTypes.size() - 1);
+
+                ins.args[0] = base;
+                ins.args[1] = constant.dest;
+                block.instrs.insert(block.instrs.begin() +
+                                        static_cast<long>(i),
+                                    std::move(constant));
+                ++i;  // skip over the inserted constant
+                ++rewritten;
+                changed = true;
+            }
+        }
+    }
+    if (rewritten > 0) {
+        verifyFunction(fn);
+    }
+    return rewritten;
+}
+
+}  // namespace ir
+}  // namespace isamore

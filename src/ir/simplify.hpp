@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Local algebraic simplification for MiniIR: constant-chain
+ * reassociation.
+ *
+ * Loop unrolling leaves chained induction updates (((k+1)+1)+1 ...); LLVM
+ * reassociates these into base-relative offsets (k+1, k+2, k+3), which
+ * decouples the unrolled copies' address arithmetic.  This pass performs
+ * that rewrite (Add/Sub of a constant over an Add-of-constant producer)
+ * plus trivial identity folds (x+0, x*1), then relies on DCE to drop the
+ * dead intermediates.
+ */
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace ir {
+
+/** Reassociate constant chains in @p fn. @return instructions rewritten. */
+size_t simplifyConstantChains(Function& fn);
+
+}  // namespace ir
+}  // namespace isamore

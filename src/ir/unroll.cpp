@@ -1,0 +1,140 @@
+#include "ir/unroll.hpp"
+
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace ir {
+namespace {
+
+/** Whether @p block is a single-block self-loop: condbr with one edge back
+ *  to itself. */
+bool
+isSelfLoop(const Function& fn, BlockId block)
+{
+    const Instr& term = fn.blocks[block].terminator();
+    if (term.kind != Instr::Kind::CondBr) {
+        return false;
+    }
+    return (term.succs[0] == block) != (term.succs[1] == block);
+}
+
+}  // namespace
+
+bool
+unrollSelfLoop(Function& fn, BlockId header, int factor)
+{
+    ISAMORE_USER_CHECK(factor >= 2, "unroll factor must be >= 2");
+    if (header >= fn.blocks.size() || !isSelfLoop(fn, header)) {
+        return false;
+    }
+
+    Block& block = fn.blocks[header];
+    Instr term = block.terminator();  // copy; re-appended at the end
+
+    // Split phis / body.
+    std::vector<Instr> phis;
+    std::vector<Instr> body;
+    for (size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+        Instr& ins = block.instrs[i];
+        if (ins.kind == Instr::Kind::Phi) {
+            phis.push_back(ins);
+        } else {
+            body.push_back(ins);
+        }
+    }
+
+    // For each phi, the value flowing around the back edge.
+    std::unordered_map<ValueId, ValueId> backedge;  // phi dest -> next value
+    for (const Instr& p : phis) {
+        for (size_t i = 0; i < p.phiPreds.size(); ++i) {
+            if (p.phiPreds[i] == header) {
+                backedge[p.dest] = p.args[i];
+            }
+        }
+    }
+    ISAMORE_USER_CHECK(backedge.size() == phis.size(),
+                       "self-loop phi without a back-edge incoming value");
+
+    // Rebuild the block: phis, original body, then factor-1 renamed copies.
+    std::vector<Instr> instrs = phis;
+    instrs.insert(instrs.end(), body.begin(), body.end());
+
+    // cur maps an original value to its definition in the latest copy.
+    std::unordered_map<ValueId, ValueId> cur;
+    auto resolve = [&](ValueId v) {
+        auto it = cur.find(v);
+        return it == cur.end() ? v : it->second;
+    };
+
+    for (int copy = 1; copy < factor; ++copy) {
+        std::unordered_map<ValueId, ValueId> next;
+        // Phi values advance to the previous copy's back-edge values.
+        for (const Instr& p : phis) {
+            next[p.dest] = resolve(backedge.at(p.dest));
+        }
+        cur = std::move(next);
+        for (const Instr& orig : body) {
+            Instr clone = orig;
+            for (ValueId& a : clone.args) {
+                a = resolve(a);
+            }
+            if (orig.dest != kNoValue) {
+                fn.valueTypes.push_back(orig.type);
+                clone.dest =
+                    static_cast<ValueId>(fn.valueTypes.size() - 1);
+                cur[orig.dest] = clone.dest;
+            }
+            instrs.push_back(std::move(clone));
+        }
+    }
+
+    // Patch the phis' back-edge values and the loop condition to the final
+    // copy's definitions.
+    for (Instr& ins : instrs) {
+        if (ins.kind != Instr::Kind::Phi) {
+            break;
+        }
+        for (size_t i = 0; i < ins.phiPreds.size(); ++i) {
+            if (ins.phiPreds[i] == header) {
+                ins.args[i] = resolve(backedge.at(ins.dest));
+            }
+        }
+    }
+    term.args[0] = resolve(term.args[0]);
+    instrs.push_back(std::move(term));
+
+    block.instrs = std::move(instrs);
+
+    // Uses of body-defined values outside the loop referred to "the value
+    // when the loop exited", which is now the final copy's clone.
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        if (b == header) {
+            continue;
+        }
+        for (Instr& ins : fn.blocks[b].instrs) {
+            for (ValueId& a : ins.args) {
+                a = resolve(a);
+            }
+        }
+    }
+
+    verifyFunction(fn);
+    return true;
+}
+
+int
+unrollInnermostLoops(Function& fn, int factor)
+{
+    int unrolled = 0;
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        if (unrollSelfLoop(fn, b, factor)) {
+            ++unrolled;
+        }
+    }
+    return unrolled;
+}
+
+}  // namespace ir
+}  // namespace isamore

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Loop unrolling for MiniIR.
+ *
+ * Mirrors the role of LLVM -O3 unrolling in the paper's pipeline: innermost
+ * loops are unrolled to expose instruction reuse and data-level parallelism
+ * to the identification flow.  Only single-block self-loops (header ==
+ * latch) are unrolled, which covers the innermost loops of all bundled
+ * kernels.
+ *
+ * Correctness contract: the dynamic trip count of an unrolled loop must be
+ * a multiple of the unroll factor (kernels are authored with sizes that
+ * guarantee this, the same assumption LLVM discharges with runtime
+ * remainder loops).
+ */
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace ir {
+
+/**
+ * Unroll the self-loop with header @p header by @p factor.
+ * @return false when the block is not a single-block self-loop.
+ */
+bool unrollSelfLoop(Function& fn, BlockId header, int factor);
+
+/**
+ * Unroll every single-block self-loop in @p fn by @p factor.
+ * @return the number of loops unrolled.
+ */
+int unrollInnermostLoops(Function& fn, int factor);
+
+}  // namespace ir
+}  // namespace isamore

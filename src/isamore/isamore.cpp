@@ -1,0 +1,92 @@
+#include "isamore/isamore.hpp"
+
+#include <sstream>
+
+#include "ir/dce.hpp"
+#include "ir/simplify.hpp"
+#include "ir/unroll.hpp"
+#include "support/table.hpp"
+
+namespace isamore {
+
+AnalyzedWorkload
+analyzeWorkload(workloads::Workload workload)
+{
+    AnalyzedWorkload out;
+
+    // Loop unrolling (the -O3 substitute) before anything observes the IR.
+    if (workload.unrollFactor >= 2) {
+        for (ir::Function& fn : workload.module.functions) {
+            ir::unrollInnermostLoops(fn, workload.unrollFactor);
+        }
+    }
+    // Clean the unroll residue as LLVM's -O3 pipeline would:
+    // reassociate chained induction updates into base-relative offsets,
+    // then drop the dead intermediates and exit conditions.
+    for (ir::Function& fn : workload.module.functions) {
+        ir::simplifyConstantChains(fn);
+        ir::eliminateDeadCode(fn);
+    }
+    out.irInstructions = 0;
+    for (const ir::Function& fn : workload.module.functions) {
+        out.irInstructions += fn.instructionCount();
+    }
+
+    // Profile.
+    profile::Machine machine(workload.module, workload.memoryWords);
+    workload.driver(machine);
+    out.profile = machine.moduleProfile();
+
+    // Restructure + encode.
+    auto dsl = frontend::convertModule(workload.module);
+    out.program = frontend::encodeProgram(dsl);
+    out.workload = std::move(workload);
+    return out;
+}
+
+rii::RiiResult
+identifyInstructions(const AnalyzedWorkload& analyzed,
+                     const rules::RulesetLibrary& rules,
+                     const rii::RiiConfig& config)
+{
+    return rii::runRii(analyzed.program, analyzed.profile, rules, config);
+}
+
+rii::RiiResult
+identifyInstructions(const AnalyzedWorkload& analyzed, rii::Mode mode)
+{
+    static const rules::RulesetLibrary library = rules::defaultLibrary();
+    return identifyInstructions(analyzed, library,
+                                rii::RiiConfig::forMode(mode));
+}
+
+std::string
+describeResult(const rii::RiiResult& result)
+{
+    std::ostringstream os;
+    os << "Pareto front (" << result.front.size() << " solutions):\n";
+    TextTable table({"speedup", "area(um^2)", "instructions", "uses"});
+    for (const auto& sol : result.front) {
+        std::string ids;
+        std::string uses;
+        for (size_t i = 0; i < sol.patternIds.size(); ++i) {
+            ids += (i ? "," : "") + std::to_string(sol.patternIds[i]);
+            uses += (i ? "," : "") + std::to_string(sol.useCounts[i]);
+        }
+        table.addRow({TextTable::num(sol.speedup), TextTable::num(sol.areaUm2, 0),
+                      ids.empty() ? "-" : ids, uses.empty() ? "-" : uses});
+    }
+    table.print(os);
+
+    const auto& best = result.best();
+    if (!best.patternIds.empty()) {
+        os << "\nBest solution instructions:\n";
+        for (int64_t id : best.patternIds) {
+            os << "  ci" << id << " := "
+               << termToString(result.registry.body(id)) << '\n';
+        }
+    }
+    return os.str();
+}
+
+}  // namespace isamore

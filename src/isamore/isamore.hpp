@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ISAMORE public facade: the one-stop API a downstream user calls.
+ *
+ * Pipeline (paper Fig. 4): workload (MiniIR) -> loop unrolling ->
+ * profiling (gem5 substitute) -> control-flow restructuring into the
+ * structured DSL -> e-graph encoding -> RII -> custom-instruction
+ * solutions (speedup/area Pareto front + pattern bodies), optionally
+ * emitted as Verilog through the backend.
+ */
+#pragma once
+
+#include "frontend/encode.hpp"
+#include "profile/interp.hpp"
+#include "rii/rii.hpp"
+#include "rules/rulesets.hpp"
+#include "workloads/workload.hpp"
+
+namespace isamore {
+
+/** A workload after profiling and e-graph encoding. */
+struct AnalyzedWorkload {
+    workloads::Workload workload;     ///< module after unrolling
+    profile::ModuleProfile profile;   ///< CPO + execution counts
+    frontend::EncodedProgram program; ///< e-graph with site provenance
+    size_t irInstructions = 0;        ///< the paper's "LLVM IR LOC"
+};
+
+/**
+ * Run the frontend half of the pipeline: unroll the workload's innermost
+ * loops, execute its driver under the profiler, restructure into the DSL
+ * and encode into an e-graph.
+ */
+AnalyzedWorkload analyzeWorkload(workloads::Workload workload);
+
+/** Run RII on an analyzed workload with the given mode's configuration. */
+rii::RiiResult identifyInstructions(const AnalyzedWorkload& analyzed,
+                                    const rules::RulesetLibrary& rules,
+                                    const rii::RiiConfig& config);
+
+/** Convenience overload: default library + mode-derived config. */
+rii::RiiResult identifyInstructions(const AnalyzedWorkload& analyzed,
+                                    rii::Mode mode = rii::Mode::Default);
+
+/** Human-readable report of a result's Pareto front and instructions. */
+std::string describeResult(const rii::RiiResult& result);
+
+}  // namespace isamore

@@ -1,0 +1,76 @@
+#include "isamore/report.hpp"
+
+#include <sstream>
+
+namespace isamore {
+namespace {
+
+/** Minimal JSON string escaping (our names stay ASCII). */
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+resultToJson(const AnalyzedWorkload& analyzed,
+             const rii::RiiResult& result)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"workload\": \"" << jsonEscape(analyzed.workload.name)
+       << "\",\n"
+       << "  \"irInstructions\": " << analyzed.irInstructions << ",\n"
+       << "  \"softwareNs\": " << analyzed.profile.totalNs() << ",\n"
+       << "  \"stats\": {\n"
+       << "    \"phases\": " << result.stats.phasesRun << ",\n"
+       << "    \"origNodes\": " << result.stats.origNodes << ",\n"
+       << "    \"peakNodes\": " << result.stats.peakNodes << ",\n"
+       << "    \"rawCandidates\": " << result.stats.rawCandidates << ",\n"
+       << "    \"dedupedCandidates\": " << result.stats.dedupedCandidates
+       << ",\n"
+       << "    \"aborted\": "
+       << (result.stats.auAborted ? "true" : "false") << ",\n"
+       << "    \"seconds\": " << result.stats.seconds << "\n  },\n"
+       << "  \"front\": [\n";
+
+    for (size_t s = 0; s < result.front.size(); ++s) {
+        const rii::Solution& sol = result.front[s];
+        os << "    {\"speedup\": " << sol.speedup
+           << ", \"areaUm2\": " << sol.areaUm2
+           << ", \"deltaNs\": " << sol.deltaNs
+           << ", \"instructions\": [";
+        for (size_t i = 0; i < sol.patternIds.size(); ++i) {
+            const int64_t id = sol.patternIds[i];
+            const TermPtr& body = result.registry.body(id);
+            os << (i == 0 ? "" : ", ") << "{\"id\": " << id
+               << ", \"uses\": " << sol.useCounts[i]
+               << ", \"ops\": " << termOpCount(body) << ", \"body\": \""
+               << jsonEscape(termToString(body)) << "\"}";
+        }
+        os << "]}" << (s + 1 < result.front.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+}  // namespace isamore

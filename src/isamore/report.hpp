@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Machine-readable result export: serialize an identification run
+ * (Pareto front, instruction bodies, uses, statistics) as JSON for CI
+ * artifacts, plotting scripts, and regression tracking.
+ */
+#pragma once
+
+#include <string>
+
+#include "isamore/isamore.hpp"
+
+namespace isamore {
+
+/**
+ * Serialize @p result (for @p analyzed) as a JSON document:
+ *
+ * {
+ *   "workload": ..., "irInstructions": ..., "softwareNs": ...,
+ *   "stats": { "phases": ..., "peakNodes": ..., ... },
+ *   "front": [ { "speedup": ..., "areaUm2": ...,
+ *                "instructions": [ { "id": ..., "uses": ...,
+ *                                    "ops": ..., "body": "..." } ] } ]
+ * }
+ */
+std::string resultToJson(const AnalyzedWorkload& analyzed,
+                         const rii::RiiResult& result);
+
+}  // namespace isamore

@@ -1,0 +1,282 @@
+#include "profile/interp.hpp"
+
+#include <cstring>
+
+#include "profile/timing.hpp"
+#include "support/check.hpp"
+
+namespace isamore {
+namespace profile {
+namespace {
+
+/** Evaluate one scalar compute op via the shared DSL semantics. */
+Value
+applyScalarOp(Op op, const std::vector<Value>& args)
+{
+    // Reuse the DSL evaluator on a tiny synthetic term so the IR and DSL
+    // semantics can never diverge.
+    std::vector<TermPtr> holes;
+    holes.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+        holes.push_back(hole(static_cast<int64_t>(i)));
+    }
+    EvalContext ctx;
+    ctx.holeValue = [&](int64_t id) { return args[static_cast<size_t>(id)]; };
+    return evaluate(makeTerm(op, Payload::none(), std::move(holes)), ctx);
+}
+
+}  // namespace
+
+uint64_t
+ModuleProfile::totalCycles() const
+{
+    uint64_t total = 0;
+    for (const auto& fp : functions) {
+        for (const auto& bs : fp.blocks) {
+            total += bs.cycles;
+        }
+    }
+    return total;
+}
+
+double
+ModuleProfile::totalNs() const
+{
+    return cyclesToNs(static_cast<double>(totalCycles()));
+}
+
+void
+ModuleProfile::accumulate(const ModuleProfile& other)
+{
+    if (functions.size() < other.functions.size()) {
+        functions.resize(other.functions.size());
+    }
+    for (size_t f = 0; f < other.functions.size(); ++f) {
+        auto& mine = functions[f].blocks;
+        const auto& theirs = other.functions[f].blocks;
+        if (mine.size() < theirs.size()) {
+            mine.resize(theirs.size());
+        }
+        for (size_t b = 0; b < theirs.size(); ++b) {
+            mine[b].execCount += theirs[b].execCount;
+            mine[b].ops += theirs[b].ops;
+            mine[b].cycles += theirs[b].cycles;
+        }
+    }
+}
+
+Machine::Machine(const ir::Module& module, size_t memoryWords)
+    : module_(module), memory_(memoryWords, 0)
+{
+    profile_.functions.resize(module.functions.size());
+    for (size_t f = 0; f < module.functions.size(); ++f) {
+        profile_.functions[f].blocks.resize(
+            module.functions[f].blocks.size());
+    }
+}
+
+void
+Machine::resetProfile()
+{
+    for (auto& fp : profile_.functions) {
+        for (auto& bs : fp.blocks) {
+            bs = BlockStats{};
+        }
+    }
+}
+
+std::optional<Value>
+Machine::run(const std::string& name, const std::vector<Value>& args)
+{
+    int idx = module_.findFunction(name);
+    if (idx < 0) {
+        throw InterpError("no such function: " + name);
+    }
+    return run(idx, args);
+}
+
+std::optional<Value>
+Machine::run(int funcIndex, const std::vector<Value>& args)
+{
+    ISAMORE_USER_CHECK(
+        funcIndex >= 0 &&
+            static_cast<size_t>(funcIndex) < module_.functions.size(),
+        "function index out of range");
+    const ir::Function& fn = module_.functions[funcIndex];
+    if (args.size() != fn.numParams()) {
+        throw InterpError(fn.name + ": argument count mismatch");
+    }
+
+    std::vector<Value> values(fn.numValues());
+    for (size_t i = 0; i < args.size(); ++i) {
+        values[i] = args[i];
+    }
+
+    FunctionProfile& fp = profile_.functions[funcIndex];
+
+    ir::BlockId current = 0;
+    ir::BlockId previous = ir::kNoBlock;
+    const uint64_t kMaxSteps = 1ull << 28;
+    uint64_t steps = 0;
+
+    while (true) {
+        const ir::Block& block = fn.blocks[current];
+        BlockStats& stats = fp.blocks[current];
+        ++stats.execCount;
+
+        // Phis execute as a parallel copy read from the incoming edge.
+        size_t i = 0;
+        std::vector<std::pair<ir::ValueId, Value>> phi_writes;
+        for (; i < block.instrs.size() &&
+               block.instrs[i].kind == ir::Instr::Kind::Phi;
+             ++i) {
+            const ir::Instr& ins = block.instrs[i];
+            bool matched = false;
+            for (size_t k = 0; k < ins.phiPreds.size(); ++k) {
+                if (ins.phiPreds[k] == previous) {
+                    phi_writes.emplace_back(ins.dest,
+                                            values[ins.args[k]]);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                throw InterpError(fn.name + ": phi has no incoming for bb" +
+                                  std::to_string(previous));
+            }
+            stats.ops += 1;
+            stats.cycles += cyclesForOverhead();
+        }
+        for (auto& [dest, value] : phi_writes) {
+            values[dest] = value;
+        }
+
+        for (; i < block.instrs.size(); ++i) {
+            const ir::Instr& ins = block.instrs[i];
+            if (++steps > kMaxSteps) {
+                throw InterpError(fn.name + ": step limit exceeded");
+            }
+            switch (ins.kind) {
+              case ir::Instr::Kind::Const:
+                values[ins.dest] =
+                    ins.payload.kind == Payload::Kind::Float
+                        ? Value::ofFloat(ins.payload.f)
+                        : Value::ofInt(ins.payload.a);
+                stats.ops += 1;
+                stats.cycles += cyclesForOverhead();
+                break;
+              case ir::Instr::Kind::Compute: {
+                stats.ops += 1;
+                stats.cycles += cyclesForOp(ins.op);
+                if (ins.op == Op::Load) {
+                    int64_t addr = values[ins.args[0]].i +
+                                   values[ins.args[1]].i;
+                    if (addr < 0 || static_cast<size_t>(addr) >=
+                                        memory_.size()) {
+                        throw InterpError(fn.name + ": load out of range");
+                    }
+                    uint64_t bits = memory_[static_cast<size_t>(addr)];
+                    if (scalarIsFloat(
+                            static_cast<ScalarKind>(ins.payload.a))) {
+                        double d = 0;
+                        std::memcpy(&d, &bits, sizeof(d));
+                        values[ins.dest] = Value::ofFloat(d);
+                    } else {
+                        values[ins.dest] =
+                            Value::ofInt(static_cast<int64_t>(bits));
+                    }
+                } else if (ins.op == Op::Store) {
+                    int64_t addr = values[ins.args[0]].i +
+                                   values[ins.args[1]].i;
+                    if (addr < 0 || static_cast<size_t>(addr) >=
+                                        memory_.size()) {
+                        throw InterpError(fn.name + ": store out of range");
+                    }
+                    const Value& v = values[ins.args[2]];
+                    uint64_t bits = 0;
+                    if (v.kind == Value::Kind::Float) {
+                        std::memcpy(&bits, &v.f, sizeof(bits));
+                    } else {
+                        bits = static_cast<uint64_t>(v.i);
+                    }
+                    memory_[static_cast<size_t>(addr)] = bits;
+                    values[ins.dest] = Value::ofInt(0);
+                } else {
+                    std::vector<Value> operands;
+                    operands.reserve(ins.args.size());
+                    for (ir::ValueId a : ins.args) {
+                        operands.push_back(values[a]);
+                    }
+                    values[ins.dest] = applyScalarOp(ins.op, operands);
+                }
+                break;
+              }
+              case ir::Instr::Kind::Br:
+                stats.cycles += cyclesForOverhead();
+                previous = current;
+                current = ins.succs[0];
+                goto next_block;
+              case ir::Instr::Kind::CondBr: {
+                stats.cycles += cyclesForOverhead();
+                previous = current;
+                const Value& c = values[ins.args[0]];
+                current = (c.kind == Value::Kind::Float ? c.f != 0.0
+                                                        : c.i != 0)
+                              ? ins.succs[0]
+                              : ins.succs[1];
+                goto next_block;
+              }
+              case ir::Instr::Kind::Ret:
+                if (!ins.args.empty()) {
+                    return values[ins.args[0]];
+                }
+                return std::nullopt;
+              case ir::Instr::Kind::Phi:
+                throw InterpError(fn.name + ": phi after non-phi");
+            }
+        }
+        throw InterpError(fn.name + ": block fell through");
+    next_block:;
+    }
+}
+
+void
+Machine::writeInts(uint64_t base, const std::vector<int64_t>& values)
+{
+    ISAMORE_USER_CHECK(base + values.size() <= memory_.size(),
+                       "writeInts out of range");
+    for (size_t i = 0; i < values.size(); ++i) {
+        memory_[base + i] = static_cast<uint64_t>(values[i]);
+    }
+}
+
+void
+Machine::writeFloats(uint64_t base, const std::vector<double>& values)
+{
+    ISAMORE_USER_CHECK(base + values.size() <= memory_.size(),
+                       "writeFloats out of range");
+    for (size_t i = 0; i < values.size(); ++i) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &values[i], sizeof(bits));
+        memory_[base + i] = bits;
+    }
+}
+
+int64_t
+Machine::readInt(uint64_t addr) const
+{
+    ISAMORE_USER_CHECK(addr < memory_.size(), "readInt out of range");
+    return static_cast<int64_t>(memory_[addr]);
+}
+
+double
+Machine::readFloat(uint64_t addr) const
+{
+    ISAMORE_USER_CHECK(addr < memory_.size(), "readFloat out of range");
+    double d = 0;
+    std::memcpy(&d, &memory_[addr], sizeof(d));
+    return d;
+}
+
+}  // namespace profile
+}  // namespace isamore

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * MiniIR interpreter with basic-block instrumentation (the paper's
+ * gem5-based profiling flow, §6).
+ *
+ * Executes a Module over a flat 64-bit word-addressed memory, counting per
+ * basic block: executions, dynamic operations, and modeled cycles (from
+ * profile/timing.hpp).  The resulting ModuleProfile supplies the CPO
+ * (cycles per operation) and use counts that drive the hardware-aware cost
+ * model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsl/eval.hpp"
+#include "ir/ir.hpp"
+
+namespace isamore {
+namespace profile {
+
+/** Per-block dynamic statistics. */
+struct BlockStats {
+    uint64_t execCount = 0;  ///< times the block was entered
+    uint64_t ops = 0;        ///< dynamic instructions executed
+    uint64_t cycles = 0;     ///< modeled CPU cycles spent
+
+    /** Average cycles per operation (the paper's CPO); 1.0 when unknown. */
+    double
+    cpo() const
+    {
+        return ops == 0 ? 1.0 : static_cast<double>(cycles) /
+                                    static_cast<double>(ops);
+    }
+};
+
+/** Per-function profile, indexed by block id. */
+struct FunctionProfile {
+    std::vector<BlockStats> blocks;
+};
+
+/** Whole-module profile. */
+struct ModuleProfile {
+    std::vector<FunctionProfile> functions;
+
+    /** Total modeled CPU cycles across all blocks. */
+    uint64_t totalCycles() const;
+
+    /** Total software execution time in nanoseconds (L_cpu in Eq. 2). */
+    double totalNs() const;
+
+    /** Merge another profile into this one (for multi-run workloads). */
+    void accumulate(const ModuleProfile& other);
+};
+
+/** Thrown on dynamic errors (bad memory access, missing return, ...). */
+class InterpError : public std::runtime_error {
+ public:
+    explicit InterpError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * The execution machine: module + memory + accumulated profile.
+ *
+ * Memory is word addressed (one 64-bit cell per address); integer values
+ * are stored raw, floats bit-cast, matching the DSL evaluator's model so
+ * frontend translations can be cross-checked cell for cell.
+ */
+class Machine {
+ public:
+    explicit Machine(const ir::Module& module, size_t memoryWords = 1 << 16);
+
+    /**
+     * Call function @p funcIndex with scalar @p args.
+     * @return the returned value, if the function returns one.
+     */
+    std::optional<Value> run(int funcIndex, const std::vector<Value>& args);
+
+    /** Convenience: call by name. @throws InterpError when absent. */
+    std::optional<Value> run(const std::string& name,
+                             const std::vector<Value>& args);
+
+    std::vector<uint64_t>& memory() { return memory_; }
+    const ModuleProfile& moduleProfile() const { return profile_; }
+
+    /** Reset profile counters (memory is kept). */
+    void resetProfile();
+
+    /** Store an int32/float array into memory starting at @p base. */
+    void writeInts(uint64_t base, const std::vector<int64_t>& values);
+    void writeFloats(uint64_t base, const std::vector<double>& values);
+    int64_t readInt(uint64_t addr) const;
+    double readFloat(uint64_t addr) const;
+
+ private:
+    const ir::Module& module_;
+    std::vector<uint64_t> memory_;
+    ModuleProfile profile_;
+};
+
+}  // namespace profile
+}  // namespace isamore

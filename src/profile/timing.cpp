@@ -1,0 +1,51 @@
+#include "profile/timing.hpp"
+
+namespace isamore {
+namespace profile {
+
+int
+cyclesForOp(Op op)
+{
+    switch (op) {
+      case Op::Mul:
+      case Op::Mad:
+        return 3;
+      case Op::Div:
+      case Op::Rem:
+        return 18;
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMin:
+      case Op::FMax:
+      case Op::FEq:
+      case Op::FLt:
+      case Op::FLe:
+        return 3;
+      case Op::FMul:
+      case Op::Fma:
+        return 4;
+      case Op::FDiv:
+        return 14;
+      case Op::FSqrt:
+        return 20;
+      case Op::Load:
+        return 4;
+      case Op::Store:
+        return 2;
+      case Op::IToF:
+      case Op::FToI:
+        return 2;
+      default:
+        // add/sub/logic/shift/compare/select/min/max/neg/abs...
+        return 1;
+    }
+}
+
+int
+cyclesForOverhead()
+{
+    return 1;
+}
+
+}  // namespace profile
+}  // namespace isamore

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The software timing model (gem5 substitute).
+ *
+ * A per-opcode cycle table approximating an in-order embedded RISC-V core.
+ * The absolute numbers matter less than the relative magnitudes (mul > add,
+ * div >> mul, memory ops slow): the paper's cost model (Eq. 1) consumes
+ * only per-block cycles-per-operation averages, which this table supplies
+ * deterministically.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "dsl/op.hpp"
+#include "dsl/type.hpp"
+
+namespace isamore {
+namespace profile {
+
+/**
+ * CPU clock frequency used to convert cycles to nanoseconds.
+ *
+ * The modeled core runs *faster* than the 1 GHz accelerator target (the
+ * paper makes this point explicitly when explaining why NOVIA's
+ * whole-block offload loses: simple instruction sequences run faster on
+ * the higher-clocked processor).  Custom instructions win through fusion
+ * density -- collapsing multi-cycle operation chains into one or two
+ * accelerator cycles -- not through a clock advantage.
+ */
+inline constexpr double kCpuFreqGHz = 2.0;
+
+/** Cycles one dynamic execution of @p op takes on the modeled core. */
+int cyclesForOp(Op op);
+
+/** Cycles for non-compute instruction kinds (phi/br/const). */
+int cyclesForOverhead();
+
+/** Convert CPU cycles to nanoseconds. */
+inline double
+cyclesToNs(double cycles)
+{
+    return cycles / kCpuFreqGHz;
+}
+
+}  // namespace profile
+}  // namespace isamore

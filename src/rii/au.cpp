@@ -1,0 +1,455 @@
+#include "rii/au.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "egraph/extract.hpp"
+#include "hls/estimator.hpp"
+#include "rii/structhash.hpp"
+#include "support/hashing.hpp"
+
+namespace isamore {
+namespace rii {
+namespace {
+
+/** Key for memoizing AU over unordered class pairs. */
+struct PairKey {
+    EClassId a;
+    EClassId b;
+    bool operator==(const PairKey& o) const { return a == o.a && b == o.b; }
+};
+struct PairKeyHash {
+    size_t
+    operator()(const PairKey& k) const
+    {
+        return hashCombine(mix64(k.a), k.b);
+    }
+};
+
+/**
+ * Whether a candidate pattern is well formed: App nodes must carry a
+ * concrete PatRef head (anti-unifying two different patterns' App nodes
+ * can produce a hole in head position, which is not an instruction).
+ */
+bool
+patternWellFormed(const TermPtr& term, bool isAppHead = false)
+{
+    if (term->op == Op::PatRef) {
+        return isAppHead;
+    }
+    if (term->op == Op::App) {
+        if (term->children.empty() ||
+            !patternWellFormed(term->children[0], true)) {
+            return false;
+        }
+        for (size_t i = 1; i < term->children.size(); ++i) {
+            if (!patternWellFormed(term->children[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+    for (const auto& child : term->children) {
+        if (!patternWellFormed(child)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** The anti-unification engine. */
+class AntiUnifier {
+ public:
+    AntiUnifier(const EGraph& egraph, const AuOptions& options)
+        : egraph_(egraph), options_(options)
+    {}
+
+    AuResult
+    run()
+    {
+        prepare();
+        const auto pairs = selectPairs();
+        AuResult result;
+
+        std::unordered_set<std::string> seen;
+        for (const auto& [a, b] : pairs) {
+            if (aborted_ || result.patterns.size() >=
+                                options_.maxResultPatterns) {
+                break;
+            }
+            ++stats_.pairsExplored;
+            for (const TermPtr& p : au(a, b, options_.maxDepth)) {
+                if (termOpCount(p) < options_.minOps ||
+                    termHoles(p).empty() || p->op == Op::List ||
+                    !patternWellFormed(p)) {
+                    continue;
+                }
+                TermPtr canon = canonicalizeHoles(p);
+                if (seen.insert(termToString(canon)).second) {
+                    result.patterns.push_back(canon);
+                    if (result.patterns.size() >=
+                        options_.maxResultPatterns) {
+                        break;
+                    }
+                }
+            }
+        }
+        stats_.aborted = aborted_;
+        result.stats = stats_;
+        return result;
+    }
+
+ private:
+    void
+    prepare()
+    {
+        ids_ = egraph_.classIds();
+        if (options_.typeFilter) {
+            types_ = computeClassTypes(egraph_);
+        }
+        if (options_.hashFilter) {
+            hashes_ = computeStructHashes(egraph_);
+        }
+        // Small representative terms (for AU(a, a)).
+        Extractor extractor(egraph_, astSizeCost);
+        for (EClassId id : ids_) {
+            if (auto cost = extractor.costOf(id);
+                cost.has_value() && *cost <= 12.0) {
+                reprs_[id] = extractor.extract(id).term;
+            }
+        }
+    }
+
+    bool
+    pairAdmissible(EClassId a, EClassId b)
+    {
+        ++stats_.pairsConsidered;
+        if (leafOnly(a) || leafOnly(b)) {
+            return false;
+        }
+        if (options_.typeFilter) {
+            Type ta = types_.at(a);
+            Type tb = types_.at(b);
+            if (ta.isBottom() || tb.isBottom() || ta != tb) {
+                return false;
+            }
+        }
+        if (options_.hashFilter &&
+            structDistance(hashes_.at(a), hashes_.at(b)) >
+                options_.hammingThreshold) {
+            return false;
+        }
+        return true;
+    }
+
+    std::vector<std::pair<EClassId, EClassId>>
+    selectPairs()
+    {
+        std::vector<std::pair<EClassId, EClassId>> pairs;
+        auto push = [&](EClassId a, EClassId b) {
+            if (pairs.size() < options_.maxPairs && pairAdmissible(a, b)) {
+                pairs.emplace_back(a, b);
+            }
+        };
+
+        if (!options_.hashFilter ||
+            ids_.size() <= options_.quadraticPairLimit) {
+            for (size_t i = 0; i < ids_.size(); ++i) {
+                for (size_t j = i + 1; j < ids_.size(); ++j) {
+                    if (pairs.size() >= options_.maxPairs) {
+                        return pairs;
+                    }
+                    push(ids_[i], ids_[j]);
+                }
+            }
+            return pairs;
+        }
+
+        // Banding for large graphs: sort by structural hash and compare
+        // each class with a window of hash neighbours (exact-duplicate
+        // buckets are contiguous and always fully paired).
+        std::vector<EClassId> order = ids_;
+        std::sort(order.begin(), order.end(),
+                  [&](EClassId x, EClassId y) {
+                      return hashes_.at(x) < hashes_.at(y);
+                  });
+        for (size_t i = 0; i < order.size(); ++i) {
+            const size_t end =
+                std::min(order.size(), i + 1 + options_.bandingWindow);
+            for (size_t j = i + 1; j < end; ++j) {
+                if (pairs.size() >= options_.maxPairs) {
+                    return pairs;
+                }
+                push(order[i], order[j]);
+            }
+        }
+        return pairs;
+    }
+
+    bool
+    leafOnly(EClassId id)
+    {
+        for (const ENode& n : egraph_.cls(id).nodes) {
+            if (!n.isLeaf()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /**
+     * The fresh variable shared by every occurrence of the *ordered*
+     * (left, right) class pair.  Ordering matters for least-general-
+     * generalization soundness: an AU variable stands for the
+     * substitution (left-term, right-term); conflating (u, v) with
+     * (v, u) would force one class to contain both sides' structure and
+     * produce patterns that match nothing.
+     */
+    TermPtr
+    holeFor(EClassId a, EClassId b)
+    {
+        PairKey key{egraph_.find(a), egraph_.find(b)};
+        auto it = pairHole_.find(key);
+        if (it == pairHole_.end()) {
+            it = pairHole_.emplace(key, nextHole_++).first;
+        }
+        return hole(it->second);
+    }
+
+    std::vector<TermPtr>
+    au(EClassId a, EClassId b, int depth)
+    {
+        a = egraph_.find(a);
+        b = egraph_.find(b);
+        if (depth <= 0 || aborted_) {
+            return {holeFor(a, b)};
+        }
+        if (a == b) {
+            auto repr = reprs_.find(a);
+            if (repr != reprs_.end()) {
+                return {repr->second, holeFor(a, b)};
+            }
+            return {holeFor(a, b)};
+        }
+        PairKey key{a, b};
+        auto memo = memo_.find(key);
+        if (memo != memo_.end()) {
+            return memo->second;
+        }
+        // Break cycles through in-progress pairs with the pair hole.
+        if (!inProgress_.insert(PairKeyHash{}(key)).second) {
+            return {holeFor(a, b)};
+        }
+
+        std::vector<TermPtr> out{holeFor(a, b)};
+        for (const ENode& na : egraph_.cls(a).nodes) {
+            if (aborted_) {
+                break;
+            }
+            for (const ENode& nb : egraph_.cls(b).nodes) {
+                if (na.op != nb.op || na.payload != nb.payload ||
+                    na.children.size() != nb.children.size() ||
+                    na.isLeaf()) {
+                    continue;
+                }
+                appendNodeAu(na, nb, depth, out);
+                if (aborted_) {
+                    break;
+                }
+            }
+        }
+        out = samplePatterns(std::move(out));
+        inProgress_.erase(PairKeyHash{}(key));
+        memo_.emplace(key, out);
+        return out;
+    }
+
+    /** AU over one matching e-node pair: sampled Cartesian product of the
+     *  child AU sets appended to @p out. */
+    void
+    appendNodeAu(const ENode& na, const ENode& nb, int depth,
+                 std::vector<TermPtr>& out)
+    {
+        const size_t arity = na.children.size();
+        std::vector<std::vector<TermPtr>> childSets(arity);
+        for (size_t i = 0; i < arity; ++i) {
+            childSets[i] = au(na.children[i], nb.children[i], depth - 1);
+            if (childSets[i].empty()) {
+                childSets[i].push_back(
+                    holeFor(na.children[i], nb.children[i]));
+            }
+            // Cheapest (most general) child patterns first, so the capped
+            // product enumeration visits concise generalizations before
+            // the deep specialized ones.
+            std::sort(childSets[i].begin(), childSets[i].end(),
+                      [](const TermPtr& x, const TermPtr& y) {
+                          return hls::patternFeature(x) <
+                                 hls::patternFeature(y);
+                      });
+        }
+
+        // Enumerate the product with a per-node cap (sampling later
+        // shrinks further; Exhaustive mode uses a high cap and relies on
+        // the global budget to reproduce the blowup).
+        const size_t productCap =
+            options_.sampling == Sampling::Exhaustive ? 4096 : 64;
+        if (options_.sampling != Sampling::Exhaustive) {
+            // Balance the product: cap each child set at the arity-th
+            // root of the budget so every child position contributes
+            // (a lopsided first set would otherwise monopolize the cap).
+            size_t perChild = productCap;
+            if (arity == 2) {
+                perChild = 8;
+            } else if (arity >= 3) {
+                perChild = 4;
+            }
+            for (auto& set : childSets) {
+                if (set.size() > perChild) {
+                    set.resize(perChild);
+                }
+            }
+        }
+        std::vector<size_t> index(arity, 0);
+        size_t produced = 0;
+        while (true) {
+            std::vector<TermPtr> children(arity);
+            for (size_t i = 0; i < arity; ++i) {
+                children[i] = childSets[i][index[i]];
+            }
+            out.push_back(makeTerm(na.op, na.payload, std::move(children)));
+            ++stats_.rawCandidates;
+            if (stats_.rawCandidates > options_.maxCandidates) {
+                aborted_ = true;
+                return;
+            }
+            if (++produced >= productCap) {
+                return;
+            }
+            // Advance the mixed-radix counter.
+            size_t pos = 0;
+            while (pos < arity && ++index[pos] == childSets[pos].size()) {
+                index[pos] = 0;
+                ++pos;
+            }
+            if (pos == arity) {
+                return;
+            }
+        }
+    }
+
+    /** Apply the configured sampling strategy at the class-pair level. */
+    std::vector<TermPtr>
+    samplePatterns(std::vector<TermPtr> patterns)
+    {
+        if (options_.sampling == Sampling::Exhaustive ||
+            patterns.size() <= options_.maxPatternsPerPair) {
+            return patterns;
+        }
+        std::vector<double> features(patterns.size());
+        for (size_t i = 0; i < patterns.size(); ++i) {
+            features[i] = hls::patternFeature(patterns[i]);
+        }
+
+        std::vector<TermPtr> kept;
+        if (options_.sampling == Sampling::Boundary) {
+            // Keep extreme patterns by feature until the cap: repeatedly
+            // take the current min and max.
+            std::vector<size_t> order(patterns.size());
+            for (size_t i = 0; i < order.size(); ++i) {
+                order[i] = i;
+            }
+            std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+                return features[x] < features[y];
+            });
+            size_t lo = 0;
+            size_t hi = order.size();
+            while (kept.size() < options_.maxPatternsPerPair && lo < hi) {
+                kept.push_back(patterns[order[lo++]]);
+                if (kept.size() < options_.maxPatternsPerPair && lo < hi) {
+                    kept.push_back(patterns[order[--hi]]);
+                }
+            }
+            return kept;
+        }
+
+        // KdTree: recursively median-split on child features, then take
+        // beta evenly spaced patterns per cell by the scalar feature.
+        struct Entry {
+            size_t idx;
+            std::vector<double> coords;
+        };
+        std::vector<Entry> entries;
+        entries.reserve(patterns.size());
+        for (size_t i = 0; i < patterns.size(); ++i) {
+            Entry e;
+            e.idx = i;
+            for (const TermPtr& child : patterns[i]->children) {
+                e.coords.push_back(hls::patternFeature(child));
+            }
+            e.coords.resize(static_cast<size_t>(options_.kdDims), 0.0);
+            entries.push_back(std::move(e));
+        }
+
+        std::vector<std::vector<Entry>> cells{entries};
+        for (int d = 0; d < options_.kdDims; ++d) {
+            std::vector<std::vector<Entry>> next;
+            for (auto& cell : cells) {
+                if (cell.size() <= 1) {
+                    next.push_back(std::move(cell));
+                    continue;
+                }
+                std::sort(cell.begin(), cell.end(),
+                          [&](const Entry& x, const Entry& y) {
+                              return x.coords[d] < y.coords[d];
+                          });
+                size_t mid = cell.size() / 2;
+                next.emplace_back(cell.begin(), cell.begin() + mid);
+                next.emplace_back(cell.begin() + mid, cell.end());
+            }
+            cells = std::move(next);
+        }
+        for (auto& cell : cells) {
+            if (cell.empty()) {
+                continue;
+            }
+            std::sort(cell.begin(), cell.end(),
+                      [&](const Entry& x, const Entry& y) {
+                          return features[x.idx] < features[y.idx];
+                      });
+            const size_t beta = static_cast<size_t>(options_.kdBeta);
+            for (size_t k = 0; k < beta && k < cell.size(); ++k) {
+                size_t pick = cell.size() == 1
+                                  ? 0
+                                  : k * (cell.size() - 1) /
+                                        std::max<size_t>(1, beta - 1);
+                kept.push_back(patterns[cell[pick].idx]);
+            }
+        }
+        return kept;
+    }
+
+    const EGraph& egraph_;
+    const AuOptions& options_;
+    std::vector<EClassId> ids_;
+    ClassMap<Type> types_;
+    ClassMap<uint64_t> hashes_;
+    ClassMap<TermPtr> reprs_;
+    std::unordered_map<PairKey, std::vector<TermPtr>, PairKeyHash> memo_;
+    std::unordered_map<PairKey, int64_t, PairKeyHash> pairHole_;
+    std::unordered_set<size_t> inProgress_;
+    int64_t nextHole_ = 0;
+    AuStats stats_;
+    bool aborted_ = false;
+};
+
+}  // namespace
+
+AuResult
+identifyPatterns(const EGraph& egraph, const AuOptions& options)
+{
+    return AntiUnifier(egraph, options).run();
+}
+
+}  // namespace rii
+}  // namespace isamore

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * E-graph anti-unification with the smart-AU heuristics (paper §5.2) and
+ * the vanilla exhaustive LLMT mode (paper §2.2, used as the Table 2
+ * baseline).
+ *
+ * Pair selection: candidate e-class pairs must agree on result type and be
+ * structurally similar (Hamming distance of the 64-bit structural hashes
+ * below a threshold).  Large graphs use a sorted-hash window ("banding")
+ * instead of the quadratic sweep; exact-hash buckets are always paired.
+ *
+ * Pattern sampling: per e-node pair, the Cartesian product of child AU
+ * sets is reduced by either the *boundary* strategy (keep the feature-
+ * minimal and feature-maximal patterns) or the *kd-tree* strategy
+ * (partition the child-feature space into 2^d cells and take beta evenly
+ * spaced patterns per cell).  Exhaustive mode keeps everything and is
+ * expected to blow the candidate budget on real inputs.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "egraph/analysis.hpp"
+#include "dsl/term.hpp"
+
+namespace isamore {
+namespace rii {
+
+/** Pattern sampling strategy (§5.2). */
+enum class Sampling {
+    Exhaustive,  ///< vanilla LLMT: full Cartesian products
+    Boundary,    ///< keep the two extreme patterns per e-node pair
+    KdTree,      ///< kd-cell stratified sampling
+};
+
+/** Options for one anti-unification sweep. */
+struct AuOptions {
+    Sampling sampling = Sampling::Boundary;
+
+    /** Apply the result-type pairing filter. */
+    bool typeFilter = true;
+    /** Apply the structural-hash pairing filter. */
+    bool hashFilter = true;
+    /** Max Hamming distance for a pair to be explored. */
+    int hammingThreshold = 32;
+
+    /** Recursion depth bound for AU (holes beyond it). */
+    int maxDepth = 8;
+    /** Cap on explored e-class pairs. */
+    size_t maxPairs = 50000;
+    /** Above this class count, use the sorted-hash window instead of the
+     *  quadratic pair sweep. */
+    size_t quadraticPairLimit = 3000;
+    /** Window width for the sorted-hash banding pass. */
+    size_t bandingWindow = 48;
+
+    /**
+     * Global budget on generated candidate patterns; exceeding it aborts
+     * the sweep (the analogue of the paper's 30 GB memory cap that vanilla
+     * LLMT blows through).
+     */
+    size_t maxCandidates = 200000;
+
+    /** Per class-pair cap on surviving sampled patterns. */
+    size_t maxPatternsPerPair = 8;
+    /** Final cap on deduplicated result patterns. */
+    size_t maxResultPatterns = 4096;
+
+    /** kd-tree sampling: split dimensions and per-cell samples. */
+    int kdDims = 2;
+    int kdBeta = 2;
+
+    /** Candidate filter: minimum operation count of a useful pattern. */
+    size_t minOps = 2;
+};
+
+/** Statistics from one AU sweep (feeds Table 2). */
+struct AuStats {
+    size_t pairsConsidered = 0;  ///< pairs examined by the filters
+    size_t pairsExplored = 0;    ///< pairs recursed into
+    size_t rawCandidates = 0;    ///< |P_cand| before dedup (paper metric)
+    bool aborted = false;        ///< blew the candidate budget
+};
+
+/** Result of one AU sweep. */
+struct AuResult {
+    /** Deduplicated candidate patterns with canonical hole numbering. */
+    std::vector<TermPtr> patterns;
+    AuStats stats;
+};
+
+/** Run anti-unification over all admissible e-class pairs. */
+AuResult identifyPatterns(const EGraph& egraph, const AuOptions& options);
+
+}  // namespace rii
+}  // namespace isamore

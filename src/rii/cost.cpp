@@ -1,0 +1,111 @@
+#include "rii/cost.hpp"
+
+#include <unordered_set>
+
+#include "egraph/ematch.hpp"
+#include "profile/timing.hpp"
+#include "support/check.hpp"
+
+namespace isamore {
+namespace rii {
+
+CostModel::CostModel(const frontend::EncodedProgram& prog,
+                     const profile::ModuleProfile& profile,
+                     const PatternRegistry& registry,
+                     double invokeOverheadNs)
+    : prog_(&prog), profile_(&profile), registry_(&registry),
+      invokeOverheadNs_(invokeOverheadNs), totalNs_(profile.totalNs())
+{}
+
+double
+CostModel::siteOpNs(int func, ir::BlockId block) const
+{
+    if (static_cast<size_t>(func) >= profile_->functions.size()) {
+        return profile::cyclesToNs(1.0);
+    }
+    const auto& blocks = profile_->functions[func].blocks;
+    if (block >= blocks.size()) {
+        return profile::cyclesToNs(1.0);
+    }
+    return profile::cyclesToNs(blocks[block].cpo());
+}
+
+uint64_t
+CostModel::blockExecCount(int func, ir::BlockId block) const
+{
+    if (static_cast<size_t>(func) >= profile_->functions.size()) {
+        return 0;
+    }
+    const auto& blocks = profile_->functions[func].blocks;
+    return block < blocks.size() ? blocks[block].execCount : 0;
+}
+
+double
+CostModel::blockSoftwareNs(int func, ir::BlockId block) const
+{
+    if (static_cast<size_t>(func) >= profile_->functions.size()) {
+        return 0;
+    }
+    const auto& blocks = profile_->functions[func].blocks;
+    if (block >= blocks.size()) {
+        return 0;
+    }
+    return profile::cyclesToNs(static_cast<double>(blocks[block].cycles));
+}
+
+PatternEval
+CostModel::evaluate(int64_t id, const EGraph& egraph,
+                    size_t maxMatches) const
+{
+    PatternEval eval;
+    eval.id = id;
+    eval.body = registry_->body(id);
+    // Unique ops: a CPU with common-subexpression elimination executes
+    // each distinct subterm once, so shared subtrees must not be billed
+    // per occurrence.
+    eval.opCount = termOpCountUnique(eval.body);
+    eval.hw = hls::estimatePattern(eval.body, registry_->resolver());
+
+    // Operand delivery: a tightly-coupled CI reads two register operands
+    // per issue slot, so wide patterns pay extra transfer time per use.
+    const double operandNs =
+        0.25 * static_cast<double>(termHoles(eval.body).size());
+
+    // Matched classes (deduplicated) in the working e-graph.
+    auto matches = ematchAll(egraph, eval.body, maxMatches);
+    std::unordered_set<EClassId> matched;
+    for (const EMatch& m : matches) {
+        matched.insert(egraph.find(m.root));
+    }
+
+    // Every original-program site living in a matched class is a use.
+    const double hwNs =
+        eval.hw.latencyNs + invokeOverheadNs_ + operandNs;
+    for (const frontend::Site& site : prog_->sites) {
+        EClassId canon = egraph.find(site.klass);
+        if (matched.count(canon) == 0) {
+            continue;
+        }
+        UseSite use;
+        use.klass = canon;
+        use.func = site.func;
+        use.block = site.block;
+        use.execCount = blockExecCount(site.func, site.block);
+        use.cpoCycles = profile::cyclesToNs(1.0) > 0
+                            ? siteOpNs(site.func, site.block) *
+                                  profile::kCpuFreqGHz
+                            : 1.0;
+        const double sw_ns = static_cast<double>(eval.opCount) *
+                             siteOpNs(site.func, site.block);
+        const double per_exec = sw_ns - hwNs;
+        use.savedNs = per_exec > 0
+                          ? per_exec * static_cast<double>(use.execCount)
+                          : 0.0;
+        eval.deltaNs += use.savedNs;
+        eval.uses.push_back(use);
+    }
+    return eval;
+}
+
+}  // namespace rii
+}  // namespace isamore

@@ -1,0 +1,74 @@
+#include "rii/registry.hpp"
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace rii {
+
+int64_t
+PatternRegistry::add(const TermPtr& body)
+{
+    TermPtr canon = canonicalizeHoles(body);
+    std::string key = termToString(canon);
+    auto it = byKey_.find(key);
+    if (it != byKey_.end()) {
+        return it->second;
+    }
+    bodies_.push_back(canon);
+    int64_t id = static_cast<int64_t>(bodies_.size() - 1);
+    byKey_.emplace(std::move(key), id);
+    return id;
+}
+
+const TermPtr&
+PatternRegistry::body(int64_t id) const
+{
+    ISAMORE_CHECK_MSG(contains(id), "unknown pattern id");
+    return bodies_[static_cast<size_t>(id)];
+}
+
+bool
+PatternRegistry::contains(int64_t id) const
+{
+    return id >= 0 && static_cast<size_t>(id) < bodies_.size();
+}
+
+std::function<TermPtr(int64_t)>
+PatternRegistry::resolver() const
+{
+    // Capture by pointer: the registry outlives the closures in RII runs.
+    const auto* self = this;
+    return [self](int64_t id) -> TermPtr {
+        return self->contains(id) ? self->body(id) : nullptr;
+    };
+}
+
+RewriteRule
+PatternRegistry::applicationRule(int64_t id) const
+{
+    const TermPtr& b = body(id);
+    std::vector<TermPtr> args;
+    for (int64_t h : termHoles(b)) {
+        args.push_back(hole(h));
+    }
+    RewriteRule rule;
+    rule.name = "apply-pattern-" + std::to_string(id);
+    rule.lhs = b;
+    rule.rhs = app(id, std::move(args));
+    rule.flags = kRuleSat;  // App nodes join the matched class
+    return rule;
+}
+
+std::vector<RewriteRule>
+PatternRegistry::applicationRules(const std::vector<int64_t>& ids) const
+{
+    std::vector<RewriteRule> out;
+    out.reserve(ids.size());
+    for (int64_t id : ids) {
+        out.push_back(applicationRule(id));
+    }
+    return out;
+}
+
+}  // namespace rii
+}  // namespace isamore

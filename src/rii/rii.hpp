@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The top-level RII algorithm (paper Fig. 7): phase-oriented iteration
+ * over equality saturation, smart anti-unification, hardware-aware
+ * selection, and extraction refinement.
+ *
+ * Phase scheduling (§5.1): phase 1 applies the saturating integer
+ * ruleset, phase 2 the saturating float ruleset (both run to saturation),
+ * and each subsequent phase applies a rotating slice of n non-saturating
+ * rules for at most two iterations.  Every phase restarts from the
+ * original (or vectorized) e-graph plus the κ(P_pre) application rewrites
+ * of previously selected patterns, which both bounds the e-graph scale
+ * and lets later phases generalize over earlier patterns.  Iteration
+ * stops when the global Pareto front is unchanged.
+ *
+ * Modes reproduce the paper's evaluation configurations:
+ *  - Default:  boundary sampling, hardware-aware objective
+ *  - AstSize:  term-size selection/extraction objective (§7.1.3)
+ *  - KDSample: kd-tree pattern sampling (§7.1.3)
+ *  - Vector:   pattern vectorization in the first phase (§5.3, §7.1.3)
+ *  - NoEqSat:  semantic consideration disabled (§7.1.2 baseline)
+ *  - LLMT:     vanilla exhaustive e-graph AU in one monolithic phase
+ *              (§7.1.1 baseline; expected to blow its budget)
+ */
+#pragma once
+
+#include "frontend/encode.hpp"
+#include "profile/interp.hpp"
+#include "rii/au.hpp"
+#include "rii/registry.hpp"
+#include "rii/select.hpp"
+#include "rii/vectorize.hpp"
+#include "rules/rulesets.hpp"
+
+namespace isamore {
+namespace rii {
+
+/** RII operating mode. */
+enum class Mode { Default, AstSize, KDSample, Vector, NoEqSat, LLMT };
+
+/** Printable mode name. */
+const char* modeName(Mode mode);
+
+/** Configuration for one RII run. */
+struct RiiConfig {
+    Mode mode = Mode::Default;
+
+    /** Maximum number of phases after the two saturating ones. */
+    int maxPhases = 6;
+    /** Non-saturating rules applied per later phase. */
+    size_t rulesPerPhase = 8;
+
+    EqSatLimits eqsat{/*maxNodes=*/20000, /*maxIterations=*/8,
+                      /*maxSeconds=*/10.0, /*maxMatchesPerRule=*/1024};
+    AuOptions au;
+    SelectOptions select;
+    VectorizeOptions vectorize;
+
+    /** Per-invocation custom-instruction overhead (RoCC issue+writeback). */
+    double invokeOverheadNs = 0.5;
+    /** Candidates kept for selection (<= 64). */
+    size_t maxCostedCandidates = 48;
+
+    RiiConfig()
+    {
+        au.maxResultPatterns = 300;
+    }
+
+    /** Derive the per-mode configuration from a base config. */
+    static RiiConfig forMode(Mode mode);
+};
+
+/** Statistics of one RII run (feeds Tables 2 and 3). */
+struct RiiStats {
+    size_t origNodes = 0;
+    size_t origClasses = 0;
+    size_t peakNodes = 0;
+    size_t peakClasses = 0;
+    size_t rawCandidates = 0;  ///< raw AU candidates over all phases
+    size_t dedupedCandidates = 0;  ///< |P_cand| after sampling + dedup
+    size_t phasesRun = 0;
+    bool auAborted = false;    ///< exhausted the candidate budget (LLMT)
+    double seconds = 0.0;
+    size_t peakRssBytes = 0;
+    size_t packsCreated = 0;   ///< Vector mode
+};
+
+/** Result of one RII run. */
+struct RiiResult {
+    std::vector<Solution> front;  ///< global Pareto front
+    PatternRegistry registry;
+    RiiStats stats;
+
+    /**
+     * The program the run identified against: the input program, or its
+     * vectorized form in Vector mode.
+     */
+    frontend::EncodedProgram baseProgram;
+
+    /**
+     * The last cost evaluation of every costed pattern (computed on the
+     * phase's *saturated* graph, where the pattern actually matches).
+     * Downstream integration modeling (RoCC) must use these rather than
+     * re-matching against the raw base graph.
+     */
+    std::unordered_map<int64_t, PatternEval> evaluations;
+
+    /** The solution with the highest speedup (the empty one if none). */
+    const Solution& best() const;
+};
+
+/** Run RII end to end. */
+RiiResult runRii(const frontend::EncodedProgram& program,
+                 const profile::ModuleProfile& profile,
+                 const rules::RulesetLibrary& rules,
+                 const RiiConfig& config);
+
+}  // namespace rii
+}  // namespace isamore

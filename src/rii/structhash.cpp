@@ -1,0 +1,110 @@
+#include "rii/structhash.hpp"
+
+#include <algorithm>
+
+#include "support/hashing.hpp"
+
+namespace isamore {
+namespace rii {
+namespace {
+
+/** The uniform hash shared by all leaves (Fig. 8a: literals, arguments
+ *  and pattern variables must not influence pairing). */
+constexpr uint64_t kUniformLeafHash = 0xA5A5'5A5A'3C3C'C3C3ull;
+
+/** Number of depth bands packed into the 64-bit class hash. */
+constexpr int kBands = 4;
+
+/**
+ * Depth-banded structural hash.
+ *
+ * The 64-bit hash is the concatenation of four 16-bit bands, band k being
+ * a truncated hash of the class's structure up to depth k+1.  Two classes
+ * whose shallow shapes agree but whose deep subterms differ therefore
+ * disagree only in the high bands (graded Hamming distance), unlike a
+ * single avalanche hash where any difference randomizes all 64 bits.
+ * This is what makes the similarity threshold (paper Fig. 8) meaningful.
+ */
+uint64_t
+hashNodeAtLevel(const ENode& node, const EGraph& egraph,
+                const ClassMap<uint64_t>& prevLevel)
+{
+    if (node.isLeaf()) {
+        return kUniformLeafHash;
+    }
+    uint64_t h = mix64(static_cast<uint64_t>(node.op) + 0x517cc1b7);
+    // Get indices and VecOp operators distinguish constructors.
+    if (node.op == Op::Get || node.op == Op::VecOp) {
+        h = hashCombine(h, node.payload.hash());
+    }
+    for (EClassId child : node.children) {
+        auto it = prevLevel.find(egraph.find(child));
+        h = hashCombine(h, it == prevLevel.end() ? kUniformLeafHash
+                                                 : it->second);
+    }
+    return h;
+}
+
+/** Majority vote of node hashes per bit position. */
+uint64_t
+voteClassHash(const EClass& cls, const EGraph& egraph,
+              const ClassMap<uint64_t>& prevLevel)
+{
+    int votes[64] = {};
+    for (const ENode& node : cls.nodes) {
+        uint64_t h = hashNodeAtLevel(node, egraph, prevLevel);
+        for (int b = 0; b < 64; ++b) {
+            votes[b] += static_cast<int>((h >> b) & 1u);
+        }
+    }
+    uint64_t voted = 0;
+    const int size = static_cast<int>(cls.nodes.size());
+    for (int b = 0; b < 64; ++b) {
+        // Majority with ties rounding up: a two-node class keeps the
+        // union of its nodes' bits, so a saturated class stays close to
+        // each of its member forms instead of collapsing to zero.
+        if (2 * votes[b] >= size && votes[b] > 0) {
+            voted |= (1ull << b);
+        }
+    }
+    return voted;
+}
+
+}  // namespace
+
+ClassMap<uint64_t>
+computeStructHashes(const EGraph& egraph, int rounds)
+{
+    const auto ids = egraph.classIds();
+    const int levels = std::min(rounds, kBands);
+
+    // Level 0: every class looks like a leaf.
+    ClassMap<uint64_t> level;
+    for (EClassId id : ids) {
+        level[id] = kUniformLeafHash;
+    }
+
+    ClassMap<uint64_t> banded;
+    for (EClassId id : ids) {
+        banded[id] = 0;
+    }
+
+    for (int k = 0; k < levels; ++k) {
+        ClassMap<uint64_t> next;
+        for (EClassId id : ids) {
+            next[id] = voteClassHash(egraph.cls(id), egraph, level);
+        }
+        // Pack 16 bits of this level into band k.
+        for (EClassId id : ids) {
+            const uint64_t slice = (next[id] ^ (next[id] >> 16) ^
+                                    (next[id] >> 32) ^ (next[id] >> 48)) &
+                                   0xffffull;
+            banded[id] |= slice << (16 * k);
+        }
+        level = std::move(next);
+    }
+    return banded;
+}
+
+}  // namespace rii
+}  // namespace isamore

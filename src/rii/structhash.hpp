@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Structural hashing e-class analysis (paper §5.2, Fig. 8a).
+ *
+ * Every e-node hashes its constructor together with its children's class
+ * hashes; every e-class aggregates its member node hashes by majority vote
+ * at each of the 64 bit positions.  Literals, arguments, and pattern
+ * variables hash to one uniform value so that structurally-similar terms
+ * pair up regardless of their leaves.  Similarity between two classes is
+ * the Hamming distance of their hashes.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "egraph/analysis.hpp"
+
+namespace isamore {
+namespace rii {
+
+/** Compute 64-bit structural hashes for all canonical classes. */
+ClassMap<uint64_t> computeStructHashes(const EGraph& egraph, int rounds = 8);
+
+/** Hamming distance between two class hashes (0 = identical structure). */
+inline int
+structDistance(uint64_t a, uint64_t b)
+{
+    return __builtin_popcountll(a ^ b);
+}
+
+}  // namespace rii
+}  // namespace isamore

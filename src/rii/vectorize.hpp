@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AU-based pattern vectorization (paper §5.3).
+ *
+ * Three steps over an encoded scalar program:
+ *  1. *Seed packing*: smart AU finds recurring scalar patterns; instances
+ *     rooted in the same basic block (by site provenance) become a seed
+ *     pack, unified under a new Vec e-node.  Couple edges Get(vec, i) are
+ *     merged with the lane classes, deliberately creating the
+ *     Get->Vec->Get cycles the paper describes.
+ *  2. *Pack expansion*: equality saturation with the vector lift ruleset
+ *     recovers VecOp constructors over the packs.
+ *  3. *Acyclic pruning*: a greedy DLP-favoring extraction picks one
+ *     concrete vectorization scheme; re-encoding the extracted program
+ *     (the Enumo-style compress) yields a lightweight acyclic hybrid
+ *     scalar-vector e-graph.  Site provenance is carried through, and
+ *     VecOp classes inherit their lanes' sites so the cost model sees
+ *     vector uses.
+ */
+#pragma once
+
+#include "frontend/encode.hpp"
+#include "rii/au.hpp"
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+namespace rii {
+
+/** Options for one vectorization pass. */
+struct VectorizeOptions {
+    int lanes = 4;            ///< preferred pack width (falls back to 2)
+    size_t maxPacks = 64;     ///< seed-pack budget
+    AuOptions seedAu;         ///< AU configuration for seed finding
+    EqSatLimits liftLimits;   ///< pack-expansion EqSat limits
+
+    VectorizeOptions()
+    {
+        seedAu.maxResultPatterns = 64;
+        seedAu.maxDepth = 4;
+        liftLimits.maxIterations = 4;
+        liftLimits.maxNodes = 60000;
+    }
+};
+
+/** Result of vectorization. */
+struct VectorizeResult {
+    frontend::EncodedProgram program;  ///< acyclic hybrid program
+    size_t packsCreated = 0;
+    size_t vecOpsInResult = 0;
+};
+
+/** Run the vectorization pipeline. */
+VectorizeResult vectorizeProgram(const frontend::EncodedProgram& prog,
+                                 const std::vector<RewriteRule>& liftRules,
+                                 const VectorizeOptions& options);
+
+}  // namespace rii
+}  // namespace isamore

@@ -1,0 +1,217 @@
+#include "rules/enumerate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsl/eval.hpp"
+#include "support/hashing.hpp"
+#include "support/rng.hpp"
+
+namespace isamore {
+namespace rules {
+namespace {
+
+/** Assignments probed for fingerprints: corners then seeded randoms. */
+std::vector<std::vector<int64_t>>
+makeAssignments(int numVars, int samples, uint64_t seed)
+{
+    static const int64_t corners[] = {0, 1, -1, 2, -2, 7, 63, -64,
+                                      INT64_MAX, INT64_MIN};
+    std::vector<std::vector<int64_t>> out;
+    Rng rng(seed);
+    // A few structured corner combinations first.
+    for (size_t i = 0; i < std::size(corners) &&
+                       out.size() < static_cast<size_t>(samples);
+         ++i) {
+        std::vector<int64_t> a(numVars);
+        for (int v = 0; v < numVars; ++v) {
+            a[v] = corners[(i + v) % std::size(corners)];
+        }
+        out.push_back(std::move(a));
+    }
+    while (out.size() < static_cast<size_t>(samples)) {
+        std::vector<int64_t> a(numVars);
+        for (int v = 0; v < numVars; ++v) {
+            // Mix small and full-range values; small values exercise
+            // shift/div semantics more usefully.
+            a[v] = (rng.next() & 1) ? static_cast<int64_t>(rng.below(37)) - 18
+                                    : rng.nextInt64();
+        }
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+/** Evaluate @p term with holes bound to @p assignment. */
+int64_t
+evalWith(const TermPtr& term, const std::vector<int64_t>& assignment)
+{
+    EvalContext ctx;
+    ctx.holeValue = [&](int64_t id) {
+        return Value::ofInt(assignment.at(static_cast<size_t>(id)));
+    };
+    return evaluate(term, ctx).i;
+}
+
+uint64_t
+fingerprint(const TermPtr& term,
+            const std::vector<std::vector<int64_t>>& assignments)
+{
+    uint64_t h = 0x12345;
+    for (const auto& a : assignments) {
+        h = hashCombine(h, static_cast<uint64_t>(evalWith(term, a)));
+    }
+    return h;
+}
+
+}  // namespace
+
+bool
+checkEquationByEvaluation(const TermPtr& lhs, const TermPtr& rhs,
+                          int samples, uint64_t seed)
+{
+    // Bind by the union of hole ids so both sides see the same values.
+    int max_hole = -1;
+    for (int64_t id : termHoles(lhs)) {
+        max_hole = std::max<int>(max_hole, static_cast<int>(id));
+    }
+    for (int64_t id : termHoles(rhs)) {
+        max_hole = std::max<int>(max_hole, static_cast<int>(id));
+    }
+    auto assignments = makeAssignments(max_hole + 1, samples, seed);
+    for (const auto& a : assignments) {
+        if (evalWith(lhs, a) != evalWith(rhs, a)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+EnumeratedRules
+enumerateRules(const EnumerateOptions& options)
+{
+    EnumeratedRules result;
+
+    // Depth-0 atoms.
+    std::vector<TermPtr> depth0;
+    for (int v = 0; v < options.numVars; ++v) {
+        depth0.push_back(hole(v));
+    }
+    for (int64_t c : options.constants) {
+        depth0.push_back(lit(c));
+    }
+
+    // Depth-1: ops over atoms.
+    std::vector<TermPtr> depth1;
+    for (Op op : options.unaryOps) {
+        for (const TermPtr& a : depth0) {
+            depth1.push_back(makeTerm(op, {a}));
+        }
+    }
+    for (Op op : options.binaryOps) {
+        for (const TermPtr& a : depth0) {
+            for (const TermPtr& b : depth0) {
+                depth1.push_back(makeTerm(op, {a, b}));
+            }
+        }
+    }
+
+    // Depth-2: op(depth<=1, depth0) and op(depth0, depth<=1).  Restricting
+    // one side to an atom keeps the space tractable while still covering
+    // the shapes the phase scheduler needs.
+    std::vector<TermPtr> depth2;
+    auto both = depth0;
+    both.insert(both.end(), depth1.begin(), depth1.end());
+    for (Op op : options.unaryOps) {
+        for (const TermPtr& a : depth1) {
+            depth2.push_back(makeTerm(op, {a}));
+        }
+    }
+    for (Op op : options.binaryOps) {
+        for (const TermPtr& a : depth1) {
+            for (const TermPtr& b : depth0) {
+                depth2.push_back(makeTerm(op, {a, b}));
+                depth2.push_back(makeTerm(op, {b, a}));
+            }
+        }
+    }
+
+    std::vector<TermPtr> all = std::move(both);
+    all.insert(all.end(), depth2.begin(), depth2.end());
+    result.termsEnumerated = all.size();
+
+    // Group by fingerprint.
+    auto assignments = makeAssignments(options.numVars,
+                                       options.fingerprintSamples,
+                                       options.seed);
+    std::unordered_map<uint64_t, std::vector<TermPtr>> groups;
+    for (const TermPtr& t : all) {
+        groups[fingerprint(t, assignments)].push_back(t);
+    }
+
+    // Within each group: rules between the smallest representative and
+    // every other member, both directions, after verification.
+    std::unordered_set<std::string> emitted;
+    for (auto& [fp, members] : groups) {
+        if (members.size() < 2) {
+            continue;
+        }
+        std::sort(members.begin(), members.end(),
+                  [](const TermPtr& a, const TermPtr& b) {
+                      size_t sa = termSize(a);
+                      size_t sb = termSize(b);
+                      if (sa != sb) {
+                          return sa < sb;
+                      }
+                      return termToString(a) < termToString(b);
+                  });
+        const TermPtr& repr = members[0];
+        for (size_t i = 1; i < members.size(); ++i) {
+            if (result.rules.size() >= options.maxRules) {
+                return result;
+            }
+            const TermPtr& other = members[i];
+            if (termEquals(repr, other)) {
+                continue;
+            }
+            ++result.candidatePairs;
+            if (!checkEquationByEvaluation(repr, other,
+                                           options.verifySamples,
+                                           options.seed ^ fp)) {
+                ++result.rejectedByVerify;
+                continue;
+            }
+            auto emit = [&](const TermPtr& l, const TermPtr& r) {
+                if (l->op == Op::Hole || opHasFlag(l->op, kLeaf)) {
+                    return;  // LHS must be a real pattern
+                }
+                // Every RHS hole must be bound by the LHS, or applying the
+                // rule would instantiate dangling holes.
+                auto lhs_holes = termHoles(l);
+                for (int64_t h : termHoles(r)) {
+                    if (std::find(lhs_holes.begin(), lhs_holes.end(), h) ==
+                        lhs_holes.end()) {
+                        return;
+                    }
+                }
+                std::string key = termToString(l) + "=>" + termToString(r);
+                if (!emitted.insert(key).second) {
+                    return;
+                }
+                RewriteRule rr;
+                rr.name = "enum:" + key;
+                rr.lhs = l;
+                rr.rhs = r;
+                rr.flags = classifyRule(l, r);
+                result.rules.push_back(std::move(rr));
+            };
+            emit(other, repr);
+            emit(repr, other);
+        }
+    }
+    return result;
+}
+
+}  // namespace rules
+}  // namespace isamore

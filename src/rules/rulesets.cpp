@@ -1,0 +1,340 @@
+#include "rules/rulesets.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "rules/enumerate.hpp"
+
+#include "support/check.hpp"
+#include "support/hashing.hpp"
+
+namespace isamore {
+namespace rules {
+namespace {
+
+/** Collect the string forms of all non-leaf subpatterns of @p term. */
+void
+collectSubpatterns(const TermPtr& term, bool includeRoot,
+                   std::unordered_set<std::string>& out)
+{
+    if (!opHasFlag(term->op, kLeaf) && includeRoot) {
+        out.insert(termToString(term));
+    }
+    for (const auto& child : term->children) {
+        collectSubpatterns(child, true, out);
+    }
+}
+
+void
+collectOpFlags(const TermPtr& term, uint32_t& flags)
+{
+    const auto& info = opInfo(term->op);
+    if ((info.flags & kInt) != 0 && term->op != Op::Lit) {
+        flags |= kRuleInt;
+    }
+    if ((info.flags & kFloat) != 0) {
+        flags |= kRuleFloat;
+    }
+    if ((info.flags & kVector) != 0) {
+        flags |= kRuleVector;
+    }
+    if (term->op == Op::Lit &&
+        term->payload.kind == Payload::Kind::Float) {
+        flags |= kRuleFloat;
+    }
+    for (const auto& child : term->children) {
+        collectOpFlags(child, flags);
+    }
+}
+
+}  // namespace
+
+uint32_t
+classifyRule(const TermPtr& lhs, const TermPtr& rhs)
+{
+    uint32_t flags = 0;
+    collectOpFlags(lhs, flags);
+    collectOpFlags(rhs, flags);
+    if ((flags & (kRuleInt | kRuleFloat | kRuleVector)) == 0) {
+        flags |= kRuleInt;  // pure structural rules default to int
+    }
+
+    // Saturation: every strict non-leaf subpattern of the RHS must occur
+    // in the LHS (then applying the rule only adds nodes to existing
+    // classes or unions classes).
+    std::unordered_set<std::string> lhs_subs;
+    collectSubpatterns(lhs, true, lhs_subs);
+    std::unordered_set<std::string> rhs_subs;
+    collectSubpatterns(rhs, false, rhs_subs);
+    bool saturating = true;
+    for (const auto& sub : rhs_subs) {
+        if (lhs_subs.count(sub) == 0) {
+            saturating = false;
+            break;
+        }
+    }
+    if (saturating) {
+        flags |= kRuleSat;
+    }
+    return flags;
+}
+
+RewriteRule
+rule(std::string name, const std::string& lhs, const std::string& rhs)
+{
+    RewriteRule r = makeRule(std::move(name), lhs, rhs, 0);
+    r.flags = classifyRule(r.lhs, r.rhs);
+    return r;
+}
+
+std::vector<RewriteRule>
+coreRules()
+{
+    std::vector<RewriteRule> out;
+    auto add = [&](const char* name, const char* l, const char* r) {
+        out.push_back(rule(name, l, r));
+    };
+
+    // --- commutativity (saturating) ---
+    add("add-comm", "(+ ?0 ?1)", "(+ ?1 ?0)");
+    add("mul-comm", "(* ?0 ?1)", "(* ?1 ?0)");
+    add("and-comm", "(& ?0 ?1)", "(& ?1 ?0)");
+    add("or-comm", "(| ?0 ?1)", "(| ?1 ?0)");
+    add("xor-comm", "(^ ?0 ?1)", "(^ ?1 ?0)");
+    add("min-comm", "(min ?0 ?1)", "(min ?1 ?0)");
+    add("max-comm", "(max ?0 ?1)", "(max ?1 ?0)");
+    add("eq-comm", "(== ?0 ?1)", "(== ?1 ?0)");
+    add("ne-comm", "(!= ?0 ?1)", "(!= ?1 ?0)");
+    add("fadd-comm", "(f+ ?0 ?1)", "(f+ ?1 ?0)");
+    add("fmul-comm", "(f* ?0 ?1)", "(f* ?1 ?0)");
+    add("fmin-comm", "(fmin ?0 ?1)", "(fmin ?1 ?0)");
+    add("fmax-comm", "(fmax ?0 ?1)", "(fmax ?1 ?0)");
+
+    // --- comparison direction swaps (saturating) ---
+    add("lt-gt", "(< ?0 ?1)", "(> ?1 ?0)");
+    add("gt-lt", "(> ?0 ?1)", "(< ?1 ?0)");
+    add("le-ge", "(<= ?0 ?1)", "(>= ?1 ?0)");
+    add("ge-le", "(>= ?0 ?1)", "(<= ?1 ?0)");
+
+    // --- identities (saturating folds) ---
+    add("add-zero", "(+ ?0 0)", "?0");
+    add("sub-zero", "(- ?0 0)", "?0");
+    add("mul-one", "(* ?0 1)", "?0");
+    add("mul-zero", "(* ?0 0)", "0");
+    add("and-self", "(& ?0 ?0)", "?0");
+    add("or-self", "(| ?0 ?0)", "?0");
+    add("xor-self", "(^ ?0 ?0)", "0");
+    add("and-zero", "(& ?0 0)", "0");
+    add("or-zero", "(| ?0 0)", "?0");
+    add("xor-zero", "(^ ?0 0)", "?0");
+    add("shl-zero", "(<< ?0 0)", "?0");
+    add("shr-zero", "(>> ?0 0)", "?0");
+    add("min-self", "(min ?0 ?0)", "?0");
+    add("max-self", "(max ?0 ?0)", "?0");
+    add("sub-self", "(- ?0 ?0)", "0");
+    add("div-one", "(/ ?0 1)", "?0");
+
+    // --- strength reduction (saturating by subpattern rule) ---
+    add("mul2-shl", "(* ?0 2)", "(<< ?0 1)");
+    add("shl1-mul2", "(<< ?0 1)", "(* ?0 2)");
+    add("mul4-shl", "(* ?0 4)", "(<< ?0 2)");
+    add("shl2-mul4", "(<< ?0 2)", "(* ?0 4)");
+    add("mul8-shl", "(* ?0 8)", "(<< ?0 3)");
+    add("shl3-mul8", "(<< ?0 3)", "(* ?0 8)");
+    // Note: (/ ?0 2) => (>>a ?0 1) is deliberately absent; it is unsound
+    // for negative odd values (C division truncates toward zero, the
+    // arithmetic shift floors), and the enumerator's evaluation-based
+    // checker rejects it.
+
+    // --- associativity (non-saturating) ---
+    add("add-assoc", "(+ (+ ?0 ?1) ?2)", "(+ ?0 (+ ?1 ?2))");
+    add("add-assoc-rev", "(+ ?0 (+ ?1 ?2))", "(+ (+ ?0 ?1) ?2)");
+    add("mul-assoc", "(* (* ?0 ?1) ?2)", "(* ?0 (* ?1 ?2))");
+    add("mul-assoc-rev", "(* ?0 (* ?1 ?2))", "(* (* ?0 ?1) ?2)");
+    add("and-assoc", "(& (& ?0 ?1) ?2)", "(& ?0 (& ?1 ?2))");
+    add("or-assoc", "(| (| ?0 ?1) ?2)", "(| ?0 (| ?1 ?2))");
+    add("xor-assoc", "(^ (^ ?0 ?1) ?2)", "(^ ?0 (^ ?1 ?2))");
+
+    // --- distribution / factoring (non-saturating) ---
+    add("mul-distribute", "(* (+ ?0 ?1) ?2)", "(+ (* ?0 ?2) (* ?1 ?2))");
+    add("mul-factor", "(+ (* ?0 ?2) (* ?1 ?2))", "(* (+ ?0 ?1) ?2)");
+    add("mul-factor-sub", "(- (* ?0 ?2) (* ?1 ?2))", "(* (- ?0 ?1) ?2)");
+    add("shl-distribute", "(<< (+ ?0 ?1) ?2)",
+        "(+ (<< ?0 ?2) (<< ?1 ?2))");
+    add("shl-factor", "(+ (<< ?0 ?2) (<< ?1 ?2))", "(<< (+ ?0 ?1) ?2)");
+
+    // --- mad / fma fusion (non-saturating) ---
+    add("mad-fuse", "(+ (* ?0 ?1) ?2)", "(mad ?0 ?1 ?2)");
+    add("mad-unfuse", "(mad ?0 ?1 ?2)", "(+ (* ?0 ?1) ?2)");
+    add("mad-fuse-comm", "(+ ?2 (* ?0 ?1))", "(mad ?0 ?1 ?2)");
+    add("fma-fuse", "(f+ (f* ?0 ?1) ?2)", "(fma ?0 ?1 ?2)");
+    add("fma-unfuse", "(fma ?0 ?1 ?2)", "(f+ (f* ?0 ?1) ?2)");
+    add("fma-fuse-comm", "(f+ ?2 (f* ?0 ?1))", "(fma ?0 ?1 ?2)");
+
+    // --- negation / subtraction (non-saturating) ---
+    add("sub-neg", "(- ?0 ?1)", "(+ ?0 (neg ?1))");
+    add("neg-sub", "(+ ?0 (neg ?1))", "(- ?0 ?1)");
+    add("neg-neg", "(neg (neg ?0))", "?0");
+    add("not-not", "(not (not ?0))", "?0");
+    add("neg-mul", "(* (neg ?0) ?1)", "(neg (* ?0 ?1))");
+    add("fneg-fneg", "(fneg (fneg ?0))", "?0");
+    add("fsub-fneg", "(f- ?0 ?1)", "(f+ ?0 (fneg ?1))");
+
+    // --- shifts and masks (mixed) ---
+    // (<< (<< x a) b) => (<< x (+ a b)) is unsound under the 64-bit
+    // masked-shift semantics when a + b wraps past 63, so it is omitted.
+    add("and-and", "(& (& ?0 ?1) ?1)", "(& ?0 ?1)");
+    add("or-and-absorb", "(| ?0 (& ?0 ?1))", "?0");
+    add("and-or-absorb", "(& ?0 (| ?0 ?1))", "?0");
+    add("demorgan-and", "(not (& ?0 ?1))", "(| (not ?0) (not ?1))");
+    add("demorgan-or", "(not (| ?0 ?1))", "(& (not ?0) (not ?1))");
+    add("xor-as-or-and", "(^ ?0 ?1)", "(- (| ?0 ?1) (& ?0 ?1))");
+
+    // --- select / abs / min / max interplay ---
+    add("select-same", "(select ?0 ?1 ?1)", "?1");
+    add("abs-select", "(abs ?0)", "(select (< ?0 0) (neg ?0) ?0)");
+    add("select-abs", "(select (< ?0 0) (neg ?0) ?0)", "(abs ?0)");
+    add("min-select", "(min ?0 ?1)", "(select (< ?0 ?1) ?0 ?1)");
+    add("select-min", "(select (< ?0 ?1) ?0 ?1)", "(min ?0 ?1)");
+    add("max-select", "(max ?0 ?1)", "(select (< ?0 ?1) ?1 ?0)");
+    add("select-max", "(select (< ?0 ?1) ?1 ?0)", "(max ?0 ?1)");
+    add("min-max-sum", "(+ (min ?0 ?1) (max ?0 ?1))", "(+ ?0 ?1)");
+
+    // --- addition rearrangement helpers (non-saturating) ---
+    add("add-same-mul2", "(+ ?0 ?0)", "(* ?0 2)");
+    add("mul2-add-same", "(* ?0 2)", "(+ ?0 ?0)");
+    add("add-shuffle", "(+ (+ ?0 ?1) ?2)", "(+ (+ ?0 ?2) ?1)");
+
+    return out;
+}
+
+std::vector<RewriteRule>
+vectorLiftRules(const std::vector<int>& laneCounts)
+{
+    // Lift rules: Vec over same-constructor scalar terms becomes a lane
+    // parallel VecOp over transposed Vec operands.
+    const std::vector<Op> liftable = {
+        Op::Add,  Op::Sub,  Op::Mul,  Op::Mad, Op::And, Op::Or,
+        Op::Xor,  Op::Shl,  Op::Shr,  Op::Min, Op::Max, Op::FAdd,
+        Op::FSub, Op::FMul, Op::Fma,  Op::FMin, Op::FMax,
+    };
+    std::vector<RewriteRule> out;
+    for (int lanes : laneCounts) {
+        for (Op op : liftable) {
+            const int arity = opArity(op);
+            // LHS: (vec (op ?a0 ?a1 ..) (op ?b0 ?b1 ..) ...)
+            std::ostringstream lhs;
+            lhs << "(vec";
+            for (int lane = 0; lane < lanes; ++lane) {
+                lhs << " (" << opName(op);
+                for (int a = 0; a < arity; ++a) {
+                    lhs << " ?" << (lane * arity + a);
+                }
+                lhs << ')';
+            }
+            lhs << ')';
+            // RHS: (vop op (vec ?a0 ?b0 ..) (vec ?a1 ?b1 ..) ...)
+            std::ostringstream rhs;
+            rhs << "(vop " << opName(op);
+            for (int a = 0; a < arity; ++a) {
+                rhs << " (vec";
+                for (int lane = 0; lane < lanes; ++lane) {
+                    rhs << " ?" << (lane * arity + a);
+                }
+                rhs << ')';
+            }
+            rhs << ')';
+            std::ostringstream name;
+            name << "lift-" << opName(op) << "-x" << lanes;
+            RewriteRule r = makeRule(name.str(), lhs.str(), rhs.str(), 0);
+            r.flags = classifyRule(r.lhs, r.rhs) | kRuleVector | kRuleLift;
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+RulesetLibrary::RulesetLibrary(std::vector<RewriteRule> rules)
+    : rules_(std::move(rules))
+{}
+
+std::vector<RewriteRule>
+RulesetLibrary::select(uint32_t required, uint32_t forbidden) const
+{
+    std::vector<RewriteRule> out;
+    for (const RewriteRule& r : rules_) {
+        if ((r.flags & required) == required &&
+            (r.flags & forbidden) == 0) {
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::vector<RewriteRule>
+RulesetLibrary::intSat() const
+{
+    return select(kRuleSat | kRuleInt, kRuleVector | kRuleFloat);
+}
+
+std::vector<RewriteRule>
+RulesetLibrary::floatSat() const
+{
+    return select(kRuleSat | kRuleFloat, kRuleVector);
+}
+
+std::vector<RewriteRule>
+RulesetLibrary::nonSat() const
+{
+    std::vector<RewriteRule> out;
+    for (const RewriteRule& r : rules_) {
+        if (!r.isSaturating() && !r.usesVector()) {
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::vector<RewriteRule>
+RulesetLibrary::vector() const
+{
+    return select(kRuleVector);
+}
+
+RulesetLibrary
+defaultLibrary()
+{
+    std::vector<RewriteRule> rules = coreRules();
+    for (RewriteRule& r : vectorLiftRules({2, 4})) {
+        rules.push_back(std::move(r));
+    }
+    return RulesetLibrary(std::move(rules));
+}
+
+RulesetLibrary
+extendedLibrary()
+{
+    std::vector<RewriteRule> rules = coreRules();
+    std::unordered_set<std::string> seen;
+    for (const RewriteRule& r : rules) {
+        seen.insert(termToString(canonicalizeHoles(r.lhs)) + "=>" +
+                    termToString(canonicalizeHoles(r.rhs)));
+    }
+    // The enumerator runs with its defaults (the Enumo substitute; see
+    // rules/enumerate.hpp).
+    EnumeratedRules enumerated = enumerateRules();
+    for (RewriteRule& r : enumerated.rules) {
+        std::string key = termToString(canonicalizeHoles(r.lhs)) + "=>" +
+                          termToString(canonicalizeHoles(r.rhs));
+        if (seen.insert(key).second) {
+            rules.push_back(std::move(r));
+        }
+    }
+    for (RewriteRule& r : vectorLiftRules({2, 4})) {
+        rules.push_back(std::move(r));
+    }
+    return RulesetLibrary(std::move(rules));
+}
+
+}  // namespace rules
+}  // namespace isamore

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Rewrite-rule library and base-ruleset construction (paper §5.1).
+ *
+ * Rules are classified along the paper's orthogonal axes:
+ *  - sat / nonsat: whether the rewrite can create new e-classes.  A rule is
+ *    saturating iff every strict non-leaf subpattern of its RHS already
+ *    occurs as a subpattern of its LHS (then every RHS node instantiates
+ *    into an existing class), with literal leaves permitted (bounded).
+ *  - int / float: by the operator sorts the rule mentions.
+ *  - scalar / vector: vector rules include the §5.3 lift/couple rewrites.
+ *
+ * The library combines a hand-written algebraic core with rules discovered
+ * offline by the enumerator (rules/enumerate.hpp).
+ */
+#pragma once
+
+#include <vector>
+
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+namespace rules {
+
+/** Derive the sat/int/float/vector classification flags for l -> r. */
+uint32_t classifyRule(const TermPtr& lhs, const TermPtr& rhs);
+
+/** Construct a rule with automatically derived classification flags. */
+RewriteRule rule(std::string name, const std::string& lhs,
+                 const std::string& rhs);
+
+/** The hand-written algebraic core (~70 rules). */
+std::vector<RewriteRule> coreRules();
+
+/**
+ * Vectorization lift rules for the given lane counts, e.g.
+ * (vec (+ a b) (+ c d)) => (vop + (vec a c) (vec b d)).
+ */
+std::vector<RewriteRule> vectorLiftRules(const std::vector<int>& laneCounts);
+
+/** A queryable collection of rules. */
+class RulesetLibrary {
+ public:
+    /** Build from the core rules plus any extra (e.g. enumerated) rules. */
+    explicit RulesetLibrary(std::vector<RewriteRule> rules);
+
+    const std::vector<RewriteRule>& all() const { return rules_; }
+
+    /** Rules with all of @p required and none of @p forbidden flags. */
+    std::vector<RewriteRule> select(uint32_t required,
+                                    uint32_t forbidden = 0) const;
+
+    /** Saturating integer scalar rules (phase 1 of the scheduler). */
+    std::vector<RewriteRule> intSat() const;
+    /** Saturating float scalar rules (phase 2). */
+    std::vector<RewriteRule> floatSat() const;
+    /** Non-saturating scalar rules (later phases pick subsets). */
+    std::vector<RewriteRule> nonSat() const;
+    /** Vector rules (lift/couple). */
+    std::vector<RewriteRule> vector() const;
+
+ private:
+    std::vector<RewriteRule> rules_;
+};
+
+/** The default library: core + vector lifts for 2 and 4 lanes. */
+RulesetLibrary defaultLibrary();
+
+/**
+ * The extended library: the default rules plus the offline-enumerated
+ * equations (rules/enumerate.hpp), deduplicated against the core.  This
+ * mirrors the paper's 1164-rule offline generation; building it runs the
+ * enumerator (a few seconds), so it is constructed on demand.
+ */
+RulesetLibrary extendedLibrary();
+
+}  // namespace rules
+}  // namespace isamore

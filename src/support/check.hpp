@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Invariant-checking macros used throughout the ISAMORE codebase.
+ *
+ * ISAMORE_CHECK is for internal invariants (a violation is a bug in this
+ * library); ISAMORE_USER_CHECK is for user-facing misuse of the public API
+ * (bad configuration, malformed input).  Both throw so that tests can
+ * observe failures.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace isamore {
+
+/** Error thrown when an internal invariant is violated (a library bug). */
+class InternalError : public std::logic_error {
+ public:
+    explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Error thrown when the public API is misused by the caller. */
+class UserError : public std::runtime_error {
+ public:
+    explicit UserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwInternal(const char* cond, const char* file, int line,
+              const std::string& msg)
+{
+    std::ostringstream os;
+    os << "internal check failed: " << cond << " at " << file << ":" << line;
+    if (!msg.empty()) {
+        os << " -- " << msg;
+    }
+    throw InternalError(os.str());
+}
+
+[[noreturn]] inline void
+throwUser(const std::string& msg)
+{
+    throw UserError(msg);
+}
+
+}  // namespace detail
+}  // namespace isamore
+
+#define ISAMORE_CHECK(cond)                                                  \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::isamore::detail::throwInternal(#cond, __FILE__, __LINE__, ""); \
+        }                                                                    \
+    } while (false)
+
+#define ISAMORE_CHECK_MSG(cond, msg)                                          \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::isamore::detail::throwInternal(#cond, __FILE__, __LINE__, msg); \
+        }                                                                     \
+    } while (false)
+
+#define ISAMORE_USER_CHECK(cond, msg)          \
+    do {                                       \
+        if (!(cond)) {                         \
+            ::isamore::detail::throwUser(msg); \
+        }                                      \
+    } while (false)

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hashing helpers shared by the e-graph hashcons, structural-hash analysis,
+ * and pattern deduplication.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+
+namespace isamore {
+
+/** A strong 64-bit mixer (splitmix64 finalizer). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine a new value into a running 64-bit hash. */
+inline uint64_t
+hashCombine(uint64_t seed, uint64_t value)
+{
+    return mix64(seed ^ (mix64(value) + 0x9e3779b97f4a7c15ull +
+                         (seed << 6) + (seed >> 2)));
+}
+
+/** Hash an arbitrary value with std::hash and mix the result. */
+template <typename T>
+uint64_t
+hashValue(const T& v)
+{
+    return mix64(static_cast<uint64_t>(std::hash<T>{}(v)));
+}
+
+/** Population count of the bitwise difference between two 64-bit hashes. */
+inline int
+hammingDistance64(uint64_t a, uint64_t b)
+{
+    return __builtin_popcountll(a ^ b);
+}
+
+}  // namespace isamore

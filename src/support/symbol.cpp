@@ -1,0 +1,69 @@
+#include "support/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace {
+
+/**
+ * Process-global intern table guarded by a mutex.
+ *
+ * Strings live in a deque so they are never relocated, which keeps the
+ * string_view keys in the id map valid for the process lifetime.
+ */
+struct InternTable {
+    std::mutex mutex;
+    std::deque<std::string> texts;
+    std::unordered_map<std::string_view, uint32_t> ids;
+
+    InternTable()
+    {
+        texts.emplace_back("");
+        ids.emplace(texts.back(), 0);
+    }
+
+    uint32_t
+    intern(std::string_view text)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = ids.find(text);
+        if (it != ids.end()) {
+            return it->second;
+        }
+        texts.emplace_back(text);
+        uint32_t id = static_cast<uint32_t>(texts.size() - 1);
+        ids.emplace(texts.back(), id);
+        return id;
+    }
+
+    const std::string&
+    text(uint32_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ISAMORE_CHECK(id < texts.size());
+        return texts[id];
+    }
+};
+
+InternTable&
+table()
+{
+    static InternTable instance;
+    return instance;
+}
+
+}  // namespace
+
+Symbol::Symbol(std::string_view text) : id_(table().intern(text)) {}
+
+const std::string&
+Symbol::str() const
+{
+    return table().text(id_);
+}
+
+}  // namespace isamore

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Interned strings.
+ *
+ * Symbols give O(1) comparison and hashing for names that recur throughout
+ * the system (function names, rule names, pattern names).  The intern table
+ * is process-global and append-only.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace isamore {
+
+/** A handle to an interned string; trivially copyable, O(1) compare. */
+class Symbol {
+ public:
+    /** The empty symbol ("" interned at id 0). */
+    Symbol() = default;
+
+    /** Intern @p text (or reuse its existing id). */
+    explicit Symbol(std::string_view text);
+
+    /** The interned text. Valid for the process lifetime. */
+    const std::string& str() const;
+
+    uint32_t id() const { return id_; }
+
+    bool operator==(const Symbol& other) const { return id_ == other.id_; }
+    bool operator!=(const Symbol& other) const { return id_ != other.id_; }
+    bool operator<(const Symbol& other) const { return id_ < other.id_; }
+
+ private:
+    uint32_t id_ = 0;
+};
+
+}  // namespace isamore
+
+template <>
+struct std::hash<isamore::Symbol> {
+    size_t
+    operator()(const isamore::Symbol& s) const noexcept
+    {
+        return s.id();
+    }
+};

@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace isamore {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ISAMORE_USER_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ISAMORE_USER_CHECK(cells.size() <= headers_.size(),
+                       "row has more cells than table columns");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::left
+               << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << " |\n";
+    };
+
+    print_row(headers_);
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+}  // namespace isamore

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * An ASCII table printer used by the benchmark harnesses to reproduce the
+ * paper's tables (row/column layout, aligned columns).
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace isamore {
+
+/** Accumulates rows of cells and renders them with aligned columns. */
+class TextTable {
+ public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row. Missing cells render empty; extra cells are an error. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to @p os with a header separator line. */
+    void print(std::ostream& os) const;
+
+    /** Format a double with @p precision digits after the decimal point. */
+    static std::string num(double value, int precision = 2);
+
+ private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace isamore

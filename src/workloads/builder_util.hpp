@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Structured-construction helpers over ir::FunctionBuilder used by the
+ * kernel workloads: counted do-while loops with carried values, and
+ * if/then/else regions with value merging.
+ */
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/check.hpp"
+
+namespace isamore {
+namespace workloads {
+
+/**
+ * A counted do-while loop: `for (iv = 0; ...; ++iv) body` with trips
+ * iterations and optional loop-carried values.
+ *
+ * Usage:
+ *   CountedLoop loop(b, 8, {{Type::f32(), accInit}});
+ *   ValueId acc = loop.carried(0);
+ *   ... emit body using loop.iv() and acc ...
+ *   loop.setNext(0, newAcc);
+ *   loop.finish();
+ *   ... loop.after(0) is the final acc ...
+ */
+class CountedLoop {
+ public:
+    CountedLoop(ir::FunctionBuilder& b, int64_t trips,
+                std::vector<std::pair<Type, ir::ValueId>> carriedInits = {})
+        : b_(b), trips_(trips)
+    {
+        const ir::BlockId pre = b_.insertPoint();
+        const ir::ValueId zero = b_.constI(0);
+        header_ = b_.newBlock();
+        exit_ = b_.newBlock();
+        b_.br(header_);
+        b_.setInsertPoint(header_);
+        iv_ = b_.phi(Type::i32(), {{pre, zero}});
+        for (auto& [type, init] : carriedInits) {
+            phis_.push_back(b_.phi(type, {{pre, init}}));
+            nexts_.push_back(ir::kNoValue);
+        }
+    }
+
+    /** The induction variable (0-based). */
+    ir::ValueId iv() const { return iv_; }
+
+    /** The k-th carried value inside the body. */
+    ir::ValueId
+    carried(size_t k) const
+    {
+        ISAMORE_CHECK(k < phis_.size());
+        return phis_[k];
+    }
+
+    /** Set the next-iteration value of carried value @p k. */
+    void
+    setNext(size_t k, ir::ValueId value)
+    {
+        ISAMORE_CHECK(k < nexts_.size());
+        nexts_[k] = value;
+    }
+
+    /** Close the loop; the insert point moves to the exit block. */
+    void
+    finish()
+    {
+        ISAMORE_CHECK_MSG(!finished_, "loop already finished");
+        finished_ = true;
+        const ir::ValueId one = b_.constI(1);
+        const ir::ValueId next = b_.compute(Op::Add, {iv_, one});
+        const ir::ValueId bound = b_.constI(trips_);
+        const ir::ValueId cond = b_.compute(Op::Lt, {next, bound});
+        const ir::BlockId latch = b_.insertPoint();
+        b_.addPhiIncoming(iv_, latch, next);
+        for (size_t k = 0; k < phis_.size(); ++k) {
+            b_.addPhiIncoming(phis_[k], latch,
+                              nexts_[k] == ir::kNoValue ? phis_[k]
+                                                        : nexts_[k]);
+        }
+        b_.condBr(cond, header_, exit_);
+        b_.setInsertPoint(exit_);
+        iv_after_ = next;
+    }
+
+    /** Final value of carried value @p k (valid after finish()). */
+    ir::ValueId
+    after(size_t k) const
+    {
+        ISAMORE_CHECK(finished_ && k < nexts_.size());
+        return nexts_[k] == ir::kNoValue ? phis_[k] : nexts_[k];
+    }
+
+ private:
+    ir::FunctionBuilder& b_;
+    int64_t trips_;
+    ir::BlockId header_ = 0;
+    ir::BlockId exit_ = 0;
+    ir::ValueId iv_ = ir::kNoValue;
+    ir::ValueId iv_after_ = ir::kNoValue;
+    std::vector<ir::ValueId> phis_;
+    std::vector<ir::ValueId> nexts_;
+    bool finished_ = false;
+};
+
+/**
+ * Emit `cond ? thenFn() : elseFn()` as an if/then/else diamond; both
+ * callbacks return the values merged at the join (parallel to @p types).
+ * Either callback may be null (the corresponding @p defaults are used).
+ */
+inline std::vector<ir::ValueId>
+emitIf(ir::FunctionBuilder& b, ir::ValueId cond, const std::vector<Type>& types,
+       const std::function<std::vector<ir::ValueId>()>& thenFn,
+       const std::function<std::vector<ir::ValueId>()>& elseFn,
+       const std::vector<ir::ValueId>& defaults = {})
+{
+    const ir::BlockId then_block = b.newBlock();
+    const ir::BlockId else_block = b.newBlock();
+    const ir::BlockId join = b.newBlock();
+    b.condBr(cond, then_block, else_block);
+
+    b.setInsertPoint(then_block);
+    std::vector<ir::ValueId> then_vals =
+        thenFn ? thenFn() : defaults;
+    const ir::BlockId then_end = b.insertPoint();
+    b.br(join);
+
+    b.setInsertPoint(else_block);
+    std::vector<ir::ValueId> else_vals =
+        elseFn ? elseFn() : defaults;
+    const ir::BlockId else_end = b.insertPoint();
+    b.br(join);
+
+    b.setInsertPoint(join);
+    ISAMORE_CHECK(then_vals.size() == types.size() &&
+                  else_vals.size() == types.size());
+    std::vector<ir::ValueId> merged;
+    merged.reserve(types.size());
+    for (size_t i = 0; i < types.size(); ++i) {
+        merged.push_back(b.phi(
+            types[i], {{then_end, then_vals[i]}, {else_end, else_vals[i]}}));
+    }
+    return merged;
+}
+
+}  // namespace workloads
+}  // namespace isamore

@@ -1,0 +1,890 @@
+#include "workloads/workload.hpp"
+
+#include <cmath>
+
+#include "ir/dce.hpp"
+#include "ir/simplify.hpp"
+#include "ir/unroll.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/builder_util.hpp"
+
+namespace isamore {
+namespace workloads {
+namespace {
+
+using ir::FunctionBuilder;
+using ir::ValueId;
+
+/** Convenience: i*stride + j. */
+ValueId
+index2(FunctionBuilder& b, ValueId i, int64_t stride, ValueId j)
+{
+    ValueId s = b.constI(stride);
+    ValueId row = b.compute(Op::Mul, {i, s});
+    return b.compute(Op::Add, {row, j});
+}
+
+std::vector<double>
+randomFloats(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    for (double& v : out) {
+        v = rng.nextDouble() * 2.0 - 1.0;
+    }
+    return out;
+}
+
+std::vector<int64_t>
+randomInts(size_t n, uint64_t seed, int64_t range)
+{
+    Rng rng(seed);
+    std::vector<int64_t> out(n);
+    for (int64_t& v : out) {
+        v = static_cast<int64_t>(rng.below(
+                static_cast<uint64_t>(2 * range))) -
+            range;
+    }
+    return out;
+}
+
+/** Emit one C[i][j] = dot(A[i][:], B[:][j]) matmul nest (f32, n x n). */
+void
+emitMatMulNest(FunctionBuilder& b, int64_t n, ValueId A, ValueId B,
+               ValueId C)
+{
+    CountedLoop li(b, n);
+    {
+        CountedLoop lj(b, n);
+        {
+            ValueId zero = b.constF(0.0);
+            CountedLoop lk(b, n, {{Type::f32(), zero}});
+            ValueId acc = lk.carried(0);
+            ValueId a = b.load(ScalarKind::F32, A,
+                               index2(b, li.iv(), n, lk.iv()));
+            ValueId bb = b.load(ScalarKind::F32, B,
+                                index2(b, lk.iv(), n, lj.iv()));
+            ValueId prod = b.compute(Op::FMul, {a, bb});
+            lk.setNext(0, b.compute(Op::FAdd, {acc, prod}));
+            lk.finish();
+            b.store(C, index2(b, li.iv(), n, lj.iv()), lk.after(0));
+        }
+        lj.finish();
+    }
+    li.finish();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// MatMul: C = A * B (8x8, f32).  Memory: A@0, B@64, C@128.
+// ---------------------------------------------------------------------
+Workload
+makeMatMul()
+{
+    const int64_t n = 8;
+    FunctionBuilder b("matmul", {Type::i32(), Type::i32(), Type::i32()});
+    emitMatMulNest(b, n, b.param(0), b.param(1), b.param(2));
+    b.ret();
+
+    Workload wl;
+    wl.name = "MatMul";
+    wl.description = "Matrix multiply";
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [n](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(n * n, 11));
+        m.writeFloats(64, randomFloats(n * n, 12));
+        m.run("matmul", {Value::ofInt(0), Value::ofInt(64),
+                         Value::ofInt(128)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// MatChain: D = (A * B) * C (8x8, f32).  A@0, B@64, C@128, T@192, D@256.
+// ---------------------------------------------------------------------
+Workload
+makeMatChain()
+{
+    const int64_t n = 8;
+    FunctionBuilder b("matchain", {Type::i32(), Type::i32(), Type::i32(),
+                                   Type::i32(), Type::i32()});
+    emitMatMulNest(b, n, b.param(0), b.param(1), b.param(3));  // T = A*B
+    emitMatMulNest(b, n, b.param(3), b.param(2), b.param(4));  // D = T*C
+    b.ret();
+
+    Workload wl;
+    wl.name = "MatChain";
+    wl.description = "Matrix chain multiplication";
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [n](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(n * n, 21));
+        m.writeFloats(64, randomFloats(n * n, 22));
+        m.writeFloats(128, randomFloats(n * n, 23));
+        m.run("matchain",
+              {Value::ofInt(0), Value::ofInt(64), Value::ofInt(128),
+               Value::ofInt(192), Value::ofInt(256)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// 2DConv: 3x3 convolution over a 16x16 image with explicit bounds checks
+// (the guard deliberately survives, mirroring the paper's observation
+// that un-if-converted bounds checks hinder vectorization).  in@0,
+// out@256; the three-tap weights are literal constants.
+// ---------------------------------------------------------------------
+Workload
+makeConv2D()
+{
+    const int64_t n = 16;
+    FunctionBuilder b("conv2d", {Type::i32(), Type::i32()});
+    ValueId in = b.param(0);
+    ValueId out = b.param(1);
+
+    const double weights[3][3] = {
+        {0.0625, 0.125, 0.0625}, {0.125, 0.25, 0.125},
+        {0.0625, 0.125, 0.0625}};
+
+    CountedLoop ly(b, n);
+    {
+        CountedLoop lx(b, n);
+        {
+            // Guard: 1 <= y,x <= 14.
+            ValueId one = b.constI(1);
+            ValueId hi = b.constI(n - 2);
+            ValueId y_lo = b.compute(Op::Ge, {ly.iv(), one});
+            ValueId y_hi = b.compute(Op::Le, {ly.iv(), hi});
+            ValueId x_lo = b.compute(Op::Ge, {lx.iv(), one});
+            ValueId x_hi = b.compute(Op::Le, {lx.iv(), hi});
+            ValueId okY = b.compute(Op::And, {y_lo, y_hi});
+            ValueId okX = b.compute(Op::And, {x_lo, x_hi});
+            ValueId ok = b.compute(Op::And, {okY, okX});
+
+            emitIf(
+                b, ok, {},
+                [&]() -> std::vector<ValueId> {
+                    // Fully unrolled 3x3 MAC chain (as -O3 would emit).
+                    ValueId acc = b.constF(0.0);
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            ValueId yy = b.compute(
+                                Op::Add, {ly.iv(), b.constI(dy)});
+                            ValueId xx = b.compute(
+                                Op::Add, {lx.iv(), b.constI(dx)});
+                            ValueId v = b.load(ScalarKind::F32, in,
+                                               index2(b, yy, n, xx));
+                            ValueId w =
+                                b.constF(weights[dy + 1][dx + 1]);
+                            ValueId p = b.compute(Op::FMul, {v, w});
+                            acc = b.compute(Op::FAdd, {acc, p});
+                        }
+                    }
+                    b.store(out, index2(b, ly.iv(), n, lx.iv()), acc);
+                    return {};
+                },
+                nullptr);
+        }
+        lx.finish();
+    }
+    ly.finish();
+    b.ret();
+
+    Workload wl;
+    wl.name = "2DConv";
+    wl.description = "2D convolution";
+    wl.unrollFactor = 1;  // the If body is already a full MAC chain
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [n](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(n * n, 31));
+        m.run("conv2d", {Value::ofInt(0), Value::ofInt(256)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// FFT: radix-2 DIT, N = 16, f32, four explicit stage loops of eight
+// butterflies each.  xr@0, xi@16, wr@32, wi@40 (twiddles for N/2).
+// ---------------------------------------------------------------------
+Workload
+makeFft()
+{
+    const int64_t N = 16;
+    FunctionBuilder b("fft", {Type::i32(), Type::i32(), Type::i32(),
+                              Type::i32()});
+    ValueId xr = b.param(0);
+    ValueId xi = b.param(1);
+    ValueId wr = b.param(2);
+    ValueId wi = b.param(3);
+
+    // Stage with half-size `len`: butterflies (top, bot = top + len),
+    // twiddle stride N/(2*len).
+    for (int64_t len = N / 2; len >= 1; len /= 2) {
+        CountedLoop lb(b, N / 2);
+        {
+            // top = (iv & ~(len-1)) * 2 + (iv & (len-1))
+            ValueId mask = b.constI(len - 1);
+            ValueId inner = b.compute(Op::And, {lb.iv(), mask});
+            ValueId notMask = b.constI(~(len - 1));
+            ValueId outer = b.compute(Op::And, {lb.iv(), notMask});
+            ValueId outer2 = b.compute(Op::Shl, {outer, b.constI(1)});
+            ValueId top = b.compute(Op::Add, {outer2, inner});
+            ValueId bot = b.compute(Op::Add, {top, b.constI(len)});
+            // twiddle index = inner * (N / (2*len))
+            ValueId tw = b.compute(
+                Op::Mul, {inner, b.constI(N / (2 * len))});
+
+            ValueId ar = b.load(ScalarKind::F32, xr, top);
+            ValueId ai = b.load(ScalarKind::F32, xi, top);
+            ValueId br = b.load(ScalarKind::F32, xr, bot);
+            ValueId bi = b.load(ScalarKind::F32, xi, bot);
+            ValueId cr = b.load(ScalarKind::F32, wr, tw);
+            ValueId ci = b.load(ScalarKind::F32, wi, tw);
+
+            // t = w * b (complex)
+            ValueId t1 = b.compute(Op::FMul, {cr, br});
+            ValueId t2 = b.compute(Op::FMul, {ci, bi});
+            ValueId tr = b.compute(Op::FSub, {t1, t2});
+            ValueId t3 = b.compute(Op::FMul, {cr, bi});
+            ValueId t4 = b.compute(Op::FMul, {ci, br});
+            ValueId ti = b.compute(Op::FAdd, {t3, t4});
+
+            b.store(xr, top, b.compute(Op::FAdd, {ar, tr}));
+            b.store(xi, top, b.compute(Op::FAdd, {ai, ti}));
+            b.store(xr, bot, b.compute(Op::FSub, {ar, tr}));
+            b.store(xi, bot, b.compute(Op::FSub, {ai, ti}));
+        }
+        lb.finish();
+    }
+    b.ret();
+
+    Workload wl;
+    wl.name = "FFT";
+    wl.description = "Fast Fourier Transform";
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [N](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(N, 41));
+        m.writeFloats(16, randomFloats(N, 42));
+        std::vector<double> twr(N / 2);
+        std::vector<double> twi(N / 2);
+        for (int64_t k = 0; k < N / 2; ++k) {
+            twr[k] = std::cos(-2.0 * M_PI * k / N);
+            twi[k] = std::sin(-2.0 * M_PI * k / N);
+        }
+        m.writeFloats(32, twr);
+        m.writeFloats(40, twi);
+        m.run("fft", {Value::ofInt(0), Value::ofInt(16), Value::ofInt(32),
+                      Value::ofInt(40)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// Stencil: 5-point 2D stencil over 16x16 with interior guard.  in@0,
+// out@256.
+// ---------------------------------------------------------------------
+Workload
+makeStencil()
+{
+    const int64_t n = 16;
+    FunctionBuilder b("stencil", {Type::i32(), Type::i32()});
+    ValueId in = b.param(0);
+    ValueId out = b.param(1);
+
+    CountedLoop ly(b, n);
+    {
+        CountedLoop lx(b, n);
+        {
+            ValueId one = b.constI(1);
+            ValueId hi = b.constI(n - 2);
+            ValueId okY = b.compute(
+                Op::And, {b.compute(Op::Ge, {ly.iv(), one}),
+                          b.compute(Op::Le, {ly.iv(), hi})});
+            ValueId okX = b.compute(
+                Op::And, {b.compute(Op::Ge, {lx.iv(), one}),
+                          b.compute(Op::Le, {lx.iv(), hi})});
+            ValueId ok = b.compute(Op::And, {okY, okX});
+            emitIf(
+                b, ok, {},
+                [&]() -> std::vector<ValueId> {
+                    auto at = [&](int dy, int dx) {
+                        ValueId yy = b.compute(Op::Add,
+                                               {ly.iv(), b.constI(dy)});
+                        ValueId xx = b.compute(Op::Add,
+                                               {lx.iv(), b.constI(dx)});
+                        return b.load(ScalarKind::F32, in,
+                                      index2(b, yy, n, xx));
+                    };
+                    ValueId c = at(0, 0);
+                    ValueId sum = b.compute(Op::FAdd, {at(-1, 0), at(1, 0)});
+                    sum = b.compute(Op::FAdd, {sum, at(0, -1)});
+                    sum = b.compute(Op::FAdd, {sum, at(0, 1)});
+                    ValueId cw = b.compute(Op::FMul, {c, b.constF(0.5)});
+                    ValueId sw =
+                        b.compute(Op::FMul, {sum, b.constF(0.125)});
+                    b.store(out, index2(b, ly.iv(), n, lx.iv()),
+                            b.compute(Op::FAdd, {cw, sw}));
+                    return {};
+                },
+                nullptr);
+        }
+        lx.finish();
+    }
+    ly.finish();
+    b.ret();
+
+    Workload wl;
+    wl.name = "Stencil";
+    wl.description = "2D stencil";
+    wl.unrollFactor = 1;
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [n](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(n * n, 51));
+        m.run("stencil", {Value::ofInt(0), Value::ofInt(256)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// QProd: 16 quaternion products.  a@0, b@64, out@128 (4 floats each).
+// ---------------------------------------------------------------------
+Workload
+makeQProd()
+{
+    FunctionBuilder b("qprod", {Type::i32(), Type::i32(), Type::i32()});
+    ValueId pa = b.param(0);
+    ValueId pb = b.param(1);
+    ValueId po = b.param(2);
+
+    CountedLoop li(b, 16);
+    {
+        ValueId base = b.compute(Op::Shl, {li.iv(), b.constI(2)});
+        auto lane = [&](ValueId p, int k) {
+            ValueId idx = b.compute(Op::Add, {base, b.constI(k)});
+            return b.load(ScalarKind::F32, p, idx);
+        };
+        ValueId aw = lane(pa, 0);
+        ValueId ax = lane(pa, 1);
+        ValueId ay = lane(pa, 2);
+        ValueId az = lane(pa, 3);
+        ValueId bw = lane(pb, 0);
+        ValueId bx = lane(pb, 1);
+        ValueId by = lane(pb, 2);
+        ValueId bz = lane(pb, 3);
+        auto mul = [&](ValueId x, ValueId y) {
+            return b.compute(Op::FMul, {x, y});
+        };
+        auto add = [&](ValueId x, ValueId y) {
+            return b.compute(Op::FAdd, {x, y});
+        };
+        auto sub = [&](ValueId x, ValueId y) {
+            return b.compute(Op::FSub, {x, y});
+        };
+        ValueId ow = sub(sub(mul(aw, bw), mul(ax, bx)),
+                         add(mul(ay, by), mul(az, bz)));
+        ValueId ox = add(add(mul(aw, bx), mul(ax, bw)),
+                         sub(mul(ay, bz), mul(az, by)));
+        ValueId oy = add(add(mul(aw, by), mul(ay, bw)),
+                         sub(mul(az, bx), mul(ax, bz)));
+        ValueId oz = add(add(mul(aw, bz), mul(az, bw)),
+                         sub(mul(ax, by), mul(ay, bx)));
+        auto put = [&](int k, ValueId v) {
+            ValueId idx = b.compute(Op::Add, {base, b.constI(k)});
+            b.store(po, idx, v);
+        };
+        put(0, ow);
+        put(1, ox);
+        put(2, oy);
+        put(3, oz);
+    }
+    li.finish();
+    b.ret();
+
+    Workload wl;
+    wl.name = "QProd";
+    wl.description = "Quaternion product";
+    wl.unrollFactor = 1;  // the body is already wide
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(64, 61));
+        m.writeFloats(64, randomFloats(64, 62));
+        m.run("qprod",
+              {Value::ofInt(0), Value::ofInt(64), Value::ofInt(128)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// QRDecomp: modified Gram-Schmidt on 8x8 (f32) with triangular guards.
+// A@0 (destroyed), Q@64, R@128.
+// ---------------------------------------------------------------------
+Workload
+makeQRDecomp()
+{
+    const int64_t n = 8;
+    FunctionBuilder b("qrdecomp", {Type::i32(), Type::i32(), Type::i32()});
+    ValueId A = b.param(0);
+    ValueId Q = b.param(1);
+    ValueId R = b.param(2);
+
+    CountedLoop lk(b, n);
+    {
+        ValueId k = lk.iv();
+        // norm = sqrt(sum A[i][k]^2)
+        ValueId zero = b.constF(0.0);
+        CountedLoop ln(b, n, {{Type::f32(), zero}});
+        {
+            ValueId v = b.load(ScalarKind::F32, A,
+                               index2(b, ln.iv(), n, k));
+            ValueId sq = b.compute(Op::FMul, {v, v});
+            ln.setNext(0, b.compute(Op::FAdd, {ln.carried(0), sq}));
+        }
+        ln.finish();
+        ValueId norm = b.compute(Op::FSqrt, {ln.after(0)});
+        b.store(R, index2(b, k, n, k), norm);
+        ValueId inv = b.compute(Op::FDiv, {b.constF(1.0), norm});
+
+        // Q[:,k] = A[:,k] / norm
+        CountedLoop lq(b, n);
+        {
+            ValueId v = b.load(ScalarKind::F32, A,
+                               index2(b, lq.iv(), n, k));
+            b.store(Q, index2(b, lq.iv(), n, k),
+                    b.compute(Op::FMul, {v, inv}));
+        }
+        lq.finish();
+
+        // For j > k: r = Q[:,k] . A[:,j]; A[:,j] -= r * Q[:,k]
+        CountedLoop lj(b, n);
+        {
+            ValueId j = lj.iv();
+            ValueId isUpper = b.compute(Op::Gt, {j, k});
+            emitIf(
+                b, isUpper, {},
+                [&]() -> std::vector<ValueId> {
+                    ValueId z = b.constF(0.0);
+                    CountedLoop ld(b, n, {{Type::f32(), z}});
+                    {
+                        ValueId q = b.load(ScalarKind::F32, Q,
+                                           index2(b, ld.iv(), n, k));
+                        ValueId a = b.load(ScalarKind::F32, A,
+                                           index2(b, ld.iv(), n, j));
+                        ValueId p = b.compute(Op::FMul, {q, a});
+                        ld.setNext(
+                            0, b.compute(Op::FAdd, {ld.carried(0), p}));
+                    }
+                    ld.finish();
+                    ValueId r = ld.after(0);
+                    b.store(R, index2(b, k, n, j), r);
+                    CountedLoop lu(b, n);
+                    {
+                        ValueId q = b.load(ScalarKind::F32, Q,
+                                           index2(b, lu.iv(), n, k));
+                        ValueId a = b.load(ScalarKind::F32, A,
+                                           index2(b, lu.iv(), n, j));
+                        ValueId p = b.compute(Op::FMul, {r, q});
+                        b.store(A, index2(b, lu.iv(), n, j),
+                                b.compute(Op::FSub, {a, p}));
+                    }
+                    lu.finish();
+                    return {};
+                },
+                nullptr);
+        }
+        lj.finish();
+    }
+    lk.finish();
+    b.ret();
+
+    Workload wl;
+    wl.name = "QRDecomp";
+    wl.description = "QR decomposition";
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [n](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(n * n, 71));
+        m.run("qrdecomp",
+              {Value::ofInt(0), Value::ofInt(64), Value::ofInt(128)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// Deriche: two-pass recursive (IIR) smoothing over 16x16 (f32).  in@0,
+// tmp@256, out@512.
+// ---------------------------------------------------------------------
+Workload
+makeDeriche()
+{
+    const int64_t n = 16;
+    FunctionBuilder b("deriche", {Type::i32(), Type::i32(), Type::i32()});
+    ValueId in = b.param(0);
+    ValueId tmp = b.param(1);
+    ValueId out = b.param(2);
+
+    // Horizontal: tmp[y][x] = a0*in[y][x] + a1*in[y][x-1] + b1*prev
+    CountedLoop ly(b, n);
+    {
+        ValueId zero = b.constF(0.0);
+        CountedLoop lx(b, n, {{Type::f32(), zero}, {Type::f32(), zero}});
+        {
+            ValueId prevY = lx.carried(0);
+            ValueId prevIn = lx.carried(1);
+            ValueId cur = b.load(ScalarKind::F32, in,
+                                 index2(b, ly.iv(), n, lx.iv()));
+            ValueId t0 = b.compute(Op::FMul, {cur, b.constF(0.25)});
+            ValueId t1 = b.compute(Op::FMul, {prevIn, b.constF(0.15)});
+            ValueId t2 = b.compute(Op::FMul, {prevY, b.constF(0.6)});
+            ValueId y =
+                b.compute(Op::FAdd, {b.compute(Op::FAdd, {t0, t1}), t2});
+            b.store(tmp, index2(b, ly.iv(), n, lx.iv()), y);
+            lx.setNext(0, y);
+            lx.setNext(1, cur);
+        }
+        lx.finish();
+    }
+    ly.finish();
+
+    // Vertical on tmp -> out, same recurrence down the columns.
+    CountedLoop lx2(b, n);
+    {
+        ValueId zero = b.constF(0.0);
+        CountedLoop ly2(b, n, {{Type::f32(), zero}, {Type::f32(), zero}});
+        {
+            ValueId prevY = ly2.carried(0);
+            ValueId prevIn = ly2.carried(1);
+            ValueId cur = b.load(ScalarKind::F32, tmp,
+                                 index2(b, ly2.iv(), n, lx2.iv()));
+            ValueId t0 = b.compute(Op::FMul, {cur, b.constF(0.25)});
+            ValueId t1 = b.compute(Op::FMul, {prevIn, b.constF(0.15)});
+            ValueId t2 = b.compute(Op::FMul, {prevY, b.constF(0.6)});
+            ValueId y =
+                b.compute(Op::FAdd, {b.compute(Op::FAdd, {t0, t1}), t2});
+            b.store(out, index2(b, ly2.iv(), n, lx2.iv()), y);
+            ly2.setNext(0, y);
+            ly2.setNext(1, cur);
+        }
+        ly2.finish();
+    }
+    lx2.finish();
+    b.ret();
+
+    Workload wl;
+    wl.name = "Deriche";
+    wl.description = "Deriche edge detector";
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [n](profile::Machine& m) {
+        m.writeFloats(0, randomFloats(n * n, 81));
+        m.run("deriche", {Value::ofInt(0), Value::ofInt(256),
+                          Value::ofInt(512)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// SHA: SHA-256-style compression.  w@0 (64 words, first 16 are input),
+// k@64 (64 round constants), digest@128 (8 words).
+// ---------------------------------------------------------------------
+Workload
+makeSha()
+{
+    FunctionBuilder b("sha", {Type::i32(), Type::i32(), Type::i32()});
+    ValueId W = b.param(0);
+    ValueId K = b.param(1);
+    ValueId D = b.param(2);
+
+    ValueId mask32 = b.constI(0xffffffff);
+    auto m32 = [&](ValueId x) { return b.compute(Op::And, {x, mask32}); };
+    auto rotr = [&](ValueId x, int64_t r) {
+        ValueId right = b.compute(Op::Shr, {x, b.constI(r)});
+        ValueId left = b.compute(Op::Shl, {x, b.constI(32 - r)});
+        return m32(b.compute(Op::Or, {right, left}));
+    };
+
+    // Message schedule: w[t] = s1(w[t-2]) + w[t-7] + s0(w[t-15]) + w[t-16]
+    CountedLoop ls(b, 48);
+    {
+        ValueId t = b.compute(Op::Add, {ls.iv(), b.constI(16)});
+        auto wAt = [&](int64_t back) {
+            ValueId idx = b.compute(Op::Sub, {t, b.constI(back)});
+            return b.load(ScalarKind::I32, W, idx);
+        };
+        ValueId w2 = wAt(2);
+        ValueId s1 = b.compute(
+            Op::Xor, {b.compute(Op::Xor, {rotr(w2, 17), rotr(w2, 19)}),
+                      b.compute(Op::Shr, {w2, b.constI(10)})});
+        ValueId w15 = wAt(15);
+        ValueId s0 = b.compute(
+            Op::Xor, {b.compute(Op::Xor, {rotr(w15, 7), rotr(w15, 18)}),
+                      b.compute(Op::Shr, {w15, b.constI(3)})});
+        ValueId sum = m32(b.compute(
+            Op::Add,
+            {b.compute(Op::Add, {s1, wAt(7)}),
+             b.compute(Op::Add, {s0, wAt(16)})}));
+        b.store(W, t, sum);
+    }
+    ls.finish();
+
+    // Compression rounds with 8 carried state words.
+    std::vector<std::pair<Type, ValueId>> inits;
+    const int64_t iv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                           0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    for (int i = 0; i < 8; ++i) {
+        inits.emplace_back(Type::i32(), b.constI(iv[i]));
+    }
+    CountedLoop lr(b, 64, inits);
+    {
+        ValueId a = lr.carried(0);
+        ValueId bb = lr.carried(1);
+        ValueId c = lr.carried(2);
+        ValueId d = lr.carried(3);
+        ValueId e = lr.carried(4);
+        ValueId f = lr.carried(5);
+        ValueId g = lr.carried(6);
+        ValueId h = lr.carried(7);
+
+        ValueId S1 = b.compute(
+            Op::Xor, {b.compute(Op::Xor, {rotr(e, 6), rotr(e, 11)}),
+                      rotr(e, 25)});
+        ValueId ch = b.compute(
+            Op::Xor, {b.compute(Op::And, {e, f}),
+                      b.compute(Op::And, {b.compute(Op::Not, {e}), g})});
+        ValueId kw = b.compute(
+            Op::Add, {b.load(ScalarKind::I32, K, lr.iv()),
+                      b.load(ScalarKind::I32, W, lr.iv())});
+        ValueId temp1 = m32(b.compute(
+            Op::Add,
+            {b.compute(Op::Add, {h, S1}),
+             b.compute(Op::Add, {m32(ch), kw})}));
+        ValueId S0 = b.compute(
+            Op::Xor, {b.compute(Op::Xor, {rotr(a, 2), rotr(a, 13)}),
+                      rotr(a, 22)});
+        ValueId maj = b.compute(
+            Op::Xor, {b.compute(Op::Xor, {b.compute(Op::And, {a, bb}),
+                                          b.compute(Op::And, {a, c})}),
+                      b.compute(Op::And, {bb, c})});
+        ValueId temp2 = m32(b.compute(Op::Add, {S0, m32(maj)}));
+
+        lr.setNext(0, m32(b.compute(Op::Add, {temp1, temp2})));  // a
+        lr.setNext(1, a);
+        lr.setNext(2, bb);
+        lr.setNext(3, c);
+        lr.setNext(4, m32(b.compute(Op::Add, {d, temp1})));  // e
+        lr.setNext(5, e);
+        lr.setNext(6, f);
+        lr.setNext(7, g);
+    }
+    lr.finish();
+    for (int i = 0; i < 8; ++i) {
+        b.store(D, b.constI(i), lr.after(static_cast<size_t>(i)));
+    }
+    b.ret();
+
+    Workload wl;
+    wl.name = "SHA";
+    wl.description = "SHA-256 secure hash algorithm";
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [](profile::Machine& m) {
+        m.writeInts(0, randomInts(16, 91, 1 << 30));
+        m.writeInts(64, randomInts(64, 92, 1 << 30));
+        m.run("sha", {Value::ofInt(0), Value::ofInt(64),
+                      Value::ofInt(128)});
+    };
+    return wl;
+}
+
+Workload
+makeAll()
+{
+    Workload all;
+    all.name = "All";
+    all.description = "All nine kernels combined";
+    std::vector<Workload> parts = benchmarkKernels();
+    std::vector<std::function<void(profile::Machine&)>> drivers;
+    for (Workload& part : parts) {
+        for (ir::Function& fn : part.module.functions) {
+            // Apply each kernel's own unroll factor now; the combined
+            // workload disables further unrolling (factors differ).
+            if (part.unrollFactor >= 2) {
+                ir::unrollInnermostLoops(fn, part.unrollFactor);
+                ir::simplifyConstantChains(fn);
+                ir::eliminateDeadCode(fn);
+            }
+            all.module.functions.push_back(std::move(fn));
+        }
+        drivers.push_back(part.driver);
+    }
+    all.driver = [drivers](profile::Machine& m) {
+        for (const auto& d : drivers) {
+            d(m);
+        }
+    };
+    // Mixed unroll factors: keep every loop legal with the smallest.
+    all.unrollFactor = 1;
+    return all;
+}
+
+std::vector<Workload>
+benchmarkKernels()
+{
+    std::vector<Workload> out;
+    out.push_back(makeConv2D());
+    out.push_back(makeMatMul());
+    out.push_back(makeMatChain());
+    out.push_back(makeFft());
+    out.push_back(makeStencil());
+    out.push_back(makeQProd());
+    out.push_back(makeQRDecomp());
+    out.push_back(makeDeriche());
+    out.push_back(makeSha());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// BitNet b1.58 BitLinear (§7.2.2): MAD-based dot product of 8-bit
+// activations with packed 2-bit ternary weights.  act@0 (32 ints),
+// packed weights@64 (one word holds 4 weights), out@128 (8 ints).
+// ---------------------------------------------------------------------
+Workload
+makeBitLinear()
+{
+    const int64_t outputs = 8;
+    const int64_t inputs = 32;
+    FunctionBuilder b("bitlinear", {Type::i32(), Type::i32(), Type::i32()});
+    ValueId act = b.param(0);
+    ValueId wgt = b.param(1);
+    ValueId out = b.param(2);
+
+    CountedLoop lj(b, outputs);
+    {
+        ValueId zero = b.constI(0);
+        CountedLoop lk(b, inputs / 4, {{Type::i32(), zero}});
+        {
+            ValueId acc = lk.carried(0);
+            // One packed word = 4 two-bit weights in {0,1,2} -> {-1,0,+1}.
+            ValueId widx = b.compute(
+                Op::Add,
+                {b.compute(Op::Mul, {lj.iv(), b.constI(inputs / 4)}),
+                 lk.iv()});
+            ValueId packed = b.load(ScalarKind::I32, wgt, widx);
+            ValueId abase = b.compute(Op::Shl, {lk.iv(), b.constI(2)});
+            for (int u = 0; u < 4; ++u) {
+                ValueId shifted = b.compute(
+                    Op::Shr, {packed, b.constI(2 * u)});
+                ValueId bits =
+                    b.compute(Op::And, {shifted, b.constI(3)});
+                ValueId w = b.compute(Op::Sub, {bits, b.constI(1)});
+                ValueId aidx =
+                    b.compute(Op::Add, {abase, b.constI(u)});
+                ValueId a = b.load(ScalarKind::I32, act, aidx);
+                acc = b.compute(Op::Mad, {a, w, acc});
+            }
+            lk.setNext(0, acc);
+        }
+        lk.finish();
+        b.store(out, lj.iv(), lk.after(0));
+    }
+    lj.finish();
+    b.ret();
+
+    Workload wl;
+    wl.name = "BitLinear";
+    wl.description = "BitNet b1.58 ternary-weight linear layer";
+    wl.unrollFactor = 2;
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [outputs, inputs](profile::Machine& m) {
+        m.writeInts(0, randomInts(inputs, 101, 127));
+        std::vector<int64_t> packed(
+            static_cast<size_t>(outputs * inputs / 4));
+        Rng rng(102);
+        for (int64_t& word : packed) {
+            int64_t v = 0;
+            for (int u = 0; u < 4; ++u) {
+                v |= static_cast<int64_t>(rng.below(3)) << (2 * u);
+            }
+            word = v;
+        }
+        m.writeInts(64, packed);
+        m.run("bitlinear",
+              {Value::ofInt(0), Value::ofInt(64), Value::ofInt(128)});
+    };
+    return wl;
+}
+
+// ---------------------------------------------------------------------
+// CRYSTALS-Kyber NTT (§7.2.3): radix-2 NTT over Z_q (q = 3329), N = 16,
+// Barrett-style reduction via mul/shift.  a@0, zetas@16 (8 entries).
+// ---------------------------------------------------------------------
+Workload
+makeKyberNtt()
+{
+    const int64_t N = 16;
+    const int64_t q = 3329;
+    FunctionBuilder b("kyber_ntt", {Type::i32(), Type::i32()});
+    ValueId a = b.param(0);
+    ValueId zetas = b.param(1);
+
+    // Barrett reduction: x - ((x * 20159) >> 26) * q, valid for
+    // 0 <= x < 2^26, which covers z*lo < q * 2q.
+    auto barrett = [&](ValueId x) {
+        ValueId m = b.compute(Op::Mul, {x, b.constI(20159)});
+        ValueId t = b.compute(Op::Shr, {m, b.constI(26)});
+        ValueId tq = b.compute(Op::Mul, {t, b.constI(q)});
+        return b.compute(Op::Sub, {x, tq});
+    };
+
+    for (int64_t len = N / 2; len >= 1; len /= 2) {
+        CountedLoop lb(b, N / 2);
+        {
+            ValueId mask = b.constI(len - 1);
+            ValueId inner = b.compute(Op::And, {lb.iv(), mask});
+            ValueId outer =
+                b.compute(Op::And, {lb.iv(), b.constI(~(len - 1))});
+            ValueId outer2 = b.compute(Op::Shl, {outer, b.constI(1)});
+            ValueId top = b.compute(Op::Add, {outer2, inner});
+            ValueId bot = b.compute(Op::Add, {top, b.constI(len)});
+            ValueId zidx = b.compute(
+                Op::Mul, {inner, b.constI(N / (2 * len))});
+
+            ValueId z = b.load(ScalarKind::I32, zetas, zidx);
+            ValueId lo = b.load(ScalarKind::I32, a, bot);
+            ValueId hi = b.load(ScalarKind::I32, a, top);
+            // Butterfly: t = z*lo mod q; bot = hi - t + q mod q;
+            //            top = hi + t mod q.
+            ValueId prod = b.compute(Op::Mul, {z, lo});
+            ValueId t = barrett(prod);
+            ValueId sum = barrett(b.compute(Op::Add, {hi, t}));
+            ValueId diff = barrett(b.compute(
+                Op::Add, {b.compute(Op::Sub, {hi, t}), b.constI(q)}));
+            b.store(a, top, sum);
+            b.store(a, bot, diff);
+        }
+        lb.finish();
+    }
+    b.ret();
+
+    Workload wl;
+    wl.name = "KyberNTT";
+    wl.description = "CRYSTALS-Kyber number-theoretic transform";
+    wl.unrollFactor = 2;
+    wl.module.functions.push_back(b.finish());
+    wl.driver = [N, q](profile::Machine& m) {
+        // Coefficients start in [0, q).
+        std::vector<int64_t> coeffs = randomInts(N, 111, q / 2);
+        for (int64_t& c : coeffs) {
+            c = ((c % q) + q) % q;
+        }
+        m.writeInts(0, coeffs);
+        std::vector<int64_t> zs(8);
+        Rng rng(112);
+        for (int64_t& z : zs) {
+            z = 1 + static_cast<int64_t>(rng.below(q - 1));
+        }
+        m.writeInts(16, zs);
+        m.run("kyber_ntt", {Value::ofInt(0), Value::ofInt(16)});
+    };
+    return wl;
+}
+
+}  // namespace workloads
+}  // namespace isamore

@@ -1,0 +1,280 @@
+#include "workloads/libraries.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/builder_util.hpp"
+
+namespace isamore {
+namespace workloads {
+namespace {
+
+using ir::FunctionBuilder;
+using ir::ValueId;
+
+/**
+ * Shared motifs: each emits a small expression over the current loop
+ * context and returns the produced value.  These are the idioms that
+ * recur across functions of a module (and across modules of a library),
+ * providing the cross-function reuse the paper measures.
+ */
+struct MotifContext {
+    FunctionBuilder& b;
+    ValueId base;   ///< input array base
+    ValueId out;    ///< output array base
+    ValueId i;      ///< loop induction variable
+    ValueId accF;   ///< float accumulator (carried)
+    ValueId accI;   ///< int accumulator (carried)
+};
+
+using Motif = std::function<std::pair<ValueId, ValueId>(MotifContext&)>;
+
+/** f: acc += a[i] * b-ish coefficient (axpy step). */
+std::pair<ValueId, ValueId>
+motifAxpy(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId x = b.load(ScalarKind::F32, c.base, c.i);
+    ValueId scaled = b.compute(Op::FMul, {x, b.constF(0.7071)});
+    return {b.compute(Op::FAdd, {c.accF, scaled}), c.accI};
+}
+
+/** f: complex multiply-accumulate over interleaved re/im pairs. */
+std::pair<ValueId, ValueId>
+motifComplexMac(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId two_i = b.compute(Op::Shl, {c.i, b.constI(1)});
+    ValueId re = b.load(ScalarKind::F32, c.base, two_i);
+    ValueId im = b.load(
+        ScalarKind::F32, c.base,
+        b.compute(Op::Add, {two_i, b.constI(1)}));
+    ValueId rr = b.compute(Op::FMul, {re, b.constF(0.9238)});
+    ValueId ii = b.compute(Op::FMul, {im, b.constF(0.3826)});
+    ValueId mac = b.compute(Op::FSub, {rr, ii});
+    return {b.compute(Op::FAdd, {c.accF, mac}), c.accI};
+}
+
+/** f: squared-distance accumulation (PCL nearest-neighbour idiom). */
+std::pair<ValueId, ValueId>
+motifDistance(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId x = b.load(ScalarKind::F32, c.base, c.i);
+    ValueId d = b.compute(Op::FSub, {x, b.constF(0.5)});
+    ValueId sq = b.compute(Op::FMul, {d, d});
+    return {b.compute(Op::FAdd, {c.accF, sq}), c.accI};
+}
+
+/** f: linear interpolation then store (resampling idiom). */
+std::pair<ValueId, ValueId>
+motifLerpStore(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId x0 = b.load(ScalarKind::F32, c.base, c.i);
+    ValueId x1 = b.load(ScalarKind::F32, c.base,
+                        b.compute(Op::Add, {c.i, b.constI(1)}));
+    ValueId diff = b.compute(Op::FSub, {x1, x0});
+    ValueId mixed = b.compute(Op::FMul, {diff, b.constF(0.25)});
+    b.store(c.out, c.i, b.compute(Op::FAdd, {x0, mixed}));
+    return {c.accF, c.accI};
+}
+
+/** i: pixel clamp + scale + store (CImg pixel-modification idiom). */
+std::pair<ValueId, ValueId>
+motifClampPixel(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId p = b.load(ScalarKind::I32, c.base, c.i);
+    ValueId scaled = b.compute(Op::Mul, {p, b.constI(3)});
+    ValueId shifted = b.compute(Op::Shr, {scaled, b.constI(1)});
+    ValueId lo = b.compute(Op::Max, {shifted, b.constI(0)});
+    ValueId hi = b.compute(Op::Min, {lo, b.constI(255)});
+    b.store(c.out, c.i, hi);
+    return {c.accF, c.accI};
+}
+
+/** i: masked index computation + gather (table-lookup idiom). */
+std::pair<ValueId, ValueId>
+motifMaskGather(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId h = b.compute(Op::Mul, {c.i, b.constI(2654435761)});
+    ValueId idx = b.compute(
+        Op::And, {b.compute(Op::Shr, {h, b.constI(4)}), b.constI(63)});
+    ValueId v = b.load(ScalarKind::I32, c.base, idx);
+    return {c.accF, b.compute(Op::Add, {c.accI, v})};
+}
+
+/** i: absolute difference accumulation (SAD idiom). */
+std::pair<ValueId, ValueId>
+motifSad(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId x = b.load(ScalarKind::I32, c.base, c.i);
+    ValueId y = b.load(ScalarKind::I32, c.base,
+                       b.compute(Op::Add, {c.i, b.constI(64)}));
+    ValueId d = b.compute(Op::Sub, {x, y});
+    ValueId ad = b.compute(Op::Abs, {d});
+    return {c.accF, b.compute(Op::Add, {c.accI, ad})};
+}
+
+/** f: gain control step: y = x * g; g += (target - |y|) * mu. */
+std::pair<ValueId, ValueId>
+motifAgc(MotifContext& c)
+{
+    FunctionBuilder& b = c.b;
+    ValueId x = b.load(ScalarKind::F32, c.base, c.i);
+    ValueId y = b.compute(Op::FMul, {x, b.constF(1.5)});
+    ValueId mag = b.compute(Op::FAbs, {y});
+    ValueId err = b.compute(Op::FSub, {b.constF(1.0), mag});
+    ValueId step = b.compute(Op::FMul, {err, b.constF(0.01)});
+    b.store(c.out, c.i, y);
+    return {b.compute(Op::FAdd, {c.accF, step}), c.accI};
+}
+
+const std::vector<Motif>&
+floatMotifs()
+{
+    static const std::vector<Motif> motifs = {
+        motifAxpy, motifComplexMac, motifDistance, motifLerpStore,
+        motifAgc};
+    return motifs;
+}
+
+const std::vector<Motif>&
+intMotifs()
+{
+    static const std::vector<Motif> motifs = {motifClampPixel,
+                                              motifMaskGather, motifSad};
+    return motifs;
+}
+
+}  // namespace
+
+std::vector<LibraryModuleSpec>
+liquidDspSpecs()
+{
+    return {
+        {"liquid-dsp", "agc", "Automatic gain control.", 1, 2, true, 201},
+        {"liquid-dsp", "audio", "CVSD audio encoder.", 1, 2, false, 202},
+        {"liquid-dsp", "fec",
+         "Forward error correction with convolutional codes, "
+         "Reed-Solomon codes, etc.",
+         5, 5, false, 203},
+        {"liquid-dsp", "filter",
+         "Digital filtering capabilities with FIR, IIR, etc.", 9, 7, true,
+         204},
+        {"liquid-dsp", "optim",
+         "Gradient search and quasi-Newton methods.", 2, 3, true, 205},
+        {"liquid-dsp", "equalization",
+         "Adaptive equalizers: LMS, RLS, etc.", 3, 4, true, 206},
+    };
+}
+
+LibraryModuleSpec
+cimgSpec()
+{
+    return {"CImg",
+            "cimg",
+            "Self-contained C++ template image processing library.",
+            12,
+            10,
+            false,
+            301};
+}
+
+std::vector<LibraryModuleSpec>
+pclSpecs()
+{
+    return {
+        {"PCL", "filters",
+         "Filtering mechanisms including noise removal, outlier "
+         "rejection, and downsampling.",
+         9, 6, true, 401},
+        {"PCL", "octree",
+         "Hierarchical spatial data structure for search, voxelization, "
+         "and neighborhood queries.",
+         9, 6, false, 402},
+        {"PCL", "segment", "Segmenting point clouds into clusters.", 3, 3,
+         true, 403},
+        {"PCL", "surface", "Reconstructing the original surfaces.", 5, 4,
+         true, 404},
+        {"PCL", "sac", "Random Sample Consensus (RANSAC).", 6, 4, true,
+         405},
+        {"PCL", "search",
+         "Searching for nearest neighbors in point clouds.", 7, 5, true,
+         406},
+    };
+}
+
+Workload
+makeLibraryModule(const LibraryModuleSpec& spec)
+{
+    Workload wl;
+    wl.name = spec.library + "/" + spec.name;
+    wl.description = spec.description;
+    wl.unrollFactor = 2;
+
+    Rng rng(spec.seed);
+    const auto& primary =
+        spec.floatHeavy ? floatMotifs() : intMotifs();
+    const auto& secondary =
+        spec.floatHeavy ? intMotifs() : floatMotifs();
+
+    // Motif count per function scales with the module's size.
+    const int motifsPerFunction = 2 + spec.sizeK / 3;
+
+    std::vector<std::string> names;
+    for (int f = 0; f < spec.functions; ++f) {
+        std::string fname = spec.name + "_fn" + std::to_string(f);
+        names.push_back(fname);
+        FunctionBuilder b(fname, {Type::i32(), Type::i32()});
+        ValueId in = b.param(0);
+        ValueId out = b.param(1);
+
+        ValueId zf = b.constF(0.0);
+        ValueId zi = b.constI(0);
+        CountedLoop loop(b, 16,
+                         {{Type::f32(), zf}, {Type::i32(), zi}});
+        {
+            MotifContext ctx{b, in, out, loop.iv(), loop.carried(0),
+                             loop.carried(1)};
+            for (int k = 0; k < motifsPerFunction; ++k) {
+                // 75% characteristic motifs, 25% cross-library ones.
+                const auto& pool =
+                    rng.below(4) == 0 ? secondary : primary;
+                const Motif& motif = pool[rng.below(pool.size())];
+                auto [accF, accI] = motif(ctx);
+                ctx.accF = accF;
+                ctx.accI = accI;
+            }
+            loop.setNext(0, ctx.accF);
+            loop.setNext(1, ctx.accI);
+        }
+        loop.finish();
+        // Fold both accumulators into one store so they stay live.
+        ValueId acc_as_int = b.compute(Op::FToI, {loop.after(0)});
+        ValueId folded = b.compute(Op::Add, {acc_as_int, loop.after(1)});
+        b.store(out, b.constI(127), folded);
+        b.ret(folded);
+        wl.module.functions.push_back(b.finish());
+    }
+
+    wl.driver = [names](profile::Machine& m) {
+        // Inputs double as both int and float arrays; fill with float
+        // bit patterns (int motifs read them as raw ints, which is fine
+        // for profiling purposes).
+        Rng rng(7);
+        std::vector<double> data(128);
+        for (double& v : data) {
+            v = rng.nextDouble();
+        }
+        for (const std::string& fname : names) {
+            m.writeFloats(0, data);
+            m.run(fname, {Value::ofInt(0), Value::ofInt(256)});
+        }
+    };
+    return wl;
+}
+
+}  // namespace workloads
+}  // namespace isamore

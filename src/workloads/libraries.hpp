@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic open-source-library workloads (paper §7.2.1, Table 4).
+ *
+ * The paper analyzes liquid-dsp, CImg, and PCL.  We cannot ship those
+ * code bases, so each module is generated with the statistical shape that
+ * drives the paper's results: several functions per module, each built
+ * from loop nests whose bodies mix module-characteristic operations with
+ * *shared motifs* — small expression templates (axpy, complex MAC, clamp,
+ * lerp, index+modify, distance accumulation, ...) that recur across
+ * functions exactly the way handwritten library code repeats idioms.
+ * Cross-function motif recurrence is what semantic reuse identification
+ * exploits, and module size scales with the paper's Table 4 sizes.
+ */
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace isamore {
+namespace workloads {
+
+/** Description of one generated library module. */
+struct LibraryModuleSpec {
+    std::string library;      ///< "liquid-dsp", "CImg", "PCL"
+    std::string name;         ///< module name from Table 4
+    std::string description;  ///< Table 4 text
+    int sizeK = 1;            ///< Table 4 size (K LoC in the paper)
+    int functions = 3;        ///< generated functions
+    bool floatHeavy = true;   ///< DSP/point-cloud vs integer pixel code
+    uint64_t seed = 1;
+};
+
+/** The six liquid-dsp modules of Table 4. */
+std::vector<LibraryModuleSpec> liquidDspSpecs();
+
+/** The monolithic CImg library (one big module). */
+LibraryModuleSpec cimgSpec();
+
+/** The six PCL modules of Table 4. */
+std::vector<LibraryModuleSpec> pclSpecs();
+
+/** Generate the workload for one module spec. */
+Workload makeLibraryModule(const LibraryModuleSpec& spec);
+
+}  // namespace workloads
+}  // namespace isamore

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload abstraction: a MiniIR module plus a driver that executes it on
+ * representative inputs (the paper's profiled example runs).
+ *
+ * Kernels mirror the paper's Table 2 benchmarks (sources: Diospyros,
+ * PolyBench, MachSuite, CoreMark-PRO); case studies mirror §7.2 (BitNet
+ * BitLinear, CRYSTALS-Kyber NTT); library workloads are synthetic modules
+ * with the statistical shape of liquid-dsp / CImg / PCL (see DESIGN.md's
+ * substitution table).
+ *
+ * All loops are authored with fixed trip counts divisible by the unroll
+ * factor (guarded by Ifs where the iteration space is triangular), which
+ * is the contract ir::unrollInnermostLoops requires.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "profile/interp.hpp"
+
+namespace isamore {
+namespace workloads {
+
+/** A profiled workload. */
+struct Workload {
+    std::string name;
+    std::string description;
+    ir::Module module;
+
+    /** Executes every function on representative inputs. */
+    std::function<void(profile::Machine&)> driver;
+
+    /** Innermost-loop unroll factor to apply before analysis. */
+    int unrollFactor = 4;
+
+    /** Memory words the driver needs. */
+    size_t memoryWords = 1 << 14;
+};
+
+/** @name The nine benchmark kernels (paper Table 2)
+ *  @{ */
+Workload makeConv2D();
+Workload makeMatMul();
+Workload makeMatChain();
+Workload makeFft();
+Workload makeStencil();
+Workload makeQProd();
+Workload makeQRDecomp();
+Workload makeDeriche();
+Workload makeSha();
+/** @} */
+
+/** All nine kernels combined into one module (the paper's "All"). */
+Workload makeAll();
+
+/** All nine kernels, in the paper's Table 2 order. */
+std::vector<Workload> benchmarkKernels();
+
+/** §7.2.2: BitNet b1.58 BitLinear (MAD-based 8b x 2b dot product). */
+Workload makeBitLinear();
+
+/** §7.2.3: CRYSTALS-Kyber NTT (butterflies over Z_q). */
+Workload makeKyberNtt();
+
+}  // namespace workloads
+}  // namespace isamore

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "baselines/enumeration.hpp"
+#include "baselines/novia.hpp"
+#include "isamore/isamore.hpp"
+
+namespace isamore {
+namespace baselines {
+namespace {
+
+const AnalyzedWorkload&
+matmul()
+{
+    static const AnalyzedWorkload a =
+        analyzeWorkload(workloads::makeMatMul());
+    return a;
+}
+
+TEST(EnumBaselineTest, FindsConvexCandidates)
+{
+    auto result = runEnum(matmul().workload.module, matmul().profile);
+    EXPECT_FALSE(result.candidates.empty());
+    for (const auto& c : result.candidates) {
+        EXPECT_GE(c.opCount, 2u);
+        EXPECT_GT(c.deltaNs, 0.0);
+        EXPECT_GT(c.areaUm2, 0.0);
+    }
+}
+
+TEST(EnumBaselineTest, FrontMonotone)
+{
+    auto result = runEnum(matmul().workload.module, matmul().profile);
+    ASSERT_GE(result.front.size(), 2u);
+    for (size_t i = 1; i < result.front.size(); ++i) {
+        EXPECT_GT(result.front[i].speedup, result.front[i - 1].speedup);
+        EXPECT_GT(result.front[i].areaUm2, result.front[i - 1].areaUm2);
+    }
+}
+
+TEST(EnumBaselineTest, IoConstraintsRespected)
+{
+    EnumOptions opt;
+    opt.maxInputs = 2;
+    auto result =
+        runEnum(matmul().workload.module, matmul().profile, opt);
+    for (const auto& c : result.candidates) {
+        EXPECT_LE(termHoles(c.pattern).size(), 2u);
+    }
+}
+
+TEST(EnumBaselineTest, SyntacticOnlyDedup)
+{
+    // ENUM counts occurrences of *identical* cones only; a pattern's
+    // occurrence count is at least 1 and bounded by the unroll copies.
+    auto result = runEnum(matmul().workload.module, matmul().profile);
+    for (const auto& c : result.candidates) {
+        EXPECT_GE(c.occurrences, 1u);
+    }
+}
+
+TEST(NoviaBaselineTest, MergesHotBlocks)
+{
+    auto result = runNovia(matmul().workload.module, matmul().profile);
+    ASSERT_FALSE(result.units.empty());
+    for (const auto& u : result.units) {
+        EXPECT_FALSE(u.members.empty());
+        EXPECT_GT(u.mergedOps, 0u);
+        EXPECT_GT(u.areaUm2, 0.0);
+    }
+}
+
+TEST(NoviaBaselineTest, CoarseUnitsAreLarge)
+{
+    // NOVIA offloads whole blocks: its units must be much larger than
+    // the fine-grained instructions RII finds (Table 3: size 23 vs 8).
+    auto novia = runNovia(matmul().workload.module, matmul().profile);
+    EXPECT_GT(novia.averageSize(), 8.0);
+}
+
+TEST(NoviaBaselineTest, AllKernelsProduceAFront)
+{
+    for (auto& wl : workloads::benchmarkKernels()) {
+        std::string name = wl.name;
+        auto analyzed = analyzeWorkload(std::move(wl));
+        auto result =
+            runNovia(analyzed.workload.module, analyzed.profile);
+        EXPECT_GE(result.front.size(), 1u) << name;
+    }
+}
+
+TEST(BaselineComparisonTest, RiiBeatsNoviaOnMatMul)
+{
+    // The headline claim, at kernel scale: semantic reuse-aware
+    // identification outperforms syntactic block merging.
+    auto rii_result = identifyInstructions(matmul(), rii::Mode::Default);
+    auto novia = runNovia(matmul().workload.module, matmul().profile);
+    double novia_best = 1.0;
+    for (const auto& s : novia.front) {
+        novia_best = std::max(novia_best, s.speedup);
+    }
+    EXPECT_GT(rii_result.best().speedup, 1.0);
+    EXPECT_GE(rii_result.best().speedup, novia_best * 0.9)
+        << "RII should be at least competitive with NOVIA";
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace isamore

@@ -1,0 +1,202 @@
+#include "dsl/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace isamore {
+namespace {
+
+Value
+evalText(const std::string& text, EvalContext& ctx)
+{
+    return evaluate(parseTerm(text), ctx);
+}
+
+Value
+evalText(const std::string& text)
+{
+    EvalContext ctx;
+    return evalText(text, ctx);
+}
+
+TEST(EvalTest, ScalarArithmetic)
+{
+    EXPECT_EQ(evalText("(+ 2 3)").i, 5);
+    EXPECT_EQ(evalText("(* 4 -3)").i, -12);
+    EXPECT_EQ(evalText("(- 1 10)").i, -9);
+    EXPECT_EQ(evalText("(min 4 9)").i, 4);
+    EXPECT_EQ(evalText("(max 4 9)").i, 9);
+    EXPECT_EQ(evalText("(abs -7)").i, 7);
+    EXPECT_DOUBLE_EQ(evalText("(f+ 1.5f 2.25f)").f, 3.75);
+    EXPECT_DOUBLE_EQ(evalText("(fsqrt 9.0f)").f, 3.0);
+}
+
+TEST(EvalTest, DivisionByZeroIsTotal)
+{
+    EXPECT_EQ(evalText("(/ 5 0)").i, 0);
+    EXPECT_EQ(evalText("(% 5 0)").i, 0);
+}
+
+TEST(EvalTest, ShiftsMaskAmount)
+{
+    EXPECT_EQ(evalText("(<< 1 3)").i, 8);
+    EXPECT_EQ(evalText("(<< 1 64)").i, 1);  // 64 & 63 == 0
+    EXPECT_EQ(evalText("(>>a -8 1)").i, -4);
+    EXPECT_EQ(evalText("(>> -1 60)").i, 15);
+}
+
+TEST(EvalTest, Comparisons)
+{
+    EXPECT_EQ(evalText("(< 1 2)").i, 1);
+    EXPECT_EQ(evalText("(>= 1 2)").i, 0);
+    EXPECT_EQ(evalText("(f< 1.0f 2.0f)").i, 1);
+}
+
+TEST(EvalTest, SelectAndMad)
+{
+    EXPECT_EQ(evalText("(select 1 10 20)").i, 10);
+    EXPECT_EQ(evalText("(select 0 10 20)").i, 20);
+    EXPECT_EQ(evalText("(mad 3 4 5)").i, 17);
+    EXPECT_DOUBLE_EQ(evalText("(fma 2.0f 3.0f 1.0f)").f, 7.0);
+}
+
+TEST(EvalTest, ArgsReadFunctionFrame)
+{
+    EvalContext ctx;
+    ctx.functionArgs = {Value::ofInt(10), Value::ofInt(3)};
+    EXPECT_EQ(evalText("(- $0.0 $0.1)", ctx).i, 7);
+}
+
+TEST(EvalTest, IfTakesBranchByCondition)
+{
+    EvalContext ctx;
+    ctx.functionArgs = {Value::ofInt(5)};
+    // if (x < 3) then x+100 else x-1; inner Args are depth 0 (the If
+    // frame), passing x through.
+    const std::string text =
+        "(if (list (< $0.0 3) $0.0) (+ $0.0 100) (- $0.0 1))";
+    EXPECT_EQ(evalText(text, ctx).i, 4);
+    ctx.functionArgs = {Value::ofInt(2)};
+    EXPECT_EQ(evalText(text, ctx).i, 102);
+}
+
+TEST(EvalTest, LoopIsDoWhile)
+{
+    // sum = 0; i = 1; do { sum += i; i += 1; } while (i <= n)
+    // carried = (i, sum); body yields (continue, i+1, sum+i).
+    EvalContext ctx;
+    ctx.functionArgs = {Value::ofInt(5)};
+    const std::string text =
+        "(get 1 (loop (list 1 0)"
+        " (list (<= (+ $0.0 1) $1.0) (+ $0.0 1) (+ $0.1 $0.0))))";
+    EXPECT_EQ(evalText(text, ctx).i, 15);  // 1+2+3+4+5
+}
+
+TEST(EvalTest, LoopBodyRunsAtLeastOnce)
+{
+    // do-while with immediately-false condition still executes the body.
+    const std::string text =
+        "(get 0 (loop (list 7) (list 0 (+ $0.0 1))))";
+    EXPECT_EQ(evalText(text).i, 8);
+}
+
+TEST(EvalTest, LoopIterationBoundEnforced)
+{
+    EvalContext ctx;
+    ctx.maxLoopIterations = 10;
+    EXPECT_THROW(evalText("(loop (list 0) (list 1 (+ $0.0 1)))", ctx),
+                 EvalError);
+}
+
+TEST(EvalTest, NestedLoopDepths)
+{
+    // outer carried (i, total); inner loop sums j = 0..2 into total.
+    // Inner body Args: depth 0 = inner frame (j, t); depth 1 = outer frame.
+    EvalContext ctx;
+    const std::string text =
+        "(get 1 (loop (list 0 0) (list (< (+ $0.0 1) 3) (+ $0.0 1)"
+        " (get 1 (loop (list 0 $0.1)"
+        "   (list (< (+ $0.0 1) 3) (+ $0.0 1) (+ $0.1 $1.0)))))))";
+    // For each of 3 outer iterations (i = 0, 1, 2), the inner loop adds
+    // i three times: total = 3*(0+1+2) = 9.
+    EXPECT_EQ(evalText(text, ctx).i, 9);
+}
+
+TEST(EvalTest, MemoryLoadStore)
+{
+    EvalContext ctx;
+    ctx.memory.assign(16, 0);
+    evalText("(store 2 1 42)", ctx);
+    EXPECT_EQ(ctx.memory[3], 42u);
+    EXPECT_EQ(evalText("(load i32 0 3)", ctx).i, 42);
+    // Float round-trip through memory bits.
+    evalText("(store 0 0 2.5f)", ctx);
+    EXPECT_DOUBLE_EQ(evalText("(load f32 0 0)", ctx).f, 2.5);
+}
+
+TEST(EvalTest, MemoryOutOfRangeThrows)
+{
+    EvalContext ctx;
+    ctx.memory.assign(4, 0);
+    EXPECT_THROW(evalText("(load i32 0 10)", ctx), EvalError);
+    EXPECT_THROW(evalText("(store 0 -1 5)", ctx), EvalError);
+}
+
+TEST(EvalTest, VectorOps)
+{
+    Value v = evalText("(vop + (vec 1 2 3) (vec 10 20 30))");
+    ASSERT_EQ(v.kind, Value::Kind::Vec);
+    ASSERT_EQ(v.elems.size(), 3u);
+    EXPECT_EQ(v.elems[0].i, 11);
+    EXPECT_EQ(v.elems[2].i, 33);
+    EXPECT_EQ(evalText("(get 1 (vop * (vec 2 3) (vec 4 5)))").i, 15);
+}
+
+TEST(EvalTest, VecOpLaneMismatchThrows)
+{
+    EXPECT_THROW(evalText("(vop + (vec 1 2) (vec 1 2 3))"), EvalError);
+}
+
+TEST(EvalTest, HolesResolveThroughContext)
+{
+    EvalContext ctx;
+    ctx.holeValue = [](int64_t id) { return Value::ofInt(id * 10); };
+    EXPECT_EQ(evalText("(+ ?1 ?2)", ctx).i, 30);
+}
+
+TEST(EvalTest, UnboundHoleThrows)
+{
+    EXPECT_THROW(evalText("(+ ?0 1)"), EvalError);
+}
+
+TEST(EvalTest, AppEvaluatesPatternBody)
+{
+    EvalContext ctx;
+    TermPtr body = parseTerm("(* (+ ?0 ?1) 2)");
+    ctx.patternBody = [&](int64_t id) -> TermPtr {
+        return id == 4 ? body : nullptr;
+    };
+    EXPECT_EQ(evalText("(app (pat 4) 3 5)", ctx).i, 16);
+    EXPECT_THROW(evalText("(app (pat 9) 1 2)", ctx), EvalError);
+}
+
+// Property: mad(a, b, c) == a*b + c under wrapping semantics.
+TEST(EvalTest, PropertyMadMatchesMulAdd)
+{
+    Rng rng(123);
+    for (int i = 0; i < 200; ++i) {
+        int64_t a = rng.nextInt64();
+        int64_t b = rng.nextInt64();
+        int64_t c = rng.nextInt64();
+        EvalContext ctx;
+        ctx.functionArgs = {Value::ofInt(a), Value::ofInt(b),
+                            Value::ofInt(c)};
+        Value lhs = evalText("(mad $0.0 $0.1 $0.2)", ctx);
+        Value rhs = evalText("(+ (* $0.0 $0.1) $0.2)", ctx);
+        EXPECT_EQ(lhs.i, rhs.i);
+    }
+}
+
+}  // namespace
+}  // namespace isamore

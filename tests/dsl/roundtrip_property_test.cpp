@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Property tests on the term layer: print/parse round-trips over random
+ * terms, hash/equality coherence, and operator-table consistency.
+ */
+#include <gtest/gtest.h>
+
+#include "dsl/term.hpp"
+#include "support/rng.hpp"
+
+namespace isamore {
+namespace {
+
+/** Random term over the full printable surface (no App/PatRef nesting). */
+TermPtr
+randomTerm(Rng& rng, int depth)
+{
+    if (depth == 0 || rng.below(4) == 0) {
+        switch (rng.below(4)) {
+          case 0:
+            return lit(static_cast<int64_t>(rng.below(100)) - 50);
+          case 1:
+            return litF(static_cast<double>(rng.below(1000)) / 8.0);
+          case 2:
+            return hole(static_cast<int64_t>(rng.below(6)));
+          default:
+            return argT(static_cast<int64_t>(rng.below(2)),
+                        static_cast<int64_t>(rng.below(8)),
+                        rng.below(2) ? ScalarKind::I32 : ScalarKind::F32);
+        }
+    }
+    switch (rng.below(8)) {
+      case 0:
+        return makeTerm(Op::Neg, {randomTerm(rng, depth - 1)});
+      case 1:
+        return makeTerm(Op::Select, {randomTerm(rng, depth - 1),
+                                     randomTerm(rng, depth - 1),
+                                     randomTerm(rng, depth - 1)});
+      case 2:
+        return load(rng.below(2) ? ScalarKind::I32 : ScalarKind::F32,
+                    randomTerm(rng, depth - 1),
+                    randomTerm(rng, depth - 1));
+      case 3:
+        return get(makeTerm(Op::List, {randomTerm(rng, depth - 1),
+                                       randomTerm(rng, depth - 1)}),
+                   static_cast<int64_t>(rng.below(2)));
+      case 4:
+        return vecOp(Op::Add, {makeTerm(Op::Vec,
+                                        {randomTerm(rng, depth - 1),
+                                         randomTerm(rng, depth - 1)}),
+                               makeTerm(Op::Vec,
+                                        {randomTerm(rng, depth - 1),
+                                         randomTerm(rng, depth - 1)})});
+      default: {
+        static const Op ops[] = {Op::Add, Op::Sub, Op::Mul, Op::Xor,
+                                 Op::Shl, Op::Min, Op::FAdd, Op::FMul};
+        return makeTerm(ops[rng.below(std::size(ops))],
+                        {randomTerm(rng, depth - 1),
+                         randomTerm(rng, depth - 1)});
+      }
+    }
+}
+
+class TermRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TermRoundTrip, PrintParsePreservesStructure)
+{
+    Rng rng(31337 + static_cast<uint64_t>(GetParam()));
+    for (int i = 0; i < 20; ++i) {
+        TermPtr t = randomTerm(rng, 4);
+        TermPtr reparsed = parseTerm(termToString(t));
+        EXPECT_TRUE(termEquals(t, reparsed))
+            << termToString(t) << " vs " << termToString(reparsed);
+        EXPECT_EQ(termHash(t), termHash(reparsed));
+    }
+}
+
+TEST_P(TermRoundTrip, CanonicalizeIsIdempotent)
+{
+    Rng rng(999 + static_cast<uint64_t>(GetParam()));
+    for (int i = 0; i < 20; ++i) {
+        TermPtr t = randomTerm(rng, 4);
+        TermPtr once = canonicalizeHoles(t);
+        TermPtr twice = canonicalizeHoles(once);
+        EXPECT_TRUE(termEquals(once, twice));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermRoundTrip, ::testing::Range(0, 10));
+
+TEST(OpTableTest, MetadataConsistent)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        const OpInfo& info = opInfo(op);
+        EXPECT_FALSE(info.name.empty());
+        // Name lookup round-trips.
+        EXPECT_EQ(opFromName(info.name), op) << info.name;
+        // Leaves are nullary; variadic ops are flagged control/vector/
+        // pattern machinery.
+        if (info.flags & kLeaf) {
+            EXPECT_EQ(info.arity, 0) << info.name;
+        }
+        if (info.arity == -1) {
+            EXPECT_TRUE(info.flags & (kControl | kVector | kPattern))
+                << info.name;
+        }
+        // Commutative implies binary.
+        if (info.flags & kCommutative) {
+            EXPECT_EQ(info.arity, 2) << info.name;
+        }
+    }
+    EXPECT_EQ(opFromName("definitely-not-an-op"), Op::kCount);
+}
+
+TEST(OpTableTest, UniqueNames)
+{
+    std::set<std::string_view> names;
+    for (size_t i = 0; i < kNumOps; ++i) {
+        EXPECT_TRUE(names.insert(opInfo(static_cast<Op>(i)).name).second)
+            << opInfo(static_cast<Op>(i)).name;
+    }
+}
+
+}  // namespace
+}  // namespace isamore

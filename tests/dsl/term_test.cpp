@@ -1,0 +1,120 @@
+#include "dsl/term.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace {
+
+TEST(TermTest, FactoryArityChecked)
+{
+    EXPECT_THROW(makeTerm(Op::Add, {lit(1)}), UserError);
+    EXPECT_NO_THROW(makeTerm(Op::Add, {lit(1), lit(2)}));
+}
+
+TEST(TermTest, SizeAndOpCount)
+{
+    // (* (+ a b) 2) has 5 nodes, 2 op nodes.
+    TermPtr t = makeTerm(
+        Op::Mul, {makeTerm(Op::Add, {arg(0, 0), arg(0, 1)}), lit(2)});
+    EXPECT_EQ(termSize(t), 5u);
+    EXPECT_EQ(termOpCount(t), 2u);
+}
+
+TEST(TermTest, StructuralEqualityAndHash)
+{
+    TermPtr a = makeTerm(Op::Add, {lit(1), arg(0, 0)});
+    TermPtr b = makeTerm(Op::Add, {lit(1), arg(0, 0)});
+    TermPtr c = makeTerm(Op::Add, {lit(2), arg(0, 0)});
+    EXPECT_TRUE(termEquals(a, b));
+    EXPECT_FALSE(termEquals(a, c));
+    EXPECT_EQ(termHash(a), termHash(b));
+    EXPECT_NE(termHash(a), termHash(c));
+}
+
+TEST(TermTest, FloatPayloadDistinctFromInt)
+{
+    EXPECT_FALSE(termEquals(lit(1), litF(1.0)));
+}
+
+TEST(TermTest, HolesCollectedInFirstOccurrenceOrder)
+{
+    TermPtr t = makeTerm(
+        Op::Add, {makeTerm(Op::Mul, {hole(7), hole(3)}), hole(7)});
+    auto holes = termHoles(t);
+    ASSERT_EQ(holes.size(), 2u);
+    EXPECT_EQ(holes[0], 7);
+    EXPECT_EQ(holes[1], 3);
+}
+
+TEST(TermTest, CanonicalizeHolesRenamesConsistently)
+{
+    TermPtr a = makeTerm(
+        Op::Add, {makeTerm(Op::Mul, {hole(7), hole(3)}), hole(7)});
+    TermPtr b = makeTerm(
+        Op::Add, {makeTerm(Op::Mul, {hole(1), hole(9)}), hole(1)});
+    EXPECT_TRUE(termEquals(canonicalizeHoles(a), canonicalizeHoles(b)));
+}
+
+TEST(TermTest, SubstituteHolesReplacesAndShares)
+{
+    TermPtr t = makeTerm(Op::Add, {hole(0), hole(1)});
+    TermPtr r = substituteHoles(t, [](int64_t id) -> TermPtr {
+        return id == 0 ? lit(5) : nullptr;
+    });
+    EXPECT_EQ(termToString(r), "(+ 5 ?1)");
+}
+
+TEST(TermTest, PrintRoundTrip)
+{
+    const char* cases[] = {
+        "(* (+ ?0 ?1) 2)",
+        "(+ $0.1 $1.2:f32)",
+        "(load i32 $0.0 (+ $0.1 4))",
+        "(store $0.0 $0.1 (vop + (vec 1 2) (vec 3 4)))",
+        "(if (list (< $0.0 10) $0.0) (+ $0.0 1) $0.0)",
+        "(loop (list 0 1) (list (< $0.0 8) (+ $0.0 1) (* $0.1 2)))",
+        "(get 1 (list 1 2 3))",
+        "(app (pat 3) ?0 ?1)",
+        "(f+ 1.5f 2.5f)",
+    };
+    for (const char* text : cases) {
+        TermPtr parsed = parseTerm(text);
+        TermPtr reparsed = parseTerm(termToString(parsed));
+        EXPECT_TRUE(termEquals(parsed, reparsed)) << text;
+    }
+}
+
+TEST(TermTest, ParseRejectsGarbage)
+{
+    EXPECT_THROW(parseTerm("(+ 1"), UserError);
+    EXPECT_THROW(parseTerm("(bogus 1 2)"), UserError);
+    EXPECT_THROW(parseTerm("(+ 1 2) extra"), UserError);
+    EXPECT_THROW(parseTerm(""), UserError);
+}
+
+TEST(TermTest, VecOpValidatesArity)
+{
+    EXPECT_THROW(vecOp(Op::Add, {hole(0)}), UserError);
+    EXPECT_NO_THROW(vecOp(Op::Add, {hole(0), hole(1)}));
+}
+
+TEST(TermTest, ArgPayloadAccessors)
+{
+    TermPtr a = argT(2, 5, ScalarKind::F32);
+    EXPECT_EQ(argDepth(a->payload), 2);
+    EXPECT_EQ(argIndex(a->payload), 5);
+    EXPECT_EQ(argKind(a->payload), ScalarKind::F32);
+}
+
+TEST(TermTest, AppBuildsPatRefChild)
+{
+    TermPtr t = app(12, {lit(1), lit(2)});
+    ASSERT_EQ(t->children.size(), 3u);
+    EXPECT_EQ(t->children[0]->op, Op::PatRef);
+    EXPECT_EQ(t->children[0]->payload.a, 12);
+}
+
+}  // namespace
+}  // namespace isamore

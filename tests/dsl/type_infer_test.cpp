@@ -1,0 +1,100 @@
+#include "dsl/type_infer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace {
+
+TEST(TypeInferTest, ScalarArithmetic)
+{
+    EXPECT_EQ(inferTermType(parseTerm("(+ 1 2)")), Type::i32());
+    EXPECT_EQ(inferTermType(parseTerm("(f* 1.0f 2.0f)")), Type::f32());
+    EXPECT_EQ(inferTermType(parseTerm("(< 1 2)")), Type::i1());
+}
+
+TEST(TypeInferTest, MixedIntFloatIsBottom)
+{
+    EXPECT_TRUE(inferTermType(parseTerm("(+ 1 2.0f)")).isBottom());
+    EXPECT_TRUE(inferTermType(parseTerm("(f+ 1 2)")).isBottom());
+}
+
+TEST(TypeInferTest, ArgCarriesItsKind)
+{
+    EXPECT_EQ(inferTermType(parseTerm("$0.0:f32")), Type::f32());
+    EXPECT_EQ(inferTermType(parseTerm("(f+ $0.0:f32 $0.1:f32)")),
+              Type::f32());
+}
+
+TEST(TypeInferTest, LoadAndStore)
+{
+    EXPECT_EQ(inferTermType(parseTerm("(load f32 $0.0 4)")), Type::f32());
+    // Stores yield an i32 zero token so effects can be loop-carried.
+    EXPECT_EQ(inferTermType(parseTerm("(store $0.0 0 (+ 1 2))")),
+              Type::i32());
+    // Non-integer address is ill-typed.
+    EXPECT_TRUE(
+        inferTermType(parseTerm("(load i32 1.0f 0)")).isBottom());
+}
+
+TEST(TypeInferTest, IfRequiresCondTupleAndAgreeingBranches)
+{
+    EXPECT_EQ(inferTermType(parseTerm(
+                  "(if (list (< $0.0 10) $0.0) (+ $0.0 1) $0.0)")),
+              Type::i32());
+    // Branch type mismatch.
+    EXPECT_TRUE(inferTermType(parseTerm(
+                    "(if (list (< $0.0 10) $0.0) 1.0f $0.0)"))
+                    .isBottom());
+    // Missing condition tuple.
+    EXPECT_TRUE(
+        inferTermType(parseTerm("(if $0.0 1 2)")).isBottom());
+}
+
+TEST(TypeInferTest, LoopCarriesTuple)
+{
+    // Loop with (i, acc) carried values.
+    Type t = inferTermType(parseTerm(
+        "(loop (list 0 1) (list (< $0.0 8) (+ $0.0 1) (* $0.1 2)))"));
+    EXPECT_EQ(t, Type::tuple({Type::i32(), Type::i32()}));
+    // Body not yielding the continue flag is ill-typed.
+    EXPECT_TRUE(inferTermType(parseTerm(
+                    "(loop (list 0) (list (+ $0.0 1)))"))
+                    .isBottom());
+}
+
+TEST(TypeInferTest, VectorConstruction)
+{
+    EXPECT_EQ(inferTermType(parseTerm("(vec 1 2 3 4)")),
+              Type::vector(ScalarKind::I32, 4));
+    EXPECT_TRUE(inferTermType(parseTerm("(vec 1 2.0f)")).isBottom());
+}
+
+TEST(TypeInferTest, VecOpLiftsScalarTyping)
+{
+    EXPECT_EQ(inferTermType(parseTerm("(vop + (vec 1 2) (vec 3 4))")),
+              Type::vector(ScalarKind::I32, 2));
+    EXPECT_EQ(inferTermType(parseTerm(
+                  "(vop f* (vec 1.0f 2.0f) (vec 3.0f 4.0f))")),
+              Type::vector(ScalarKind::F32, 2));
+    // Lane mismatch.
+    EXPECT_TRUE(inferTermType(parseTerm("(vop + (vec 1 2) (vec 3 4 5))"))
+                    .isBottom());
+}
+
+TEST(TypeInferTest, GetFromTupleAndVector)
+{
+    EXPECT_EQ(inferTermType(parseTerm("(get 1 (list 1 2.0f))")),
+              Type::f32());
+    EXPECT_EQ(inferTermType(parseTerm("(get 0 (vec 1.5f 2.5f))")),
+              Type::f32());
+    EXPECT_TRUE(
+        inferTermType(parseTerm("(get 5 (list 1 2))")).isBottom());
+}
+
+TEST(TypeInferTest, HolesAreBottom)
+{
+    EXPECT_TRUE(inferTermType(parseTerm("(+ ?0 ?1)")).isBottom());
+}
+
+}  // namespace
+}  // namespace isamore

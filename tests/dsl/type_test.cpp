@@ -1,0 +1,68 @@
+#include "dsl/type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace {
+
+TEST(TypeTest, InterningIsCanonical)
+{
+    EXPECT_EQ(Type::i32(), Type::scalar(ScalarKind::I32));
+    EXPECT_NE(Type::i32(), Type::i64());
+    EXPECT_EQ(Type::vector(ScalarKind::F32, 4),
+              Type::vector(ScalarKind::F32, 4));
+    EXPECT_NE(Type::vector(ScalarKind::F32, 4),
+              Type::vector(ScalarKind::F32, 8));
+}
+
+TEST(TypeTest, DefaultIsBottom)
+{
+    Type t;
+    EXPECT_TRUE(t.isBottom());
+    EXPECT_EQ(t, Type::bottom());
+}
+
+TEST(TypeTest, TupleEquality)
+{
+    Type a = Type::tuple({Type::i1(), Type::i32()});
+    Type b = Type::tuple({Type::i1(), Type::i32()});
+    Type c = Type::tuple({Type::i32(), Type::i1()});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    ASSERT_EQ(a.tupleElems().size(), 2u);
+    EXPECT_EQ(a.tupleElems()[1], Type::i32());
+}
+
+TEST(TypeTest, BitsComputed)
+{
+    EXPECT_EQ(Type::i1().bits(), 1);
+    EXPECT_EQ(Type::i32().bits(), 32);
+    EXPECT_EQ(Type::f64().bits(), 64);
+    EXPECT_EQ(Type::vector(ScalarKind::I16, 8).bits(), 128);
+    EXPECT_EQ(Type::tuple({Type::i32(), Type::f32()}).bits(), 64);
+    EXPECT_EQ(Type::effect().bits(), 0);
+}
+
+TEST(TypeTest, Predicates)
+{
+    EXPECT_TRUE(Type::i32().isInt());
+    EXPECT_FALSE(Type::i32().isFloat());
+    EXPECT_TRUE(Type::f32().isFloat());
+    EXPECT_TRUE(Type::vector(ScalarKind::I8, 4).isVector());
+    EXPECT_TRUE(Type::effect().isEffect());
+}
+
+TEST(TypeTest, Printing)
+{
+    EXPECT_EQ(Type::i32().str(), "i32");
+    EXPECT_EQ(Type::vector(ScalarKind::F32, 4).str(), "v4xf32");
+    EXPECT_EQ(Type::tuple({Type::i1(), Type::i32()}).str(), "(i1, i32)");
+}
+
+TEST(TypeTest, VectorRequiresTwoLanes)
+{
+    EXPECT_ANY_THROW(Type::vector(ScalarKind::I32, 1));
+}
+
+}  // namespace
+}  // namespace isamore

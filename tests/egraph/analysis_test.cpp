@@ -1,0 +1,77 @@
+#include "egraph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+namespace {
+
+TEST(AnalysisTest, TypesInferredPerClass)
+{
+    EGraph g;
+    EClassId sum = g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    EClassId cmp = g.addTerm(parseTerm("(< $0.0 $0.1)"));
+    EClassId fprod = g.addTerm(parseTerm("(f* $0.0:f32 $0.1:f32)"));
+    auto types = computeClassTypes(g);
+    EXPECT_EQ(types.at(g.find(sum)), Type::i32());
+    EXPECT_EQ(types.at(g.find(cmp)), Type::i1());
+    EXPECT_EQ(types.at(g.find(fprod)), Type::f32());
+}
+
+TEST(AnalysisTest, TypesSurviveMerges)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(<< $0.0 1)"));
+    g.merge(a, b);
+    g.rebuild();
+    auto types = computeClassTypes(g);
+    EXPECT_EQ(types.at(g.find(a)), Type::i32());
+}
+
+TEST(AnalysisTest, CyclicClassGetsTypeFromGroundNode)
+{
+    EGraph g;
+    EClassId x = g.addTerm(parseTerm("5"));
+    EClassId nx = g.add(ENode(Op::Neg, Payload::none(), {x}));
+    EClassId nnx = g.add(ENode(Op::Neg, Payload::none(), {nx}));
+    g.merge(x, nnx);
+    g.rebuild();
+    auto types = computeClassTypes(g);
+    EXPECT_EQ(types.at(g.find(x)), Type::i32());
+}
+
+TEST(AnalysisTest, TupleTypesForControlFlow)
+{
+    EGraph g;
+    EClassId loop = g.addTerm(parseTerm(
+        "(loop (list 0 1) (list (< $0.0 8) (+ $0.0 1) (* $0.1 2)))"));
+    auto types = computeClassTypes(g);
+    EXPECT_EQ(types.at(g.find(loop)),
+              Type::tuple({Type::i32(), Type::i32()}));
+}
+
+TEST(AnalysisTest, DepthsOfSimpleTerm)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    EClassId leaf = g.addTerm(parseTerm("2"));
+    auto depths = computeClassDepths(g);
+    EXPECT_EQ(depths.at(g.find(leaf)), 1);
+    EXPECT_EQ(depths.at(g.find(root)), 3);
+}
+
+TEST(AnalysisTest, DepthShrinksWithCheaperEquivalentForm)
+{
+    EGraph g;
+    EClassId deep = g.addTerm(parseTerm("(+ (+ (+ $0.0 1) 1) 1)"));
+    EClassId shallow = g.addTerm(parseTerm("(+ $0.0 3)"));
+    g.merge(deep, shallow);
+    g.rebuild();
+    auto depths = computeClassDepths(g);
+    EXPECT_EQ(depths.at(g.find(deep)), 2);
+}
+
+}  // namespace
+}  // namespace isamore

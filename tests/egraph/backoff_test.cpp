@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+namespace {
+
+TEST(BackoffTest, BansExplosiveRule)
+{
+    // One rule matches everywhere (explosive), another is narrow; with
+    // backoff the explosive rule gets banned while the narrow one keeps
+    // firing.
+    EGraph g;
+    for (int i = 0; i < 12; ++i) {
+        g.addTerm(makeTerm(Op::Add, {arg(0, i), lit(i)}));
+    }
+    EClassId special = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId shifted = g.addTerm(parseTerm("(<< $0.0 1)"));
+
+    std::vector<RewriteRule> rules = {
+        makeRule("explosive", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat),
+        makeRule("narrow", "(* ?0 2)", "(<< ?0 1)", kRuleSat),
+    };
+    EqSatLimits limits;
+    limits.useBackoff = true;
+    limits.maxMatchesPerRule = 4;  // explosive rule has 12+ matches
+    limits.maxIterations = 6;
+    auto stats = runEqSat(g, rules, limits);
+
+    EXPECT_GT(stats.rulesBanned, 0u);
+    // The narrow rule still proved its equivalence.
+    EXPECT_EQ(g.find(special), g.find(shifted));
+}
+
+TEST(BackoffTest, BanExpiresAndRuleResumes)
+{
+    EGraph g;
+    for (int i = 0; i < 6; ++i) {
+        g.addTerm(makeTerm(Op::Add, {arg(0, i), lit(i)}));
+    }
+    EClassId a = g.addTerm(parseTerm("(+ $0.9 1)"));
+    EClassId b = g.addTerm(parseTerm("(+ 1 $0.9)"));
+
+    std::vector<RewriteRule> rules = {
+        makeRule("comm", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat),
+    };
+    EqSatLimits limits;
+    limits.useBackoff = true;
+    limits.maxMatchesPerRule = 5;  // 7 matches -> first iteration bans
+    limits.maxIterations = 12;     // long enough for the ban to expire
+    auto stats = runEqSat(g, rules, limits);
+    EXPECT_GT(stats.rulesBanned, 0u);
+    // After the ban expired the rule ran (match count unchanged, so it
+    // gets banned again, but the applications in between unioned the
+    // swapped forms).
+    EXPECT_EQ(g.find(a), g.find(b));
+}
+
+TEST(BackoffTest, DisabledByDefault)
+{
+    EGraph g;
+    for (int i = 0; i < 12; ++i) {
+        g.addTerm(makeTerm(Op::Add, {arg(0, i), lit(i)}));
+    }
+    std::vector<RewriteRule> rules = {
+        makeRule("comm", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat),
+    };
+    EqSatLimits limits;
+    limits.maxMatchesPerRule = 4;
+    auto stats = runEqSat(g, rules, limits);
+    EXPECT_EQ(stats.rulesBanned, 0u);
+}
+
+}  // namespace
+}  // namespace isamore

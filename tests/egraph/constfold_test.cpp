@@ -1,0 +1,70 @@
+#include "egraph/constfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "egraph/extract.hpp"
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+namespace {
+
+TEST(ConstFoldTest, ComputesGroundValues)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(+ (* 3 4) (<< 1 3))"));
+    auto known = computeConstants(g);
+    ASSERT_TRUE(known.count(g.find(root)));
+    EXPECT_EQ(known.at(g.find(root)), 20);
+}
+
+TEST(ConstFoldTest, NonConstantClassesAbsent)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(+ $0.0 (* 3 4))"));
+    EClassId prod = g.addTerm(parseTerm("(* 3 4)"));
+    auto known = computeConstants(g);
+    EXPECT_EQ(known.count(g.find(root)), 0u);
+    EXPECT_EQ(known.at(g.find(prod)), 12);
+}
+
+TEST(ConstFoldTest, FoldMaterializesLiterals)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(+ $0.0 (* 3 4))"));
+    EXPECT_GT(foldConstants(g), 0u);
+    Extractor ex(g, astSizeCost);
+    EXPECT_EQ(termToString(ex.extract(root).term), "(+ $0.0 12)");
+}
+
+TEST(ConstFoldTest, PropagatesThroughMerges)
+{
+    // x merged with a ground class becomes constant-valued.
+    EGraph g;
+    EClassId x = g.addTerm(parseTerm("(* $0.0 0)"));
+    EClassId zero = g.addTerm(parseTerm("0"));
+    // Discovered by the mul-zero rule:
+    auto rule = makeRule("mul-zero", "(* ?0 0)", "0", kRuleSat);
+    runEqSat(g, {rule});
+    auto known = computeConstants(g);
+    EXPECT_EQ(g.find(x), g.find(zero));
+    EXPECT_EQ(known.at(g.find(x)), 0);
+}
+
+TEST(ConstFoldTest, TotalSemanticsForDivZero)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(/ 7 0)"));
+    auto known = computeConstants(g);
+    EXPECT_EQ(known.at(g.find(root)), 0);
+}
+
+TEST(ConstFoldTest, FoldIsIdempotent)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ (* 3 4) $0.0)"));
+    foldConstants(g);
+    EXPECT_EQ(foldConstants(g), 0u);
+}
+
+}  // namespace
+}  // namespace isamore

@@ -1,0 +1,54 @@
+#include "egraph/dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace isamore {
+namespace {
+
+TEST(DumpTest, DotContainsClustersAndEdges)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    std::string dot = dumpDot(g);
+    EXPECT_NE(dot.find("digraph egraph"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("\"*\""), std::string::npos);
+}
+
+TEST(DumpTest, TextIsDeterministic)
+{
+    EGraph g1;
+    g1.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    EGraph g2;
+    g2.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    EXPECT_EQ(dumpText(g1), dumpText(g2));
+}
+
+TEST(DumpTest, TextReflectsMerges)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(<< $0.0 1)"));
+    std::string before = dumpText(g);
+    g.merge(a, b);
+    g.rebuild();
+    std::string after = dumpText(g);
+    EXPECT_NE(before, after);
+    // The merged class line now lists both constructor forms.
+    bool merged_line = false;
+    std::istringstream is(after);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.find("(*") != std::string::npos &&
+            line.find("(<<") != std::string::npos) {
+            merged_line = true;
+        }
+    }
+    EXPECT_TRUE(merged_line);
+}
+
+}  // namespace
+}  // namespace isamore

@@ -1,0 +1,109 @@
+#include "egraph/ematch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace {
+
+TEST(EMatchTest, GroundPatternMatchesItself)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(+ 1 2)"));
+    auto matches = ematchAt(g, parseTerm("(+ 1 2)"), root);
+    EXPECT_EQ(matches.size(), 1u);
+    EXPECT_TRUE(ematchAt(g, parseTerm("(+ 2 1)"), root).empty());
+}
+
+TEST(EMatchTest, HoleBindsSubclass)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    EClassId sum = g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    auto matches = ematchAt(g, parseTerm("(* ?0 2)"), root);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(g.find(matches[0].at(0)), g.find(sum));
+}
+
+TEST(EMatchTest, HoleBindingIsConsistent)
+{
+    EGraph g;
+    EClassId same = g.addTerm(parseTerm("(+ (* $0.0 2) (* $0.0 2))"));
+    EClassId diff = g.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    // (+ (* ?0 2) (* ?0 2)) requires both holes equal.
+    TermPtr pat = parseTerm("(+ (* ?0 2) (* ?0 2))");
+    EXPECT_EQ(ematchAt(g, pat, same).size(), 1u);
+    EXPECT_TRUE(ematchAt(g, pat, diff).empty());
+}
+
+TEST(EMatchTest, SubstitutionBindsExpectedClass)
+{
+    EGraph g;
+    EClassId root = g.addTerm(parseTerm("(* (+ 3 4) 2)"));
+    EClassId sum = g.addTerm(parseTerm("(+ 3 4)"));
+    auto matches = ematchAt(g, parseTerm("(* ?0 2)"), root);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(g.find(matches[0].at(0)), g.find(sum));
+}
+
+TEST(EMatchTest, MatchesAcrossEquivalentNodes)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(<< $0.0 1)"));
+    g.merge(a, b);
+    g.rebuild();
+    // Both constructor forms live in one class; each pattern matches.
+    EXPECT_EQ(ematchAt(g, parseTerm("(* ?0 2)"), a).size(), 1u);
+    EXPECT_EQ(ematchAt(g, parseTerm("(<< ?0 1)"), a).size(), 1u);
+}
+
+TEST(EMatchTest, EMatchAllFindsEveryInstance)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    auto matches = ematchAll(g, parseTerm("(* ?0 2)"));
+    EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(EMatchTest, MaxMatchesCapRespected)
+{
+    EGraph g;
+    for (int i = 0; i < 10; ++i) {
+        g.addTerm(makeTerm(Op::Mul, {lit(i), lit(2)}));
+    }
+    auto matches = ematchAll(g, parseTerm("(* ?0 2)"), 4);
+    EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(EMatchTest, MultipleNodesPerClassYieldMultipleSubsts)
+{
+    EGraph g;
+    // class contains both (* x 2) and (* y 2) after a merge, so the
+    // pattern (* ?0 2) has two substitutions at that class.
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(* $0.1 2)"));
+    g.merge(a, b);
+    g.rebuild();
+    EXPECT_EQ(ematchAt(g, parseTerm("(* ?0 2)"), a).size(), 2u);
+}
+
+TEST(EMatchTest, InstantiateGroundTerm)
+{
+    EGraph g;
+    Subst empty;
+    EClassId id = instantiate(g, parseTerm("(+ 1 2)"), empty);
+    EXPECT_EQ(id, g.addTerm(parseTerm("(+ 1 2)")));
+}
+
+TEST(EMatchTest, InstantiateResolvesHoles)
+{
+    EGraph g;
+    EClassId x = g.addTerm(parseTerm("(* $0.0 3)"));
+    Subst s{{0, x}};
+    EClassId id = instantiate(g, parseTerm("(+ ?0 ?0)"), s);
+    EClassId expected = g.addTerm(parseTerm("(+ (* $0.0 3) (* $0.0 3))"));
+    EXPECT_EQ(g.find(id), g.find(expected));
+}
+
+}  // namespace
+}  // namespace isamore

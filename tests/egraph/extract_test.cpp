@@ -1,0 +1,89 @@
+#include "egraph/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+namespace {
+
+TEST(ExtractTest, AstSizePicksSmallestForm)
+{
+    EGraph g;
+    EClassId big = g.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    EClassId small = g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    g.merge(big, small);
+    g.rebuild();
+    Extractor ex(g, astSizeCost);
+    auto result = ex.extract(big);
+    EXPECT_EQ(termToString(result.term), "(* (+ $0.0 $0.1) 2)");
+    EXPECT_DOUBLE_EQ(result.cost, 5.0);
+}
+
+TEST(ExtractTest, RoundTripsOriginalTermWhenAlone)
+{
+    EGraph g;
+    TermPtr t = parseTerm("(store $0.0 3 (mad $0.1 $0.2 7))");
+    EClassId root = g.addTerm(t);
+    Extractor ex(g, astSizeCost);
+    EXPECT_TRUE(termEquals(ex.extract(root).term, t));
+}
+
+TEST(ExtractTest, CustomCostSteersChoice)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(<< $0.0 1)"));
+    g.merge(a, b);
+    g.rebuild();
+    // Penalize multiplies heavily: extraction must choose the shift.
+    Extractor ex(g, [](const ENode& n, const std::vector<double>& cc) {
+        double cost = n.op == Op::Mul ? 100.0 : 1.0;
+        for (double c : cc) {
+            cost += c;
+        }
+        return cost;
+    });
+    EXPECT_EQ(termToString(ex.extract(a).term), "(<< $0.0 1)");
+}
+
+TEST(ExtractTest, CyclicClassStillExtractsGroundTerm)
+{
+    EGraph g;
+    // After x := neg(neg(x)) style merges, the class is cyclic but the
+    // ground leaf is still the best extraction.
+    EClassId x = g.addTerm(parseTerm("7"));
+    EClassId nx = g.add(ENode(Op::Neg, Payload::none(), {x}));
+    EClassId nnx = g.add(ENode(Op::Neg, Payload::none(), {nx}));
+    g.merge(x, nnx);
+    g.rebuild();
+    Extractor ex(g, astSizeCost);
+    auto result = ex.extract(g.find(x));
+    EXPECT_EQ(termToString(result.term), "7");
+}
+
+TEST(ExtractTest, ExtractionAfterSaturationShrinksTerm)
+{
+    EGraph g;
+    EClassId root =
+        g.addTerm(parseTerm("(+ (* $0.0 2) (+ (* $0.1 2) 0))"));
+    std::vector<RewriteRule> rules = {
+        makeRule("add-zero", "(+ ?0 0)", "?0", kRuleSat),
+    };
+    runEqSat(g, rules);
+    Extractor ex(g, astSizeCost);
+    auto result = ex.extract(root);
+    EXPECT_EQ(termToString(result.term), "(+ (* $0.0 2) (* $0.1 2))");
+}
+
+TEST(ExtractTest, CostOfUnknownClassIsEmpty)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(+ 1 2)"));
+    Extractor ex(g, astSizeCost);
+    EXPECT_TRUE(ex.costOf(a).has_value());
+    EXPECT_TRUE(ex.chosenNode(a) != nullptr);
+}
+
+}  // namespace
+}  // namespace isamore

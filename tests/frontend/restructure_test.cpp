@@ -1,0 +1,357 @@
+#include "frontend/restructure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsl/eval.hpp"
+#include "dsl/type_infer.hpp"
+#include "ir/builder.hpp"
+#include "ir/unroll.hpp"
+#include "profile/interp.hpp"
+
+namespace isamore {
+namespace frontend {
+namespace {
+
+using ir::BlockId;
+using ir::Function;
+using ir::FunctionBuilder;
+using ir::ValueId;
+
+/**
+ * The core soundness check of the whole frontend: interpreting the MiniIR
+ * function and evaluating its DSL translation must produce the same return
+ * value and the same final memory.
+ */
+void
+crossCheck(const Function& fn, const std::vector<Value>& args,
+           const std::vector<uint64_t>& memory = {})
+{
+    ir::Module m;
+    m.functions.push_back(fn);
+    profile::Machine machine(m, std::max<size_t>(memory.size(), 8));
+    for (size_t i = 0; i < memory.size(); ++i) {
+        machine.memory()[i] = memory[i];
+    }
+    auto ir_ret = machine.run(0, args);
+
+    DslFunction dsl = convertFunction(fn, 0);
+    EvalContext ctx;
+    ctx.functionArgs = args;
+    ctx.memory.assign(std::max<size_t>(memory.size(), 8), 0);
+    for (size_t i = 0; i < memory.size(); ++i) {
+        ctx.memory[i] = memory[i];
+    }
+    Value root = evaluate(dsl.root, ctx);
+    ASSERT_EQ(root.kind, Value::Kind::Tuple);
+    ASSERT_FALSE(root.elems.empty());
+
+    if (ir_ret.has_value()) {
+        EXPECT_EQ(root.elems[0], *ir_ret)
+            << "return value mismatch for " << fn.name;
+    }
+    ASSERT_EQ(ctx.memory.size(), machine.memory().size());
+    for (size_t i = 0; i < ctx.memory.size(); ++i) {
+        EXPECT_EQ(ctx.memory[i], machine.memory()[i])
+            << fn.name << ": memory divergence at cell " << i;
+    }
+
+    // The translation must also be well-typed.
+    EXPECT_FALSE(inferTermType(dsl.root).isBottom())
+        << fn.name << ": ill-typed translation: "
+        << termToString(dsl.root);
+}
+
+Function
+straightLine()
+{
+    FunctionBuilder b("sl", {Type::i32(), Type::i32()});
+    ValueId s = b.compute(Op::Add, {b.param(0), b.param(1)});
+    ValueId t = b.compute(Op::Mul, {s, b.constI(3)});
+    ValueId u = b.compute(Op::Xor, {t, b.param(0)});
+    b.ret(u);
+    return b.finish();
+}
+
+TEST(RestructureTest, StraightLine)
+{
+    crossCheck(straightLine(), {Value::ofInt(11), Value::ofInt(-4)});
+}
+
+TEST(RestructureTest, ProvenanceRecordsOps)
+{
+    DslFunction dsl = convertFunction(straightLine(), 0);
+    // Three compute ops recorded, all in bb0.
+    EXPECT_EQ(dsl.provenance.size(), 3u);
+    for (const auto& [term, bb] : dsl.provenance) {
+        EXPECT_EQ(bb, 0u);
+    }
+}
+
+TEST(RestructureTest, IfDiamond)
+{
+    FunctionBuilder b("absv", {Type::i32()});
+    BlockId t = b.newBlock();
+    BlockId f = b.newBlock();
+    BlockId j = b.newBlock();
+    ValueId c = b.compute(Op::Lt, {b.param(0), b.constI(0)});
+    b.condBr(c, t, f);
+    b.setInsertPoint(t);
+    ValueId n = b.compute(Op::Neg, {b.param(0)});
+    b.br(j);
+    b.setInsertPoint(f);
+    ValueId d = b.compute(Op::Add, {b.param(0), b.constI(1)});
+    b.br(j);
+    b.setInsertPoint(j);
+    ValueId r = b.phi(Type::i32(), {{t, n}, {f, d}});
+    b.ret(r);
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(-7)});
+    crossCheck(fn, {Value::ofInt(7)});
+}
+
+TEST(RestructureTest, IfTriangleWithEmptyElse)
+{
+    // if (x < 0) x = -x;  (else edge goes straight to the join)
+    FunctionBuilder b("tri", {Type::i32()});
+    BlockId t = b.newBlock();
+    BlockId j = b.newBlock();
+    ValueId c = b.compute(Op::Lt, {b.param(0), b.constI(0)});
+    b.condBr(c, t, j);
+    b.setInsertPoint(t);
+    ValueId n = b.compute(Op::Neg, {b.param(0)});
+    b.br(j);
+    b.setInsertPoint(j);
+    ValueId r = b.phi(Type::i32(), {{t, n}, {0, b.param(0)}});
+    b.ret(r);
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(-5)});
+    crossCheck(fn, {Value::ofInt(5)});
+}
+
+Function
+sumLoop()
+{
+    FunctionBuilder b("sum", {Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId acc = b.phi(Type::i32(), {{0, zero}});
+    ValueId acc2 = b.compute(Op::Add, {acc, i});
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId c = b.compute(Op::Lt, {next, b.param(0)});
+    b.addPhiIncoming(i, body, next);
+    b.addPhiIncoming(acc, body, acc2);
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret(acc2);
+    return b.finish();
+}
+
+TEST(RestructureTest, DoWhileLoop)
+{
+    Function fn = sumLoop();
+    crossCheck(fn, {Value::ofInt(1)});
+    crossCheck(fn, {Value::ofInt(10)});
+    crossCheck(fn, {Value::ofInt(100)});
+}
+
+TEST(RestructureTest, PostLoopUseOfPhiValue)
+{
+    // Returns the phi (pre-update) value after the loop, exercising the
+    // prev-value carried slots.
+    FunctionBuilder b("prev", {Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId next = b.compute(Op::Add, {i, b.constI(3)});
+    ValueId c = b.compute(Op::Lt, {next, b.param(0)});
+    b.addPhiIncoming(i, body, next);
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret(i);  // i at the start of the last iteration
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(10)});
+    crossCheck(fn, {Value::ofInt(2)});
+}
+
+TEST(RestructureTest, LoopWithLoadsAndStore)
+{
+    // acc = sum(mem[src..src+n)); mem[dst] = acc
+    FunctionBuilder b("dotsum", {Type::i32(), Type::i32(), Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId acc = b.phi(Type::i32(), {{0, zero}});
+    ValueId v = b.load(ScalarKind::I32, b.param(0), i);
+    ValueId acc2 = b.compute(Op::Add, {acc, v});
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId c = b.compute(Op::Lt, {next, b.param(2)});
+    b.addPhiIncoming(i, body, next);
+    b.addPhiIncoming(acc, body, acc2);
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.store(b.param(1), zero, acc2);
+    b.ret(acc2);
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(0), Value::ofInt(12), Value::ofInt(4)},
+               {5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+}
+
+TEST(RestructureTest, StoreInsideLoopBody)
+{
+    // for i: mem[dst+i] = mem[src+i] * 2
+    FunctionBuilder b("scale", {Type::i32(), Type::i32(), Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId v = b.load(ScalarKind::I32, b.param(0), i);
+    ValueId w = b.compute(Op::Mul, {v, b.constI(2)});
+    b.store(b.param(1), i, w);
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId c = b.compute(Op::Lt, {next, b.param(2)});
+    b.addPhiIncoming(i, body, next);
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret();
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(0), Value::ofInt(4), Value::ofInt(4)},
+               {3, 1, 4, 1, 0, 0, 0, 0});
+}
+
+TEST(RestructureTest, NestedLoops)
+{
+    // total = sum_{i<n} sum_{j<n} (i*j)
+    FunctionBuilder b("nest", {Type::i32()});
+    BlockId outer = b.newBlock();
+    BlockId inner = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(outer);
+
+    b.setInsertPoint(outer);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId total = b.phi(Type::i32(), {{0, zero}});
+    b.br(inner);
+
+    b.setInsertPoint(inner);
+    ValueId j = b.phi(Type::i32(), {{outer, zero}});
+    ValueId t = b.phi(Type::i32(), {{outer, total}});
+    ValueId prod = b.compute(Op::Mul, {i, j});
+    ValueId t2 = b.compute(Op::Add, {t, prod});
+    ValueId jn = b.compute(Op::Add, {j, b.constI(1)});
+    ValueId jc = b.compute(Op::Lt, {jn, b.param(0)});
+    b.addPhiIncoming(j, inner, jn);
+    b.addPhiIncoming(t, inner, t2);
+    b.condBr(jc, inner, latch);
+
+    b.setInsertPoint(latch);
+    ValueId in = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId ic = b.compute(Op::Lt, {in, b.param(0)});
+    b.addPhiIncoming(i, latch, in);
+    b.addPhiIncoming(total, latch, t2);
+    b.condBr(ic, outer, exit);
+
+    b.setInsertPoint(exit);
+    b.ret(t2);
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(1)});
+    crossCheck(fn, {Value::ofInt(4)});
+    crossCheck(fn, {Value::ofInt(7)});
+}
+
+TEST(RestructureTest, IfInsideLoop)
+{
+    // acc += (mem[i] < 0) ? -mem[i] : mem[i]  (sum of absolute values)
+    FunctionBuilder b("sumabs", {Type::i32(), Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId t = b.newBlock();
+    BlockId j = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId acc = b.phi(Type::i32(), {{0, zero}});
+    ValueId v = b.load(ScalarKind::I32, b.param(0), i);
+    ValueId c = b.compute(Op::Lt, {v, zero});
+    b.condBr(c, t, j);
+
+    b.setInsertPoint(t);
+    ValueId n = b.compute(Op::Neg, {v});
+    b.br(j);
+
+    b.setInsertPoint(j);
+    ValueId av = b.phi(Type::i32(), {{t, n}, {body, v}});
+    ValueId acc2 = b.compute(Op::Add, {acc, av});
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId lc = b.compute(Op::Lt, {next, b.param(1)});
+    b.addPhiIncoming(i, j, next);
+    b.addPhiIncoming(acc, j, acc2);
+    b.condBr(lc, body, exit);
+
+    b.setInsertPoint(exit);
+    b.ret(acc2);
+    Function fn = b.finish();
+    crossCheck(fn, {Value::ofInt(0), Value::ofInt(6)},
+               {static_cast<uint64_t>(-3), 4, static_cast<uint64_t>(-5),
+                1, 0, 2, 0, 0});
+}
+
+TEST(RestructureTest, UnrolledLoopStillSound)
+{
+    Function fn = sumLoop();
+    ASSERT_TRUE(ir::unrollSelfLoop(fn, 1, 4));
+    crossCheck(fn, {Value::ofInt(8)});
+    crossCheck(fn, {Value::ofInt(32)});
+}
+
+TEST(RestructureTest, FloatKernel)
+{
+    // y = a*x + b with floats
+    FunctionBuilder b("axpb", {Type::f32(), Type::f32(), Type::f32()});
+    ValueId p = b.compute(Op::FMul, {b.param(0), b.param(1)});
+    ValueId r = b.compute(Op::FAdd, {p, b.param(2)});
+    b.ret(r);
+    crossCheck(b.finish(), {Value::ofFloat(2.0), Value::ofFloat(3.5),
+                            Value::ofFloat(-1.0)});
+}
+
+TEST(RestructureTest, LoopValueUsedAfterLoopNotCarriedFails)
+{
+    // A value computed in the loop body (not a phi or its next value)
+    // escapes to the exit block: unsupported, must raise RestructureError.
+    FunctionBuilder b("escape", {Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId dbl = b.compute(Op::Mul, {i, b.constI(2)});
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId c = b.compute(Op::Lt, {next, b.param(0)});
+    b.addPhiIncoming(i, body, next);
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret(dbl);
+    Function fn = b.finish();
+    EXPECT_THROW(convertFunction(fn, 0), RestructureError);
+}
+
+}  // namespace
+}  // namespace frontend
+}  // namespace isamore

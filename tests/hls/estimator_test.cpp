@@ -1,0 +1,112 @@
+#include "hls/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace hls {
+namespace {
+
+HwCost
+costOf(const std::string& text)
+{
+    return estimatePattern(parseTerm(text));
+}
+
+TEST(HlsTest, SingleOpFitsOneCycle)
+{
+    EXPECT_EQ(costOf("(+ ?0 ?1)").cycles, 1);
+    EXPECT_EQ(costOf("(& ?0 ?1)").cycles, 1);
+}
+
+TEST(HlsTest, ChainingPacksOpsIntoCycles)
+{
+    // add(280) + add(280) + add(280) = 840 ps < 1 cycle.
+    EXPECT_EQ(costOf("(+ (+ (+ ?0 ?1) ?2) ?3)").cycles, 1);
+    // mul(850) + mul(850) = 1700 ps -> 2 cycles.
+    EXPECT_EQ(costOf("(* (* ?0 ?1) ?2)").cycles, 2);
+}
+
+TEST(HlsTest, DividerDominatesLatency)
+{
+    EXPECT_GE(costOf("(/ ?0 ?1)").cycles, 4);
+    EXPECT_GT(costOf("(/ ?0 ?1)").areaUm2, costOf("(+ ?0 ?1)").areaUm2);
+}
+
+TEST(HlsTest, AreaSumsOverOperators)
+{
+    double one = costOf("(* ?0 ?1)").areaUm2;
+    double two = costOf("(+ (* ?0 ?1) (* ?2 ?3))").areaUm2;
+    EXPECT_GT(two, 2 * one * 0.99);
+}
+
+TEST(HlsTest, SharedSubtermsChargedOnce)
+{
+    // (* ?0 ?1) used twice as the same shared node must not double area.
+    TermPtr prod = parseTerm("(* ?0 ?1)");
+    TermPtr sum = makeTerm(Op::Add, {prod, prod});
+    double shared = estimatePattern(sum).areaUm2;
+    double separate = costOf("(+ (* ?0 ?1) (* ?2 ?3))").areaUm2;
+    EXPECT_LT(shared, separate);
+}
+
+TEST(HlsTest, VectorOpPaysAreaPerLaneButOneDelay)
+{
+    HwCost scalar = costOf("(* ?0 ?1)");
+    HwCost vec = costOf("(vop * (vec ?0 ?1 ?2 ?3) (vec ?4 ?5 ?6 ?7))");
+    EXPECT_EQ(vec.cycles, scalar.cycles);
+    EXPECT_GE(vec.areaUm2, 4 * opAreaUm2(Op::Mul));
+}
+
+TEST(HlsTest, LoopPatternsPipelined)
+{
+    // A loop body with a multiply: latency grows with the trip hint, but
+    // far less than trips * body latency thanks to pipelining.
+    const std::string loop =
+        "(loop (list 0 0) (list (< $0.0 16) (+ $0.0 1)"
+        " (+ $0.1 (* $0.0 3))))";
+    HwCost trips16 = estimatePattern(parseTerm(loop), nullptr, 16);
+    HwCost trips64 = estimatePattern(parseTerm(loop), nullptr, 64);
+    EXPECT_GT(trips64.cycles, trips16.cycles);
+    EXPECT_LT(trips64.cycles, 64 * trips16.cycles);
+    EXPECT_GE(trips16.initiationInterval, 1);
+}
+
+TEST(HlsTest, AppResolvesSubPattern)
+{
+    TermPtr sub = parseTerm("(* (+ ?0 ?1) 2)");
+    PatternResolver resolver = [&](int64_t id) -> TermPtr {
+        return id == 5 ? sub : nullptr;
+    };
+    HwCost with = estimatePattern(parseTerm("(+ (app (pat 5) ?0 ?1) ?2)"),
+                                  resolver);
+    HwCost without =
+        estimatePattern(parseTerm("(+ (app (pat 5) ?0 ?1) ?2)"));
+    EXPECT_GT(with.areaUm2, without.areaUm2);
+    EXPECT_GE(with.cycles, without.cycles);
+}
+
+TEST(HlsTest, FeaturePrioritizesLatency)
+{
+    double cheap = patternFeature(parseTerm("(+ ?0 ?1)"));
+    double pricey = patternFeature(parseTerm("(/ (* ?0 ?1) ?2)"));
+    EXPECT_LT(cheap, pricey);
+}
+
+TEST(HlsTest, IfAddsMux)
+{
+    HwCost plain = costOf("(+ ?0 ?1)");
+    HwCost guarded =
+        costOf("(if (list ?0 ?1 ?2) (+ ?1 ?2) (- ?1 ?2))");
+    EXPECT_GE(guarded.areaUm2,
+              plain.areaUm2 + opAreaUm2(Op::Sub));
+}
+
+TEST(HlsTest, LeavesAreFree)
+{
+    EXPECT_EQ(estimatePattern(parseTerm("?0")).areaUm2, 0.0);
+    EXPECT_EQ(estimatePattern(parseTerm("5")).areaUm2, 0.0);
+}
+
+}  // namespace
+}  // namespace hls
+}  // namespace isamore

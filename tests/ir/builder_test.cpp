@@ -1,0 +1,116 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace ir {
+namespace {
+
+TEST(BuilderTest, StraightLineFunction)
+{
+    FunctionBuilder b("addmul", {Type::i32(), Type::i32()});
+    ValueId sum = b.compute(Op::Add, {b.param(0), b.param(1)});
+    ValueId two = b.constI(2);
+    ValueId prod = b.compute(Op::Mul, {sum, two});
+    b.ret(prod);
+    Function fn = b.finish();
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.instructionCount(), 4u);
+    EXPECT_EQ(fn.valueTypes[prod], Type::i32());
+}
+
+TEST(BuilderTest, TypeInferenceOnCompute)
+{
+    FunctionBuilder b("f", {Type::f32(), Type::f32()});
+    ValueId v = b.compute(Op::FMul, {b.param(0), b.param(1)});
+    EXPECT_EQ(b.typeOf(v), Type::f32());
+    ValueId c = b.compute(Op::FLt, {b.param(0), b.param(1)});
+    EXPECT_EQ(b.typeOf(c), Type::i1());
+    b.ret(v);
+    b.finish();
+}
+
+TEST(BuilderTest, IllTypedComputeRejected)
+{
+    FunctionBuilder b("f", {Type::i32(), Type::f32()});
+    EXPECT_THROW(b.compute(Op::Add, {b.param(0), b.param(1)}), UserError);
+}
+
+TEST(BuilderTest, LoadStoreTyping)
+{
+    FunctionBuilder b("f", {Type::i32()});
+    ValueId zero = b.constI(0);
+    ValueId x = b.load(ScalarKind::F32, b.param(0), zero);
+    EXPECT_EQ(b.typeOf(x), Type::f32());
+    b.store(b.param(0), zero, x);
+    b.ret();
+    Function fn = b.finish();
+    // const, load, store, ret
+    EXPECT_EQ(fn.blocks[0].instrs.size(), 4u);
+}
+
+TEST(BuilderTest, LoopWithPatchedPhi)
+{
+    // do { i += 1 } while (i < n)
+    FunctionBuilder b("count", {Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId one = b.constI(1);
+    ValueId next = b.compute(Op::Add, {i, one});
+    ValueId cond = b.compute(Op::Lt, {next, b.param(0)});
+    b.addPhiIncoming(i, body, next);
+    b.condBr(cond, body, exit);
+
+    b.setInsertPoint(exit);
+    b.ret(next);
+    Function fn = b.finish();  // verification must pass
+    EXPECT_EQ(fn.blocks.size(), 3u);
+}
+
+TEST(BuilderTest, TerminatorRequiredAndUnique)
+{
+    FunctionBuilder b("f", {});
+    b.ret();
+    EXPECT_THROW(b.ret(), UserError);  // appending after terminator
+}
+
+TEST(BuilderTest, VerifierCatchesMissingTerminator)
+{
+    FunctionBuilder b("f", {Type::i32()});
+    b.compute(Op::Add, {b.param(0), b.param(0)});
+    EXPECT_THROW(b.finish(), UserError);
+}
+
+TEST(BuilderTest, VerifierCatchesPhiPredMismatch)
+{
+    FunctionBuilder b("f", {Type::i32()});
+    BlockId other = b.newBlock();
+    // Phi claims an incoming edge from a non-predecessor.
+    b.phi(Type::i32(), {{other, b.param(0)}});
+    b.ret();
+    b.setInsertPoint(other);
+    b.ret();
+    EXPECT_THROW(b.finish(), UserError);
+}
+
+TEST(BuilderTest, PrintIsReadable)
+{
+    FunctionBuilder b("show", {Type::i32()});
+    ValueId t = b.compute(Op::Shl, {b.param(0), b.constI(1)});
+    b.ret(t);
+    std::string text = printFunction(b.finish());
+    EXPECT_NE(text.find("func @show"), std::string::npos);
+    EXPECT_NE(text.find("<<"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace isamore

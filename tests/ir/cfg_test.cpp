@@ -1,0 +1,136 @@
+#include "ir/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace isamore {
+namespace ir {
+namespace {
+
+/** diamond: bb0 -> (bb1 | bb2) -> bb3 */
+Function
+diamond()
+{
+    FunctionBuilder b("diamond", {Type::i32()});
+    BlockId t = b.newBlock();
+    BlockId f = b.newBlock();
+    BlockId j = b.newBlock();
+    ValueId c = b.compute(Op::Lt, {b.param(0), b.constI(0)});
+    b.condBr(c, t, f);
+    b.setInsertPoint(t);
+    ValueId neg = b.compute(Op::Neg, {b.param(0)});
+    b.br(j);
+    b.setInsertPoint(f);
+    b.br(j);
+    b.setInsertPoint(j);
+    ValueId r = b.phi(Type::i32(), {{t, neg}, {f, b.param(0)}});
+    b.ret(r);
+    return b.finish();
+}
+
+/** self-loop: bb0 -> bb1 (self) -> bb2 */
+Function
+selfLoop()
+{
+    FunctionBuilder b("loop", {Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    b.addPhiIncoming(i, body, next);
+    ValueId c = b.compute(Op::Lt, {next, b.param(0)});
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret(next);
+    return b.finish();
+}
+
+TEST(CfgTest, PredecessorsOfDiamond)
+{
+    Function fn = diamond();
+    auto preds = predecessors(fn);
+    EXPECT_TRUE(preds[0].empty());
+    EXPECT_EQ(preds[1], std::vector<BlockId>{0});
+    EXPECT_EQ(preds[2], std::vector<BlockId>{0});
+    EXPECT_EQ(preds[3].size(), 2u);
+}
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry)
+{
+    Function fn = diamond();
+    auto rpo = reversePostOrder(fn);
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo[0], 0u);
+    EXPECT_EQ(rpo[3], 3u);  // join comes last
+}
+
+TEST(CfgTest, DominatorsOfDiamond)
+{
+    Function fn = diamond();
+    auto idom = immediateDominators(fn);
+    EXPECT_EQ(idom[1], 0u);
+    EXPECT_EQ(idom[2], 0u);
+    EXPECT_EQ(idom[3], 0u);  // join dominated by the branch, not an arm
+    EXPECT_TRUE(dominates(idom, 0, 3));
+    EXPECT_FALSE(dominates(idom, 1, 3));
+}
+
+TEST(CfgTest, SelfLoopDetected)
+{
+    Function fn = selfLoop();
+    auto loops = naturalLoops(fn);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1u);
+    EXPECT_EQ(loops[0].latches, std::vector<BlockId>{1});
+    EXPECT_EQ(loops[0].blocks, std::vector<BlockId>{1});
+}
+
+TEST(CfgTest, NestedLoopsContainment)
+{
+    // bb0 -> outer(bb1) -> inner(bb2, self) -> latch(bb3) -> bb1|bb4
+    FunctionBuilder b("nested", {Type::i32()});
+    BlockId outer = b.newBlock();
+    BlockId inner = b.newBlock();
+    BlockId latch = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(outer);
+
+    b.setInsertPoint(outer);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    b.br(inner);
+
+    b.setInsertPoint(inner);
+    ValueId j = b.phi(Type::i32(), {{outer, zero}});
+    ValueId jn = b.compute(Op::Add, {j, b.constI(1)});
+    b.addPhiIncoming(j, inner, jn);
+    ValueId jc = b.compute(Op::Lt, {jn, b.param(0)});
+    b.condBr(jc, inner, latch);
+
+    b.setInsertPoint(latch);
+    ValueId in = b.compute(Op::Add, {i, b.constI(1)});
+    b.addPhiIncoming(i, latch, in);
+    ValueId ic = b.compute(Op::Lt, {in, b.param(0)});
+    b.condBr(ic, outer, exit);
+
+    b.setInsertPoint(exit);
+    b.ret(in);
+    Function fn = b.finish();
+
+    auto loops = naturalLoops(fn);
+    ASSERT_EQ(loops.size(), 2u);
+    // Sorted by header: outer (bb1) first.
+    EXPECT_EQ(loops[0].header, outer);
+    EXPECT_TRUE(loops[0].contains(inner));
+    EXPECT_TRUE(loops[0].contains(latch));
+    EXPECT_EQ(loops[1].header, inner);
+    EXPECT_EQ(loops[1].blocks, std::vector<BlockId>{inner});
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace isamore

@@ -1,0 +1,99 @@
+#include "ir/unroll.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "profile/interp.hpp"
+
+namespace isamore {
+namespace ir {
+namespace {
+
+/** sum 0..n-1 via a self-loop; n must be positive. */
+Function
+sumLoop()
+{
+    FunctionBuilder b("sum", {Type::i32()});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId acc = b.phi(Type::i32(), {{0, zero}});
+    ValueId acc2 = b.compute(Op::Add, {acc, i});
+    ValueId next = b.compute(Op::Add, {i, b.constI(1)});
+    ValueId c = b.compute(Op::Lt, {next, b.param(0)});
+    b.addPhiIncoming(i, body, next);
+    b.addPhiIncoming(acc, body, acc2);
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret(acc2);
+    return b.finish();
+}
+
+int64_t
+runSum(const Function& fn, int64_t n)
+{
+    Module m;
+    m.functions.push_back(fn);
+    profile::Machine machine(m, 64);
+    auto r = machine.run(0, {Value::ofInt(n)});
+    return r->i;
+}
+
+TEST(UnrollTest, PreservesSemantics)
+{
+    Function fn = sumLoop();
+    ASSERT_TRUE(unrollSelfLoop(fn, 1, 4));
+    // Trip counts that are multiples of 4.
+    for (int64_t n : {4, 8, 16, 32}) {
+        EXPECT_EQ(runSum(fn, n), n * (n - 1) / 2) << "n=" << n;
+    }
+}
+
+TEST(UnrollTest, BodyGrowsByFactor)
+{
+    Function fn = sumLoop();
+    size_t before = fn.blocks[1].instrs.size();
+    ASSERT_TRUE(unrollSelfLoop(fn, 1, 4));
+    size_t after = fn.blocks[1].instrs.size();
+    // phis(2) + 4 copies of 3 body instrs + terminator.
+    EXPECT_EQ(after, 2 + 4 * (before - 3) + 1);
+    (void)before;
+}
+
+TEST(UnrollTest, FewerDynamicBlockEntries)
+{
+    Function plain = sumLoop();
+    Function unrolled = sumLoop();
+    ASSERT_TRUE(unrollSelfLoop(unrolled, 1, 4));
+
+    Module m;
+    m.functions.push_back(plain);
+    m.functions.push_back(unrolled);
+    profile::Machine machine(m, 64);
+    machine.run(0, {Value::ofInt(16)});
+    machine.run(1, {Value::ofInt(16)});
+    const auto& prof = machine.moduleProfile();
+    EXPECT_EQ(prof.functions[0].blocks[1].execCount, 16u);
+    EXPECT_EQ(prof.functions[1].blocks[1].execCount, 4u);
+}
+
+TEST(UnrollTest, RefusesNonSelfLoopBlocks)
+{
+    Function fn = sumLoop();
+    EXPECT_FALSE(unrollSelfLoop(fn, 0, 4));  // entry is not a loop
+    EXPECT_FALSE(unrollSelfLoop(fn, 2, 4));  // exit is not a loop
+}
+
+TEST(UnrollTest, UnrollInnermostFindsTheLoop)
+{
+    Function fn = sumLoop();
+    EXPECT_EQ(unrollInnermostLoops(fn, 2), 1);
+    EXPECT_EQ(runSum(fn, 8), 28);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace isamore

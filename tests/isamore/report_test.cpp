@@ -1,0 +1,67 @@
+#include "isamore/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace {
+
+const AnalyzedWorkload&
+analyzed()
+{
+    static const AnalyzedWorkload a =
+        analyzeWorkload(workloads::makeMatMul());
+    return a;
+}
+
+TEST(ReportTest, JsonContainsAllSections)
+{
+    auto result = identifyInstructions(analyzed(), rii::Mode::Default);
+    std::string json = resultToJson(analyzed(), result);
+    EXPECT_NE(json.find("\"workload\": \"MatMul\""), std::string::npos);
+    EXPECT_NE(json.find("\"stats\""), std::string::npos);
+    EXPECT_NE(json.find("\"front\""), std::string::npos);
+    EXPECT_NE(json.find("\"speedup\""), std::string::npos);
+    EXPECT_NE(json.find("\"body\""), std::string::npos);
+}
+
+TEST(ReportTest, JsonBalancedAndQuoted)
+{
+    auto result = identifyInstructions(analyzed(), rii::Mode::Default);
+    std::string json = resultToJson(analyzed(), result);
+    int braces = 0;
+    int brackets = 0;
+    size_t quotes = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+            in_string = !in_string;
+            ++quotes;
+        }
+        if (in_string) {
+            continue;
+        }
+        braces += (c == '{') - (c == '}');
+        brackets += (c == '[') - (c == ']');
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_EQ(quotes % 2, 0u);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(ReportTest, FrontEntriesMatchResult)
+{
+    auto result = identifyInstructions(analyzed(), rii::Mode::Default);
+    std::string json = resultToJson(analyzed(), result);
+    // One "speedup" key per front element.
+    size_t count = 0;
+    for (size_t pos = json.find("\"speedup\""); pos != std::string::npos;
+         pos = json.find("\"speedup\"", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, result.front.size());
+}
+
+}  // namespace
+}  // namespace isamore

@@ -1,0 +1,185 @@
+#include "profile/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "profile/timing.hpp"
+
+namespace isamore {
+namespace profile {
+namespace {
+
+using ir::BlockId;
+using ir::FunctionBuilder;
+using ir::ValueId;
+
+ir::Module
+oneFunction(ir::Function fn)
+{
+    ir::Module m;
+    m.functions.push_back(std::move(fn));
+    return m;
+}
+
+TEST(InterpTest, StraightLineArithmetic)
+{
+    FunctionBuilder b("f", {Type::i32(), Type::i32()});
+    ValueId s = b.compute(Op::Add, {b.param(0), b.param(1)});
+    ValueId p = b.compute(Op::Mul, {s, b.constI(3)});
+    b.ret(p);
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 16);
+    auto r = machine.run("f", {Value::ofInt(2), Value::ofInt(5)});
+    EXPECT_EQ(r->i, 21);
+}
+
+TEST(InterpTest, FloatPath)
+{
+    FunctionBuilder b("f", {Type::f32()});
+    ValueId r = b.compute(Op::FSqrt, {b.param(0)});
+    b.ret(r);
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 16);
+    EXPECT_DOUBLE_EQ(machine.run("f", {Value::ofFloat(16.0)})->f, 4.0);
+}
+
+TEST(InterpTest, BranchingSelectsPath)
+{
+    FunctionBuilder b("absv", {Type::i32()});
+    BlockId t = b.newBlock();
+    BlockId j = b.newBlock();
+    ValueId c = b.compute(Op::Lt, {b.param(0), b.constI(0)});
+    b.condBr(c, t, j);
+    b.setInsertPoint(t);
+    ValueId n = b.compute(Op::Neg, {b.param(0)});
+    b.br(j);
+    b.setInsertPoint(j);
+    ValueId r = b.phi(Type::i32(), {{0, b.param(0)}, {t, n}});
+    b.ret(r);
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 16);
+    EXPECT_EQ(machine.run("absv", {Value::ofInt(-9)})->i, 9);
+    EXPECT_EQ(machine.run("absv", {Value::ofInt(4)})->i, 4);
+}
+
+TEST(InterpTest, MemoryRoundTrip)
+{
+    FunctionBuilder b("copy", {Type::i32(), Type::i32()});
+    ValueId zero = b.constI(0);
+    ValueId v = b.load(ScalarKind::I32, b.param(0), zero);
+    b.store(b.param(1), zero, v);
+    b.ret();
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 64);
+    machine.writeInts(8, {1234});
+    machine.run("copy", {Value::ofInt(8), Value::ofInt(20)});
+    EXPECT_EQ(machine.readInt(20), 1234);
+}
+
+TEST(InterpTest, FloatMemoryRoundTrip)
+{
+    FunctionBuilder b("fcopy", {Type::i32(), Type::i32()});
+    ValueId zero = b.constI(0);
+    ValueId v = b.load(ScalarKind::F32, b.param(0), zero);
+    ValueId w = b.compute(Op::FAdd, {v, v});
+    b.store(b.param(1), zero, w);
+    b.ret();
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 64);
+    machine.writeFloats(4, {1.5});
+    machine.run("fcopy", {Value::ofInt(4), Value::ofInt(5)});
+    EXPECT_DOUBLE_EQ(machine.readFloat(5), 3.0);
+}
+
+TEST(InterpTest, OutOfRangeMemoryThrows)
+{
+    FunctionBuilder b("bad", {Type::i32()});
+    ValueId v = b.load(ScalarKind::I32, b.param(0), b.constI(0));
+    b.ret(v);
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 8);
+    EXPECT_THROW(machine.run("bad", {Value::ofInt(100)}), InterpError);
+}
+
+TEST(InterpTest, ProfileCountsBlocksAndCycles)
+{
+    // Loop executing 10 times.
+    FunctionBuilder b("loop10", {});
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    ValueId zero = b.constI(0);
+    b.br(body);
+    b.setInsertPoint(body);
+    ValueId i = b.phi(Type::i32(), {{0, zero}});
+    ValueId n = b.compute(Op::Add, {i, b.constI(1)});
+    b.addPhiIncoming(i, body, n);
+    ValueId c = b.compute(Op::Lt, {n, b.constI(10)});
+    b.condBr(c, body, exit);
+    b.setInsertPoint(exit);
+    b.ret(n);
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 16);
+    machine.run(0, {});
+    const auto& prof = machine.moduleProfile();
+    EXPECT_EQ(prof.functions[0].blocks[1].execCount, 10u);
+    EXPECT_GT(prof.functions[0].blocks[1].cycles, 0u);
+    EXPECT_GT(prof.totalCycles(), 0u);
+    EXPECT_GT(prof.functions[0].blocks[1].cpo(), 0.0);
+}
+
+TEST(InterpTest, ExpensiveOpsRaiseCpo)
+{
+    FunctionBuilder b1("adds", {Type::i32()});
+    ValueId a = b1.compute(Op::Add, {b1.param(0), b1.param(0)});
+    b1.ret(a);
+    FunctionBuilder b2("divs", {Type::i32()});
+    ValueId d = b2.compute(Op::Div, {b2.param(0), b2.param(0)});
+    b2.ret(d);
+    ir::Module m;
+    m.functions.push_back(b1.finish());
+    m.functions.push_back(b2.finish());
+    Machine machine(m, 16);
+    machine.run(0, {Value::ofInt(8)});
+    machine.run(1, {Value::ofInt(8)});
+    const auto& prof = machine.moduleProfile();
+    EXPECT_GT(prof.functions[1].blocks[0].cpo(),
+              prof.functions[0].blocks[0].cpo());
+}
+
+TEST(InterpTest, ResetProfileClearsCounters)
+{
+    FunctionBuilder b("f", {});
+    b.ret();
+    ir::Module m = oneFunction(b.finish());
+    Machine machine(m, 8);
+    machine.run(0, {});
+    EXPECT_GT(machine.moduleProfile().functions[0].blocks[0].execCount, 0u);
+    machine.resetProfile();
+    EXPECT_EQ(machine.moduleProfile().functions[0].blocks[0].execCount, 0u);
+}
+
+TEST(InterpTest, AccumulateMergesProfiles)
+{
+    ModuleProfile a;
+    a.functions.resize(1);
+    a.functions[0].blocks.resize(1);
+    a.functions[0].blocks[0].execCount = 3;
+    a.functions[0].blocks[0].cycles = 30;
+    a.functions[0].blocks[0].ops = 10;
+    ModuleProfile b = a;
+    a.accumulate(b);
+    EXPECT_EQ(a.functions[0].blocks[0].execCount, 6u);
+    EXPECT_EQ(a.totalCycles(), 60u);
+}
+
+TEST(InterpTest, TimingTableOrdering)
+{
+    EXPECT_LT(cyclesForOp(Op::Add), cyclesForOp(Op::Mul));
+    EXPECT_LT(cyclesForOp(Op::Mul), cyclesForOp(Op::Div));
+    EXPECT_LT(cyclesForOp(Op::FMul), cyclesForOp(Op::FDiv));
+    EXPECT_GT(cyclesForOp(Op::Load), cyclesForOp(Op::Add));
+}
+
+}  // namespace
+}  // namespace profile
+}  // namespace isamore

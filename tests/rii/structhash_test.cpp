@@ -1,0 +1,101 @@
+#include "rii/structhash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace rii {
+namespace {
+
+TEST(StructHashTest, IdenticalStructureHashesEqual)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    EClassId b = g.addTerm(parseTerm("(* (+ $0.2 $0.3) 7)"));
+    auto h = computeStructHashes(g);
+    // Leaves are uniform: same shape, same hash.
+    EXPECT_EQ(h.at(g.find(a)), h.at(g.find(b)));
+}
+
+TEST(StructHashTest, DifferentOpsDiffer)
+{
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    EClassId b = g.addTerm(parseTerm("(* $0.0 $0.1)"));
+    auto h = computeStructHashes(g);
+    EXPECT_NE(h.at(g.find(a)), h.at(g.find(b)));
+}
+
+TEST(StructHashTest, GradedDistanceForSharedShallowShape)
+{
+    // f+(x, f*(a,b)) vs f+(f+(y, f*(c,d)), f*(e,f)): same top operator
+    // with a deep divergence shares the low (shallow) band exactly,
+    // while a different root operator diverges already in band 0.
+    EGraph g;
+    EClassId similar1 =
+        g.addTerm(parseTerm("(f+ $0.0:f32 (f* $0.1:f32 $0.2:f32))"));
+    EClassId similar2 = g.addTerm(parseTerm(
+        "(f+ (f+ $0.0:f32 (f* $0.1:f32 $0.2:f32)) (f* $0.3:f32 $0.4:f32))"));
+    EClassId unrelated =
+        g.addTerm(parseTerm("(store $0.0 (+ $0.1 1) (<< $0.2 2))"));
+    auto h = computeStructHashes(g);
+    uint64_t h1 = h.at(g.find(similar1));
+    uint64_t h2 = h.at(g.find(similar2));
+    uint64_t h3 = h.at(g.find(unrelated));
+    EXPECT_EQ(h1 & 0xffff, h2 & 0xffff);  // same shallow shape
+    EXPECT_NE(h1 & 0xffff, h3 & 0xffff);  // different root op
+    EXPECT_NE(h1, h2);                    // deep divergence visible
+}
+
+TEST(StructHashTest, BandsGradeByDepth)
+{
+    // Structures identical to depth 2 but different at depth 3 must only
+    // disagree in the upper bands.
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(+ (* (+ $0.0 $0.1) 2) $0.2)"));
+    EClassId b = g.addTerm(parseTerm("(+ (* (* $0.0 $0.1) 2) $0.2)"));
+    auto h = computeStructHashes(g);
+    uint64_t ha = h.at(g.find(a));
+    uint64_t hb = h.at(g.find(b));
+    // Band 0 (depth 1: just the op with leaf-ish children) agrees.
+    EXPECT_EQ(ha & 0xffff, hb & 0xffff);
+    EXPECT_NE(ha, hb);
+}
+
+TEST(StructHashTest, VotingSmoothsMergedClasses)
+{
+    // A class holding many nodes still produces a stable hash.
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(<< $0.0 1)"));
+    EClassId c = g.addTerm(parseTerm("(+ $0.0 $0.0)"));
+    g.merge(a, b);
+    g.merge(a, c);
+    g.rebuild();
+    auto h = computeStructHashes(g);
+    EXPECT_NO_THROW(h.at(g.find(a)));
+}
+
+TEST(StructHashTest, CyclicGraphTerminates)
+{
+    EGraph g;
+    EClassId x = g.addTerm(parseTerm("7"));
+    EClassId nx = g.add(ENode(Op::Neg, Payload::none(), {x}));
+    g.merge(x, nx);
+    g.rebuild();
+    auto h = computeStructHashes(g);
+    EXPECT_EQ(h.size(), g.numClasses());
+}
+
+TEST(StructHashTest, GetIndexDistinguishes)
+{
+    EGraph g;
+    EClassId agg = g.addTerm(parseTerm("(list (+ 1 2) 3)"));
+    EClassId g0 = g.add(ENode(Op::Get, Payload::ofInt(0), {agg}));
+    EClassId g1 = g.add(ENode(Op::Get, Payload::ofInt(1), {agg}));
+    auto h = computeStructHashes(g);
+    EXPECT_NE(h.at(g.find(g0)), h.at(g.find(g1)));
+}
+
+}  // namespace
+}  // namespace rii
+}  // namespace isamore

@@ -1,0 +1,100 @@
+#include "rules/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace rules {
+namespace {
+
+EnumerateOptions
+smallOptions()
+{
+    EnumerateOptions opt;
+    opt.binaryOps = {Op::Add, Op::Mul, Op::And, Op::Xor};
+    opt.unaryOps = {Op::Neg};
+    opt.constants = {0, 1, 2};
+    opt.maxRules = 4000;
+    return opt;
+}
+
+TEST(EnumerateTest, ProducesRules)
+{
+    auto result = enumerateRules(smallOptions());
+    EXPECT_GT(result.termsEnumerated, 100u);
+    EXPECT_GT(result.rules.size(), 20u);
+}
+
+TEST(EnumerateTest, AllEmittedRulesVerify)
+{
+    auto result = enumerateRules(smallOptions());
+    for (const auto& r : result.rules) {
+        EXPECT_TRUE(checkEquationByEvaluation(r.lhs, r.rhs, 400, 1234))
+            << r.name;
+    }
+}
+
+TEST(EnumerateTest, NoDanglingRhsHoles)
+{
+    auto result = enumerateRules(smallOptions());
+    for (const auto& r : result.rules) {
+        auto lhs = termHoles(r.lhs);
+        for (int64_t h : termHoles(r.rhs)) {
+            EXPECT_NE(std::find(lhs.begin(), lhs.end(), h), lhs.end())
+                << r.name;
+        }
+    }
+}
+
+TEST(EnumerateTest, FindsClassicIdentities)
+{
+    auto result = enumerateRules(smallOptions());
+    bool add_zero = false;
+    bool xor_self = false;
+    for (const auto& r : result.rules) {
+        std::string l = termToString(r.lhs);
+        std::string rr = termToString(r.rhs);
+        if (l == "(+ ?0 0)" && rr == "?0") {
+            add_zero = true;
+        }
+        if (l == "(^ ?0 ?0)" && rr == "0") {
+            xor_self = true;
+        }
+    }
+    EXPECT_TRUE(add_zero);
+    EXPECT_TRUE(xor_self);
+}
+
+TEST(EnumerateTest, DeterministicForSameSeed)
+{
+    auto a = enumerateRules(smallOptions());
+    auto b = enumerateRules(smallOptions());
+    ASSERT_EQ(a.rules.size(), b.rules.size());
+    for (size_t i = 0; i < a.rules.size(); ++i) {
+        EXPECT_EQ(a.rules[i].name, b.rules[i].name);
+    }
+}
+
+TEST(EnumerateTest, RejectsUnsoundCandidates)
+{
+    // The checker itself must catch a wrong equation.
+    EXPECT_FALSE(checkEquationByEvaluation(
+        parseTerm("(/ ?0 2)"), parseTerm("(>>a ?0 1)"), 400, 7));
+    EXPECT_FALSE(checkEquationByEvaluation(
+        parseTerm("(+ ?0 1)"), parseTerm("?0"), 100, 7));
+    EXPECT_TRUE(checkEquationByEvaluation(
+        parseTerm("(* ?0 2)"), parseTerm("(<< ?0 1)"), 400, 7));
+}
+
+TEST(EnumerateTest, ScalesTowardPaperRuleCount)
+{
+    // A slightly larger alphabet yields a four-digit ruleset (the paper
+    // reports 1164 rules); keep this fast but representative.
+    EnumerateOptions opt;
+    opt.maxRules = 2000;
+    auto result = enumerateRules(opt);
+    EXPECT_GT(result.rules.size(), 400u);
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace isamore

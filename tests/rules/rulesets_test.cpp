@@ -1,0 +1,129 @@
+#include "rules/rulesets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsl/eval.hpp"
+#include "rules/enumerate.hpp"
+
+namespace isamore {
+namespace rules {
+namespace {
+
+TEST(RulesetsTest, ClassifySaturating)
+{
+    // Commutativity: RHS strict subpatterns are holes only.
+    auto comm = rule("c", "(+ ?0 ?1)", "(+ ?1 ?0)");
+    EXPECT_TRUE(comm.isSaturating());
+    // Fold to a variable.
+    auto fold = rule("f", "(+ ?0 0)", "?0");
+    EXPECT_TRUE(fold.isSaturating());
+    // Associativity creates a new subterm.
+    auto assoc = rule("a", "(+ (+ ?0 ?1) ?2)", "(+ ?0 (+ ?1 ?2))");
+    EXPECT_FALSE(assoc.isSaturating());
+    // Distribution creates two new subterms.
+    auto dist = rule("d", "(* (+ ?0 ?1) ?2)", "(+ (* ?0 ?2) (* ?1 ?2))");
+    EXPECT_FALSE(dist.isSaturating());
+}
+
+TEST(RulesetsTest, ClassifySorts)
+{
+    EXPECT_TRUE(rule("i", "(+ ?0 ?1)", "(+ ?1 ?0)").flags & kRuleInt);
+    auto fr = rule("f", "(f+ ?0 ?1)", "(f+ ?1 ?0)");
+    EXPECT_TRUE(fr.flags & kRuleFloat);
+    EXPECT_FALSE(fr.flags & kRuleInt);
+}
+
+TEST(RulesetsTest, CoreRulesAreSound)
+{
+    // Every scalar-integer core rule must hold under evaluation; this is
+    // the guard that keeps hand-written rules honest.
+    for (const RewriteRule& r : coreRules()) {
+        if ((r.flags & kRuleFloat) != 0 || (r.flags & kRuleVector) != 0) {
+            continue;  // float rules hold exactly; int fuzzing only here
+        }
+        EXPECT_TRUE(checkEquationByEvaluation(r.lhs, r.rhs, 300, 99))
+            << "unsound rule: " << r.name << ": "
+            << termToString(r.lhs) << " => " << termToString(r.rhs);
+    }
+}
+
+TEST(RulesetsTest, LibrarySelectorsPartitionByFlags)
+{
+    RulesetLibrary lib = defaultLibrary();
+    for (const auto& r : lib.intSat()) {
+        EXPECT_TRUE(r.isSaturating());
+        EXPECT_FALSE(r.usesVector());
+    }
+    for (const auto& r : lib.floatSat()) {
+        EXPECT_TRUE(r.isSaturating());
+        EXPECT_TRUE(r.flags & kRuleFloat);
+    }
+    for (const auto& r : lib.nonSat()) {
+        EXPECT_FALSE(r.isSaturating());
+        EXPECT_FALSE(r.usesVector());
+    }
+    for (const auto& r : lib.vector()) {
+        EXPECT_TRUE(r.usesVector());
+    }
+    EXPECT_FALSE(lib.intSat().empty());
+    EXPECT_FALSE(lib.nonSat().empty());
+    EXPECT_FALSE(lib.vector().empty());
+}
+
+TEST(RulesetsTest, VectorLiftRuleShape)
+{
+    auto lifts = vectorLiftRules({2});
+    ASSERT_FALSE(lifts.empty());
+    // Find the add lift and check it rewrites as expected.
+    const RewriteRule* addLift = nullptr;
+    for (const auto& r : lifts) {
+        if (r.name == "lift-+-x2") {
+            addLift = &r;
+        }
+    }
+    ASSERT_NE(addLift, nullptr);
+    EXPECT_EQ(termToString(addLift->lhs),
+              "(vec (+ ?0 ?1) (+ ?2 ?3))");
+    EXPECT_EQ(termToString(addLift->rhs),
+              "(vop + (vec ?0 ?2) (vec ?1 ?3))");
+    EXPECT_TRUE(addLift->flags & kRuleLift);
+}
+
+TEST(RulesetsTest, LiftRulePreservesSemantics)
+{
+    // Evaluate both sides of a lift rule on concrete lanes.
+    auto lifts = vectorLiftRules({2});
+    for (const auto& r : lifts) {
+        if (std::string(r.name) != "lift-*-x2") {
+            continue;
+        }
+        EvalContext ctx;
+        ctx.holeValue = [](int64_t id) { return Value::ofInt(id + 2); };
+        Value l = evaluate(r.lhs, ctx);
+        Value rv = evaluate(r.rhs, ctx);
+        EXPECT_EQ(l, rv);
+    }
+}
+
+TEST(RulesetsTest, ExtendedLibraryAddsEnumeratedRules)
+{
+    RulesetLibrary base = defaultLibrary();
+    RulesetLibrary extended = extendedLibrary();
+    EXPECT_GT(extended.all().size(), base.all().size() + 100);
+    // Classification still partitions correctly.
+    for (const auto& r : extended.intSat()) {
+        EXPECT_TRUE(r.isSaturating());
+    }
+    // Enumerated additions carry the "enum:" name prefix.
+    bool found_enumerated = false;
+    for (const auto& r : extended.all()) {
+        if (r.name.rfind("enum:", 0) == 0) {
+            found_enumerated = true;
+        }
+    }
+    EXPECT_TRUE(found_enumerated);
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace isamore

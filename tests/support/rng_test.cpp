@@ -1,0 +1,49 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isamore {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace isamore

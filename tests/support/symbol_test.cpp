@@ -1,0 +1,56 @@
+#include "support/symbol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace isamore {
+namespace {
+
+TEST(SymbolTest, InterningGivesStableIds)
+{
+    Symbol a("alpha");
+    Symbol b("alpha");
+    Symbol c("beta");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(SymbolTest, RoundTripsText)
+{
+    Symbol s("roundtrip-me");
+    EXPECT_EQ(s.str(), "roundtrip-me");
+}
+
+TEST(SymbolTest, EmptySymbolIsDefault)
+{
+    Symbol def;
+    Symbol empty("");
+    EXPECT_EQ(def, empty);
+    EXPECT_EQ(def.str(), "");
+}
+
+TEST(SymbolTest, ManySymbolsRemainDistinct)
+{
+    std::unordered_set<uint32_t> ids;
+    for (int i = 0; i < 1000; ++i) {
+        Symbol s("sym-" + std::to_string(i));
+        EXPECT_TRUE(ids.insert(s.id()).second) << "duplicate id for " << i;
+    }
+    // Texts survive later interning.
+    EXPECT_EQ(Symbol("sym-0").str(), "sym-0");
+    EXPECT_EQ(Symbol("sym-999").str(), "sym-999");
+}
+
+TEST(SymbolTest, UsableAsHashKey)
+{
+    std::unordered_set<Symbol> set;
+    set.insert(Symbol("x"));
+    set.insert(Symbol("y"));
+    set.insert(Symbol("x"));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace isamore

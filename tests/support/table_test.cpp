@@ -1,0 +1,48 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace {
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("| name"), std::string::npos);
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows)
+{
+    TextTable table({"a", "b", "c"});
+    table.addRow({"only-one"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsOverlongRows)
+{
+    TextTable table({"a"});
+    EXPECT_THROW(table.addRow({"1", "2"}), UserError);
+}
+
+TEST(TextTableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace isamore

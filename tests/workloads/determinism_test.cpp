@@ -1,0 +1,61 @@
+/**
+ * @file
+ * End-to-end determinism: every bundled workload must produce the same
+ * profile, the same e-graph, and the same identification result across
+ * independent runs — the property the evaluation harnesses rely on.
+ */
+#include <gtest/gtest.h>
+
+#include "egraph/dump.hpp"
+#include "isamore/isamore.hpp"
+#include "workloads/libraries.hpp"
+
+namespace isamore {
+namespace {
+
+class WorkloadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadDeterminism, AnalysisIsBitStable)
+{
+    auto make = [&]() {
+        auto kernels = workloads::benchmarkKernels();
+        return kernels[static_cast<size_t>(GetParam())];
+    };
+    AnalyzedWorkload a = analyzeWorkload(make());
+    AnalyzedWorkload b = analyzeWorkload(make());
+
+    EXPECT_EQ(a.irInstructions, b.irInstructions);
+    EXPECT_EQ(a.profile.totalCycles(), b.profile.totalCycles());
+    EXPECT_EQ(dumpText(a.program.egraph), dumpText(b.program.egraph));
+    EXPECT_EQ(a.program.sites.size(), b.program.sites.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadDeterminism,
+                         ::testing::Range(0, 9));
+
+TEST(WorkloadDeterminismTest, IdentificationIsStable)
+{
+    AnalyzedWorkload analyzed = analyzeWorkload(workloads::makeQProd());
+    auto a = identifyInstructions(analyzed, rii::Mode::Default);
+    auto b = identifyInstructions(analyzed, rii::Mode::Default);
+    ASSERT_EQ(a.front.size(), b.front.size());
+    for (size_t i = 0; i < a.front.size(); ++i) {
+        EXPECT_EQ(a.front[i].patternIds, b.front[i].patternIds);
+        EXPECT_DOUBLE_EQ(a.front[i].speedup, b.front[i].speedup);
+    }
+    EXPECT_EQ(a.stats.rawCandidates, b.stats.rawCandidates);
+}
+
+TEST(WorkloadDeterminismTest, LibraryModulesStable)
+{
+    auto spec = workloads::pclSpecs()[2];  // segment: small & quick
+    AnalyzedWorkload a =
+        analyzeWorkload(workloads::makeLibraryModule(spec));
+    AnalyzedWorkload b =
+        analyzeWorkload(workloads::makeLibraryModule(spec));
+    EXPECT_EQ(dumpText(a.program.egraph), dumpText(b.program.egraph));
+    EXPECT_EQ(a.profile.totalCycles(), b.profile.totalCycles());
+}
+
+}  // namespace
+}  // namespace isamore

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Command-line driver for the ISAMORE pipeline.
+ *
+ * Usage:
+ *   isamore_cli list
+ *   isamore_cli run <workload> [--mode default|astsize|kdsample|vector|
+ *                                      noeqsat|llmt]
+ *                   [--emit-verilog] [--rocc] [--dump-egraph]
+ *
+ * Workload names: the Table 2 kernels (matmul, matchain, 2dconv, fft,
+ * stencil, qprod, qrdecomp, deriche, sha), "all", the case studies
+ * (bitlinear, kyber), and the library modules (e.g. liquid-dsp/filter,
+ * cimg, pcl/search).
+ */
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "backend/rocc.hpp"
+#include "backend/verilog.hpp"
+#include "egraph/dump.hpp"
+#include "isamore/isamore.hpp"
+#include "isamore/report.hpp"
+#include "workloads/libraries.hpp"
+
+namespace {
+
+using namespace isamore;
+
+std::vector<std::pair<std::string, workloads::Workload (*)()>>
+kernelFactories()
+{
+    return {
+        {"2dconv", workloads::makeConv2D},
+        {"matmul", workloads::makeMatMul},
+        {"matchain", workloads::makeMatChain},
+        {"fft", workloads::makeFft},
+        {"stencil", workloads::makeStencil},
+        {"qprod", workloads::makeQProd},
+        {"qrdecomp", workloads::makeQRDecomp},
+        {"deriche", workloads::makeDeriche},
+        {"sha", workloads::makeSha},
+        {"all", workloads::makeAll},
+        {"bitlinear", workloads::makeBitLinear},
+        {"kyber", workloads::makeKyberNtt},
+    };
+}
+
+std::optional<workloads::Workload>
+findWorkload(const std::string& name)
+{
+    for (const auto& [key, factory] : kernelFactories()) {
+        if (key == name) {
+            return factory();
+        }
+    }
+    auto specs = workloads::liquidDspSpecs();
+    specs.push_back(workloads::cimgSpec());
+    for (const auto& s : workloads::pclSpecs()) {
+        specs.push_back(s);
+    }
+    for (const auto& spec : specs) {
+        std::string full = spec.library + "/" + spec.name;
+        std::string lowered;
+        for (char c : full) {
+            lowered += static_cast<char>(std::tolower(c));
+        }
+        if (lowered == name || spec.name == name) {
+            return workloads::makeLibraryModule(spec);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<rii::Mode>
+parseMode(const std::string& text)
+{
+    if (text == "default") {
+        return rii::Mode::Default;
+    }
+    if (text == "astsize") {
+        return rii::Mode::AstSize;
+    }
+    if (text == "kdsample") {
+        return rii::Mode::KDSample;
+    }
+    if (text == "vector") {
+        return rii::Mode::Vector;
+    }
+    if (text == "noeqsat") {
+        return rii::Mode::NoEqSat;
+    }
+    if (text == "llmt") {
+        return rii::Mode::LLMT;
+    }
+    return std::nullopt;
+}
+
+int
+listWorkloads()
+{
+    std::cout << "kernels & case studies:\n";
+    for (const auto& [key, factory] : kernelFactories()) {
+        std::cout << "  " << key << "\n";
+    }
+    std::cout << "library modules:\n";
+    auto specs = workloads::liquidDspSpecs();
+    specs.push_back(workloads::cimgSpec());
+    for (const auto& s : workloads::pclSpecs()) {
+        specs.push_back(s);
+    }
+    for (const auto& spec : specs) {
+        std::cout << "  " << spec.library << "/" << spec.name << "\n";
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: isamore_cli list\n"
+        << "       isamore_cli run <workload> [--mode <m>] "
+           "[--emit-verilog] [--rocc] [--dump-egraph] [--json]\n"
+        << "                   [--extended-rules]\n";
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+    if (command == "list") {
+        return listWorkloads();
+    }
+    if (command != "run" || argc < 3) {
+        return usage();
+    }
+
+    const std::string name = argv[2];
+    rii::Mode mode = rii::Mode::Default;
+    bool emit_verilog = false;
+    bool rocc = false;
+    bool dump = false;
+    bool json = false;
+    bool extended = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--json") {
+            json = true;
+        } else if (flag == "--extended-rules") {
+            extended = true;
+        } else if (flag == "--mode" && i + 1 < argc) {
+            auto parsed = parseMode(argv[++i]);
+            if (!parsed) {
+                std::cerr << "unknown mode\n";
+                return 2;
+            }
+            mode = *parsed;
+        } else if (flag == "--emit-verilog") {
+            emit_verilog = true;
+        } else if (flag == "--rocc") {
+            rocc = true;
+        } else if (flag == "--dump-egraph") {
+            dump = true;
+        } else {
+            return usage();
+        }
+    }
+
+    auto workload = findWorkload(name);
+    if (!workload) {
+        std::cerr << "unknown workload: " << name
+                  << " (try `isamore_cli list`)\n";
+        return 2;
+    }
+
+    std::cout << "workload: " << workload->name << " -- "
+              << workload->description << "\n";
+    AnalyzedWorkload analyzed = analyzeWorkload(std::move(*workload));
+    std::cout << "IR instructions: " << analyzed.irInstructions
+              << ", e-classes: " << analyzed.program.egraph.numClasses()
+              << ", software time: " << analyzed.profile.totalNs()
+              << " ns\n";
+    if (dump) {
+        std::cout << dumpText(analyzed.program.egraph);
+    }
+
+    rii::RiiResult result =
+        extended ? identifyInstructions(analyzed,
+                                        rules::extendedLibrary(),
+                                        rii::RiiConfig::forMode(mode))
+                 : identifyInstructions(analyzed, mode);
+    std::cout << "\nmode " << rii::modeName(mode) << ":\n"
+              << describeResult(result)
+              << "\nphases=" << result.stats.phasesRun
+              << " peakNodes=" << result.stats.peakNodes
+              << " candidates=" << result.stats.rawCandidates
+              << (result.stats.auAborted ? " (ABORTED: budget)" : "")
+              << " time=" << result.stats.seconds << "s\n";
+
+    if (rocc) {
+        rii::CostModel cost(result.baseProgram, analyzed.profile,
+                            result.registry, 0.5);
+        auto [sol, report] = backend::modelBestOnFront(
+            cost, result.front, result.registry, result.evaluations);
+        (void)sol;
+        std::cout << "\nRoCC integration: speedup=" << report.speedup
+                  << "x areaOverhead=" << report.areaOverhead * 100
+                  << "% freq=" << report.frequencyMHz << "MHz\n";
+    }
+    if (json) {
+        std::cout << "\n" << resultToJson(analyzed, result);
+    }
+    if (emit_verilog) {
+        for (int64_t id : result.best().patternIds) {
+            std::cout << "\n"
+                      << backend::emitVerilogModule(
+                             id, result.registry.body(id),
+                             result.registry.resolver());
+        }
+    }
+    return 0;
+}
