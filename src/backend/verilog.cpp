@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "support/check.hpp"
+#include "support/fault.hpp"
 
 namespace isamore {
 namespace backend {
@@ -256,6 +257,11 @@ std::string
 emitVerilogModule(int64_t id, const TermPtr& pattern,
                   const hls::PatternResolver& resolver)
 {
+    // Fault-injection site: a tripped emission fails this one module;
+    // callers degrade by skipping it and emitting the rest.
+    if (fault::tripped("backend.emit")) {
+        throw InternalError("injected fault at backend.emit");
+    }
     const auto holes = termHoles(pattern);
     const hls::HwCost hw = hls::estimatePattern(pattern, resolver);
 

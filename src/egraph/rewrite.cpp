@@ -1,6 +1,9 @@
 #include "egraph/rewrite.hpp"
 
+#include <new>
+
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/stopwatch.hpp"
 
 namespace isamore {
@@ -19,15 +22,53 @@ makeRule(std::string name, const std::string& lhs, const std::string& rhs,
     return rule;
 }
 
+const char*
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Saturated:
+        return "Saturated";
+      case StopReason::NodeLimit:
+        return "NodeLimit";
+      case StopReason::IterLimit:
+        return "IterLimit";
+      case StopReason::TimeLimit:
+        return "TimeLimit";
+      case StopReason::Budget:
+        return "Budget";
+    }
+    return "?";
+}
+
 EqSatStats
 runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
-         const EqSatLimits& limits)
+         const EqSatLimits& limits, Budget* parent)
 {
     EqSatStats stats;
     Stopwatch watch;
+    BudgetSpec spec;
+    spec.maxSeconds = limits.maxSeconds;
+    Budget budget(spec, parent);
     egraph.rebuild();
     stats.peakNodes = egraph.numNodes();
     stats.peakClasses = egraph.numClasses();
+
+    // Deadline / enclosing-budget trips observed mid-iteration.  A
+    // deadline tripped while work remained must survive to the final
+    // stop-reason decision (it cannot be overwritten by Saturated).
+    bool out_of_time = false;
+    bool out_of_units = false;
+    auto poll_budget = [&]() {
+        if (budget.ok()) {
+            return false;
+        }
+        if (budget.effectiveStop() == BudgetStop::Deadline) {
+            out_of_time = true;
+        } else {
+            out_of_units = true;
+        }
+        return true;
+    };
 
     // Backoff bookkeeping, parallel to `rules`.
     struct Backoff {
@@ -38,6 +79,7 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
 
     for (size_t iter = 0; iter < limits.maxIterations; ++iter) {
         stats.iterations = iter + 1;
+        size_t skipped_this_iter = 0;
 
         // Phase 1: search all rules against the current (stable) e-graph.
         struct PendingUnion {
@@ -60,44 +102,80 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                                    ? limits.maxMatchesPerRule
                                          << backoff[r].timesBanned
                                    : limits.maxMatchesPerRule;
-            auto matches = ematchAll(
-                egraph, rule.lhs, limits.useBackoff ? cap + 1 : cap);
-            if (limits.useBackoff && matches.size() > cap) {
-                // Ban for an exponentially growing span and skip.
-                backoff[r].bannedUntil =
-                    iter + (size_t{1} << ++backoff[r].timesBanned);
-                ++stats.rulesBanned;
-                any_banned = true;
-                continue;
-            }
-            for (EMatch& match : matches) {
-                if (rule.guard && !rule.guard(egraph, match)) {
+            try {
+                // Inside the catch scope so throwing fault kinds degrade
+                // to a skipped rule instead of escaping the run.
+                if (fault::tripped("eqsat.search")) {
+                    out_of_time = true;
+                }
+                auto matches = ematchAll(
+                    egraph, rule.lhs, limits.useBackoff ? cap + 1 : cap);
+                if (limits.useBackoff && matches.size() > cap) {
+                    // Ban for an exponentially growing span and skip.
+                    backoff[r].bannedUntil =
+                        iter + (size_t{1} << ++backoff[r].timesBanned);
+                    ++stats.rulesBanned;
+                    any_banned = true;
                     continue;
                 }
-                pending.push_back(PendingUnion{&rule, std::move(match)});
+                for (EMatch& match : matches) {
+                    if (rule.guard && !rule.guard(egraph, match)) {
+                        continue;
+                    }
+                    pending.push_back(
+                        PendingUnion{&rule, std::move(match)});
+                }
+            } catch (const InternalError&) {
+                ++skipped_this_iter;
+                continue;
+            } catch (const std::bad_alloc&) {
+                ++skipped_this_iter;
+                continue;
             }
-            if (watch.seconds() > limits.maxSeconds) {
+            if (out_of_time || poll_budget()) {
                 break;
             }
         }
 
-        // Phase 2: apply.
+        // Phase 2: apply.  Matches already collected are applied even
+        // when the search was cut short, mirroring the pre-budget
+        // behaviour; the deadline is audited inside this loop too.
         const uint64_t version_before = egraph.version();
         size_t nodes_before = egraph.numNodes();
         bool added_nodes = false;
         size_t applied = 0;
         for (const PendingUnion& p : pending) {
-            EClassId rhs_class =
-                instantiate(egraph, p.rule->rhs, p.match.subst);
-            if (egraph.merge(p.match.root, rhs_class)) {
-                ++stats.applications;
-            }
-            // numNodes() is O(#classes); poll the limit periodically.
-            if ((++applied & 63u) == 0 &&
-                egraph.numNodes() > limits.maxNodes &&
-                egraph.numNodes() > nodes_before) {
-                added_nodes = true;
+            if (fault::tripped("eqsat.apply")) {
+                out_of_time = true;
                 break;
+            }
+            try {
+                EClassId rhs_class =
+                    instantiate(egraph, p.rule->rhs, p.match.subst);
+                if (egraph.merge(p.match.root, rhs_class)) {
+                    ++stats.applications;
+                    if (!budget.charge(1)) {
+                        out_of_units = true;
+                        break;
+                    }
+                }
+            } catch (const InternalError&) {
+                ++skipped_this_iter;
+                continue;
+            } catch (const std::bad_alloc&) {
+                ++skipped_this_iter;
+                continue;
+            }
+            // numNodes() is O(#classes); poll the limits periodically.
+            if ((++applied & 63u) == 0) {
+                if (egraph.numNodes() > limits.maxNodes &&
+                    egraph.numNodes() > nodes_before) {
+                    added_nodes = true;
+                    break;
+                }
+                if (poll_budget()) {
+                    break;
+                }
             }
         }
         egraph.rebuild();
@@ -105,11 +183,27 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         stats.peakNodes = std::max(stats.peakNodes, egraph.numNodes());
         stats.peakClasses = std::max(stats.peakClasses, egraph.numClasses());
         stats.seconds = watch.seconds();
+        stats.skippedRules += skipped_this_iter;
 
+        // Stop-reason decision.  A deadline or budget tripped anywhere in
+        // this iteration wins: the iteration did partial work, so a quiet
+        // e-graph does not mean saturation.
+        if (out_of_time) {
+            stats.stopReason = StopReason::TimeLimit;
+            return stats;
+        }
+        if (out_of_units) {
+            stats.stopReason = StopReason::Budget;
+            return stats;
+        }
+        if (fault::tripped("eqsat.nodes")) {
+            added_nodes = true;
+        }
         if (egraph.version() == version_before &&
-            egraph.numNodes() == nodes_before && !any_banned) {
+            egraph.numNodes() == nodes_before && !any_banned &&
+            !added_nodes && skipped_this_iter == 0) {
             // A quiet iteration only means saturation when no rule sat
-            // out a backoff ban.
+            // out a backoff ban and none was dropped by a fault.
             stats.stopReason = StopReason::Saturated;
             return stats;
         }
@@ -117,8 +211,9 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
             stats.stopReason = StopReason::NodeLimit;
             return stats;
         }
-        if (watch.seconds() > limits.maxSeconds) {
-            stats.stopReason = StopReason::TimeLimit;
+        if (poll_budget()) {
+            stats.stopReason = out_of_time ? StopReason::TimeLimit
+                                           : StopReason::Budget;
             return stats;
         }
     }

@@ -16,6 +16,7 @@
 
 #include "egraph/egraph.hpp"
 #include "egraph/ematch.hpp"
+#include "support/budget.hpp"
 
 namespace isamore {
 
@@ -62,8 +63,15 @@ struct EqSatLimits {
     bool useBackoff = false;
 };
 
-/** Why an equality-saturation run stopped. */
-enum class StopReason { Saturated, NodeLimit, IterLimit, TimeLimit };
+/**
+ * Why an equality-saturation run stopped.  Budget means an enclosing
+ * hierarchical budget (units or memory) ran out, as opposed to this run's
+ * own wall-clock deadline (TimeLimit).
+ */
+enum class StopReason { Saturated, NodeLimit, IterLimit, TimeLimit, Budget };
+
+/** Printable name of a StopReason. */
+const char* stopReasonName(StopReason reason);
 
 /** Statistics from one equality-saturation run. */
 struct EqSatStats {
@@ -72,6 +80,9 @@ struct EqSatStats {
     size_t peakClasses = 0;
     size_t applications = 0;
     size_t rulesBanned = 0;  ///< backoff bans issued (when enabled)
+    /** Rules (or single applications) dropped after a fault; a sweep with
+     *  drops never reports Saturated. */
+    size_t skippedRules = 0;
     StopReason stopReason = StopReason::Saturated;
     double seconds = 0.0;
 };
@@ -79,8 +90,16 @@ struct EqSatStats {
 /**
  * Run equality saturation: repeatedly search all rules (read-only), apply
  * all matches, and rebuild, until saturation or a limit trips.
+ *
+ * When @p budget is given, the run charges one unit per rewrite
+ * application against it and clamps its own deadline (from
+ * limits.maxSeconds) to the budget's, so a run-level budget bounds EqSat
+ * across all phases.  A rule whose search or application throws
+ * (InternalError / bad_alloc, e.g. under fault injection) is dropped and
+ * counted in skippedRules; the sweep continues with the remaining rules.
  */
 EqSatStats runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
-                    const EqSatLimits& limits = {});
+                    const EqSatLimits& limits = {},
+                    Budget* budget = nullptr);
 
 }  // namespace isamore

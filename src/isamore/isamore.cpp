@@ -86,6 +86,12 @@ describeResult(const rii::RiiResult& result)
                << termToString(result.registry.body(id)) << '\n';
         }
     }
+    // Degradation is part of the result: a partial run must say so.
+    // Clean runs print nothing extra, keeping their output byte-stable.
+    if (result.diagnostics.degraded()) {
+        os << "\nDegraded run (partial results):\n"
+           << result.diagnostics.summary();
+    }
     return os.str();
 }
 

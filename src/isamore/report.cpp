@@ -51,6 +51,27 @@ resultToJson(const AnalyzedWorkload& analyzed,
        << "    \"aborted\": "
        << (result.stats.auAborted ? "true" : "false") << ",\n"
        << "    \"seconds\": " << result.stats.seconds << "\n  },\n"
+       << "  \"diagnostics\": {\n"
+       << "    \"degraded\": "
+       << (result.diagnostics.degraded() ? "true" : "false") << ",\n"
+       << "    \"skippedPairs\": " << result.diagnostics.skippedPairs
+       << ",\n"
+       << "    \"skippedRules\": " << result.diagnostics.skippedRules
+       << ",\n"
+       << "    \"skippedPatterns\": " << result.diagnostics.skippedPatterns
+       << ",\n"
+       << "    \"skippedPhases\": " << result.diagnostics.skippedPhases
+       << ",\n"
+       << "    \"faultsInjected\": " << result.diagnostics.faultsInjected
+       << ",\n"
+       << "    \"auBudgetTripped\": "
+       << (result.diagnostics.auBudgetTripped ? "true" : "false") << ",\n"
+       << "    \"selectionTruncated\": "
+       << (result.diagnostics.selectionTruncated ? "true" : "false")
+       << ",\n"
+       << "    \"budgetExhausted\": "
+       << (result.diagnostics.budgetExhausted ? "true" : "false")
+       << "\n  },\n"
        << "  \"front\": [\n";
 
     for (size_t s = 0; s < result.front.size(); ++s) {

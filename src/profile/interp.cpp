@@ -4,6 +4,7 @@
 
 #include "profile/timing.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 
 namespace isamore {
 namespace profile {
@@ -105,6 +106,11 @@ Machine::run(int funcIndex, const std::vector<Value>& args)
     const ir::Function& fn = module_.functions[funcIndex];
     if (args.size() != fn.numParams()) {
         throw InterpError(fn.name + ": argument count mismatch");
+    }
+    // Fault-injection site: a tripped profiler run fails like a dynamic
+    // interpreter error (the upper layers' recovery paths are the same).
+    if (fault::tripped("profile.run")) {
+        throw InterpError(fn.name + ": injected fault at profile.run");
     }
 
     std::vector<Value> values(fn.numValues());

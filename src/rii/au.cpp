@@ -7,7 +7,10 @@
 #include "egraph/extract.hpp"
 #include "hls/estimator.hpp"
 #include "rii/structhash.hpp"
+#include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/hashing.hpp"
+#include "support/stopwatch.hpp"
 
 namespace isamore {
 namespace rii {
@@ -61,9 +64,14 @@ patternWellFormed(const TermPtr& term, bool isAppHead = false)
 /** The anti-unification engine. */
 class AntiUnifier {
  public:
-    AntiUnifier(const EGraph& egraph, const AuOptions& options)
-        : egraph_(egraph), options_(options)
-    {}
+    AntiUnifier(const EGraph& egraph, const AuOptions& options,
+                Budget* parent)
+        : egraph_(egraph), options_(options),
+          budget_(sweepSpec(options), parent),
+          pairLimited_(options.maxSecondsPerPair != kUnlimitedSeconds)
+    {
+        sweepLimited_ = budget_.remainingSeconds() != kUnlimitedSeconds;
+    }
 
     AuResult
     run()
@@ -73,13 +81,51 @@ class AntiUnifier {
         AuResult result;
 
         std::unordered_set<std::string> seen;
-        for (const auto& [a, b] : pairs) {
-            if (aborted_ || result.patterns.size() >=
-                                options_.maxResultPatterns) {
+        for (size_t i = 0; i < pairs.size(); ++i) {
+            if (aborted_) {
+                // The candidate budget blew mid-enumeration.  That cap is
+                // experiment policy (the LLMT baseline exceeds it by
+                // design), so the pairs never reached are not counted as
+                // skipped work: `aborted` already tells the whole story.
                 break;
             }
+            if (result.patterns.size() >= options_.maxResultPatterns) {
+                break;
+            }
+            if (fault::tripped("au.sweep") || !budget_.ok()) {
+                stats_.timedOut = true;
+                stats_.skippedPairs += pairs.size() - i;
+                break;
+            }
+            const auto& [a, b] = pairs[i];
             ++stats_.pairsExplored;
-            for (const TermPtr& p : au(a, b, options_.maxDepth)) {
+            pairTripped_ = false;
+            if (pairLimited_) {
+                pairWatch_.reset();
+            }
+            if (fault::tripped("au.pair")) {
+                ++stats_.skippedPairs;
+                continue;
+            }
+            // Per-pair skip-and-record: a pair that overruns its budget
+            // or faults is dropped whole and the sweep moves on.
+            std::vector<TermPtr> produced;
+            try {
+                produced = au(a, b, options_.maxDepth);
+            } catch (const InternalError&) {
+                inProgress_.clear();
+                ++stats_.skippedPairs;
+                continue;
+            } catch (const std::bad_alloc&) {
+                inProgress_.clear();
+                ++stats_.skippedPairs;
+                continue;
+            }
+            if (pairTripped_) {
+                ++stats_.skippedPairs;
+                continue;
+            }
+            for (const TermPtr& p : produced) {
                 if (termOpCount(p) < options_.minOps ||
                     termHoles(p).empty() || p->op == Op::List ||
                     !patternWellFormed(p)) {
@@ -217,12 +263,33 @@ class AntiUnifier {
         return hole(it->second);
     }
 
+    /** sweep budget: deadline from options.maxSeconds (clamped to the
+     *  parent's) + one consumable unit per raw candidate. */
+    static BudgetSpec
+    sweepSpec(const AuOptions& options)
+    {
+        BudgetSpec spec;
+        spec.maxSeconds = options.maxSeconds;
+        spec.maxUnits = options.maxCandidates;
+        return spec;
+    }
+
     std::vector<TermPtr>
     au(EClassId a, EClassId b, int depth)
     {
         a = egraph_.find(a);
         b = egraph_.find(b);
-        if (depth <= 0 || aborted_) {
+        // Per-pair and sweep deadlines are polled on every recursion
+        // step, but only when one is actually set (both reads are free
+        // in the default unlimited configuration).
+        if (pairLimited_ && !pairTripped_ &&
+            pairWatch_.seconds() > options_.maxSecondsPerPair) {
+            pairTripped_ = true;
+        }
+        if (sweepLimited_ && !pairTripped_ && !budget_.ok()) {
+            pairTripped_ = true;
+        }
+        if (depth <= 0 || aborted_ || pairTripped_) {
             return {holeFor(a, b)};
         }
         if (a == b) {
@@ -261,7 +328,11 @@ class AntiUnifier {
         }
         out = samplePatterns(std::move(out));
         inProgress_.erase(PairKeyHash{}(key));
-        memo_.emplace(key, out);
+        // A tripped pair produced degenerate (hole-heavy) results; do not
+        // memoize them, so later pairs recompute this subproblem cleanly.
+        if (!pairTripped_) {
+            memo_.emplace(key, out);
+        }
         return out;
     }
 
@@ -319,7 +390,8 @@ class AntiUnifier {
             }
             out.push_back(makeTerm(na.op, na.payload, std::move(children)));
             ++stats_.rawCandidates;
-            if (stats_.rawCandidates > options_.maxCandidates) {
+            if (fault::tripped("au.candidate") ||
+                !budget_.charge(1)) {
                 aborted_ = true;
                 return;
             }
@@ -431,6 +503,11 @@ class AntiUnifier {
 
     const EGraph& egraph_;
     const AuOptions& options_;
+    Budget budget_;
+    bool pairLimited_ = false;
+    bool sweepLimited_ = false;
+    bool pairTripped_ = false;
+    Stopwatch pairWatch_;
     std::vector<EClassId> ids_;
     ClassMap<Type> types_;
     ClassMap<uint64_t> hashes_;
@@ -446,9 +523,10 @@ class AntiUnifier {
 }  // namespace
 
 AuResult
-identifyPatterns(const EGraph& egraph, const AuOptions& options)
+identifyPatterns(const EGraph& egraph, const AuOptions& options,
+                 Budget* budget)
 {
-    return AntiUnifier(egraph, options).run();
+    return AntiUnifier(egraph, options, budget).run();
 }
 
 }  // namespace rii

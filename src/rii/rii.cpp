@@ -1,8 +1,11 @@
 #include "rii/rii.hpp"
 
 #include <algorithm>
+#include <new>
+#include <sstream>
 
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/stopwatch.hpp"
 
 namespace isamore {
@@ -109,6 +112,34 @@ RiiConfig::forMode(Mode mode)
     return cfg;
 }
 
+bool
+RunDiagnostics::degraded() const
+{
+    return skippedRules > 0 || skippedPairs > 0 || skippedPatterns > 0 ||
+           skippedPhases > 0 || faultsInjected > 0 || auBudgetTripped ||
+           auTimedOut || selectionTruncated || budgetExhausted;
+}
+
+std::string
+RunDiagnostics::summary() const
+{
+    std::ostringstream os;
+    os << "eqsat:  lastStop=" << stopReasonName(lastEqSatStop)
+       << " nodeTrips=" << eqsatNodeTrips
+       << " timeouts=" << eqsatTimeouts
+       << " skippedRules=" << skippedRules << "\n"
+       << "au:     skippedPairs=" << skippedPairs
+       << " budgetTripped=" << (auBudgetTripped ? "yes" : "no")
+       << " timedOut=" << (auTimedOut ? "yes" : "no") << "\n"
+       << "select: truncated=" << (selectionTruncated ? "yes" : "no")
+       << " skippedPatterns=" << skippedPatterns << "\n"
+       << "run:    skippedPhases=" << skippedPhases
+       << " faultsInjected=" << faultsInjected
+       << " budgetExhausted=" << (budgetExhausted ? "yes" : "no")
+       << " degraded=" << (degraded() ? "yes" : "no") << "\n";
+    return os.str();
+}
+
 const Solution&
 RiiResult::best() const
 {
@@ -130,6 +161,9 @@ runRii(const frontend::EncodedProgram& program,
     Stopwatch watch;
     RiiResult result;
     RiiStats& stats = result.stats;
+    RunDiagnostics& diag = result.diagnostics;
+    Budget runBudget(config.budget);
+    const uint64_t faultsBefore = fault::Registry::instance().firedCount();
 
     // Vector mode runs pattern vectorization up front (its phase applies
     // the vector ruleset, per Fig. 7 line 8).  The paper's hybrid
@@ -141,11 +175,19 @@ runRii(const frontend::EncodedProgram& program,
     std::vector<const frontend::EncodedProgram*> bases;
     frontend::EncodedProgram vectorized;
     if (config.mode == Mode::Vector) {
-        VectorizeResult vr = vectorizeProgram(
-            program, rules.vector(), config.vectorize);
-        vectorized = std::move(vr.program);
-        stats.packsCreated = vr.packsCreated;
-        bases.push_back(&vectorized);
+        // A faulty vectorizer degrades Vector mode to the scalar-only
+        // phase loop instead of killing the run.
+        try {
+            VectorizeResult vr = vectorizeProgram(
+                program, rules.vector(), config.vectorize);
+            vectorized = std::move(vr.program);
+            stats.packsCreated = vr.packsCreated;
+            bases.push_back(&vectorized);
+        } catch (const InternalError&) {
+            ++diag.skippedPhases;
+        } catch (const std::bad_alloc&) {
+            ++diag.skippedPhases;
+        }
     }
     bases.push_back(&program);
     stats.origNodes = bases.front()->egraph.numNodes();
@@ -162,6 +204,14 @@ runRii(const frontend::EncodedProgram& program,
         std::string last_signature;
         const int total_phases = 2 + config.maxPhases;
         for (int phase = 0; phase < total_phases; ++phase) {
+            // Whole-run budget gate: remaining phases are dropped, not
+            // aborted, once it expires.
+            if (fault::tripped("rii.phase") || !runBudget.ok()) {
+                diag.budgetExhausted = true;
+                diag.skippedPhases +=
+                    static_cast<size_t>(total_phases - phase);
+                break;
+            }
             ++stats.phasesRun;
 
             // Ruleset for this phase.  The node budget scales with the
@@ -201,27 +251,62 @@ runRii(const frontend::EncodedProgram& program,
                  result.registry.applicationRules(pre_patterns)) {
                 phase_rules.push_back(std::move(r));
             }
-            EqSatStats eq = runEqSat(work.egraph, phase_rules, limits);
+            EqSatStats eq = runEqSat(work.egraph, phase_rules, limits,
+                                     &runBudget);
+            diag.lastEqSatStop = eq.stopReason;
+            diag.skippedRules += eq.skippedRules;
+            if (eq.stopReason == StopReason::NodeLimit) {
+                ++diag.eqsatNodeTrips;
+            } else if (eq.stopReason == StopReason::TimeLimit) {
+                ++diag.eqsatTimeouts;
+            }
             stats.peakNodes = std::max(
                 {stats.peakNodes, eq.peakNodes, work.egraph.numNodes()});
             stats.peakClasses =
                 std::max({stats.peakClasses, eq.peakClasses,
                           work.egraph.numClasses()});
 
-            // Smart AU identification.
-            AuResult au = identifyPatterns(work.egraph, config.au);
+            // Smart AU identification.  A sweep that dies wholesale
+            // (invariant trip, allocation failure) costs this phase only;
+            // per-pair failures are already absorbed inside the sweep.
+            AuResult au;
+            try {
+                au = identifyPatterns(work.egraph, config.au, &runBudget);
+            } catch (const InternalError&) {
+                ++diag.skippedPhases;
+                continue;
+            } catch (const std::bad_alloc&) {
+                ++diag.skippedPhases;
+                continue;
+            }
+            diag.skippedPairs += au.stats.skippedPairs;
+            diag.auTimedOut = diag.auTimedOut || au.stats.timedOut;
             stats.rawCandidates += au.stats.rawCandidates;
             stats.dedupedCandidates += au.patterns.size();
             if (au.stats.aborted) {
                 stats.auAborted = true;
+                // The configured candidate cap is experiment policy (the
+                // LLMT baseline blows it by design) and stays out of the
+                // degradation report; only an exhausted *run* budget
+                // counts as a degraded abort.
+                if (!runBudget.ok()) {
+                    diag.auBudgetTripped = true;
+                }
                 break;  // the LLMT "out of memory" analogue
             }
 
-            // Cost the candidates and keep the best few.
+            // Cost the candidates and keep the best few.  A candidate
+            // whose evaluation fails is dropped, not fatal.
             std::vector<PatternEval> costed;
             for (const TermPtr& p : au.patterns) {
-                int64_t id = result.registry.add(p);
-                costed.push_back(cost.evaluate(id, work.egraph));
+                try {
+                    int64_t id = result.registry.add(p);
+                    costed.push_back(cost.evaluate(id, work.egraph));
+                } catch (const InternalError&) {
+                    ++diag.skippedPatterns;
+                } catch (const std::bad_alloc&) {
+                    ++diag.skippedPatterns;
+                }
             }
             std::sort(costed.begin(), costed.end(),
                       [](const PatternEval& a, const PatternEval& b) {
@@ -269,15 +354,30 @@ runRii(const frontend::EncodedProgram& program,
             app_limits.maxIterations = 1;
             app_limits.maxNodes = limits.maxNodes * 2;
             runEqSat(work.egraph, result.registry.applicationRules(ids),
-                     app_limits);
+                     app_limits, &runBudget);
             stats.peakNodes =
                 std::max(stats.peakNodes, work.egraph.numNodes());
             stats.peakClasses =
                 std::max(stats.peakClasses, work.egraph.numClasses());
 
-            // Select, refine, and merge into the global front.
-            auto solutions = selectAndRefine(work.egraph, work.root,
-                                             costed, cost, config.select);
+            // Select, refine, and merge into the global front.  Selection
+            // failure costs this phase's solutions only; the global front
+            // from earlier phases survives.
+            SelectOutcome selOutcome;
+            std::vector<Solution> solutions;
+            try {
+                solutions = selectAndRefine(work.egraph, work.root,
+                                            costed, cost, config.select,
+                                            &runBudget, &selOutcome);
+            } catch (const InternalError&) {
+                ++diag.skippedPhases;
+                continue;
+            } catch (const std::bad_alloc&) {
+                ++diag.skippedPhases;
+                continue;
+            }
+            diag.selectionTruncated =
+                diag.selectionTruncated || selOutcome.truncated;
             result.front = mergeFronts(std::move(result.front),
                                        std::move(solutions));
 
@@ -294,6 +394,8 @@ runRii(const frontend::EncodedProgram& program,
 
     stats.seconds = watch.seconds();
     stats.peakRssBytes = peakRssBytes();
+    diag.faultsInjected =
+        fault::Registry::instance().firedCount() - faultsBefore;
     result.baseProgram = *bases.front();
     return result;
 }

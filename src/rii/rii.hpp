@@ -56,6 +56,15 @@ struct RiiConfig {
     SelectOptions select;
     VectorizeOptions vectorize;
 
+    /**
+     * Whole-run budget (unlimited by default).  Per-stage budgets are
+     * split from it, so its deadline bounds the run end to end and its
+     * unit allowance bounds total rewrite applications + AU candidates.
+     * Tripping it degrades the run (remaining phases are skipped and
+     * recorded in RunDiagnostics); it never aborts.
+     */
+    BudgetSpec budget;
+
     /** Per-invocation custom-instruction overhead (RoCC issue+writeback). */
     double invokeOverheadNs = 0.5;
     /** Candidates kept for selection (<= 64). */
@@ -85,11 +94,46 @@ struct RiiStats {
     size_t packsCreated = 0;   ///< Vector mode
 };
 
+/**
+ * Degradation record of one RII run: per-stage stop reasons plus counts
+ * of every unit of work that was dropped rather than completed.  A run
+ * with degraded() == false produced exactly what an unlimited, fault-free
+ * run would have; a degraded run's front is still valid and internally
+ * Pareto-consistent, it may just be missing solutions.
+ */
+struct RunDiagnostics {
+    /** Stop reason of the most recent EqSat sweep. */
+    StopReason lastEqSatStop = StopReason::Saturated;
+    size_t eqsatNodeTrips = 0;   ///< sweeps stopped by the node limit
+    size_t eqsatTimeouts = 0;    ///< sweeps stopped by a deadline
+    size_t skippedRules = 0;     ///< rewrite rules dropped after faults
+    size_t skippedPairs = 0;     ///< AU pairs dropped (budget/fault)
+    size_t skippedPatterns = 0;  ///< candidates dropped during costing
+    size_t skippedPhases = 0;    ///< phases abandoned after a stage failure
+    size_t faultsInjected = 0;   ///< injected faults fired during the run
+    bool auBudgetTripped = false;     ///< AU candidate budget blown
+    bool auTimedOut = false;          ///< an AU sweep deadline tripped
+    bool selectionTruncated = false;  ///< selection stopped early
+    bool budgetExhausted = false;     ///< the whole-run budget expired
+
+    /**
+     * Whether anything was dropped.  EqSat node/iteration-limit stops are
+     * normal bounded-saturation operation and do NOT count as
+     * degradation; skipped work units, fired faults, and tripped budgets
+     * do.
+     */
+    bool degraded() const;
+
+    /** Multi-line per-stage rendering (for reports and the CLI). */
+    std::string summary() const;
+};
+
 /** Result of one RII run. */
 struct RiiResult {
     std::vector<Solution> front;  ///< global Pareto front
     PatternRegistry registry;
     RiiStats stats;
+    RunDiagnostics diagnostics;
 
     /**
      * The program the run identified against: the input program, or its

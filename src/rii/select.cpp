@@ -9,6 +9,7 @@
 #include "egraph/extract.hpp"
 #include "profile/timing.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 
 namespace isamore {
 namespace rii {
@@ -145,11 +146,19 @@ paretoFilter(std::vector<Solution> solutions)
 std::vector<Solution>
 selectAndRefine(const EGraph& egraph, EClassId root,
                 const std::vector<PatternEval>& candidates,
-                const CostModel& cost, const SelectOptions& options)
+                const CostModel& cost, const SelectOptions& options,
+                Budget* parent, SelectOutcome* outcome)
 {
     ISAMORE_USER_CHECK(candidates.size() <= 64,
                        "selection supports at most 64 candidates");
     root = egraph.find(root);
+
+    BudgetSpec spec;
+    spec.maxSeconds = options.maxSeconds;
+    Budget budget(spec, parent);
+    SelectOutcome localOutcome;
+    SelectOutcome& out = outcome != nullptr ? *outcome : localOutcome;
+    out = SelectOutcome{};
 
     // Bit tables.
     std::unordered_map<int64_t, int> bitOf;
@@ -170,6 +179,13 @@ selectAndRefine(const EGraph& egraph, EClassId root,
     const auto ids = egraph.classIds();
     ClassMap<std::vector<Mask>> fronts;
     for (int round = 0; round < options.maxRounds; ++round) {
+        // The fronts computed so far stay internally consistent when the
+        // fixpoint is cut short; stopping here only loses solutions.
+        if (fault::tripped("select.round") || !budget.ok()) {
+            out.truncated = true;
+            break;
+        }
+        out.roundsRun = static_cast<size_t>(round) + 1;
         bool changed = false;
         for (EClassId id : ids) {
             std::vector<Mask> merged;
@@ -223,6 +239,10 @@ selectAndRefine(const EGraph& egraph, EClassId root,
     // Refinement per front element.
     std::vector<Solution> solutions;
     for (Mask mask : rootFront->second) {
+        if (fault::tripped("select.refine") || !budget.ok()) {
+            out.truncated = true;
+            break;
+        }
         // Extraction with the latency objective (or AST size).
         auto costFn = [&](const ENode& node,
                           const std::vector<double>& childCosts)

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "rii/cost.hpp"
+#include "support/budget.hpp"
 
 namespace isamore {
 namespace rii {
@@ -41,10 +42,26 @@ struct SelectOptions {
     size_t beamK = 8;        ///< per-class front width
     int maxRounds = 64;      ///< fixpoint bound for cyclic graphs
     bool astSizeObjective = false;  ///< AstSize mode: minimize term size
+
+    /** Wall-clock allowance for selection + refinement (unlimited by
+     *  default); tripping it truncates rather than aborts. */
+    double maxSeconds = kUnlimitedSeconds;
+};
+
+/** Degradation record of one selection run. */
+struct SelectOutcome {
+    bool truncated = false;  ///< stopped before fixpoint / full refinement
+    size_t roundsRun = 0;    ///< fixpoint rounds completed
 };
 
 /**
  * Run Pareto selection + refinement over @p egraph.
+ *
+ * When @p budget is given, its deadline (clamped with options.maxSeconds)
+ * is polled between fixpoint rounds and refinement steps; on a trip the
+ * partial fronts computed so far are refined and returned -- still
+ * internally Pareto-consistent, just possibly missing solutions -- and
+ * @p outcome (when non-null) records the truncation.
  *
  * @param candidates costed candidates (at most 64; callers pre-rank)
  * @return non-dominated refined solutions, sorted by increasing area
@@ -52,7 +69,9 @@ struct SelectOptions {
 std::vector<Solution> selectAndRefine(const EGraph& egraph, EClassId root,
                                       const std::vector<PatternEval>& candidates,
                                       const CostModel& cost,
-                                      const SelectOptions& options);
+                                      const SelectOptions& options,
+                                      Budget* budget = nullptr,
+                                      SelectOutcome* outcome = nullptr);
 
 /** Keep only non-dominated (speedup up, area down) solutions. */
 std::vector<Solution> paretoFilter(std::vector<Solution> solutions);

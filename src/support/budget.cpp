@@ -1,0 +1,149 @@
+#include "support/budget.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/stopwatch.hpp"
+
+namespace isamore {
+
+const char*
+budgetStopName(BudgetStop stop)
+{
+    switch (stop) {
+      case BudgetStop::None:
+        return "none";
+      case BudgetStop::Deadline:
+        return "deadline";
+      case BudgetStop::Units:
+        return "units";
+      case BudgetStop::Memory:
+        return "memory";
+    }
+    return "?";
+}
+
+Budget::Budget() : start_(Clock::now()) {}
+
+Budget::Budget(const BudgetSpec& spec, Budget* parent)
+    : parent_(parent),
+      start_(Clock::now()),
+      maxUnits_(spec.maxUnits),
+      maxRssBytes_(spec.maxRssBytes)
+{
+    if (spec.maxSeconds != kUnlimitedSeconds) {
+        hasDeadline_ = true;
+        deadline_ = start_ + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     std::max(0.0, spec.maxSeconds)));
+    }
+    if (parent_ != nullptr && parent_->hasDeadline_) {
+        if (!hasDeadline_ || parent_->deadline_ < deadline_) {
+            hasDeadline_ = true;
+            deadline_ = parent_->deadline_;
+        }
+    }
+}
+
+Budget
+Budget::child(const BudgetSpec& spec)
+{
+    return Budget(spec, this);
+}
+
+bool
+Budget::charge(size_t units)
+{
+    bool granted = true;
+    for (Budget* level = this; level != nullptr; level = level->parent_) {
+        if (level->stop_ != BudgetStop::None) {
+            granted = false;
+            continue;
+        }
+        level->usedUnits_ += units;
+        if (level->usedUnits_ > level->maxUnits_) {
+            level->stop_ = BudgetStop::Units;
+            granted = false;
+        }
+    }
+    return granted;
+}
+
+bool
+Budget::checkDeadline()
+{
+    if (stop_ != BudgetStop::None) {
+        return true;
+    }
+    if (hasDeadline_ && Clock::now() > deadline_) {
+        stop_ = BudgetStop::Deadline;
+        return true;
+    }
+    if (maxRssBytes_ != kUnlimitedAmount &&
+        currentRssBytes() > maxRssBytes_) {
+        stop_ = BudgetStop::Memory;
+        return true;
+    }
+    return false;
+}
+
+bool
+Budget::expired()
+{
+    for (Budget* level = this; level != nullptr; level = level->parent_) {
+        if (level->checkDeadline()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+BudgetStop
+Budget::effectiveStop() const
+{
+    for (const Budget* level = this; level != nullptr;
+         level = level->parent_) {
+        if (level->stop_ != BudgetStop::None) {
+            return level->stop_;
+        }
+    }
+    return BudgetStop::None;
+}
+
+double
+Budget::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+double
+Budget::remainingSeconds() const
+{
+    if (!hasDeadline_) {
+        return kUnlimitedSeconds;
+    }
+    return std::max(
+        0.0,
+        std::chrono::duration<double>(deadline_ - Clock::now()).count());
+}
+
+std::string
+Budget::describe() const
+{
+    std::ostringstream os;
+    os << "budget[stop=" << budgetStopName(stop_)
+       << " units=" << usedUnits_ << "/";
+    if (maxUnits_ == kUnlimitedAmount) {
+        os << "inf";
+    } else {
+        os << maxUnits_;
+    }
+    os << " elapsed=" << elapsedSeconds() << "s";
+    if (hasDeadline_) {
+        os << " remaining=" << remainingSeconds() << "s";
+    }
+    os << "]";
+    return os.str();
+}
+
+}  // namespace isamore

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Hierarchical resource budgets for the pipeline stages.
+ *
+ * A Budget bundles the three resources a stage can run out of -- a
+ * wall-clock deadline, a consumable work-unit allowance (rewrite
+ * applications, AU candidates, ...), and a resident-memory ceiling --
+ * behind one object that can be *split*: `parent.child(spec)` derives a
+ * budget whose deadline is clamped to the parent's and whose unit charges
+ * propagate up the chain, so a run-level budget bounds the sum of all
+ * stage-level consumption no matter how the stages subdivide it.
+ *
+ * All limits default to "unlimited", making a default Budget free to
+ * thread through hot paths: charge() is a counter bump and compare, and
+ * expired() only reads the clock when a deadline is actually set.
+ *
+ * Budgets are sticky: once any limit trips, ok() stays false and stop()
+ * reports the first limit that tripped.  Callers are expected to treat a
+ * tripped budget as "stop cleanly and report partial results", never as
+ * an error (see DESIGN.md "Error taxonomy and degradation semantics").
+ */
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace isamore {
+
+/** "No limit" sentinel for time limits. */
+inline constexpr double kUnlimitedSeconds =
+    std::numeric_limits<double>::infinity();
+/** "No limit" sentinel for counted limits. */
+inline constexpr size_t kUnlimitedAmount =
+    std::numeric_limits<size_t>::max();
+
+/** Declarative limits for one Budget; every field defaults to unlimited. */
+struct BudgetSpec {
+    double maxSeconds = kUnlimitedSeconds;  ///< wall-clock allowance
+    size_t maxUnits = kUnlimitedAmount;     ///< consumable work units
+    size_t maxRssBytes = kUnlimitedAmount;  ///< resident-memory ceiling
+
+    bool
+    unlimited() const
+    {
+        return maxSeconds == kUnlimitedSeconds &&
+               maxUnits == kUnlimitedAmount &&
+               maxRssBytes == kUnlimitedAmount;
+    }
+};
+
+/** The first limit a budget ran out of. */
+enum class BudgetStop { None, Deadline, Units, Memory };
+
+/** Printable name of a BudgetStop. */
+const char* budgetStopName(BudgetStop stop);
+
+class Budget {
+ public:
+    /** An unlimited root budget. */
+    Budget();
+
+    /**
+     * A budget with the given limits.  When @p parent is non-null the
+     * deadline is clamped to the parent's and unit charges propagate to
+     * every ancestor; the parent must outlive this budget.
+     */
+    explicit Budget(const BudgetSpec& spec, Budget* parent = nullptr);
+
+    /** Split off a child budget (deadline-clamped, charge-propagating). */
+    Budget child(const BudgetSpec& spec);
+
+    /**
+     * Consume @p units of work against this budget and all ancestors.
+     * Returns false -- and latches the Units stop on the level that ran
+     * out -- once any level's allowance is exceeded.
+     */
+    bool charge(size_t units = 1);
+
+    /**
+     * Whether any limit has tripped here or in an ancestor.  Polls the
+     * deadline (and the RSS ceiling, when one is set); the result is
+     * sticky.
+     */
+    bool expired();
+
+    /** !expired(). */
+    bool ok() { return !expired(); }
+
+    /** The first limit that tripped on *this* level (None while ok). */
+    BudgetStop stop() const { return stop_; }
+
+    /** The first tripped limit along the ancestor chain (None while ok).
+     *  Does not poll the clock; call expired() first for a fresh view. */
+    BudgetStop effectiveStop() const;
+
+    /** Work units charged against this level so far. */
+    size_t usedUnits() const { return usedUnits_; }
+
+    /** Seconds elapsed since this budget was created. */
+    double elapsedSeconds() const;
+
+    /** Seconds until the deadline (kUnlimitedSeconds when none is set). */
+    double remainingSeconds() const;
+
+    /** One-line human-readable state, for diagnostics and logs. */
+    std::string describe() const;
+
+    Budget(const Budget&) = delete;
+    Budget& operator=(const Budget&) = delete;
+    Budget(Budget&&) = default;
+
+ private:
+    using Clock = std::chrono::steady_clock;
+
+    bool checkDeadline();
+
+    Budget* parent_ = nullptr;
+    Clock::time_point start_;
+    bool hasDeadline_ = false;
+    Clock::time_point deadline_{};
+    size_t maxUnits_ = kUnlimitedAmount;
+    size_t usedUnits_ = 0;
+    size_t maxRssBytes_ = kUnlimitedAmount;
+    BudgetStop stop_ = BudgetStop::None;
+};
+
+}  // namespace isamore

@@ -1,0 +1,162 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace fault {
+namespace {
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string& text)
+{
+    size_t begin = text.find_first_not_of(" \t\n\r");
+    if (begin == std::string::npos) {
+        return "";
+    }
+    size_t end = text.find_last_not_of(" \t\n\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+FaultKind
+parseKind(const std::string& text)
+{
+    if (text == "trip" || text == "timeout") {
+        return FaultKind::Trip;
+    }
+    if (text == "alloc") {
+        return FaultKind::BadAlloc;
+    }
+    if (text == "invariant") {
+        return FaultKind::Invariant;
+    }
+    ISAMORE_USER_CHECK(false, "unknown fault kind '" + text +
+                                  "' (expected trip|timeout|alloc|"
+                                  "invariant)");
+    return FaultKind::Trip;  // unreachable
+}
+
+/** Parse one `site=kind[@hit[+]]` clause. */
+FaultArm
+parseArm(const std::string& clause)
+{
+    const size_t eq = clause.find('=');
+    ISAMORE_USER_CHECK(eq != std::string::npos && eq > 0,
+                       "fault clause '" + clause +
+                           "' is not of the form site=kind[@hit[+]]");
+    FaultArm arm;
+    arm.site = trim(clause.substr(0, eq));
+    std::string rest = trim(clause.substr(eq + 1));
+    ISAMORE_USER_CHECK(!arm.site.empty() && !rest.empty(),
+                       "fault clause '" + clause +
+                           "' is missing a site or kind");
+
+    const size_t at = rest.find('@');
+    if (at != std::string::npos) {
+        std::string hit = trim(rest.substr(at + 1));
+        rest = trim(rest.substr(0, at));
+        if (!hit.empty() && hit.back() == '+') {
+            arm.repeat = true;
+            hit.pop_back();
+        }
+        char* end = nullptr;
+        const unsigned long long value =
+            std::strtoull(hit.c_str(), &end, 10);
+        ISAMORE_USER_CHECK(!hit.empty() && end != nullptr && *end == '\0' &&
+                               value >= 1,
+                           "fault clause '" + clause +
+                               "' has a bad hit index (want @N or @N+ "
+                               "with N >= 1)");
+        arm.hit = value;
+    }
+    arm.kind = parseKind(rest);
+    return arm;
+}
+
+}  // namespace
+
+Registry::Registry()
+{
+    const char* env = std::getenv("ISAMORE_FAULTS");
+    if (env != nullptr && *env != '\0') {
+        configure(env);
+    }
+}
+
+Registry&
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::configure(const std::string& spec)
+{
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+        size_t end = spec.find(';', begin);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        const std::string clause = trim(spec.substr(begin, end - begin));
+        if (!clause.empty()) {
+            arm(parseArm(clause));
+        }
+        begin = end + 1;
+    }
+}
+
+void
+Registry::arm(FaultArm arm)
+{
+    arms_.push_back(std::move(arm));
+    enabled_ = true;
+}
+
+void
+Registry::reset()
+{
+    enabled_ = false;
+    fired_ = 0;
+    arms_.clear();
+    sites_.clear();
+}
+
+uint64_t
+Registry::hitCount(const std::string& site) const
+{
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+}
+
+bool
+Registry::shouldTrip(const char* site)
+{
+    const uint64_t hits = ++sites_[site].hits;
+    for (const FaultArm& arm : arms_) {
+        if (arm.site != site) {
+            continue;
+        }
+        if (arm.repeat ? hits < arm.hit : hits != arm.hit) {
+            continue;
+        }
+        ++fired_;
+        switch (arm.kind) {
+          case FaultKind::Trip:
+            return true;
+          case FaultKind::BadAlloc:
+            throw std::bad_alloc();
+          case FaultKind::Invariant:
+            throw InternalError(std::string("injected fault at site ") +
+                                site);
+        }
+    }
+    return false;
+}
+
+}  // namespace fault
+}  // namespace isamore

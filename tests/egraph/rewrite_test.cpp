@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/check.hpp"
+#include "support/fault.hpp"
 
 namespace isamore {
 namespace {
@@ -127,6 +128,77 @@ TEST(RewriteTest, SaturatingRulesPreserveClassCount)
                          kRuleSat | kRuleInt);
     runEqSat(g, {rule});
     EXPECT_LE(g.numClasses(), before);
+}
+
+TEST(RewriteTest, TimeLimitNotMaskedBySaturation)
+{
+    // Regression: an expired deadline cuts the search loop short, leaving
+    // later rules unsearched.  The resulting quiet iteration must report
+    // TimeLimit, never Saturated -- rules that were never searched might
+    // still have fired.
+    EGraph g;
+    g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    std::vector<RewriteRule> rules = {
+        makeRule("mul-comm", "(* ?0 ?1)", "(* ?1 ?0)", kRuleSat | kRuleInt),
+        makeRule("distribute", "(* (+ ?0 ?1) ?2)",
+                 "(+ (* ?0 ?2) (* ?1 ?2))", kRuleInt),
+    };
+    EqSatLimits limits;
+    limits.maxSeconds = 0.0;
+    auto stats = runEqSat(g, rules, limits);
+    EXPECT_EQ(stats.stopReason, StopReason::TimeLimit);
+}
+
+TEST(RewriteTest, ParentBudgetUnitsStopApplications)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    auto rule = makeRule("grow", "(+ ?0 ?1)", "(+ (+ ?0 1) (- ?1 1))", 0);
+    BudgetSpec spec;
+    spec.maxUnits = 3;  // three rewrite applications, then stop
+    Budget parent(spec);
+    EqSatLimits limits;
+    limits.maxIterations = 100;
+    limits.maxNodes = 1u << 20;
+    auto stats = runEqSat(g, {rule}, limits, &parent);
+    EXPECT_EQ(stats.stopReason, StopReason::Budget);
+    EXPECT_LE(stats.applications, 4u);
+    EXPECT_FALSE(parent.ok());
+}
+
+TEST(RewriteTest, SearchFaultReportsTimeLimit)
+{
+    fault::Registry::instance().reset();
+    fault::Registry::instance().configure("eqsat.search=timeout@1");
+    EGraph g;
+    EClassId a = g.addTerm(parseTerm("(* $0.0 2)"));
+    EClassId b = g.addTerm(parseTerm("(<< $0.0 1)"));
+    auto rule = makeRule("mul2-shift", "(* ?0 2)", "(<< ?0 1)", kRuleInt);
+    auto stats = runEqSat(g, {rule});
+    fault::Registry::instance().reset();
+    // The injected timeout fires after the first rule's matches were
+    // already collected, so the rewrite still lands -- but the stop
+    // reason records the truncated iteration.
+    EXPECT_EQ(stats.stopReason, StopReason::TimeLimit);
+    EXPECT_EQ(g.find(a), g.find(b));
+}
+
+TEST(RewriteTest, FaultedRuleSearchIsSkippedNotFatal)
+{
+    fault::Registry::instance().reset();
+    // An invariant fault inside a rule's search drops that rule for the
+    // iteration (recorded in skippedRules); it must neither escape the
+    // run nor let the quiet iteration claim saturation.
+    fault::Registry::instance().configure("eqsat.search=invariant@1");
+    EGraph g;
+    g.addTerm(parseTerm("(* $0.0 2)"));
+    auto rule = makeRule("mul2-shift", "(* ?0 2)", "(<< ?0 1)", kRuleInt);
+    EqSatLimits limits;
+    limits.maxIterations = 1;
+    auto stats = runEqSat(g, {rule}, limits);
+    fault::Registry::instance().reset();
+    EXPECT_EQ(stats.skippedRules, 1u);
+    EXPECT_NE(stats.stopReason, StopReason::Saturated);
 }
 
 }  // namespace

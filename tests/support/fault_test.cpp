@@ -1,0 +1,110 @@
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace fault {
+namespace {
+
+/** Every test leaves the process-wide registry disarmed. */
+class FaultTest : public ::testing::Test {
+ protected:
+    void SetUp() override { Registry::instance().reset(); }
+    void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_F(FaultTest, DisabledByDefault)
+{
+    EXPECT_FALSE(Registry::instance().enabled());
+    EXPECT_FALSE(tripped("au.pair"));
+    EXPECT_FALSE(tripped("au.pair"));
+    // Disarmed sites are not even counted (the fast path skips the map).
+    EXPECT_EQ(Registry::instance().hitCount("au.pair"), 0u);
+    EXPECT_EQ(Registry::instance().firedCount(), 0u);
+}
+
+TEST_F(FaultTest, TripFiresOnExactHit)
+{
+    Registry::instance().configure("au.pair=trip@3");
+    EXPECT_FALSE(tripped("au.pair"));  // hit 1
+    EXPECT_FALSE(tripped("au.pair"));  // hit 2
+    EXPECT_TRUE(tripped("au.pair"));   // hit 3: fires
+    EXPECT_FALSE(tripped("au.pair"));  // hit 4: one-shot, disarmed again
+    EXPECT_EQ(Registry::instance().hitCount("au.pair"), 4u);
+    EXPECT_EQ(Registry::instance().firedCount(), 1u);
+}
+
+TEST_F(FaultTest, RepeatFiresOnEveryLaterHit)
+{
+    Registry::instance().configure("eqsat.apply=trip@2+");
+    EXPECT_FALSE(tripped("eqsat.apply"));
+    EXPECT_TRUE(tripped("eqsat.apply"));
+    EXPECT_TRUE(tripped("eqsat.apply"));
+    EXPECT_TRUE(tripped("eqsat.apply"));
+    EXPECT_EQ(Registry::instance().firedCount(), 3u);
+}
+
+TEST_F(FaultTest, SitesAreIndependent)
+{
+    Registry::instance().configure("au.pair=trip@1");
+    EXPECT_FALSE(tripped("au.sweep"));
+    EXPECT_FALSE(tripped("eqsat.search"));
+    EXPECT_TRUE(tripped("au.pair"));
+}
+
+TEST_F(FaultTest, TimeoutIsAnAliasForTrip)
+{
+    Registry::instance().configure("au.sweep=timeout");
+    EXPECT_TRUE(tripped("au.sweep"));
+}
+
+TEST_F(FaultTest, MultipleClauses)
+{
+    Registry::instance().configure(
+        "eqsat.nodes=trip@1; au.pair=trip@2");
+    EXPECT_TRUE(tripped("eqsat.nodes"));
+    EXPECT_FALSE(tripped("au.pair"));
+    EXPECT_TRUE(tripped("au.pair"));
+    EXPECT_EQ(Registry::instance().firedCount(), 2u);
+}
+
+TEST_F(FaultTest, AllocFaultThrowsBadAlloc)
+{
+    Registry::instance().configure("profile.run=alloc");
+    EXPECT_THROW(tripped("profile.run"), std::bad_alloc);
+}
+
+TEST_F(FaultTest, InvariantFaultThrowsInternalError)
+{
+    Registry::instance().configure("backend.emit=invariant");
+    EXPECT_THROW(tripped("backend.emit"), InternalError);
+}
+
+TEST_F(FaultTest, MalformedSpecIsAUserError)
+{
+    EXPECT_THROW(Registry::instance().configure("nonsense"), UserError);
+    EXPECT_THROW(Registry::instance().configure("au.pair=explode"),
+                 UserError);
+    EXPECT_THROW(Registry::instance().configure("au.pair=trip@zero"),
+                 UserError);
+    EXPECT_THROW(Registry::instance().configure("=trip"), UserError);
+    // A failed configure must not leave the registry half-armed.
+    EXPECT_FALSE(tripped("au.pair"));
+}
+
+TEST_F(FaultTest, ResetDisarmsAndZeroesCounters)
+{
+    Registry::instance().configure("au.pair=trip@1+");
+    EXPECT_TRUE(tripped("au.pair"));
+    Registry::instance().reset();
+    EXPECT_FALSE(Registry::instance().enabled());
+    EXPECT_FALSE(tripped("au.pair"));
+    EXPECT_EQ(Registry::instance().firedCount(), 0u);
+    EXPECT_EQ(Registry::instance().hitCount("au.pair"), 0u);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace isamore

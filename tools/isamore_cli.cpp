@@ -6,12 +6,28 @@
  *   isamore_cli list
  *   isamore_cli run <workload> [--mode default|astsize|kdsample|vector|
  *                                      noeqsat|llmt]
- *                   [--emit-verilog] [--rocc] [--dump-egraph]
+ *                   [--emit-verilog] [--rocc] [--dump-egraph] [--json]
+ *                   [--extended-rules] [--inject <faults>]
  *
  * Workload names: the Table 2 kernels (matmul, matchain, 2dconv, fft,
  * stencil, qprod, qrdecomp, deriche, sha), "all", the case studies
  * (bitlinear, kyber), and the library modules (e.g. liquid-dsp/filter,
  * cimg, pcl/search).
+ *
+ * Exit codes (stable; scripts may rely on them):
+ *   0  clean success
+ *   2  usage error (malformed flags / arguments)
+ *   3  invalid input (unknown workload or mode, bad --inject spec,
+ *      any UserError)
+ *   4  internal error (invariant violation, allocation failure,
+ *      unexpected exception)
+ *   5  degraded success: the run completed and printed partial results,
+ *      but budgets tripped or faults dropped some work (see the printed
+ *      RunDiagnostics summary)
+ *
+ * `--inject` (or the ISAMORE_FAULTS environment variable) arms the
+ * deterministic fault registry, e.g. `--inject "au.pair=timeout@2"`;
+ * see src/support/fault.hpp for the grammar and the site list.
  */
 #include <cstring>
 #include <iostream>
@@ -22,11 +38,19 @@
 #include "egraph/dump.hpp"
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
+#include "support/check.hpp"
+#include "support/fault.hpp"
 #include "workloads/libraries.hpp"
 
 namespace {
 
 using namespace isamore;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitUser = 3;
+constexpr int kExitInternal = 4;
+constexpr int kExitDegraded = 5;
 
 std::vector<std::pair<std::string, workloads::Workload (*)()>>
 kernelFactories()
@@ -113,7 +137,7 @@ listWorkloads()
     for (const auto& spec : specs) {
         std::cout << "  " << spec.library << "/" << spec.name << "\n";
     }
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -123,26 +147,16 @@ usage()
         << "usage: isamore_cli list\n"
         << "       isamore_cli run <workload> [--mode <m>] "
            "[--emit-verilog] [--rocc] [--dump-egraph] [--json]\n"
-        << "                   [--extended-rules]\n";
-    return 2;
+        << "                   [--extended-rules] [--inject <faults>]\n"
+        << "exit codes: 0 ok, 2 usage, 3 invalid input, 4 internal "
+           "error, 5 degraded success\n";
+    return kExitUsage;
 }
 
-}  // namespace
-
+/** The `run` subcommand; throws UserError/InternalError for main to map. */
 int
-main(int argc, char** argv)
+runCommand(int argc, char** argv)
 {
-    if (argc < 2) {
-        return usage();
-    }
-    const std::string command = argv[1];
-    if (command == "list") {
-        return listWorkloads();
-    }
-    if (command != "run" || argc < 3) {
-        return usage();
-    }
-
     const std::string name = argv[2];
     rii::Mode mode = rii::Mode::Default;
     bool emit_verilog = false;
@@ -158,11 +172,11 @@ main(int argc, char** argv)
             extended = true;
         } else if (flag == "--mode" && i + 1 < argc) {
             auto parsed = parseMode(argv[++i]);
-            if (!parsed) {
-                std::cerr << "unknown mode\n";
-                return 2;
-            }
+            ISAMORE_USER_CHECK(parsed.has_value(),
+                               std::string("unknown mode: ") + argv[i]);
             mode = *parsed;
+        } else if (flag == "--inject" && i + 1 < argc) {
+            fault::Registry::instance().configure(argv[++i]);
         } else if (flag == "--emit-verilog") {
             emit_verilog = true;
         } else if (flag == "--rocc") {
@@ -175,12 +189,11 @@ main(int argc, char** argv)
     }
 
     auto workload = findWorkload(name);
-    if (!workload) {
-        std::cerr << "unknown workload: " << name
-                  << " (try `isamore_cli list`)\n";
-        return 2;
-    }
+    ISAMORE_USER_CHECK(workload.has_value(),
+                       "unknown workload: " + name +
+                           " (try `isamore_cli list`)");
 
+    bool degraded = false;
     std::cout << "workload: " << workload->name << " -- "
               << workload->description << "\n";
     AnalyzedWorkload analyzed = analyzeWorkload(std::move(*workload));
@@ -204,6 +217,7 @@ main(int argc, char** argv)
               << " candidates=" << result.stats.rawCandidates
               << (result.stats.auAborted ? " (ABORTED: budget)" : "")
               << " time=" << result.stats.seconds << "s\n";
+    degraded = degraded || result.diagnostics.degraded();
 
     if (rocc) {
         rii::CostModel cost(result.baseProgram, analyzed.profile,
@@ -219,12 +233,59 @@ main(int argc, char** argv)
         std::cout << "\n" << resultToJson(analyzed, result);
     }
     if (emit_verilog) {
+        // Per-module degradation: one faulty emission skips that module
+        // and the rest still print.
         for (int64_t id : result.best().patternIds) {
-            std::cout << "\n"
-                      << backend::emitVerilogModule(
-                             id, result.registry.body(id),
-                             result.registry.resolver());
+            try {
+                std::cout << "\n"
+                          << backend::emitVerilogModule(
+                                 id, result.registry.body(id),
+                                 result.registry.resolver());
+            } catch (const InternalError& e) {
+                std::cerr << "warning: skipping Verilog for ci" << id
+                          << ": " << e.what() << "\n";
+                degraded = true;
+            }
         }
     }
-    return 0;
+
+    if (degraded) {
+        std::cout << "\nrun degraded -- partial results above; "
+                     "diagnostics:\n"
+                  << result.diagnostics.summary();
+        return kExitDegraded;
+    }
+    return kExitOk;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        if (argc < 2) {
+            return usage();
+        }
+        const std::string command = argv[1];
+        if (command == "list") {
+            return listWorkloads();
+        }
+        if (command != "run" || argc < 3) {
+            return usage();
+        }
+        return runCommand(argc, argv);
+    } catch (const UserError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitUser;
+    } catch (const InternalError& e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return kExitInternal;
+    } catch (const std::bad_alloc&) {
+        std::cerr << "internal error: out of memory\n";
+        return kExitInternal;
+    } catch (const std::exception& e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return kExitInternal;
+    }
 }
