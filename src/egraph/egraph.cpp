@@ -39,6 +39,19 @@ EClassId
 EGraph::find(EClassId id) const
 {
     ISAMORE_CHECK(id < parent_.size());
+    // Pure walk, no compression: this runs concurrently from the match
+    // fan-out and the AU shards, where any write to parent_ would race.
+    // Mutation paths keep the union-find shallow via findMutable().
+    while (parent_[id] != id) {
+        id = parent_[id];
+    }
+    return id;
+}
+
+EClassId
+EGraph::findMutable(EClassId id)
+{
+    ISAMORE_CHECK(id < parent_.size());
     // Path halving.
     while (parent_[id] != id) {
         parent_[id] = parent_[parent_[id]];
@@ -104,8 +117,8 @@ EGraph::addTerm(const TermPtr& term)
 bool
 EGraph::merge(EClassId a, EClassId b)
 {
-    a = find(a);
-    b = find(b);
+    a = findMutable(a);
+    b = findMutable(b);
     if (a == b) {
         return false;
     }
@@ -139,7 +152,7 @@ EGraph::rebuild()
         todo.swap(worklist_);
         std::unordered_set<EClassId> seen;
         for (EClassId id : todo) {
-            EClassId canonical = find(id);
+            EClassId canonical = findMutable(id);
             if (seen.insert(canonical).second) {
                 repair(canonical);
             }
@@ -162,25 +175,25 @@ EGraph::repair(EClassId id)
     for (auto& [pnode, pclass] : parents) {
         memo_.erase(pnode);
         ENode canonical = canonicalize(pnode);
-        EClassId canonical_class = find(pclass);
+        EClassId canonical_class = findMutable(pclass);
         auto it = fresh.find(canonical);
         if (it != fresh.end()) {
             // Congruent duplicates: union their classes.
             merge(it->second, canonical_class);
         } else {
-            fresh.emplace(canonical, find(canonical_class));
+            fresh.emplace(canonical, findMutable(canonical_class));
         }
     }
 
-    EClass& data = classes_.at(find(id));
+    EClass& data = classes_.at(findMutable(id));
     for (auto& [node, klass] : fresh) {
-        EClassId canonical_class = find(klass);
+        EClassId canonical_class = findMutable(klass);
         memo_[node] = canonical_class;
         data.parents.emplace_back(node, canonical_class);
     }
 
     // Deduplicate this class's own nodes after canonicalization.
-    EClass& self = classes_.at(find(id));
+    EClass& self = classes_.at(findMutable(id));
     std::unordered_set<uint64_t> hashes;
     std::vector<ENode> unique;
     unique.reserve(self.nodes.size());

@@ -99,7 +99,11 @@ class EGraph {
     /** @name Queries
      *  @{ */
 
-    /** Canonical representative of @p id. */
+    /**
+     * Canonical representative of @p id.  Read-only (no path compression),
+     * so concurrent find() calls from pool workers are safe; mutation
+     * paths compress through findMutable() instead.
+     */
     EClassId find(EClassId id) const;
 
     /** Canonicalize a node's children. */
@@ -134,9 +138,10 @@ class EGraph {
  private:
     EClassId makeClass(ENode node);
     void repair(EClassId id);
+    /** find() with path halving; only valid from mutation paths. */
     EClassId findMutable(EClassId id);
 
-    mutable std::vector<EClassId> parent_;  // union-find (path compression)
+    std::vector<EClassId> parent_;  // union-find
     std::unordered_map<ENode, EClassId, ENodeHash> memo_;
     std::unordered_map<EClassId, EClass> classes_;
     std::vector<EClassId> worklist_;

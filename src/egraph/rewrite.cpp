@@ -4,6 +4,7 @@
 
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/pool.hpp"
 #include "support/stopwatch.hpp"
 
 namespace isamore {
@@ -82,14 +83,28 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         size_t skipped_this_iter = 0;
 
         // Phase 1: search all rules against the current (stable) e-graph.
+        // The e-graph is frozen between rebuilds (egg's deferred-rebuild
+        // design), so matching is a pure read-only fan-out: each eligible
+        // rule's ematchAll runs as one pool task, and the order-sensitive
+        // bookkeeping (fault sites, bans, guards, the early break) is
+        // replayed serially in rule order afterwards so the run is
+        // observably identical to the serial one for any thread count.
         struct PendingUnion {
             const RewriteRule* rule;
             EMatch match;
         };
         std::vector<PendingUnion> pending;
         bool any_banned = false;
+
+        struct RuleSearch {
+            size_t ruleIndex = 0;
+            size_t cap = 0;
+            std::vector<EMatch> matches;
+            std::exception_ptr error;
+        };
+        std::vector<RuleSearch> searches;
+        searches.reserve(rules.size());
         for (size_t r = 0; r < rules.size(); ++r) {
-            const RewriteRule& rule = rules[r];
             if (limits.useBackoff && iter < backoff[r].bannedUntil) {
                 any_banned = true;
                 continue;
@@ -98,27 +113,47 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
             // in egg), so a once-explosive rule eventually fits its
             // budget and resumes; search one past the cap to detect
             // overflow.
-            const size_t cap = limits.useBackoff
-                                   ? limits.maxMatchesPerRule
-                                         << backoff[r].timesBanned
-                                   : limits.maxMatchesPerRule;
+            RuleSearch search;
+            search.ruleIndex = r;
+            search.cap = limits.useBackoff
+                             ? limits.maxMatchesPerRule
+                                   << backoff[r].timesBanned
+                             : limits.maxMatchesPerRule;
+            searches.push_back(std::move(search));
+        }
+
+        globalPool().parallelFor(searches.size(), [&](size_t i) {
+            RuleSearch& search = searches[i];
+            try {
+                search.matches = ematchAll(
+                    egraph, rules[search.ruleIndex].lhs,
+                    limits.useBackoff ? search.cap + 1 : search.cap);
+            } catch (...) {
+                search.error = std::current_exception();
+            }
+        });
+
+        for (RuleSearch& search : searches) {
+            const RewriteRule& rule = rules[search.ruleIndex];
             try {
                 // Inside the catch scope so throwing fault kinds degrade
                 // to a skipped rule instead of escaping the run.
                 if (fault::tripped("eqsat.search")) {
                     out_of_time = true;
                 }
-                auto matches = ematchAll(
-                    egraph, rule.lhs, limits.useBackoff ? cap + 1 : cap);
-                if (limits.useBackoff && matches.size() > cap) {
+                if (search.error) {
+                    std::rethrow_exception(search.error);
+                }
+                if (limits.useBackoff && search.matches.size() > search.cap) {
                     // Ban for an exponentially growing span and skip.
+                    const size_t r = search.ruleIndex;
                     backoff[r].bannedUntil =
                         iter + (size_t{1} << ++backoff[r].timesBanned);
                     ++stats.rulesBanned;
                     any_banned = true;
                     continue;
                 }
-                for (EMatch& match : matches) {
+                for (EMatch& match : search.matches) {
                     if (rule.guard && !rule.guard(egraph, match)) {
                         continue;
                     }

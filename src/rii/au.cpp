@@ -1,6 +1,7 @@
 #include "rii/au.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -10,6 +11,7 @@
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/hashing.hpp"
+#include "support/pool.hpp"
 #include "support/stopwatch.hpp"
 
 namespace isamore {
@@ -27,6 +29,22 @@ struct PairKeyHash {
     operator()(const PairKey& k) const
     {
         return hashCombine(mix64(k.a), k.b);
+    }
+};
+
+/** Structural hash/equality for deduplicating canonical patterns. */
+struct TermPtrHash {
+    size_t
+    operator()(const TermPtr& term) const
+    {
+        return static_cast<size_t>(termHash(term));
+    }
+};
+struct TermPtrEq {
+    bool
+    operator()(const TermPtr& a, const TermPtr& b) const
+    {
+        return termEquals(a, b);
     }
 };
 
@@ -61,136 +79,25 @@ patternWellFormed(const TermPtr& term, bool isAppHead = false)
     return true;
 }
 
-/** The anti-unification engine. */
-class AntiUnifier {
+/** Admissible-pair selection (the filters of paper §5.2). */
+class PairSelector {
  public:
-    AntiUnifier(const EGraph& egraph, const AuOptions& options,
-                Budget* parent)
-        : egraph_(egraph), options_(options),
-          budget_(sweepSpec(options), parent),
-          pairLimited_(options.maxSecondsPerPair != kUnlimitedSeconds)
+    PairSelector(const EGraph& egraph, const AuOptions& options)
+        : egraph_(egraph), options_(options)
     {
-        sweepLimited_ = budget_.remainingSeconds() != kUnlimitedSeconds;
-    }
-
-    AuResult
-    run()
-    {
-        prepare();
-        const auto pairs = selectPairs();
-        AuResult result;
-
-        std::unordered_set<std::string> seen;
-        for (size_t i = 0; i < pairs.size(); ++i) {
-            if (aborted_) {
-                // The candidate budget blew mid-enumeration.  That cap is
-                // experiment policy (the LLMT baseline exceeds it by
-                // design), so the pairs never reached are not counted as
-                // skipped work: `aborted` already tells the whole story.
-                break;
-            }
-            if (result.patterns.size() >= options_.maxResultPatterns) {
-                break;
-            }
-            if (fault::tripped("au.sweep") || !budget_.ok()) {
-                stats_.timedOut = true;
-                stats_.skippedPairs += pairs.size() - i;
-                break;
-            }
-            const auto& [a, b] = pairs[i];
-            ++stats_.pairsExplored;
-            pairTripped_ = false;
-            if (pairLimited_) {
-                pairWatch_.reset();
-            }
-            if (fault::tripped("au.pair")) {
-                ++stats_.skippedPairs;
-                continue;
-            }
-            // Per-pair skip-and-record: a pair that overruns its budget
-            // or faults is dropped whole and the sweep moves on.
-            std::vector<TermPtr> produced;
-            try {
-                produced = au(a, b, options_.maxDepth);
-            } catch (const InternalError&) {
-                inProgress_.clear();
-                ++stats_.skippedPairs;
-                continue;
-            } catch (const std::bad_alloc&) {
-                inProgress_.clear();
-                ++stats_.skippedPairs;
-                continue;
-            }
-            if (pairTripped_) {
-                ++stats_.skippedPairs;
-                continue;
-            }
-            for (const TermPtr& p : produced) {
-                if (termOpCount(p) < options_.minOps ||
-                    termHoles(p).empty() || p->op == Op::List ||
-                    !patternWellFormed(p)) {
-                    continue;
-                }
-                TermPtr canon = canonicalizeHoles(p);
-                if (seen.insert(termToString(canon)).second) {
-                    result.patterns.push_back(canon);
-                    if (result.patterns.size() >=
-                        options_.maxResultPatterns) {
-                        break;
-                    }
-                }
-            }
-        }
-        stats_.aborted = aborted_;
-        result.stats = stats_;
-        return result;
-    }
-
- private:
-    void
-    prepare()
-    {
-        ids_ = egraph_.classIds();
+        ids_ = egraph.classIds();
         if (options_.typeFilter) {
             types_ = computeClassTypes(egraph_);
         }
         if (options_.hashFilter) {
             hashes_ = computeStructHashes(egraph_);
         }
-        // Small representative terms (for AU(a, a)).
-        Extractor extractor(egraph_, astSizeCost);
-        for (EClassId id : ids_) {
-            if (auto cost = extractor.costOf(id);
-                cost.has_value() && *cost <= 12.0) {
-                reprs_[id] = extractor.extract(id).term;
-            }
-        }
     }
 
-    bool
-    pairAdmissible(EClassId a, EClassId b)
-    {
-        ++stats_.pairsConsidered;
-        if (leafOnly(a) || leafOnly(b)) {
-            return false;
-        }
-        if (options_.typeFilter) {
-            Type ta = types_.at(a);
-            Type tb = types_.at(b);
-            if (ta.isBottom() || tb.isBottom() || ta != tb) {
-                return false;
-            }
-        }
-        if (options_.hashFilter &&
-            structDistance(hashes_.at(a), hashes_.at(b)) >
-                options_.hammingThreshold) {
-            return false;
-        }
-        return true;
-    }
+    size_t pairsConsidered() const { return pairsConsidered_; }
 
     std::vector<std::pair<EClassId, EClassId>>
-    selectPairs()
+    select()
     {
         std::vector<std::pair<EClassId, EClassId>> pairs;
         auto push = [&](EClassId a, EClassId b) {
@@ -233,6 +140,29 @@ class AntiUnifier {
         return pairs;
     }
 
+ private:
+    bool
+    pairAdmissible(EClassId a, EClassId b)
+    {
+        ++pairsConsidered_;
+        if (leafOnly(a) || leafOnly(b)) {
+            return false;
+        }
+        if (options_.typeFilter) {
+            Type ta = types_.at(a);
+            Type tb = types_.at(b);
+            if (ta.isBottom() || tb.isBottom() || ta != tb) {
+                return false;
+            }
+        }
+        if (options_.hashFilter &&
+            structDistance(hashes_.at(a), hashes_.at(b)) >
+                options_.hammingThreshold) {
+            return false;
+        }
+        return true;
+    }
+
     bool
     leafOnly(EClassId id)
     {
@@ -244,6 +174,131 @@ class AntiUnifier {
         return true;
     }
 
+    const EGraph& egraph_;
+    const AuOptions& options_;
+    std::vector<EClassId> ids_;
+    ClassMap<Type> types_;
+    ClassMap<uint64_t> hashes_;
+    size_t pairsConsidered_ = 0;
+};
+
+/** Immutable per-sweep data shared (read-only) by every shard. */
+struct SweepContext {
+    const EGraph& egraph;
+    const AuOptions& options;
+    const ClassMap<TermPtr>& reprs;  ///< small representatives, AU(a, a)
+};
+
+/** What one explored pair contributed, recorded in sweep order. */
+struct PairRecord {
+    bool skipped = false;       ///< fault / per-pair deadline / exception
+    size_t rawCandidates = 0;   ///< candidates enumerated for this pair
+    std::vector<TermPtr> patterns;  ///< filtered, hole-canonical, un-deduped
+};
+
+/** One chunk's outcome: a prefix of its pair range plus why it ended. */
+struct ChunkOutcome {
+    std::vector<PairRecord> records;
+    bool stopped = false;  ///< sweep deadline / sweep fault: rest skipped
+    bool aborted = false;  ///< candidate budget blew (last record partial)
+};
+
+/**
+ * The anti-unification engine for one chunk of the pair list.
+ *
+ * Each shard owns its memo, hole namespace, and cycle-breaking set, so
+ * shards never synchronize; canonicalizeHoles() renumbers every emitted
+ * pattern's holes by first occurrence, which makes the per-shard hole
+ * namespace invisible in the output.  The merge in identifyPatterns()
+ * replays the serial sweep's control flow over the recorded chunks in
+ * pair order, so the result is independent of the thread count.
+ */
+class AuShard {
+ public:
+    AuShard(const SweepContext& ctx, Budget* parent)
+        : egraph_(ctx.egraph), options_(ctx.options), reprs_(ctx.reprs),
+          budget_(sweepSpec(ctx.options), parent),
+          pairLimited_(ctx.options.maxSecondsPerPair != kUnlimitedSeconds)
+    {
+        sweepLimited_ = budget_.remainingSeconds() != kUnlimitedSeconds;
+    }
+
+    ChunkOutcome
+    runChunk(const std::vector<std::pair<EClassId, EClassId>>& pairs,
+             size_t begin, size_t end, std::atomic<bool>& stopFlag)
+    {
+        ChunkOutcome out;
+        out.records.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+            if (aborted_) {
+                // The candidate budget blew mid-enumeration.  That cap is
+                // experiment policy (the LLMT baseline exceeds it by
+                // design), so the pairs never reached are not counted as
+                // skipped work: `aborted` already tells the whole story.
+                out.aborted = true;
+                break;
+            }
+            if (fault::tripped("au.sweep") || !budget_.ok() ||
+                stopFlag.load(std::memory_order_relaxed)) {
+                // Sweep-level stop.  Flagging it lets sibling shards bail
+                // out instead of computing results the merge will drop.
+                stopFlag.store(true, std::memory_order_relaxed);
+                out.stopped = true;
+                break;
+            }
+            const auto& [a, b] = pairs[i];
+            PairRecord rec;
+            pairTripped_ = false;
+            if (pairLimited_) {
+                pairWatch_.reset();
+            }
+            const size_t rawBefore = rawCount_;
+            if (fault::tripped("au.pair")) {
+                rec.skipped = true;
+                out.records.push_back(std::move(rec));
+                continue;
+            }
+            // Per-pair skip-and-record: a pair that overruns its budget
+            // or faults is dropped whole and the sweep moves on.
+            std::vector<TermPtr> produced;
+            try {
+                produced = au(a, b, options_.maxDepth);
+            } catch (const InternalError&) {
+                inProgress_.clear();
+                rec.skipped = true;
+                rec.rawCandidates = rawCount_ - rawBefore;
+                out.records.push_back(std::move(rec));
+                continue;
+            } catch (const std::bad_alloc&) {
+                inProgress_.clear();
+                rec.skipped = true;
+                rec.rawCandidates = rawCount_ - rawBefore;
+                out.records.push_back(std::move(rec));
+                continue;
+            }
+            rec.rawCandidates = rawCount_ - rawBefore;
+            if (pairTripped_) {
+                rec.skipped = true;
+                out.records.push_back(std::move(rec));
+                continue;
+            }
+            for (const TermPtr& p : produced) {
+                if (termOpCount(p) < options_.minOps ||
+                    termHoles(p).empty() || p->op == Op::List ||
+                    !patternWellFormed(p)) {
+                    continue;
+                }
+                rec.patterns.push_back(canonicalizeHoles(p));
+            }
+            out.records.push_back(std::move(rec));
+        }
+        // An abort on the chunk's last pair never reaches the loop-top
+        // check; make sure the merge still sees it.
+        out.aborted = out.aborted || aborted_;
+        return out;
+    }
+
+ private:
     /**
      * The fresh variable shared by every occurrence of the *ordered*
      * (left, right) class pair.  Ordering matters for least-general-
@@ -304,8 +359,11 @@ class AntiUnifier {
         if (memo != memo_.end()) {
             return memo->second;
         }
-        // Break cycles through in-progress pairs with the pair hole.
-        if (!inProgress_.insert(PairKeyHash{}(key)).second) {
+        // Break cycles through in-progress pairs with the pair hole.  The
+        // set stores the keys themselves: a hash collision here must not
+        // make an unrelated pair look in-progress and silently degrade it
+        // to a bare hole.
+        if (!inProgress_.insert(key).second) {
             return {holeFor(a, b)};
         }
 
@@ -327,7 +385,7 @@ class AntiUnifier {
             }
         }
         out = samplePatterns(std::move(out));
-        inProgress_.erase(PairKeyHash{}(key));
+        inProgress_.erase(key);
         // A tripped pair produced degenerate (hole-heavy) results; do not
         // memoize them, so later pairs recompute this subproblem cleanly.
         if (!pairTripped_) {
@@ -389,7 +447,7 @@ class AntiUnifier {
                 children[i] = childSets[i][index[i]];
             }
             out.push_back(makeTerm(na.op, na.payload, std::move(children)));
-            ++stats_.rawCandidates;
+            ++rawCount_;
             if (fault::tripped("au.candidate") ||
                 !budget_.charge(1)) {
                 aborted_ = true;
@@ -503,30 +561,145 @@ class AntiUnifier {
 
     const EGraph& egraph_;
     const AuOptions& options_;
+    const ClassMap<TermPtr>& reprs_;
     Budget budget_;
     bool pairLimited_ = false;
     bool sweepLimited_ = false;
     bool pairTripped_ = false;
     Stopwatch pairWatch_;
-    std::vector<EClassId> ids_;
-    ClassMap<Type> types_;
-    ClassMap<uint64_t> hashes_;
-    ClassMap<TermPtr> reprs_;
     std::unordered_map<PairKey, std::vector<TermPtr>, PairKeyHash> memo_;
     std::unordered_map<PairKey, int64_t, PairKeyHash> pairHole_;
-    std::unordered_set<size_t> inProgress_;
+    std::unordered_set<PairKey, PairKeyHash> inProgress_;
     int64_t nextHole_ = 0;
-    AuStats stats_;
+    size_t rawCount_ = 0;
     bool aborted_ = false;
 };
 
+/**
+ * Pairs per chunk (= per shard).  A pure constant, NOT derived from the
+ * thread count: the chunk partition decides where shard memos reset and
+ * therefore shapes per-pair candidate counts, so deriving it from the
+ * lane count would make output depend on the machine.  Small enough to
+ * load-balance across stealing lanes, large enough to amortize the
+ * per-shard memo warmup.
+ */
+constexpr size_t kChunkPairs = 32;
+
 }  // namespace
+
+std::vector<std::pair<EClassId, EClassId>>
+selectAuPairs(const EGraph& egraph, const AuOptions& options,
+              AuStats* stats)
+{
+    PairSelector selector(egraph, options);
+    auto pairs = selector.select();
+    if (stats != nullptr) {
+        stats->pairsConsidered = selector.pairsConsidered();
+    }
+    return pairs;
+}
 
 AuResult
 identifyPatterns(const EGraph& egraph, const AuOptions& options,
                  Budget* budget)
 {
-    return AntiUnifier(egraph, options, budget).run();
+    AuResult result;
+    const auto pairs = selectAuPairs(egraph, options, &result.stats);
+
+    // Small representative terms (for AU(a, a)), shared by all shards.
+    ClassMap<TermPtr> reprs;
+    {
+        Extractor extractor(egraph, astSizeCost);
+        for (EClassId id : egraph.classIds()) {
+            if (auto cost = extractor.costOf(id);
+                cost.has_value() && *cost <= 12.0) {
+                reprs[id] = extractor.extract(id).term;
+            }
+        }
+    }
+    const SweepContext ctx{egraph, options, reprs};
+
+    // Shard the pair list into fixed-size chunks and fan them across the
+    // pool.  Exhaustive mode runs as a single serial shard: its global
+    // candidate-budget abort point is order-dependent by design.
+    const size_t chunkSize = options.sampling == Sampling::Exhaustive
+                                 ? std::max<size_t>(pairs.size(), 1)
+                                 : kChunkPairs;
+    const size_t numChunks = (pairs.size() + chunkSize - 1) / chunkSize;
+    std::vector<ChunkOutcome> outcomes(numChunks);
+    std::atomic<bool> stopFlag{false};
+    auto runChunk = [&](size_t c) {
+        AuShard shard(ctx, budget);
+        outcomes[c] = shard.runChunk(
+            pairs, c * chunkSize,
+            std::min(pairs.size(), (c + 1) * chunkSize), stopFlag);
+    };
+    if (options.threads == 1 || numChunks <= 1) {
+        for (size_t c = 0; c < numChunks; ++c) {
+            runChunk(c);
+        }
+    } else if (options.threads == 0) {
+        globalPool().parallelFor(numChunks, runChunk);
+    } else {
+        ThreadPool pool(options.threads);
+        pool.parallelFor(numChunks, runChunk);
+    }
+
+    // Merge in pair order, replaying the serial sweep's control flow:
+    // global structural dedup, the result-pattern cap (checked before
+    // each pair and again mid-pair), the candidate-budget abort at the
+    // cumulative count, and skip accounting for a sweep-level stop.
+    // Everything here depends only on the per-chunk records, which the
+    // fixed chunk partition makes thread-count invariant.
+    AuStats& stats = result.stats;
+    std::unordered_set<TermPtr, TermPtrHash, TermPtrEq> seen;
+    size_t cumulativeRaw = 0;
+    bool done = false;
+    for (size_t c = 0; c < numChunks && !done; ++c) {
+        const ChunkOutcome& chunk = outcomes[c];
+        for (const PairRecord& rec : chunk.records) {
+            if (result.patterns.size() >= options.maxResultPatterns) {
+                done = true;
+                break;
+            }
+            ++stats.pairsExplored;
+            cumulativeRaw += rec.rawCandidates;
+            stats.rawCandidates = cumulativeRaw;
+            if (rec.skipped) {
+                ++stats.skippedPairs;
+            } else {
+                for (const TermPtr& p : rec.patterns) {
+                    if (seen.insert(p).second) {
+                        result.patterns.push_back(p);
+                        if (result.patterns.size() >=
+                            options.maxResultPatterns) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if (options.sampling != Sampling::Exhaustive &&
+                cumulativeRaw > options.maxCandidates) {
+                stats.aborted = true;
+                done = true;
+                break;
+            }
+        }
+        if (done) {
+            break;
+        }
+        if (chunk.aborted) {
+            stats.aborted = true;
+            break;
+        }
+        if (chunk.stopped) {
+            stats.timedOut = true;
+            stats.skippedPairs +=
+                pairs.size() - (c * chunkSize + chunk.records.size());
+            break;
+        }
+    }
+    return result;
 }
 
 }  // namespace rii

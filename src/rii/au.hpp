@@ -85,6 +85,18 @@ struct AuOptions {
      * continues with the next pair, the per-unit degradation contract.
      */
     double maxSecondsPerPair = kUnlimitedSeconds;
+
+    /**
+     * Worker threads for the pair sweep: 0 uses the process-global pool
+     * (sized by --threads / ISAMORE_THREADS), 1 forces a serial sweep,
+     * any other value runs on a dedicated pool of that size.  The sweep
+     * is sharded into fixed-size chunks *independent of this value* and
+     * merged in pair order, so the result patterns and stats are
+     * identical for every thread count (see DESIGN.md "Threading model").
+     * Exhaustive sampling always runs as one serial shard: its
+     * candidate-budget abort point is part of the experiment.
+     */
+    size_t threads = 0;
 };
 
 /** Statistics from one AU sweep (feeds Table 2). */
@@ -116,6 +128,18 @@ struct AuResult {
  */
 AuResult identifyPatterns(const EGraph& egraph, const AuOptions& options,
                           Budget* budget = nullptr);
+
+/**
+ * The admissible e-class pair list the sweep will explore, in sweep
+ * order (quadratic below AuOptions::quadraticPairLimit classes, the
+ * sorted-hash banding window above it).  Deterministic for a given
+ * e-graph and options.  When @p stats is given, pairsConsidered is
+ * recorded there.  Exposed for the pair-selection regression tests and
+ * the bench harness.
+ */
+std::vector<std::pair<EClassId, EClassId>>
+selectAuPairs(const EGraph& egraph, const AuOptions& options,
+              AuStats* stats = nullptr);
 
 }  // namespace rii
 }  // namespace isamore

@@ -45,6 +45,18 @@ Budget::Budget(const BudgetSpec& spec, Budget* parent)
     }
 }
 
+Budget::Budget(Budget&& other) noexcept
+    : parent_(other.parent_),
+      start_(other.start_),
+      hasDeadline_(other.hasDeadline_),
+      deadline_(other.deadline_),
+      maxUnits_(other.maxUnits_),
+      usedUnits_(other.usedUnits_.load(std::memory_order_relaxed)),
+      maxRssBytes_(other.maxRssBytes_),
+      stop_(other.stop_.load(std::memory_order_relaxed))
+{
+}
+
 Budget
 Budget::child(const BudgetSpec& spec)
 {
@@ -52,17 +64,29 @@ Budget::child(const BudgetSpec& spec)
 }
 
 bool
+Budget::latchStop(BudgetStop stop)
+{
+    BudgetStop expected = BudgetStop::None;
+    stop_.compare_exchange_strong(expected, stop,
+                                  std::memory_order_relaxed);
+    return true;
+}
+
+bool
 Budget::charge(size_t units)
 {
     bool granted = true;
     for (Budget* level = this; level != nullptr; level = level->parent_) {
-        if (level->stop_ != BudgetStop::None) {
+        if (level->stop_.load(std::memory_order_relaxed) !=
+            BudgetStop::None) {
             granted = false;
             continue;
         }
-        level->usedUnits_ += units;
-        if (level->usedUnits_ > level->maxUnits_) {
-            level->stop_ = BudgetStop::Units;
+        const size_t used =
+            level->usedUnits_.fetch_add(units, std::memory_order_relaxed) +
+            units;
+        if (used > level->maxUnits_) {
+            level->latchStop(BudgetStop::Units);
             granted = false;
         }
     }
@@ -72,17 +96,15 @@ Budget::charge(size_t units)
 bool
 Budget::checkDeadline()
 {
-    if (stop_ != BudgetStop::None) {
+    if (stop_.load(std::memory_order_relaxed) != BudgetStop::None) {
         return true;
     }
     if (hasDeadline_ && Clock::now() > deadline_) {
-        stop_ = BudgetStop::Deadline;
-        return true;
+        return latchStop(BudgetStop::Deadline);
     }
     if (maxRssBytes_ != kUnlimitedAmount &&
         currentRssBytes() > maxRssBytes_) {
-        stop_ = BudgetStop::Memory;
-        return true;
+        return latchStop(BudgetStop::Memory);
     }
     return false;
 }
@@ -131,8 +153,8 @@ std::string
 Budget::describe() const
 {
     std::ostringstream os;
-    os << "budget[stop=" << budgetStopName(stop_)
-       << " units=" << usedUnits_ << "/";
+    os << "budget[stop=" << budgetStopName(stop())
+       << " units=" << usedUnits() << "/";
     if (maxUnits_ == kUnlimitedAmount) {
         os << "inf";
     } else {

@@ -21,6 +21,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <limits>
@@ -89,14 +90,18 @@ class Budget {
     bool ok() { return !expired(); }
 
     /** The first limit that tripped on *this* level (None while ok). */
-    BudgetStop stop() const { return stop_; }
+    BudgetStop stop() const { return stop_.load(std::memory_order_relaxed); }
 
     /** The first tripped limit along the ancestor chain (None while ok).
      *  Does not poll the clock; call expired() first for a fresh view. */
     BudgetStop effectiveStop() const;
 
     /** Work units charged against this level so far. */
-    size_t usedUnits() const { return usedUnits_; }
+    size_t
+    usedUnits() const
+    {
+        return usedUnits_.load(std::memory_order_relaxed);
+    }
 
     /** Seconds elapsed since this budget was created. */
     double elapsedSeconds() const;
@@ -109,21 +114,25 @@ class Budget {
 
     Budget(const Budget&) = delete;
     Budget& operator=(const Budget&) = delete;
-    Budget(Budget&&) = default;
+    Budget(Budget&&) noexcept;  // manual: atomic members are not movable
 
  private:
     using Clock = std::chrono::steady_clock;
 
     bool checkDeadline();
+    bool latchStop(BudgetStop stop);
 
     Budget* parent_ = nullptr;
     Clock::time_point start_;
     bool hasDeadline_ = false;
     Clock::time_point deadline_{};
     size_t maxUnits_ = kUnlimitedAmount;
-    size_t usedUnits_ = 0;
+    // charge() and expired() may be called concurrently from pool workers
+    // (the AU shards and EqSat's match fan-out all charge one run budget),
+    // so the mutable state is a fetch_add counter plus a CAS-once latch.
+    std::atomic<size_t> usedUnits_{0};
     size_t maxRssBytes_ = kUnlimitedAmount;
-    BudgetStop stop_ = BudgetStop::None;
+    std::atomic<BudgetStop> stop_{BudgetStop::None};
 };
 
 }  // namespace isamore

@@ -113,15 +113,17 @@ Registry::configure(const std::string& spec)
 void
 Registry::arm(FaultArm arm)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     arms_.push_back(std::move(arm));
-    enabled_ = true;
+    enabled_.store(true, std::memory_order_relaxed);
 }
 
 void
 Registry::reset()
 {
-    enabled_ = false;
-    fired_ = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_.store(false, std::memory_order_relaxed);
+    fired_.store(0, std::memory_order_relaxed);
     arms_.clear();
     sites_.clear();
 }
@@ -129,14 +131,23 @@ Registry::reset()
 uint64_t
 Registry::hitCount(const std::string& site) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = sites_.find(site);
-    return it == sites_.end() ? 0 : it->second.hits;
+    return it == sites_.end()
+               ? 0
+               : it->second.hits.load(std::memory_order_relaxed);
 }
 
 bool
 Registry::shouldTrip(const char* site)
 {
-    const uint64_t hits = ++sites_[site].hits;
+    // Taken only when a fault is armed, so the lock is off the production
+    // fast path; it keeps the visit count and the arm scan one atomic
+    // step, which is what makes `@N` fire on exactly one visit even when
+    // several workers poll the same site concurrently.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t hits =
+        sites_[site].hits.fetch_add(1, std::memory_order_relaxed) + 1;
     for (const FaultArm& arm : arms_) {
         if (arm.site != site) {
             continue;
@@ -144,7 +155,7 @@ Registry::shouldTrip(const char* site)
         if (arm.repeat ? hits < arm.hit : hits != arm.hit) {
             continue;
         }
-        ++fired_;
+        fired_.fetch_add(1, std::memory_order_relaxed);
         switch (arm.kind) {
           case FaultKind::Trip:
             return true;

@@ -29,7 +29,9 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,7 +50,15 @@ struct FaultArm {
     bool repeat = false;  ///< fire on every visit >= hit, not just one
 };
 
-/** Process-wide fault registry (single-threaded, like the pipeline). */
+/**
+ * Process-wide fault registry.  Thread-safe: sites are visited from pool
+ * workers (the parallel AU sweep and EqSat match fan-out poll sites
+ * concurrently), so the site map is mutex-guarded, hit counters are
+ * atomic, and the enabled flag read by the fast path is a relaxed load.
+ * Hit indices stay deterministic for serial visit orders; concurrent
+ * visits to the *same* site race only for which visit gets which index,
+ * never for whether exactly one visit fires a `@N` fault.
+ */
 class Registry {
  public:
     /** The singleton; first use arms faults from $ISAMORE_FAULTS. */
@@ -67,10 +77,18 @@ class Registry {
     void reset();
 
     /** Whether any fault is armed (the site-check fast path). */
-    bool enabled() const { return enabled_; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /** Faults fired since construction or the last reset(). */
-    uint64_t firedCount() const { return fired_; }
+    uint64_t
+    firedCount() const
+    {
+        return fired_.load(std::memory_order_relaxed);
+    }
 
     /** Visits recorded for @p site (0 when never visited while armed). */
     uint64_t hitCount(const std::string& site) const;
@@ -85,11 +103,12 @@ class Registry {
     Registry();
 
     struct SiteState {
-        uint64_t hits = 0;
+        std::atomic<uint64_t> hits{0};
     };
 
-    bool enabled_ = false;
-    uint64_t fired_ = 0;
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> fired_{0};
+    mutable std::mutex mutex_;  // guards arms_ and the sites_ map itself
     std::vector<FaultArm> arms_;
     std::unordered_map<std::string, SiteState> sites_;
 };

@@ -1,0 +1,149 @@
+/**
+ * Regression tests for AU pair selection (selectAuPairs): the sweep
+ * order must be deterministic, and exact-duplicate structural-hash
+ * buckets must stay fully paired on both sides of the
+ * quadraticPairLimit switch from the quadratic sweep to banding.
+ */
+#include "rii/au.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dsl/term.hpp"
+
+namespace isamore {
+namespace rii {
+namespace {
+
+/** Unordered-pair view of a selected pair list, for set comparisons. */
+std::set<std::pair<EClassId, EClassId>>
+unorderedPairs(const std::vector<std::pair<EClassId, EClassId>>& pairs)
+{
+    std::set<std::pair<EClassId, EClassId>> out;
+    for (auto [a, b] : pairs) {
+        out.insert({std::min(a, b), std::max(a, b)});
+    }
+    return out;
+}
+
+/**
+ * A graph with @p n structurally identical top-level classes.  Leaves
+ * hash uniformly (structhash.cpp), so all n roots land in one
+ * exact-duplicate hash bucket.
+ */
+std::vector<EClassId>
+buildDuplicateRoots(EGraph& g, int n)
+{
+    std::vector<EClassId> roots;
+    for (int i = 0; i < n; ++i) {
+        roots.push_back(g.addTerm(makeTerm(
+            Op::Add,
+            {makeTerm(Op::Mul, {arg(0, 2 * i), lit(2)}), arg(0, 2 * i + 1)})));
+    }
+    return roots;
+}
+
+TEST(PairSelectionTest, RepeatedCallsReturnIdenticalLists)
+{
+    EGraph g;
+    buildDuplicateRoots(g, 10);
+    g.addTerm(parseTerm("(<< (+ $0.30 $0.31) 3)"));
+    g.addTerm(parseTerm("(- (* $0.32 $0.33) $0.34)"));
+
+    AuOptions opt;
+    AuStats statsA;
+    AuStats statsB;
+    const auto a = selectAuPairs(g, opt, &statsA);
+    const auto b = selectAuPairs(g, opt, &statsB);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(statsA.pairsConsidered, statsB.pairsConsidered);
+    EXPECT_FALSE(a.empty());
+
+    // The banding path must be just as repeatable.
+    opt.quadraticPairLimit = 1;
+    const auto c = selectAuPairs(g, opt);
+    const auto d = selectAuPairs(g, opt);
+    EXPECT_EQ(c, d);
+    EXPECT_FALSE(c.empty());
+}
+
+TEST(PairSelectionTest, DuplicateBucketFullyPairedOnBothSelectionPaths)
+{
+    EGraph g;
+    const std::vector<EClassId> roots = buildDuplicateRoots(g, 8);
+
+    std::set<std::pair<EClassId, EClassId>> wanted;
+    for (size_t i = 0; i < roots.size(); ++i) {
+        for (size_t j = i + 1; j < roots.size(); ++j) {
+            wanted.insert({std::min(roots[i], roots[j]),
+                           std::max(roots[i], roots[j])});
+        }
+    }
+
+    // Quadratic side of the boundary: the class count is far below the
+    // limit, so every admissible pair is enumerated directly.
+    AuOptions quadratic;
+    ASSERT_LE(g.classIds().size(), quadratic.quadraticPairLimit);
+    const auto quadPairs = unorderedPairs(selectAuPairs(g, quadratic));
+    for (const auto& p : wanted) {
+        EXPECT_TRUE(quadPairs.count(p))
+            << "quadratic sweep lost duplicate pair (" << p.first << ", "
+            << p.second << ")";
+    }
+
+    // Banding side: force the sorted-hash window path.  The eight roots
+    // hash identically, so they form one contiguous bucket that the
+    // window (default 48) must pair exhaustively.
+    AuOptions banding;
+    banding.quadraticPairLimit = 1;
+    ASSERT_GT(g.classIds().size(), banding.quadraticPairLimit);
+    const auto bandPairs = unorderedPairs(selectAuPairs(g, banding));
+    for (const auto& p : wanted) {
+        EXPECT_TRUE(bandPairs.count(p))
+            << "banding sweep lost duplicate pair (" << p.first << ", "
+            << p.second << ")";
+    }
+}
+
+TEST(PairSelectionTest, MaxPairsTruncatesPrefixDeterministically)
+{
+    EGraph g;
+    buildDuplicateRoots(g, 8);
+
+    AuOptions opt;
+    const auto full = selectAuPairs(g, opt);
+    ASSERT_GT(full.size(), 4u);
+
+    opt.maxPairs = 4;
+    const auto truncated = selectAuPairs(g, opt);
+    ASSERT_EQ(truncated.size(), 4u);
+    // Truncation keeps the leading pairs of the full sweep order; it
+    // never reorders or samples.
+    for (size_t i = 0; i < truncated.size(); ++i) {
+        EXPECT_EQ(truncated[i], full[i]) << "index " << i;
+    }
+}
+
+TEST(PairSelectionTest, SweepConsumesSelectedPairsInOrder)
+{
+    // identifyPatterns must explore exactly the selectAuPairs list:
+    // pairsConsidered from a selection-only run matches the sweep's.
+    EGraph g;
+    buildDuplicateRoots(g, 6);
+
+    AuOptions opt;
+    AuStats selectionStats;
+    const auto pairs = selectAuPairs(g, opt, &selectionStats);
+    const AuResult result = identifyPatterns(g, opt);
+    EXPECT_EQ(result.stats.pairsConsidered, selectionStats.pairsConsidered);
+    EXPECT_EQ(result.stats.pairsExplored + result.stats.skippedPairs,
+              pairs.size());
+}
+
+}  // namespace
+}  // namespace rii
+}  // namespace isamore

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace isamore {
 namespace {
 
@@ -133,6 +137,87 @@ TEST(BudgetTest, GrandchildChargesReachRoot)
     EXPECT_FALSE(leaf.charge(7));
     EXPECT_EQ(root.stop(), BudgetStop::Units);
     EXPECT_EQ(leaf.effectiveStop(), BudgetStop::Units);
+}
+
+TEST(BudgetTest, ConcurrentChargesLoseNone)
+{
+    // AU shards charge one shared parent budget from worker threads;
+    // the atomic counter must account for every unit and latch the trip
+    // exactly at the limit crossing.
+    BudgetSpec spec;
+    spec.maxUnits = 100000;
+    Budget budget(spec);
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kChargesPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (size_t i = 0; i < kChargesPerThread; ++i) {
+                budget.charge();
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(budget.usedUnits(), kThreads * kChargesPerThread);
+    EXPECT_TRUE(budget.ok());
+}
+
+TEST(BudgetTest, ConcurrentTripLatchesOnce)
+{
+    BudgetSpec spec;
+    spec.maxUnits = 500;
+    Budget budget(spec);
+
+    std::atomic<size_t> successes{0};
+    auto hammer = [&] {
+        for (size_t i = 0; i < 1000; ++i) {
+            if (budget.charge()) {
+                successes.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    };
+    std::thread a(hammer);
+    std::thread b(hammer);
+    a.join();
+    b.join();
+
+    // 2000 charges against a 500-unit allowance: the atomic counter
+    // grants exactly the first 500 no matter the interleaving (charges
+    // that arrive after the trip latched skip the counter entirely, so
+    // usedUnits only bounds from above).
+    EXPECT_EQ(successes.load(), 500u);
+    EXPECT_GE(budget.usedUnits(), 501u);
+    EXPECT_LE(budget.usedUnits(), 2000u);
+    EXPECT_EQ(budget.stop(), BudgetStop::Units);
+    EXPECT_TRUE(budget.expired());
+}
+
+TEST(BudgetTest, ConcurrentChildChargesReachParent)
+{
+    BudgetSpec parent_spec;
+    parent_spec.maxUnits = 100000;
+    Budget parent(parent_spec);
+    Budget childA = parent.child(BudgetSpec{});
+    Budget childB = parent.child(BudgetSpec{});
+
+    std::thread a([&] {
+        for (size_t i = 0; i < 5000; ++i) {
+            childA.charge();
+        }
+    });
+    std::thread b([&] {
+        for (size_t i = 0; i < 5000; ++i) {
+            childB.charge();
+        }
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(parent.usedUnits(), 10000u);
+    EXPECT_EQ(childA.usedUnits(), 5000u);
+    EXPECT_EQ(childB.usedUnits(), 5000u);
 }
 
 TEST(BudgetTest, DescribeAndStopNames)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "support/check.hpp"
 
 namespace isamore {
@@ -92,6 +95,58 @@ TEST_F(FaultTest, MalformedSpecIsAUserError)
     EXPECT_THROW(Registry::instance().configure("=trip"), UserError);
     // A failed configure must not leave the registry half-armed.
     EXPECT_FALSE(tripped("au.pair"));
+}
+
+TEST_F(FaultTest, ConcurrentVisitsFireExactlyOnce)
+{
+    // Two threads hammer an armed site: shouldTrip() makes the
+    // visit-count increment and the arm scan one atomic step, so the
+    // @N arm fires for exactly one visit no matter how the threads
+    // interleave, and every visit is counted.
+    constexpr size_t kVisitsPerThread = 500;
+    Registry::instance().configure("au.pair=trip@750");
+
+    std::atomic<size_t> fires{0};
+    auto hammer = [&] {
+        for (size_t i = 0; i < kVisitsPerThread; ++i) {
+            if (tripped("au.pair")) {
+                fires.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    };
+    std::thread a(hammer);
+    std::thread b(hammer);
+    a.join();
+    b.join();
+
+    EXPECT_EQ(fires.load(), 1u);
+    EXPECT_EQ(Registry::instance().firedCount(), 1u);
+    EXPECT_EQ(Registry::instance().hitCount("au.pair"),
+              2 * kVisitsPerThread);
+}
+
+TEST_F(FaultTest, ConcurrentRepeatArmCountsEveryLaterHit)
+{
+    // The @N+ repeat arm under contention: every visit from N on fires.
+    constexpr size_t kVisitsPerThread = 200;
+    Registry::instance().configure("eqsat.apply=trip@101+");
+
+    std::atomic<size_t> fires{0};
+    auto hammer = [&] {
+        for (size_t i = 0; i < kVisitsPerThread; ++i) {
+            if (tripped("eqsat.apply")) {
+                fires.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    };
+    std::thread a(hammer);
+    std::thread b(hammer);
+    a.join();
+    b.join();
+
+    // Hits 101..400 all fire: 300 fires regardless of interleaving.
+    EXPECT_EQ(fires.load(), 2 * kVisitsPerThread - 100);
+    EXPECT_EQ(Registry::instance().firedCount(), fires.load());
 }
 
 TEST_F(FaultTest, ResetDisarmsAndZeroesCounters)

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Perf-regression harness: times the pipeline's hot stages per workload
+ * and writes a machine-readable BENCH_results.json for trend tracking.
+ *
+ * Usage:
+ *   isamore_bench [--workloads <a,b,c>] [--reps <n>] [--threads <n>]
+ *                 [--out <path>] [--check-identical]
+ *
+ * Per workload and repetition, three stages are timed independently:
+ *   - eqsat:    equality saturation of the encoded e-graph with the
+ *               integer saturating ruleset (the match fan-out hot path)
+ *   - au:       the anti-unification pair sweep over the saturated graph
+ *   - pipeline: the full identifyInstructions run (includes selection)
+ *
+ * The report records median and p90 wall-clock milliseconds per stage,
+ * the thread count, and candidate counts.  `--check-identical` re-runs
+ * the pipeline single-threaded and fails (exit 1) unless the JSON report
+ * -- pattern set, selection front, statistics -- is byte-identical to
+ * the multi-threaded run, which is the determinism contract of the
+ * work-stealing parallelization (see DESIGN.md "Threading model").
+ */
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "egraph/rewrite.hpp"
+#include "isamore/isamore.hpp"
+#include "isamore/report.hpp"
+#include "support/check.hpp"
+#include "support/pool.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace isamore;
+
+struct StageTiming {
+    std::vector<double> samplesMs;
+
+    double
+    percentile(double fraction) const
+    {
+        std::vector<double> sorted = samplesMs;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted.empty()) {
+            return 0.0;
+        }
+        const size_t rank = static_cast<size_t>(
+            fraction * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    double median() const { return percentile(0.5); }
+    double p90() const { return percentile(0.9); }
+};
+
+struct WorkloadReport {
+    std::string name;
+    StageTiming eqsat;
+    StageTiming au;
+    StageTiming pipeline;
+    size_t auPatterns = 0;
+    size_t rawCandidates = 0;
+    size_t frontSize = 0;
+    bool identicalChecked = false;
+    bool identical = true;
+};
+
+std::vector<std::pair<std::string, workloads::Workload (*)()>>
+benchFactories()
+{
+    return {
+        {"2dconv", workloads::makeConv2D},
+        {"matmul", workloads::makeMatMul},
+        {"matchain", workloads::makeMatChain},
+        {"fft", workloads::makeFft},
+        {"stencil", workloads::makeStencil},
+        {"qprod", workloads::makeQProd},
+        {"qrdecomp", workloads::makeQRDecomp},
+        {"deriche", workloads::makeDeriche},
+        {"sha", workloads::makeSha},
+        {"all", workloads::makeAll},
+        {"bitlinear", workloads::makeBitLinear},
+        {"kyber", workloads::makeKyberNtt},
+    };
+}
+
+std::vector<std::string>
+splitCsv(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(text);
+    while (std::getline(is, item, ',')) {
+        if (!item.empty()) {
+            out.push_back(item);
+        }
+    }
+    return out;
+}
+
+void
+writeSamples(std::ostream& os, const StageTiming& stage)
+{
+    os << "{\"median_ms\": " << stage.median()
+       << ", \"p90_ms\": " << stage.p90() << ", \"samples_ms\": [";
+    for (size_t i = 0; i < stage.samplesMs.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << stage.samplesMs[i];
+    }
+    os << "]}";
+}
+
+void
+writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
+            size_t threads, size_t reps)
+{
+    os << "{\n  \"threads\": " << threads << ",\n  \"reps\": " << reps
+       << ",\n  \"workloads\": [\n";
+    for (size_t w = 0; w < reports.size(); ++w) {
+        const WorkloadReport& r = reports[w];
+        os << "    {\"name\": \"" << r.name << "\",\n"
+           << "     \"stages\": {\n"
+           << "       \"eqsat\": ";
+        writeSamples(os, r.eqsat);
+        os << ",\n       \"au\": ";
+        writeSamples(os, r.au);
+        os << ",\n       \"pipeline\": ";
+        writeSamples(os, r.pipeline);
+        os << "\n     },\n"
+           << "     \"au_patterns\": " << r.auPatterns
+           << ", \"raw_candidates\": " << r.rawCandidates
+           << ", \"front_size\": " << r.frontSize;
+        if (r.identicalChecked) {
+            os << ",\n     \"identical_serial_parallel\": "
+               << (r.identical ? "true" : "false");
+        }
+        os << "}" << (w + 1 < reports.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+/**
+ * Drop the one wall-clock line ("seconds": ...) from a result JSON so
+ * the serial/parallel comparison only sees deterministic content.
+ */
+std::string
+stripWallClock(const std::string& json)
+{
+    std::ostringstream out;
+    std::istringstream in(json);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"seconds\":") == std::string::npos) {
+            out << line << "\n";
+        }
+    }
+    return out.str();
+}
+
+int
+usage()
+{
+    std::cerr << "usage: isamore_bench [--workloads <a,b,c>] [--reps <n>]"
+                 " [--threads <n>] [--out <path>] [--check-identical]\n";
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> names{"matmul", "2dconv", "fft"};
+    size_t reps = 3;
+    std::string outPath = "BENCH_results.json";
+    bool checkIdentical = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--workloads" && i + 1 < argc) {
+            names = splitCsv(argv[++i]);
+        } else if (flag == "--reps" && i + 1 < argc) {
+            reps = std::strtoul(argv[++i], nullptr, 10);
+            if (reps == 0) {
+                return usage();
+            }
+        } else if (flag == "--threads" && i + 1 < argc) {
+            const unsigned long threads =
+                std::strtoul(argv[++i], nullptr, 10);
+            if (threads == 0) {
+                return usage();
+            }
+            setGlobalThreads(threads);
+        } else if (flag == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (flag == "--check-identical") {
+            checkIdentical = true;
+        } else {
+            return usage();
+        }
+    }
+
+    const size_t threads = globalThreadCount();
+    const rules::RulesetLibrary library = rules::defaultLibrary();
+    const rii::RiiConfig config =
+        rii::RiiConfig::forMode(rii::Mode::Default);
+
+    std::vector<WorkloadReport> reports;
+    bool allIdentical = true;
+    for (const std::string& name : names) {
+        workloads::Workload (*factory)() = nullptr;
+        for (const auto& [key, make] : benchFactories()) {
+            if (key == name) {
+                factory = make;
+                break;
+            }
+        }
+        if (factory == nullptr) {
+            std::cerr << "unknown workload: " << name << "\n";
+            return 2;
+        }
+
+        std::cerr << "bench " << name << " (threads=" << threads
+                  << ", reps=" << reps << ")\n";
+        WorkloadReport report;
+        report.name = name;
+        const AnalyzedWorkload analyzed = analyzeWorkload(factory());
+
+        for (size_t rep = 0; rep < reps; ++rep) {
+            // Stage 1: EqSat on a fresh copy of the encoded e-graph.
+            EGraph egraph = analyzed.program.egraph;
+            Stopwatch watch;
+            runEqSat(egraph, library.intSat(), config.eqsat);
+            report.eqsat.samplesMs.push_back(watch.seconds() * 1e3);
+
+            // Stage 2: the AU pair sweep over the saturated graph.
+            watch.reset();
+            rii::AuResult au = rii::identifyPatterns(egraph, config.au);
+            report.au.samplesMs.push_back(watch.seconds() * 1e3);
+            report.auPatterns = au.patterns.size();
+            report.rawCandidates = au.stats.rawCandidates;
+
+            // Stage 3: the full pipeline (includes selection).
+            watch.reset();
+            rii::RiiResult result =
+                identifyInstructions(analyzed, rii::Mode::Default);
+            report.pipeline.samplesMs.push_back(watch.seconds() * 1e3);
+            report.frontSize = result.front.size();
+
+            if (checkIdentical && rep == 0) {
+                // Determinism contract: the JSON report (pattern set,
+                // selection front, stats) must be byte-identical when the
+                // whole run repeats single-threaded -- modulo the one
+                // wall-clock field, which can never agree.
+                const std::string parallel =
+                    stripWallClock(resultToJson(analyzed, result));
+                setGlobalThreads(1);
+                rii::RiiResult serial =
+                    identifyInstructions(analyzed, rii::Mode::Default);
+                setGlobalThreads(threads);
+                const std::string serialJson =
+                    stripWallClock(resultToJson(analyzed, serial));
+                report.identicalChecked = true;
+                report.identical = parallel == serialJson;
+                if (!report.identical) {
+                    allIdentical = false;
+                    std::cerr << "MISMATCH: " << name
+                              << " serial vs parallel reports differ\n";
+                }
+            }
+        }
+        reports.push_back(std::move(report));
+    }
+
+    std::ofstream out(outPath);
+    ISAMORE_USER_CHECK(out.good(), "cannot write " + outPath);
+    writeReport(out, reports, threads, reps);
+    std::cerr << "wrote " << outPath << "\n";
+
+    if (checkIdentical && !allIdentical) {
+        return 1;
+    }
+    return 0;
+}

@@ -7,7 +7,7 @@
  *   isamore_cli run <workload> [--mode default|astsize|kdsample|vector|
  *                                      noeqsat|llmt]
  *                   [--emit-verilog] [--rocc] [--dump-egraph] [--json]
- *                   [--extended-rules] [--inject <faults>]
+ *                   [--extended-rules] [--inject <faults>] [--threads <n>]
  *
  * Workload names: the Table 2 kernels (matmul, matchain, 2dconv, fft,
  * stencil, qprod, qrdecomp, deriche, sha), "all", the case studies
@@ -28,7 +28,12 @@
  * `--inject` (or the ISAMORE_FAULTS environment variable) arms the
  * deterministic fault registry, e.g. `--inject "au.pair=timeout@2"`;
  * see src/support/fault.hpp for the grammar and the site list.
+ *
+ * `--threads` (or the ISAMORE_THREADS environment variable) sizes the
+ * work-stealing pool used by EqSat's match phase and the AU pair sweep;
+ * results are identical for every thread count (see DESIGN.md).
  */
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -40,6 +45,7 @@
 #include "isamore/report.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/pool.hpp"
 #include "workloads/libraries.hpp"
 
 namespace {
@@ -147,7 +153,8 @@ usage()
         << "usage: isamore_cli list\n"
         << "       isamore_cli run <workload> [--mode <m>] "
            "[--emit-verilog] [--rocc] [--dump-egraph] [--json]\n"
-        << "                   [--extended-rules] [--inject <faults>]\n"
+        << "                   [--extended-rules] [--inject <faults>] "
+           "[--threads <n>]\n"
         << "exit codes: 0 ok, 2 usage, 3 invalid input, 4 internal "
            "error, 5 degraded success\n";
     return kExitUsage;
@@ -177,6 +184,14 @@ runCommand(int argc, char** argv)
             mode = *parsed;
         } else if (flag == "--inject" && i + 1 < argc) {
             fault::Registry::instance().configure(argv[++i]);
+        } else if (flag == "--threads" && i + 1 < argc) {
+            char* end = nullptr;
+            const unsigned long threads = std::strtoul(argv[++i], &end, 10);
+            ISAMORE_USER_CHECK(end != nullptr && *end == '\0' &&
+                                   threads >= 1,
+                               std::string("bad --threads value: ") +
+                                   argv[i]);
+            setGlobalThreads(static_cast<size_t>(threads));
         } else if (flag == "--emit-verilog") {
             emit_verilog = true;
         } else if (flag == "--rocc") {
