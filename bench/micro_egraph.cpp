@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "egraph/ematch_program.hpp"
 #include "egraph/rewrite.hpp"
 #include "rii/au.hpp"
 #include "rules/rulesets.hpp"
@@ -71,6 +72,69 @@ BM_EMatch(benchmark::State& state)
     }
 }
 BENCHMARK(BM_EMatch);
+
+/**
+ * The BM_EMatch* trio compares the matching engines head to head on a
+ * saturated graph (where classes are fat and the scan dominates): the
+ * legacy std::function matcher over every class, the compiled pattern VM
+ * seeded from the op index, and the VM with a warm incremental state on
+ * an unchanged graph (the steady-state cost inside runEqSat).
+ */
+EGraph
+saturatedChain(int n)
+{
+    EGraph g;
+    buildChain(g, n);
+    EqSatLimits limits;
+    limits.maxIterations = 3;
+    runEqSat(g, rules::defaultLibrary().intSat(), limits);
+    return g;
+}
+
+const TermPtr&
+ematchBenchPattern()
+{
+    static const TermPtr pattern = parseTerm("(+ (* ?0 ?1) ?2)");
+    return pattern;
+}
+
+void
+BM_EMatchNaive(benchmark::State& state)
+{
+    EGraph g = saturatedChain(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ematchAllLegacy(g, ematchBenchPattern(), 1 << 20));
+    }
+}
+BENCHMARK(BM_EMatchNaive)->Arg(64)->Arg(256);
+
+void
+BM_EMatchCompiled(benchmark::State& state)
+{
+    EGraph g = saturatedChain(static_cast<int>(state.range(0)));
+    const PatternProgram program =
+        PatternProgram::compile(ematchBenchPattern());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(searchPattern(g, program, 1 << 20));
+    }
+}
+BENCHMARK(BM_EMatchCompiled)->Arg(64)->Arg(256);
+
+void
+BM_EMatchIncrementalWarm(benchmark::State& state)
+{
+    EGraph g = saturatedChain(static_cast<int>(state.range(0)));
+    const PatternProgram program =
+        PatternProgram::compile(ematchBenchPattern());
+    IncrementalSearchState incState;
+    searchPattern(g, program, 1 << 20, &incState);  // warm the state
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            searchPattern(g, program, 1 << 20, &incState));
+    }
+}
+BENCHMARK(BM_EMatchIncrementalWarm)->Arg(64)->Arg(256);
 
 void
 BM_EqSatCoreRules(benchmark::State& state)

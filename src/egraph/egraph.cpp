@@ -83,12 +83,15 @@ EGraph::makeClass(ENode node)
 {
     const EClassId id = static_cast<EClassId>(parent_.size());
     parent_.push_back(id);
+    stamp_.push_back(++clock_);
     EClass& data = classes_[id];
     for (EClassId child : node.children) {
         classes_.at(child).parents.emplace_back(node, id);
     }
     memo_.emplace(node, id);
     data.nodes.push_back(std::move(node));
+    ++nodeCount_;
+    cachesStale_ = true;
     return id;
 }
 
@@ -141,6 +144,9 @@ EGraph::merge(EClassId a, EClassId b)
     classes_.erase(b);
     worklist_.push_back(a);
     ++version_;
+    stamp_[a] = ++clock_;
+    dirtySeeds_.push_back(a);
+    cachesStale_ = true;
     return true;
 }
 
@@ -155,6 +161,46 @@ EGraph::rebuild()
             EClassId canonical = findMutable(id);
             if (seen.insert(canonical).second) {
                 repair(canonical);
+            }
+        }
+    }
+    propagateDirty();
+    if (cachesStale_) {
+        refreshCaches();
+    }
+}
+
+void
+EGraph::propagateDirty()
+{
+    if (dirtySeeds_.empty()) {
+        return;
+    }
+    // A merged class's new node set changes the match behaviour of every
+    // ancestor reachable through parent lists, so the stamp propagates
+    // upward until it meets classes already stamped at this clock value.
+    // Parent entries of untouched classes may hold stale ids; findMutable
+    // resolves them (a superset of true ancestors is harmless: stamping a
+    // class conservatively only costs a redundant re-match).
+    const uint64_t now = ++clock_;
+    std::vector<EClassId> queue;
+    queue.reserve(dirtySeeds_.size());
+    for (EClassId seed : dirtySeeds_) {
+        const EClassId c = findMutable(seed);
+        if (stamp_[c] != now) {
+            stamp_[c] = now;
+            queue.push_back(c);
+        }
+    }
+    dirtySeeds_.clear();
+    while (!queue.empty()) {
+        const EClassId c = queue.back();
+        queue.pop_back();
+        for (const auto& [pnode, pclass] : classes_.at(c).parents) {
+            const EClassId p = findMutable(pclass);
+            if (stamp_[p] != now) {
+                stamp_[p] = now;
+                queue.push_back(p);
             }
         }
     }
@@ -213,6 +259,7 @@ EGraph::repair(EClassId id)
             unique.push_back(std::move(canonical));
         }
     }
+    nodeCount_ -= self.nodes.size() - unique.size();
     self.nodes = std::move(unique);
 }
 
@@ -225,26 +272,69 @@ EGraph::cls(EClassId id) const
     return it->second;
 }
 
-size_t
-EGraph::numNodes() const
+void
+EGraph::refreshCaches() const
 {
-    size_t total = 0;
+    classIdsCache_.clear();
+    classIdsCache_.reserve(classes_.size());
     for (const auto& [id, data] : classes_) {
-        total += data.nodes.size();
+        classIdsCache_.push_back(id);
     }
-    return total;
+    std::sort(classIdsCache_.begin(), classIdsCache_.end());
+
+    opIndex_.assign(kNumOps, {});
+    for (EClassId id : classIdsCache_) {
+        // Emit each (op, class) pair once even when a class holds several
+        // nodes with the same root op; ids come out ascending because the
+        // outer walk is ascending.
+        uint64_t emitted = 0;  // bitset over ops (kNumOps < 64)
+        static_assert(kNumOps <= 64);
+        for (const ENode& node : classes_.at(id).nodes) {
+            const uint64_t bit = uint64_t{1} << static_cast<size_t>(node.op);
+            if ((emitted & bit) == 0) {
+                emitted |= bit;
+                opIndex_[static_cast<size_t>(node.op)].push_back(id);
+            }
+        }
+    }
+    cachesStale_ = false;
+}
+
+const std::vector<EClassId>&
+EGraph::classIds() const
+{
+    if (cachesStale_) {
+        refreshCaches();
+    }
+    return classIdsCache_;
+}
+
+const std::vector<EClassId>&
+EGraph::classesWithOp(Op op) const
+{
+    if (cachesStale_) {
+        refreshCaches();
+    }
+    return opIndex_[static_cast<size_t>(op)];
+}
+
+uint64_t
+EGraph::classStamp(EClassId id) const
+{
+    ISAMORE_CHECK(id < stamp_.size());
+    return stamp_[id];
 }
 
 std::vector<EClassId>
-EGraph::classIds() const
+EGraph::classesDirtySince(uint64_t version) const
 {
-    std::vector<EClassId> ids;
-    ids.reserve(classes_.size());
-    for (const auto& [id, data] : classes_) {
-        ids.push_back(id);
+    std::vector<EClassId> out;
+    for (EClassId id : classIds()) {
+        if (stamp_[id] > version) {
+            out.push_back(id);
+        }
     }
-    std::sort(ids.begin(), ids.end());
-    return ids;
+    return out;
 }
 
 }  // namespace isamore

@@ -68,7 +68,25 @@ struct EClass {
     std::vector<std::pair<ENode, EClassId>> parents;
 };
 
-/** E-graph with deferred congruence repair. */
+/**
+ * E-graph with deferred congruence repair.
+ *
+ * Beyond the core egg design, the graph maintains three derived
+ * structures for the e-matching engine (see DESIGN.md "Matching engine"):
+ *
+ *  - an **op index** mapping each root operator to the ascending list of
+ *    canonical classes containing a node with that operator, so pattern
+ *    searches seed their root candidates without scanning every class;
+ *  - **per-class modification stamps** on a monotone clock, propagated
+ *    upward through parent lists at the rebuild() fixpoint, so a class's
+ *    stamp bounds the last change anywhere in its reachable sub-DAG and
+ *    incremental searches can skip classes untouched since a snapshot;
+ *  - a **cached canonical-id snapshot** (classIds()) and an incrementally
+ *    maintained node count, both O(1) on the hot read paths.
+ *
+ * The caches refresh lazily; rebuild() always leaves them fresh, so the
+ * read-only parallel match fan-out never hits a refresh (no data races).
+ */
 class EGraph {
  public:
     EGraph() = default;
@@ -121,17 +139,52 @@ class EGraph {
     /** Number of live (canonical) e-classes. */
     size_t numClasses() const { return classes_.size(); }
 
-    /** Number of e-nodes across live classes. */
-    size_t numNodes() const;
+    /** Number of e-nodes across live classes (maintained incrementally). */
+    size_t numNodes() const { return nodeCount_; }
 
-    /** Snapshot of all canonical class ids (stable order: ascending). */
-    std::vector<EClassId> classIds() const;
+    /**
+     * Snapshot of all canonical class ids (stable order: ascending).
+     * Cached; recomputed lazily after mutations.  The reference stays
+     * valid until the next mutation.
+     */
+    const std::vector<EClassId>& classIds() const;
+
+    /**
+     * Canonical classes containing at least one node with root operator
+     * @p op, ascending.  Same caching contract as classIds().
+     */
+    const std::vector<EClassId>& classesWithOp(Op op) const;
 
     /** Whether there are pending merges not yet rebuilt. */
     bool needsRebuild() const { return !worklist_.empty(); }
 
     /** Monotone counter of merges performed (for saturation detection). */
     uint64_t version() const { return version_; }
+
+    /** @name Dirty tracking (incremental e-matching)
+     *  @{ */
+
+    /**
+     * Monotone modification clock: bumps on every class creation or
+     * merge.  Snapshot it after a rebuild(); classes whose stamp exceeds
+     * the snapshot may match differently than they did then.
+     */
+    uint64_t matchClock() const { return clock_; }
+
+    /**
+     * Last-modification stamp of class @p id, upward-propagated: covers
+     * changes anywhere in the class's reachable sub-DAG as of the last
+     * rebuild().  @pre @p id is canonical.
+     */
+    uint64_t classStamp(EClassId id) const;
+
+    /**
+     * Canonical ids (ascending) whose stamp exceeds @p version.  A class
+     * absent from the result is guaranteed to produce exactly the same
+     * matches, for every pattern, as it did when @p version was
+     * snapshotted (provided the graph was rebuilt at both points).
+     */
+    std::vector<EClassId> classesDirtySince(uint64_t version) const;
 
     /** @} */
 
@@ -140,12 +193,28 @@ class EGraph {
     void repair(EClassId id);
     /** find() with path halving; only valid from mutation paths. */
     EClassId findMutable(EClassId id);
+    /** Rebuild classIds/op-index caches when stale. */
+    void refreshCaches() const;
+    /** Propagate dirty stamps from merge winners up to all ancestors. */
+    void propagateDirty();
 
     std::vector<EClassId> parent_;  // union-find
     std::unordered_map<ENode, EClassId, ENodeHash> memo_;
     std::unordered_map<EClassId, EClass> classes_;
     std::vector<EClassId> worklist_;
     uint64_t version_ = 0;
+
+    size_t nodeCount_ = 0;             // Σ nodes over live classes
+    uint64_t clock_ = 0;               // modification clock
+    std::vector<uint64_t> stamp_;      // per class id, parallel to parent_
+    std::vector<EClassId> dirtySeeds_; // merge winners awaiting propagation
+
+    // Lazily refreshed read caches (see refreshCaches()).  Mutable so the
+    // const read path can refresh them; rebuild() always refreshes
+    // eagerly, which keeps the concurrent read-only phases refresh-free.
+    mutable std::vector<EClassId> classIdsCache_;
+    mutable std::vector<std::vector<EClassId>> opIndex_;  // by Op value
+    mutable bool cachesStale_ = true;
 };
 
 }  // namespace isamore

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "egraph/ematch_program.hpp"
 #include "support/check.hpp"
 
 namespace isamore {
@@ -85,14 +86,15 @@ class Matcher {
 }  // namespace
 
 std::vector<Subst>
-ematchAt(const EGraph& egraph, const TermPtr& pattern, EClassId root,
-         size_t maxMatches)
+ematchAtLegacy(const EGraph& egraph, const TermPtr& pattern, EClassId root,
+               size_t maxMatches)
 {
     return Matcher(egraph, maxMatches).matchAt(pattern, root);
 }
 
 std::vector<EMatch>
-ematchAll(const EGraph& egraph, const TermPtr& pattern, size_t maxTotal)
+ematchAllLegacy(const EGraph& egraph, const TermPtr& pattern,
+                size_t maxTotal)
 {
     std::vector<EMatch> out;
     for (EClassId id : egraph.classIds()) {
@@ -100,11 +102,29 @@ ematchAll(const EGraph& egraph, const TermPtr& pattern, size_t maxTotal)
             break;
         }
         const size_t budget = maxTotal - out.size();
-        for (Subst& subst : ematchAt(egraph, pattern, id, budget)) {
+        for (Subst& subst : ematchAtLegacy(egraph, pattern, id, budget)) {
             out.push_back(EMatch{id, std::move(subst)});
         }
     }
     return out;
+}
+
+std::vector<Subst>
+ematchAt(const EGraph& egraph, const TermPtr& pattern, EClassId root,
+         size_t maxMatches)
+{
+    std::vector<Subst> out;
+    MatchScratch scratch;
+    PatternProgram::compile(pattern).matchAt(egraph, root, maxMatches, out,
+                                             scratch);
+    return out;
+}
+
+std::vector<EMatch>
+ematchAll(const EGraph& egraph, const TermPtr& pattern, size_t maxTotal)
+{
+    return searchPattern(egraph, PatternProgram::compile(pattern), maxTotal)
+        .matches;
 }
 
 EClassId

@@ -27,6 +27,9 @@ struct EMatch {
 /**
  * Enumerate matches of @p pattern rooted at e-class @p root.
  *
+ * Backed by the compiled pattern VM (ematch_program.hpp); produces the
+ * same matches in the same order as the legacy backtracking matcher.
+ *
  * @param maxMatches cap on the number of substitutions produced (guards
  *        against the multiplicative blowup of matching inside large
  *        classes).
@@ -35,12 +38,29 @@ std::vector<Subst> ematchAt(const EGraph& egraph, const TermPtr& pattern,
                             EClassId root, size_t maxMatches = 64);
 
 /**
- * Enumerate matches of @p pattern across all e-classes.
+ * Enumerate matches of @p pattern across all e-classes, seeding root
+ * candidates from the e-graph's op index (compiled VM fast path).
  *
  * @param maxTotal cap on the total number of matches returned.
  */
 std::vector<EMatch> ematchAll(const EGraph& egraph, const TermPtr& pattern,
                               size_t maxTotal = 4096);
+
+/** @name Legacy reference matcher
+ *
+ * The original std::function-continuation backtracking matcher, kept as
+ * the differential-test oracle for the compiled VM and as the "naive"
+ * baseline in the e-match benchmarks.  Same contract (matches, order,
+ * caps) as the primary entry points above.
+ *  @{ */
+std::vector<Subst> ematchAtLegacy(const EGraph& egraph,
+                                  const TermPtr& pattern, EClassId root,
+                                  size_t maxMatches = 64);
+
+std::vector<EMatch> ematchAllLegacy(const EGraph& egraph,
+                                    const TermPtr& pattern,
+                                    size_t maxTotal = 4096);
+/** @} */
 
 /**
  * Instantiate @p term in the e-graph, resolving holes through @p subst.

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Compiled e-matching: patterns compiled once into flat abstract-machine
+ * programs, executed by a small VM with an explicit backtracking stack,
+ * plus an incremental whole-graph search driver over the e-graph's op
+ * index and dirty stamps (DESIGN.md "Matching engine").
+ *
+ * The VM enumerates matches in exactly the order of the legacy
+ * backtracking matcher in ematch.cpp (pre-order, class-node order,
+ * depth-first), which is what keeps pipeline output byte-identical when
+ * the rewrite engine switches over; the legacy matcher remains as the
+ * differential-test oracle.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsl/term.hpp"
+#include "egraph/ematch.hpp"
+
+namespace isamore {
+
+/** Reusable VM execution state; one per searching thread. */
+struct MatchScratch {
+    std::vector<EClassId> regs;   ///< class registers
+    std::vector<EClassId> slots;  ///< hole bindings
+    struct Choice {
+        uint32_t pc;       ///< Bind instruction to resume
+        uint32_t nodeIdx;  ///< next node index to try in that class
+    };
+    std::vector<Choice> choices;  ///< backtracking stack
+};
+
+/**
+ * A pattern LHS compiled to a flat instruction sequence.
+ *
+ * Instructions, laid out in pattern pre-order:
+ *  - Bind: iterate the e-nodes of the class in register `reg` whose
+ *    (op, payload, arity) match; write the canonical child classes to
+ *    registers `outBase..outBase+arity-1`.  The only choice point.
+ *  - BindHole: first occurrence of a hole — bind its slot to `reg`.
+ *  - Compare: later occurrence — fail unless the slot equals `reg`.
+ */
+class PatternProgram {
+ public:
+    /** One-time compile of @p pattern (a term with Hole leaves). */
+    static PatternProgram compile(const TermPtr& pattern);
+
+    /** Root operator, for seeding candidates from the op index. */
+    Op rootOp() const { return rootOp_; }
+
+    /** Whether the whole pattern is a bare hole (matches any class). */
+    bool rootIsHole() const { return rootOp_ == Op::Hole; }
+
+    /**
+     * Enumerate matches rooted at @p root, appending at most
+     * @p maxMatches substitutions to @p out.  @p scratch is caller-owned
+     * so repeated calls reuse its buffers (no per-frame allocation).
+     * @return the number of matches appended.
+     */
+    size_t matchAt(const EGraph& egraph, EClassId root, size_t maxMatches,
+                   std::vector<Subst>& out, MatchScratch& scratch) const;
+
+ private:
+    enum class Kind : uint8_t { Bind, BindHole, Compare };
+
+    struct Insn {
+        Kind kind;
+        uint16_t reg = 0;
+        uint16_t outBase = 0;  // Bind only
+        uint16_t arity = 0;    // Bind only
+        uint16_t slot = 0;     // BindHole / Compare only
+        Op op = Op::Lit;       // Bind only
+        Payload payload;       // Bind only
+    };
+
+    void compileNode(const TermPtr& node, uint16_t reg);
+
+    std::vector<Insn> insns_;
+    std::vector<int64_t> slotHoleIds_;  // slot index -> hole id
+    uint16_t numRegs_ = 1;
+    Op rootOp_ = Op::Hole;
+};
+
+/**
+ * Result of one whole-graph search.  `matches` holds the enumerated
+ * matches; under incremental search it contains only matches rooted at
+ * classes modified since the state's snapshot (matches at untouched
+ * classes are guaranteed unchanged), while `totalCount` always reports
+ * the full-search count — including the cached contribution of untouched
+ * classes — so callers can apply caps and backoff bans exactly as a full
+ * search would.
+ */
+struct SearchResult {
+    std::vector<EMatch> matches;
+    size_t totalCount = 0;
+    bool truncated = false;  ///< hit maxTotal; counts beyond it unknown
+
+    /**
+     * Positional accounting for callers that must behave exactly like a
+     * full enumeration: cachedBefore[i] is the number of cached (skipped)
+     * matches a full search would have produced between matches[i-1] and
+     * matches[i]; cachedAfter counts those after the last one.  All zero
+     * in full mode.  matches.size() + Σcached == totalCount.
+     */
+    std::vector<uint32_t> cachedBefore;
+    size_t cachedAfter = 0;
+};
+
+/**
+ * Per-pattern bookkeeping carried between searches of an evolving
+ * e-graph.  Valid only while the searches were complete (never truncated
+ * by the cap): `counts` then records the per-class match count of every
+ * candidate as of `clock`, so the next search can skip classes whose
+ * stamp is not newer while still accounting for their matches.
+ */
+struct IncrementalSearchState {
+    bool valid = false;
+    uint64_t clock = 0;
+    std::unordered_map<EClassId, uint32_t> counts;  // nonzero counts only
+
+    void reset() { valid = false; counts.clear(); }
+};
+
+/**
+ * Search @p program across all candidate root classes (from the op
+ * index, ascending), enumerating at most @p maxTotal matches in the same
+ * order as the legacy full scan.
+ *
+ * With @p state == nullptr every candidate is searched (full mode).
+ * With a state, classes untouched since the last complete search
+ * contribute their cached counts without being re-searched and their
+ * matches are omitted from the result; the state is updated in place
+ * (and invalidated when the search is truncated, after which the next
+ * call falls back to full mode).
+ *
+ * @pre the e-graph is rebuilt (no pending merges).
+ */
+SearchResult searchPattern(const EGraph& egraph,
+                           const PatternProgram& program, size_t maxTotal,
+                           IncrementalSearchState* state = nullptr);
+
+}  // namespace isamore

@@ -1,5 +1,6 @@
 #include "egraph/extract.hpp"
 
+#include <set>
 #include <unordered_set>
 
 #include "support/check.hpp"
@@ -21,39 +22,73 @@ Extractor::Extractor(const EGraph& egraph, CostFn costFn)
 {
     ISAMORE_USER_CHECK(!egraph_.needsRebuild(),
                        "extract requires a rebuilt e-graph");
-    const auto ids = egraph_.classIds();
 
-    // Greedy relaxation to a fixpoint.  Cost functions must strictly
+    // Greedy relaxation to a fixpoint, driven by a parent worklist instead
+    // of repeated whole-graph sweeps.  Cost functions must strictly
     // increase along edges (>= max(child) + epsilon) so cyclic choices can
     // never beat ground ones.
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (EClassId id : ids) {
-            for (const ENode& node : egraph_.cls(id).nodes) {
-                std::vector<double> childCosts;
-                childCosts.reserve(node.children.size());
-                bool feasible = true;
-                for (EClassId child : node.children) {
-                    auto it = bestCost_.find(egraph_.find(child));
-                    if (it == bestCost_.end()) {
-                        feasible = false;
-                        break;
-                    }
-                    childCosts.push_back(it->second);
+    //
+    // The evolution of bestCost_/bestNode_ — including which node wins an
+    // epsilon-tie — is identical to the classic "ascending sweep until no
+    // change" loop: a sweep's visit to a class only does anything when a
+    // child's cost changed since the class was last evaluated, and in that
+    // case the class is a parent of the improved child and sits in the
+    // worklist.  A parent above the improved class re-evaluates within the
+    // current ascending pass (as the sweep would), one at or below it
+    // waits for the next pass.
+    auto evaluate = [&](EClassId id) {
+        bool improved = false;
+        for (const ENode& node : egraph_.cls(id).nodes) {
+            std::vector<double> childCosts;
+            childCosts.reserve(node.children.size());
+            bool feasible = true;
+            for (EClassId child : node.children) {
+                auto it = bestCost_.find(egraph_.find(child));
+                if (it == bestCost_.end()) {
+                    feasible = false;
+                    break;
                 }
-                if (!feasible) {
-                    continue;
-                }
-                const double cost = costFn_(node, childCosts);
-                auto it = bestCost_.find(id);
-                if (it == bestCost_.end() || cost < it->second - 1e-12) {
-                    bestCost_[id] = cost;
-                    bestNode_[id] = node;
-                    changed = true;
-                }
+                childCosts.push_back(it->second);
+            }
+            if (!feasible) {
+                continue;
+            }
+            const double cost = costFn_(node, childCosts);
+            auto it = bestCost_.find(id);
+            if (it == bestCost_.end() || cost < it->second - 1e-12) {
+                bestCost_[id] = cost;
+                bestNode_[id] = node;
+                improved = true;
             }
         }
+        return improved;
+    };
+
+    // Only classes holding a leaf node can become extractable unprompted;
+    // everything else activates when a child first gets a cost.
+    std::set<EClassId> current;
+    std::set<EClassId> next;
+    for (EClassId id : egraph_.classIds()) {
+        for (const ENode& node : egraph_.cls(id).nodes) {
+            if (node.children.empty()) {
+                current.insert(id);
+                break;
+            }
+        }
+    }
+    while (!current.empty()) {
+        while (!current.empty()) {
+            const EClassId id = *current.begin();
+            current.erase(current.begin());
+            if (!evaluate(id)) {
+                continue;
+            }
+            for (const auto& use : egraph_.cls(id).parents) {
+                const EClassId parent = egraph_.find(use.second);
+                (parent > id ? current : next).insert(parent);
+            }
+        }
+        current.swap(next);
     }
 }
 

@@ -1,7 +1,9 @@
 #include "egraph/rewrite.hpp"
 
+#include <algorithm>
 #include <new>
 
+#include "egraph/ematch_program.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/pool.hpp"
@@ -78,6 +80,18 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
     };
     std::vector<Backoff> backoff(rules.size());
 
+    // Each rule's LHS compiles once per run; the per-rule incremental
+    // state carries the last complete search's clock and per-class match
+    // counts across iterations.  Rules with a guard always search in full
+    // mode: a guard may re-admit a previously rejected match after graph
+    // changes anywhere, so skipping untouched classes would lose it.
+    std::vector<PatternProgram> programs;
+    programs.reserve(rules.size());
+    for (const RewriteRule& rule : rules) {
+        programs.push_back(PatternProgram::compile(rule.lhs));
+    }
+    std::vector<IncrementalSearchState> searchStates(rules.size());
+
     for (size_t iter = 0; iter < limits.maxIterations; ++iter) {
         stats.iterations = iter + 1;
         size_t skipped_this_iter = 0;
@@ -92,6 +106,11 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         struct PendingUnion {
             const RewriteRule* rule;
             EMatch match;
+            // Matches an incremental search skipped (already applied at
+            // untouched classes) between the previous pending entry and
+            // this one; replayed as no-op applications so the apply
+            // loop's counter-based polling is identical to a full run.
+            uint32_t virtualBefore = 0;
         };
         std::vector<PendingUnion> pending;
         bool any_banned = false;
@@ -99,7 +118,7 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         struct RuleSearch {
             size_t ruleIndex = 0;
             size_t cap = 0;
-            std::vector<EMatch> matches;
+            SearchResult result;
             std::exception_ptr error;
         };
         std::vector<RuleSearch> searches;
@@ -124,15 +143,23 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
 
         globalPool().parallelFor(searches.size(), [&](size_t i) {
             RuleSearch& search = searches[i];
+            const size_t r = search.ruleIndex;
+            IncrementalSearchState* state =
+                (limits.incrementalSearch && !rules[r].guard)
+                    ? &searchStates[r]
+                    : nullptr;
             try {
-                search.matches = ematchAll(
-                    egraph, rules[search.ruleIndex].lhs,
-                    limits.useBackoff ? search.cap + 1 : search.cap);
+                search.result = searchPattern(
+                    egraph, programs[r],
+                    limits.useBackoff ? search.cap + 1 : search.cap, state);
             } catch (...) {
                 search.error = std::current_exception();
             }
         });
 
+        // Cached matches trailing a rule's last emitted one roll forward
+        // to the next pending entry (or to the end of the apply loop).
+        size_t virtual_carry = 0;
         for (RuleSearch& search : searches) {
             const RewriteRule& rule = rules[search.ruleIndex];
             try {
@@ -144,7 +171,11 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 if (search.error) {
                     std::rethrow_exception(search.error);
                 }
-                if (limits.useBackoff && search.matches.size() > search.cap) {
+                // totalCount includes the cached contribution of classes
+                // the incremental search skipped, so the overflow check
+                // is exactly the full search's match-list-size check.
+                if (limits.useBackoff &&
+                    search.result.totalCount > search.cap) {
                     // Ban for an exponentially growing span and skip.
                     const size_t r = search.ruleIndex;
                     backoff[r].bannedUntil =
@@ -153,13 +184,18 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                     any_banned = true;
                     continue;
                 }
-                for (EMatch& match : search.matches) {
-                    if (rule.guard && !rule.guard(egraph, match)) {
+                std::vector<EMatch>& matches = search.result.matches;
+                for (size_t j = 0; j < matches.size(); ++j) {
+                    virtual_carry += search.result.cachedBefore[j];
+                    if (rule.guard && !rule.guard(egraph, matches[j])) {
                         continue;
                     }
-                    pending.push_back(
-                        PendingUnion{&rule, std::move(match)});
+                    pending.push_back(PendingUnion{
+                        &rule, std::move(matches[j]),
+                        static_cast<uint32_t>(virtual_carry)});
+                    virtual_carry = 0;
                 }
+                virtual_carry += search.result.cachedAfter;
             } catch (const InternalError&) {
                 ++skipped_this_iter;
                 continue;
@@ -179,7 +215,35 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         size_t nodes_before = egraph.numNodes();
         bool added_nodes = false;
         size_t applied = 0;
+        size_t apply_skips = 0;
+        // Re-applying a match rooted at an untouched class is a no-op
+        // (instantiate hits the hashcons, merge returns false), but in a
+        // full run it still advances `applied` past poll boundaries.
+        // Replay the skipped no-ops through the same counter so the two
+        // modes break out of this loop at identical points.
+        auto advance_virtual = [&](size_t v) {
+            while (v != 0) {
+                const size_t step =
+                    std::min<size_t>(v, 64 - (applied & 63u));
+                applied += step;
+                v -= step;
+                if ((applied & 63u) == 0) {
+                    if (egraph.numNodes() > limits.maxNodes &&
+                        egraph.numNodes() > nodes_before) {
+                        added_nodes = true;
+                        return true;
+                    }
+                    if (poll_budget()) {
+                        return true;
+                    }
+                }
+            }
+            return false;
+        };
         for (const PendingUnion& p : pending) {
+            if (advance_virtual(p.virtualBefore)) {
+                break;
+            }
             if (fault::tripped("eqsat.apply")) {
                 out_of_time = true;
                 break;
@@ -196,12 +260,13 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 }
             } catch (const InternalError&) {
                 ++skipped_this_iter;
+                ++apply_skips;
                 continue;
             } catch (const std::bad_alloc&) {
                 ++skipped_this_iter;
+                ++apply_skips;
                 continue;
             }
-            // numNodes() is O(#classes); poll the limits periodically.
             if ((++applied & 63u) == 0) {
                 if (egraph.numNodes() > limits.maxNodes &&
                     egraph.numNodes() > nodes_before) {
@@ -211,6 +276,16 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 if (poll_budget()) {
                     break;
                 }
+            }
+        }
+        if (!added_nodes && !out_of_time && !out_of_units) {
+            advance_virtual(virtual_carry);
+        }
+        if (apply_skips != 0) {
+            // A dropped application is a match the incremental baseline
+            // would wrongly consider consumed; start every rule over.
+            for (IncrementalSearchState& state : searchStates) {
+                state.reset();
             }
         }
         egraph.rebuild();

@@ -61,6 +61,19 @@ struct EqSatLimits {
      * lets slow rules keep contributing while explosive ones cool off.
      */
     bool useBackoff = false;
+
+    /**
+     * Incremental search: after a rule's first complete search, later
+     * iterations re-match it only against classes modified (anywhere in
+     * their reachable sub-DAG) since — matches rooted in untouched
+     * classes were already applied and can only repeat.  Falls back to a
+     * full search on the first iteration, after a cap-truncated search or
+     * a backoff ban, for rules with a guard (a guard may re-admit an old
+     * match after unrelated graph changes), and after any application was
+     * dropped by a fault.  Off = every iteration searches every class;
+     * both modes produce identical results and statistics.
+     */
+    bool incrementalSearch = true;
 };
 
 /**

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for the compiled/incremental matching engine (ematch_program.hpp)
+ * and its e-graph support structures: a randomized differential suite
+ * pinning the VM to the legacy backtracking matcher (1000 graph/pattern
+ * cases), full-vs-incremental runEqSat equivalence, the worklist
+ * extractor against a naive full-sweep oracle, and units for the op
+ * index, dirty stamps, O(1) node count, and the class-id snapshot.
+ */
+#include "egraph/ematch_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "egraph/extract.hpp"
+#include "egraph/rewrite.hpp"
+#include "rules/rulesets.hpp"
+#include "support/rng.hpp"
+
+namespace isamore {
+namespace {
+
+/** Random integer term over Args $0.0..$0.3 and small literals. */
+TermPtr
+randomIntTerm(Rng& rng, int depth)
+{
+    if (depth == 0 || rng.below(4) == 0) {
+        if (rng.below(2) == 0) {
+            return arg(0, static_cast<int64_t>(rng.below(4)));
+        }
+        static const int64_t lits[] = {0, 1, 2, 3, 8};
+        return lit(lits[rng.below(std::size(lits))]);
+    }
+    static const Op unary[] = {Op::Neg, Op::Not, Op::Abs};
+    static const Op binary[] = {Op::Add, Op::Sub, Op::Mul, Op::And,
+                                Op::Or,  Op::Xor, Op::Min, Op::Max,
+                                Op::Shl, Op::Shr};
+    if (rng.below(5) == 0) {
+        return makeTerm(unary[rng.below(std::size(unary))],
+                        {randomIntTerm(rng, depth - 1)});
+    }
+    return makeTerm(binary[rng.below(std::size(binary))],
+                    {randomIntTerm(rng, depth - 1),
+                     randomIntTerm(rng, depth - 1)});
+}
+
+/** Random pattern over the same op alphabet, with holes ?0..?2. */
+TermPtr
+randomPattern(Rng& rng, int depth)
+{
+    if (depth == 0 || rng.below(3) == 0) {
+        switch (rng.below(4)) {
+          case 0:
+            return lit(static_cast<int64_t>(rng.below(4)));
+          case 1:
+            return arg(0, static_cast<int64_t>(rng.below(4)));
+          default:
+            return hole(static_cast<int64_t>(rng.below(3)));
+        }
+    }
+    static const Op binary[] = {Op::Add, Op::Sub, Op::Mul, Op::And,
+                                Op::Or,  Op::Xor, Op::Min, Op::Max};
+    if (rng.below(5) == 0) {
+        return makeTerm(Op::Neg, {randomPattern(rng, depth - 1)});
+    }
+    return makeTerm(binary[rng.below(std::size(binary))],
+                    {randomPattern(rng, depth - 1),
+                     randomPattern(rng, depth - 1)});
+}
+
+/** A random e-graph: several terms plus a few merges, rebuilt. */
+EGraph
+randomGraph(Rng& rng)
+{
+    EGraph g;
+    for (int i = 0; i < 8; ++i) {
+        g.addTerm(randomIntTerm(rng, 4));
+    }
+    for (int i = 0; i < 5; ++i) {
+        const auto ids = g.classIds();
+        g.merge(ids[rng.below(ids.size())], ids[rng.below(ids.size())]);
+        g.rebuild();
+    }
+    return g;
+}
+
+// --- compiled VM vs legacy matcher -----------------------------------
+
+class VmDifferential : public ::testing::TestWithParam<int> {};
+
+// 25 graphs x 40 patterns = 1000 differential cases: the compiled VM
+// must reproduce the legacy matcher's exact match sequence (roots,
+// substitutions, order) under randomized caps, both across the whole
+// graph and rooted at a random class.
+TEST_P(VmDifferential, MatchesLegacyMatcherExactly)
+{
+    Rng rng(7000 + static_cast<uint64_t>(GetParam()));
+    EGraph g = randomGraph(rng);
+    const auto ids = g.classIds();
+    for (int c = 0; c < 40; ++c) {
+        TermPtr pat = randomPattern(rng, 3);
+        const size_t cap = 1 + rng.below(64);
+        const auto vm = ematchAll(g, pat, cap);
+        const auto legacy = ematchAllLegacy(g, pat, cap);
+        ASSERT_EQ(vm.size(), legacy.size())
+            << "pattern " << termToString(pat) << " cap " << cap;
+        for (size_t i = 0; i < vm.size(); ++i) {
+            EXPECT_EQ(vm[i].root, legacy[i].root);
+            EXPECT_EQ(vm[i].subst, legacy[i].subst);
+        }
+
+        const EClassId root = ids[rng.below(ids.size())];
+        const size_t atCap = 1 + rng.below(16);
+        EXPECT_EQ(ematchAt(g, pat, root, atCap),
+                  ematchAtLegacy(g, pat, root, atCap))
+            << "pattern " << termToString(pat) << " at class " << root;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, VmDifferential,
+                         ::testing::Range(0, 25));
+
+// --- incremental search inside runEqSat ------------------------------
+
+class IncrementalEqSat : public ::testing::TestWithParam<int> {};
+
+// Incremental search is an internal shortcut: a run with it on must be
+// observably identical to a full-search run — same statistics (wall
+// clock aside), same final graph shape, same extraction.
+TEST_P(IncrementalEqSat, FullAndIncrementalRunsAreIdentical)
+{
+    const int param = GetParam();
+    Rng rng(9000 + static_cast<uint64_t>(param));
+    TermPtr original = randomIntTerm(rng, 4);
+    static const auto rules =
+        rules::defaultLibrary().select(kRuleInt, kRuleVector | kRuleFloat);
+
+    EqSatLimits limits;
+    limits.maxIterations = 6;
+    limits.maxSeconds = 10.0;
+    // Vary the pressure so cap truncation, backoff bans, and node-limit
+    // stops all occur across the parameter range.
+    limits.maxNodes = (param % 3 == 0) ? 300 : 4000;
+    limits.useBackoff = (param % 2 == 1);
+    limits.maxMatchesPerRule = (param % 4 == 2) ? 40 : 2048;
+
+    EqSatStats stats[2];
+    std::string extracted[2];
+    double cost[2];
+    size_t nodes[2], classes[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        EGraph g;
+        EClassId root = g.addTerm(original);
+        EqSatLimits l = limits;
+        l.incrementalSearch = (mode == 1);
+        stats[mode] = runEqSat(g, rules, l);
+        nodes[mode] = g.numNodes();
+        classes[mode] = g.numClasses();
+        Extraction ex = Extractor(g, astSizeCost).extract(root);
+        extracted[mode] = termToString(ex.term);
+        cost[mode] = ex.cost;
+    }
+
+    EXPECT_EQ(stats[0].iterations, stats[1].iterations);
+    EXPECT_EQ(stats[0].peakNodes, stats[1].peakNodes);
+    EXPECT_EQ(stats[0].peakClasses, stats[1].peakClasses);
+    EXPECT_EQ(stats[0].applications, stats[1].applications);
+    EXPECT_EQ(stats[0].rulesBanned, stats[1].rulesBanned);
+    EXPECT_EQ(stats[0].skippedRules, stats[1].skippedRules);
+    EXPECT_EQ(stats[0].stopReason, stats[1].stopReason);
+    EXPECT_EQ(nodes[0], nodes[1]);
+    EXPECT_EQ(classes[0], classes[1]);
+    EXPECT_EQ(extracted[0], extracted[1]);
+    EXPECT_EQ(cost[0], cost[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTerms, IncrementalEqSat,
+                         ::testing::Range(0, 16));
+
+// --- worklist extractor vs full-sweep oracle -------------------------
+
+/** The pre-worklist extractor: ascending sweeps until no change. */
+void
+naiveRelax(const EGraph& g, const CostFn& costFn,
+           std::unordered_map<EClassId, double>& bestCost,
+           std::unordered_map<EClassId, ENode>& bestNode)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (EClassId id : g.classIds()) {
+            for (const ENode& node : g.cls(id).nodes) {
+                std::vector<double> childCosts;
+                childCosts.reserve(node.children.size());
+                bool feasible = true;
+                for (EClassId child : node.children) {
+                    auto it = bestCost.find(g.find(child));
+                    if (it == bestCost.end()) {
+                        feasible = false;
+                        break;
+                    }
+                    childCosts.push_back(it->second);
+                }
+                if (!feasible) {
+                    continue;
+                }
+                const double cost = costFn(node, childCosts);
+                auto it = bestCost.find(id);
+                if (it == bestCost.end() || cost < it->second - 1e-12) {
+                    bestCost[id] = cost;
+                    bestNode[id] = node;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+class ExtractorWorklist : public ::testing::TestWithParam<int> {};
+
+// The worklist relaxation must produce bit-identical costs AND the same
+// chosen node per class (epsilon-ties resolve the same way) as the
+// full-sweep loop it replaced.  The max-based cost creates many exact
+// ties, stressing the tie-break order.
+TEST_P(ExtractorWorklist, MatchesFullSweepOracle)
+{
+    Rng rng(5500 + static_cast<uint64_t>(GetParam()));
+    EGraph g = randomGraph(rng);
+
+    const CostFn costs[] = {
+        astSizeCost,
+        [](const ENode&, const std::vector<double>& childCosts) {
+            double m = 0.0;
+            for (double c : childCosts) {
+                m = std::max(m, c);
+            }
+            return 1.0 + m;
+        }};
+    for (const CostFn& fn : costs) {
+        std::unordered_map<EClassId, double> wantCost;
+        std::unordered_map<EClassId, ENode> wantNode;
+        naiveRelax(g, fn, wantCost, wantNode);
+
+        Extractor extractor(g, fn);
+        for (EClassId id : g.classIds()) {
+            auto want = wantCost.find(id);
+            auto got = extractor.costOf(id);
+            ASSERT_EQ(want != wantCost.end(), got.has_value())
+                << "class " << id;
+            if (got.has_value()) {
+                EXPECT_EQ(want->second, *got) << "class " << id;
+                EXPECT_EQ(wantNode.at(id).str(),
+                          extractor.chosenNode(id)->str())
+                    << "class " << id;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ExtractorWorklist,
+                         ::testing::Range(0, 12));
+
+// --- op index --------------------------------------------------------
+
+TEST(OpIndexTest, ListsEachClassOnceAndTracksMerges)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ (* $0.0 $0.1) (* $0.1 $0.0))"));
+    EXPECT_EQ(g.classesWithOp(Op::Mul).size(), 2u);
+    EXPECT_EQ(g.classesWithOp(Op::Add).size(), 1u);
+    EXPECT_TRUE(g.classesWithOp(Op::Div).empty());
+
+    const auto muls = g.classesWithOp(Op::Mul);
+    g.merge(muls[0], muls[1]);
+    g.rebuild();
+    // The merged class holds both Mul nodes but appears once.
+    EXPECT_EQ(g.classesWithOp(Op::Mul).size(), 1u);
+}
+
+TEST(OpIndexTest, MatchesFullScanOnRandomGraphs)
+{
+    for (int seed = 0; seed < 8; ++seed) {
+        Rng rng(3100 + static_cast<uint64_t>(seed));
+        EGraph g = randomGraph(rng);
+        for (int opv = 0; opv < static_cast<int>(kNumOps); ++opv) {
+            const Op op = static_cast<Op>(opv);
+            std::vector<EClassId> want;
+            for (EClassId id : g.classIds()) {
+                for (const ENode& node : g.cls(id).nodes) {
+                    if (node.op == op) {
+                        want.push_back(id);
+                        break;
+                    }
+                }
+            }
+            EXPECT_EQ(g.classesWithOp(op), want) << "op " << opv;
+        }
+    }
+}
+
+// --- dirty stamps ----------------------------------------------------
+
+TEST(DirtyStampTest, MergeDirtiesAncestorsOnly)
+{
+    EGraph g;
+    EClassId sum = g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    EClassId prod = g.addTerm(parseTerm("(* (+ $0.0 $0.1) 2)"));
+    EClassId other = g.addTerm(parseTerm("(- $0.2 1)"));
+    g.rebuild();
+    const uint64_t snapshot = g.matchClock();
+    EXPECT_TRUE(g.classesDirtySince(snapshot).empty());
+
+    g.merge(sum, other);
+    g.rebuild();
+    // The merged class and its ancestors (the product) are newly dirty;
+    // untouched classes (the literal 2, the leaves) keep their stamps.
+    EXPECT_GT(g.classStamp(g.find(sum)), snapshot);
+    EXPECT_GT(g.classStamp(g.find(prod)), snapshot);
+    EXPECT_LE(g.classStamp(g.find(g.addTerm(lit(2)))), snapshot);
+
+    const auto dirty = g.classesDirtySince(snapshot);
+    std::vector<EClassId> want = {g.find(sum), g.find(prod)};
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    EXPECT_EQ(dirty, want);
+}
+
+TEST(DirtyStampTest, DirtinessPropagatesThroughDeepChains)
+{
+    EGraph g;
+    // x0 = $0.0; x{i+1} = (+ x{i} 1): a chain of parents.
+    TermPtr t = arg(0, 0);
+    std::vector<EClassId> chain = {g.addTerm(t)};
+    for (int i = 0; i < 6; ++i) {
+        t = makeTerm(Op::Add, {t, lit(1)});
+        chain.push_back(g.addTerm(t));
+    }
+    EClassId zero = g.addTerm(lit(0));
+    g.rebuild();
+    const uint64_t snapshot = g.matchClock();
+
+    g.merge(chain[0], zero);
+    g.rebuild();
+    for (EClassId link : chain) {
+        EXPECT_GT(g.classStamp(g.find(link)), snapshot);
+    }
+}
+
+// --- O(1) node count and class-id snapshot ---------------------------
+
+TEST(NodeCountTest, MatchesExhaustiveCountUnderMerges)
+{
+    for (int seed = 0; seed < 8; ++seed) {
+        Rng rng(8800 + static_cast<uint64_t>(seed));
+        EGraph g;
+        for (int i = 0; i < 6; ++i) {
+            g.addTerm(randomIntTerm(rng, 3));
+        }
+        for (int round = 0; round < 6; ++round) {
+            const auto ids = g.classIds();
+            g.merge(ids[rng.below(ids.size())],
+                    ids[rng.below(ids.size())]);
+            g.rebuild();
+            size_t want = 0;
+            for (EClassId id : g.classIds()) {
+                want += g.cls(id).nodes.size();
+            }
+            ASSERT_EQ(g.numNodes(), want) << "seed " << seed;
+        }
+    }
+}
+
+TEST(ClassIdsTest, SnapshotIsSortedUniqueAndCanonical)
+{
+    Rng rng(1234);
+    EGraph g = randomGraph(rng);
+    const auto& ids = g.classIds();
+    EXPECT_EQ(ids.size(), g.numClasses());
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+    for (EClassId id : ids) {
+        EXPECT_EQ(g.find(id), id);
+    }
+}
+
+// --- incremental searchPattern driver --------------------------------
+
+TEST(SearchPatternTest, IncrementalSkipsCleanClassesButCountsThem)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    EClassId extra = g.addTerm(parseTerm("(- $0.2 $0.3)"));
+    g.rebuild();
+    const PatternProgram program =
+        PatternProgram::compile(parseTerm("(* ?0 2)"));
+
+    IncrementalSearchState state;
+    SearchResult first = searchPattern(g, program, 4096, &state);
+    EXPECT_EQ(first.matches.size(), 2u);
+    EXPECT_EQ(first.totalCount, 2u);
+    ASSERT_TRUE(state.valid);
+
+    // An unrelated merge leaves both Mul classes clean: the next search
+    // re-enumerates nothing yet still accounts for both matches.
+    g.merge(extra, g.addTerm(lit(7)));
+    g.rebuild();
+    SearchResult second = searchPattern(g, program, 4096, &state);
+    EXPECT_TRUE(second.matches.empty());
+    EXPECT_EQ(second.totalCount, 2u);
+    EXPECT_EQ(second.cachedAfter, 2u);
+
+    // Touching a Mul class (via its child) re-enumerates just that one.
+    const auto muls = g.classesWithOp(Op::Mul);
+    ASSERT_EQ(muls.size(), 2u);
+    g.merge(g.addTerm(arg(0, 0)), g.addTerm(lit(3)));
+    g.rebuild();
+    SearchResult third = searchPattern(g, program, 4096, &state);
+    EXPECT_EQ(third.matches.size(), 1u);
+    EXPECT_EQ(third.totalCount, 2u);
+}
+
+TEST(SearchPatternTest, TruncationInvalidatesState)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ (* $0.0 2) (* $0.1 2))"));
+    g.rebuild();
+    const PatternProgram program =
+        PatternProgram::compile(parseTerm("(* ?0 2)"));
+    IncrementalSearchState state;
+    SearchResult result = searchPattern(g, program, 2, &state);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_FALSE(state.valid);
+}
+
+}  // namespace
+}  // namespace isamore

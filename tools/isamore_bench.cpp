@@ -6,10 +6,19 @@
  * Usage:
  *   isamore_bench [--workloads <a,b,c>] [--reps <n>] [--threads <n>]
  *                 [--out <path>] [--check-identical]
+ *                 [--min-ematch-speedup <x>]
  *
- * Per workload and repetition, three stages are timed independently:
+ * Per workload and repetition, the pipeline's stages are timed
+ * independently:
  *   - eqsat:    equality saturation of the encoded e-graph with the
  *               integer saturating ruleset (the match fan-out hot path)
+ *   - ematch:   one full-ruleset search pass over the saturated graph,
+ *               naive (legacy backtracking matcher, whole-graph scan)
+ *               vs compiled (pattern VM seeded from the op index); both
+ *               engines must agree on the match count, and
+ *               --min-ematch-speedup <x> fails the run (exit 1) when
+ *               median(naive)/median(compiled) drops below x on any
+ *               selected workload
  *   - au:       the anti-unification pair sweep over the saturated graph
  *   - pipeline: the full identifyInstructions run (includes selection)
  *
@@ -28,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "egraph/ematch_program.hpp"
 #include "egraph/rewrite.hpp"
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
@@ -62,6 +72,8 @@ struct StageTiming {
 struct WorkloadReport {
     std::string name;
     StageTiming eqsat;
+    StageTiming ematchNaive;
+    StageTiming ematchCompiled;
     StageTiming au;
     StageTiming pipeline;
     size_t auPatterns = 0;
@@ -127,12 +139,19 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
            << "     \"stages\": {\n"
            << "       \"eqsat\": ";
         writeSamples(os, r.eqsat);
+        os << ",\n       \"ematch_naive\": ";
+        writeSamples(os, r.ematchNaive);
+        os << ",\n       \"ematch_compiled\": ";
+        writeSamples(os, r.ematchCompiled);
         os << ",\n       \"au\": ";
         writeSamples(os, r.au);
         os << ",\n       \"pipeline\": ";
         writeSamples(os, r.pipeline);
         os << "\n     },\n"
-           << "     \"au_patterns\": " << r.auPatterns
+           << "     \"ematch_speedup\": "
+           << r.ematchNaive.median() /
+                  std::max(r.ematchCompiled.median(), 1e-6)
+           << ",\n     \"au_patterns\": " << r.auPatterns
            << ", \"raw_candidates\": " << r.rawCandidates
            << ", \"front_size\": " << r.frontSize;
         if (r.identicalChecked) {
@@ -166,7 +185,8 @@ int
 usage()
 {
     std::cerr << "usage: isamore_bench [--workloads <a,b,c>] [--reps <n>]"
-                 " [--threads <n>] [--out <path>] [--check-identical]\n";
+                 " [--threads <n>] [--out <path>] [--check-identical]"
+                 " [--min-ematch-speedup <x>]\n";
     return 2;
 }
 
@@ -179,6 +199,7 @@ main(int argc, char** argv)
     size_t reps = 3;
     std::string outPath = "BENCH_results.json";
     bool checkIdentical = false;
+    double minEmatchSpeedup = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -200,6 +221,11 @@ main(int argc, char** argv)
             outPath = argv[++i];
         } else if (flag == "--check-identical") {
             checkIdentical = true;
+        } else if (flag == "--min-ematch-speedup" && i + 1 < argc) {
+            minEmatchSpeedup = std::strtod(argv[++i], nullptr);
+            if (minEmatchSpeedup <= 0.0) {
+                return usage();
+            }
         } else {
             return usage();
         }
@@ -230,13 +256,51 @@ main(int argc, char** argv)
         WorkloadReport report;
         report.name = name;
         const AnalyzedWorkload analyzed = analyzeWorkload(factory());
+        const std::vector<RewriteRule> searchRules = library.intSat();
+        std::vector<PatternProgram> programs;
+        programs.reserve(searchRules.size());
+        for (const RewriteRule& rule : searchRules) {
+            programs.push_back(PatternProgram::compile(rule.lhs));
+        }
 
         for (size_t rep = 0; rep < reps; ++rep) {
             // Stage 1: EqSat on a fresh copy of the encoded e-graph.
             EGraph egraph = analyzed.program.egraph;
             Stopwatch watch;
-            runEqSat(egraph, library.intSat(), config.eqsat);
+            runEqSat(egraph, searchRules, config.eqsat);
             report.eqsat.samplesMs.push_back(watch.seconds() * 1e3);
+
+            // Stage 1b: full-ruleset search passes over the saturated
+            // graph, old engine vs new, serially (the engines themselves,
+            // not the fan-out, are under test).  A single pass is tens of
+            // microseconds on the small workloads, so each sample times a
+            // small batch of passes to stay above timer/cold-cache noise.
+            const size_t cap = config.eqsat.maxMatchesPerRule;
+            constexpr size_t kEmatchPasses = 8;
+            watch.reset();
+            size_t naiveMatches = 0;
+            for (size_t pass = 0; pass < kEmatchPasses; ++pass) {
+                naiveMatches = 0;
+                for (const RewriteRule& rule : searchRules) {
+                    naiveMatches +=
+                        ematchAllLegacy(egraph, rule.lhs, cap).size();
+                }
+            }
+            report.ematchNaive.samplesMs.push_back(watch.seconds() * 1e3 /
+                                                   kEmatchPasses);
+            watch.reset();
+            size_t compiledMatches = 0;
+            for (size_t pass = 0; pass < kEmatchPasses; ++pass) {
+                compiledMatches = 0;
+                for (const PatternProgram& program : programs) {
+                    compiledMatches +=
+                        searchPattern(egraph, program, cap).matches.size();
+                }
+            }
+            report.ematchCompiled.samplesMs.push_back(watch.seconds() * 1e3 /
+                                                      kEmatchPasses);
+            ISAMORE_CHECK_MSG(naiveMatches == compiledMatches,
+                              "e-match engines disagree on " + name);
 
             // Stage 2: the AU pair sweep over the saturated graph.
             watch.reset();
@@ -284,6 +348,25 @@ main(int argc, char** argv)
 
     if (checkIdentical && !allIdentical) {
         return 1;
+    }
+    if (minEmatchSpeedup > 0.0) {
+        bool fastEnough = true;
+        for (const WorkloadReport& r : reports) {
+            const double speedup = r.ematchNaive.median() /
+                                   std::max(r.ematchCompiled.median(), 1e-6);
+            std::cerr << "ematch " << r.name << ": naive "
+                      << r.ematchNaive.median() << " ms, compiled "
+                      << r.ematchCompiled.median() << " ms -> " << speedup
+                      << "x\n";
+            if (speedup < minEmatchSpeedup) {
+                std::cerr << "FAIL: below the " << minEmatchSpeedup
+                          << "x e-match speedup floor\n";
+                fastEnough = false;
+            }
+        }
+        if (!fastEnough) {
+            return 1;
+        }
     }
     return 0;
 }
