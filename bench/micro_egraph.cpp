@@ -10,9 +10,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dsl/intern.hpp"
 #include "egraph/ematch_program.hpp"
 #include "egraph/rewrite.hpp"
 #include "rii/au.hpp"
+#include "rii/structhash.hpp"
 #include "rules/rulesets.hpp"
 
 namespace {
@@ -222,6 +224,114 @@ BM_DedupStructHash(benchmark::State& state)
     }
 }
 BENCHMARK(BM_DedupStructHash)->Arg(256)->Arg(2048);
+
+/**
+ * The BM_Term* group measures what hash-consing bought (PR 4): term
+ * construction through the intern table vs the legacy fresh-node
+ * constructor, the cached-field termHash vs the recursive oracle, and
+ * candidate dedup keyed on canonical pointers vs structural walks.
+ */
+std::vector<TermPtr>
+buildPatternSetUninterned(int n)
+{
+    std::vector<TermPtr> patterns;
+    for (int i = 0; i < n; ++i) {
+        const int k = i % (n / 2);
+        patterns.push_back(makeTermUninterned(
+            Op::Add, Payload::none(),
+            {makeTermUninterned(
+                 Op::Mul, Payload::none(),
+                 {hole(0),
+                  makeTermUninterned(Op::Lit,
+                                     Payload::ofInt(2 + k % 5), {})}),
+             makeTermUninterned(
+                 Op::Shl, Payload::none(),
+                 {hole(1), makeTermUninterned(Op::Lit,
+                                              Payload::ofInt(k % 7), {})})}));
+    }
+    return patterns;
+}
+
+/** Construction through the intern table (warm: mostly hits). */
+void
+BM_TermIntern(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            buildPatternSet(static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_TermIntern)->Arg(256)->Arg(2048);
+
+/** Legacy construction: fresh node per call, no table probe. */
+void
+BM_TermUninterned(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            buildPatternSetUninterned(static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_TermUninterned)->Arg(256)->Arg(2048);
+
+/** termHash on interned terms: a field load per term. */
+void
+BM_TermHashInterned(benchmark::State& state)
+{
+    const auto patterns = buildPatternSet(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        uint64_t acc = 0;
+        for (const TermPtr& p : patterns) {
+            acc ^= termHash(p);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_TermHashInterned)->Arg(2048);
+
+/** The pre-interner recursive hash walk, for comparison. */
+void
+BM_TermHashDeep(benchmark::State& state)
+{
+    const auto patterns = buildPatternSet(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        uint64_t acc = 0;
+        for (const TermPtr& p : patterns) {
+            acc ^= termHashDeep(p);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_TermHashDeep)->Arg(2048);
+
+/** Candidate dedup on canonical pointers: hash & compare are O(1). */
+void
+BM_DedupInterned(benchmark::State& state)
+{
+    const auto patterns = buildPatternSet(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        std::unordered_set<const Term*> seen;
+        size_t kept = 0;
+        for (const TermPtr& p : patterns) {
+            if (seen.insert(p.get()).second) {
+                ++kept;
+            }
+        }
+        benchmark::DoNotOptimize(kept);
+    }
+}
+BENCHMARK(BM_DedupInterned)->Arg(256)->Arg(2048);
+
+/** The structural-hash analysis sweep (paper §5.2) on a saturated graph. */
+void
+BM_StructHash(benchmark::State& state)
+{
+    EGraph g = saturatedChain(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rii::computeStructHashes(g));
+    }
+}
+BENCHMARK(BM_StructHash)->Arg(64)->Arg(256);
 
 void
 BM_SmartAu(benchmark::State& state)

@@ -44,8 +44,8 @@ modelRocc(const rii::CostModel& cost, const rii::Solution& solution,
     for (size_t k = 0; k < solution.patternIds.size(); ++k) {
         const int64_t id = solution.patternIds[k];
         const TermPtr& body = registry.body(id);
-        const hls::HwCost hw =
-            hls::estimatePattern(body, registry.resolver());
+        const hls::HwCost hw = hls::estimatePattern(
+            registry.costBody(id), registry.costResolver());
 
         // RoCC moves 64 operand bits per issue cycle (two 32-bit source
         // registers), plus one cycle for the instruction itself and one

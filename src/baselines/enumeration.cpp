@@ -105,6 +105,10 @@ runEnum(const ir::Module& module, const profile::ModuleProfile& profile,
         std::vector<Occurrence> occurrences;
     };
     std::map<std::string, Group> groups;
+    // Interned pattern pointer -> group: repeated occurrences of a
+    // pattern skip re-serializing it.  The ordered string map remains
+    // the iteration source, so selection tie-breaking is unchanged.
+    std::unordered_map<const Term*, Group*> groupIndex;
 
     for (size_t f = 0; f < module.functions.size(); ++f) {
         const ir::Function& fn = module.functions[f];
@@ -180,8 +184,13 @@ runEnum(const ir::Module& module, const profile::ModuleProfile& profile,
                                 coneToPattern(dfg, cone, root);
                             if (termHoles(pattern).size() <=
                                 options.maxInputs) {
-                                auto& group =
-                                    groups[termToString(pattern)];
+                                Group*& slot =
+                                    groupIndex[pattern.get()];
+                                if (slot == nullptr) {
+                                    slot =
+                                        &groups[termToString(pattern)];
+                                }
+                                auto& group = *slot;
                                 if (group.pattern == nullptr) {
                                     group.pattern = pattern;
                                     group.opCount = termOpCount(pattern);

@@ -1,0 +1,325 @@
+#include "dsl/intern.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "support/check.hpp"
+#include "support/hashing.hpp"
+
+namespace isamore {
+namespace {
+
+/**
+ * Node hash from the children's cached hashes: identical, term for term,
+ * to the recursive formula the pre-interner termHash() used, so hashes
+ * are stable across the interning change and across runs (no pointer
+ * ever feeds the hash).
+ */
+uint64_t
+nodeHash(Op op, const Payload& payload,
+         const std::vector<TermPtr>& children)
+{
+    uint64_t h = mix64(static_cast<uint64_t>(op));
+    h = hashCombine(h, payload.hash());
+    for (const auto& child : children) {
+        h = hashCombine(h, child->hash);
+    }
+    return h;
+}
+
+bool
+nodeHasHole(Op op, const std::vector<TermPtr>& children)
+{
+    if (op == Op::Hole) {
+        return true;
+    }
+    for (const auto& child : children) {
+        if (child->hasHole) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Shallow identity: children compared by pointer (they are canonical). */
+bool
+shallowEquals(const Term& node, Op op, const Payload& payload,
+              const std::vector<TermPtr>& children)
+{
+    if (node.op != op || node.payload != payload ||
+        node.children.size() != children.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+        if (node.children[i].get() != children[i].get()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+class Interner {
+ public:
+    static constexpr size_t kShards = 64;
+
+    static Interner&
+    instance()
+    {
+        // Leaked singleton: terms may outlive every static destructor
+        // (tests, atexit handlers), so the table is never torn down.
+        static Interner* interner = new Interner();
+        return *interner;
+    }
+
+    TermPtr
+    intern(Op op, Payload payload, std::vector<TermPtr> children,
+           uint64_t hash, bool hasHole)
+    {
+        Shard& shard = shards_[shardOf(hash)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto bucket = shard.buckets.find(hash);
+        if (bucket != shard.buckets.end()) {
+            for (const TermPtr& candidate : bucket->second) {
+                if (shallowEquals(*candidate, op, payload, children)) {
+                    ++shard.hits;
+                    return candidate;
+                }
+            }
+        }
+        ++shard.misses;
+        TermPtr node = std::make_shared<Term>(
+            op, std::move(payload), std::move(children), hash,
+            /*interned=*/true, hasHole);
+        shard.buckets[hash].push_back(node);
+        return node;
+    }
+
+    InternStats
+    stats() const
+    {
+        InternStats out;
+        out.shards = kShards;
+        for (const Shard& shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            for (const auto& [hash, chain] : shard.buckets) {
+                out.terms += chain.size();
+            }
+            out.hits += shard.hits;
+            out.misses += shard.misses;
+        }
+        return out;
+    }
+
+    size_t
+    purge()
+    {
+        size_t dropped = 0;
+        bool changed = true;
+        // A parent holds references to its children, so dropping it can
+        // make them purgeable: sweep to a fixpoint.
+        while (changed) {
+            changed = false;
+            for (Shard& shard : shards_) {
+                std::lock_guard<std::mutex> lock(shard.mu);
+                for (auto it = shard.buckets.begin();
+                     it != shard.buckets.end();) {
+                    auto& chain = it->second;
+                    for (size_t i = 0; i < chain.size();) {
+                        if (chain[i].use_count() == 1) {
+                            chain.erase(chain.begin() + i);
+                            ++dropped;
+                            changed = true;
+                        } else {
+                            ++i;
+                        }
+                    }
+                    it = chain.empty() ? shard.buckets.erase(it)
+                                       : std::next(it);
+                }
+            }
+        }
+        return dropped;
+    }
+
+ private:
+    struct Shard {
+        mutable std::mutex mu;
+        /** Full-hash buckets; chains are ~1 deep (64-bit collisions). */
+        std::unordered_map<uint64_t, std::vector<TermPtr>> buckets;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+
+    /** Top bits pick the stripe; unordered_map consumes the low bits. */
+    static size_t shardOf(uint64_t hash) { return hash >> 58; }
+
+    Shard shards_[kShards];
+};
+
+}  // namespace
+
+namespace detail {
+
+/** The makeTerm() back end: canonicalize children, then intern. */
+TermPtr
+internNode(Op op, Payload payload, std::vector<TermPtr> children)
+{
+    for (TermPtr& child : children) {
+        if (!child->interned) {
+            child = internTerm(child);
+        }
+    }
+    const uint64_t hash = nodeHash(op, payload, children);
+    const bool hasHole = nodeHasHole(op, children);
+    return Interner::instance().intern(op, std::move(payload),
+                                       std::move(children), hash, hasHole);
+}
+
+}  // namespace detail
+
+InternStats
+internStats()
+{
+    return Interner::instance().stats();
+}
+
+size_t
+internPurge()
+{
+    return Interner::instance().purge();
+}
+
+TermPtr
+internTerm(const TermPtr& term)
+{
+    ISAMORE_CHECK_MSG(term != nullptr, "internTerm on null term");
+    if (term->interned) {
+        return term;
+    }
+    std::vector<TermPtr> children;
+    children.reserve(term->children.size());
+    for (const auto& child : term->children) {
+        children.push_back(internTerm(child));
+    }
+    return detail::internNode(term->op, term->payload,
+                              std::move(children));
+}
+
+TermPtr
+makeTermUninterned(Op op, Payload payload, std::vector<TermPtr> children)
+{
+    const int arity = opArity(op);
+    if (arity >= 0) {
+        ISAMORE_USER_CHECK(children.size() == static_cast<size_t>(arity),
+                           std::string("arity mismatch for op ") +
+                               std::string(opName(op)));
+    }
+    for (const auto& child : children) {
+        ISAMORE_USER_CHECK(child != nullptr, "null child term");
+    }
+    const uint64_t hash = nodeHash(op, payload, children);
+    const bool hasHole = nodeHasHole(op, children);
+    return std::make_shared<Term>(op, std::move(payload),
+                                  std::move(children), hash,
+                                  /*interned=*/false, hasHole);
+}
+
+namespace {
+
+TermPtr
+copyTopologyRec(const TermPtr& term,
+                std::unordered_map<const Term*, TermPtr>& copied)
+{
+    auto it = copied.find(term.get());
+    if (it != copied.end()) {
+        return it->second;
+    }
+    std::vector<TermPtr> children;
+    children.reserve(term->children.size());
+    for (const auto& child : term->children) {
+        children.push_back(copyTopologyRec(child, copied));
+    }
+    TermPtr copy = makeTermUninterned(term->op, term->payload,
+                                      std::move(children));
+    copied.emplace(term.get(), copy);
+    return copy;
+}
+
+}  // namespace
+
+TermPtr
+copyTopologyUninterned(const TermPtr& term)
+{
+    std::unordered_map<const Term*, TermPtr> copied;
+    return copyTopologyRec(term, copied);
+}
+
+namespace {
+
+TermPtr
+renameHolesUninterned(const TermPtr& term,
+                      const std::unordered_map<int64_t, int64_t>& renaming)
+{
+    if (term->op == Op::Hole) {
+        return makeTermUninterned(
+            Op::Hole, Payload::ofInt(renaming.at(term->payload.a)), {});
+    }
+    if (!term->hasHole) {
+        return term;
+    }
+    std::vector<TermPtr> children;
+    children.reserve(term->children.size());
+    for (const auto& child : term->children) {
+        children.push_back(renameHolesUninterned(child, renaming));
+    }
+    return makeTermUninterned(term->op, term->payload,
+                              std::move(children));
+}
+
+}  // namespace
+
+TermPtr
+canonicalizeHolesUninterned(const TermPtr& term)
+{
+    const auto order = termHoles(term);
+    if (order.empty()) {
+        return term;
+    }
+    std::unordered_map<int64_t, int64_t> renaming;
+    renaming.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        renaming.emplace(order[i], static_cast<int64_t>(i));
+    }
+    return renameHolesUninterned(term, renaming);
+}
+
+uint64_t
+termHashDeep(const TermPtr& term)
+{
+    uint64_t h = mix64(static_cast<uint64_t>(term->op));
+    h = hashCombine(h, term->payload.hash());
+    for (const auto& child : term->children) {
+        h = hashCombine(h, termHashDeep(child));
+    }
+    return h;
+}
+
+bool
+termEqualsDeep(const TermPtr& a, const TermPtr& b)
+{
+    if (a.get() == b.get()) {
+        return true;
+    }
+    if (a->op != b->op || a->payload != b->payload ||
+        a->children.size() != b->children.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < a->children.size(); ++i) {
+        if (!termEqualsDeep(a->children[i], b->children[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace isamore

@@ -5,8 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dsl/intern.hpp"
 #include "support/check.hpp"
-#include "support/hashing.hpp"
 
 namespace isamore {
 
@@ -22,7 +22,7 @@ makeTerm(Op op, Payload payload, std::vector<TermPtr> children)
     for (const auto& child : children) {
         ISAMORE_USER_CHECK(child != nullptr, "null child term");
     }
-    return std::make_shared<Term>(op, payload, std::move(children));
+    return detail::internNode(op, std::move(payload), std::move(children));
 }
 
 TermPtr
@@ -133,7 +133,7 @@ void
 collectUniqueOps(const TermPtr& term, std::unordered_set<uint64_t>& seen)
 {
     if (!opHasFlag(term->op, kLeaf)) {
-        seen.insert(termHash(term));
+        seen.insert(term->hash);
     }
     for (const auto& child : term->children) {
         collectUniqueOps(child, seen);
@@ -156,6 +156,13 @@ termEquals(const TermPtr& a, const TermPtr& b)
     if (a.get() == b.get()) {
         return true;
     }
+    if (a->hash != b->hash) {
+        return false;
+    }
+    if (a->interned && b->interned) {
+        // Distinct canonical nodes cannot be structurally equal.
+        return false;
+    }
     if (a->op != b->op || a->payload != b->payload ||
         a->children.size() != b->children.size()) {
         return false;
@@ -171,12 +178,7 @@ termEquals(const TermPtr& a, const TermPtr& b)
 uint64_t
 termHash(const TermPtr& term)
 {
-    uint64_t h = mix64(static_cast<uint64_t>(term->op));
-    h = hashCombine(h, term->payload.hash());
-    for (const auto& child : term->children) {
-        h = hashCombine(h, termHash(child));
-    }
-    return h;
+    return term->hash;
 }
 
 namespace {

@@ -5,6 +5,13 @@
  * A Term is a node of an immutable tree: an operator, its payload, and
  * child terms.  Terms double as *patterns* when they contain Hole nodes
  * (paper: pattern variables ?x).  All terms are shared via TermPtr.
+ *
+ * makeTerm() canonicalizes every node through the global hash-consing
+ * interner (dsl/intern.hpp): structurally equal terms built anywhere in
+ * the process are the *same* node, so termEquals() is a pointer compare
+ * and termHash() a field load.  The 64-bit structural hash is computed
+ * once at construction from the children's cached hashes and stored on
+ * the node (see DESIGN.md "Term representation").
  */
 #pragma once
 
@@ -30,10 +37,15 @@ struct Term {
     Op op;
     Payload payload;
     std::vector<TermPtr> children;
+    uint64_t hash;      ///< structural hash, fixed at construction
+    bool interned;      ///< canonical node owned by the global interner
+    bool hasHole;       ///< any Hole in this subtree
 
-    Term(Op op_, Payload payload_, std::vector<TermPtr> children_)
+    Term(Op op_, Payload payload_, std::vector<TermPtr> children_,
+         uint64_t hash_, bool interned_, bool hasHole_)
         : op(op_), payload(std::move(payload_)),
-          children(std::move(children_))
+          children(std::move(children_)), hash(hash_),
+          interned(interned_), hasHole(hasHole_)
     {}
 };
 
@@ -100,10 +112,14 @@ size_t termOpCount(const TermPtr& term);
  */
 size_t termOpCountUnique(const TermPtr& term);
 
-/** Structural equality (payloads compared exactly). */
+/**
+ * Structural equality (payloads compared exactly).  O(1) for interned
+ * terms (pointer identity); falls back to a hash-pruned recursive walk
+ * only when an uninterned (legacy/frontend) node is involved.
+ */
 bool termEquals(const TermPtr& a, const TermPtr& b);
 
-/** Structural hash consistent with termEquals. */
+/** Structural hash consistent with termEquals (a field load). */
 uint64_t termHash(const TermPtr& term);
 
 /** Collect hole ids in first-occurrence (left-to-right) order, deduped. */

@@ -149,10 +149,9 @@ Extractor::extract(EClassId root) const
     root = egraph_.find(root);
     auto cost = costOf(root);
     ISAMORE_CHECK_MSG(cost.has_value(), "root class is not extractable");
-    std::unordered_map<EClassId, TermPtr> memo;
     std::unordered_set<EClassId> inProgress;
     Extraction out;
-    out.term = materialize(egraph_, bestNode_, root, memo, inProgress);
+    out.term = materialize(egraph_, bestNode_, root, termMemo_, inProgress);
     out.cost = *cost;
     return out;
 }

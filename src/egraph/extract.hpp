@@ -59,6 +59,13 @@ class Extractor {
     CostFn costFn_;
     std::unordered_map<EClassId, double> bestCost_;
     std::unordered_map<EClassId, ENode> bestNode_;
+    /**
+     * Materialized term per class, shared across extract() calls: the
+     * chosen node per class is fixed at construction, so a class always
+     * materializes to the same (hash-consed) term.  Extracting n roots
+     * over a shared subgraph then costs O(subgraph) once, not per root.
+     */
+    mutable std::unordered_map<EClassId, TermPtr> termMemo_;
 };
 
 }  // namespace isamore

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "dsl/intern.hpp"
 #include "ir/cfg.hpp"
 #include "support/check.hpp"
 
@@ -19,6 +20,55 @@ using ir::NaturalLoop;
 using ir::ValueId;
 
 namespace {
+
+/** @name Per-occurrence term constructors
+ * Site provenance (DslFunction::provenance) and the encoder's
+ * pointer-keyed traversal count *occurrences*, not structures, so the
+ * frontend builds plain trees through makeTermUninterned() instead of
+ * the global interner (see dsl/intern.hpp).  The terms are
+ * re-canonicalized on first contact with makeTerm() downstream.
+ * @{ */
+
+TermPtr
+uMake(Op op, Payload payload, std::vector<TermPtr> children)
+{
+    return makeTermUninterned(op, std::move(payload), std::move(children));
+}
+
+TermPtr
+uMake(Op op, std::vector<TermPtr> children)
+{
+    return makeTermUninterned(op, Payload::none(), std::move(children));
+}
+
+TermPtr
+uLit(int64_t value)
+{
+    return uMake(Op::Lit, Payload::ofInt(value), {});
+}
+
+TermPtr
+uLitF(double value)
+{
+    return uMake(Op::Lit, Payload::ofFloat(value), {});
+}
+
+TermPtr
+uArgT(int64_t depth, int64_t index, ScalarKind kind)
+{
+    ISAMORE_USER_CHECK(index >= 0 && index <= 0xffffffff,
+                       "Arg index out of range");
+    const int64_t packed = index | (static_cast<int64_t>(kind) << 32);
+    return uMake(Op::Arg, Payload::ofPair(depth, packed), {});
+}
+
+TermPtr
+uGet(TermPtr aggregate, int64_t index)
+{
+    return uMake(Op::Get, Payload::ofInt(index), {std::move(aggregate)});
+}
+
+/** @} */
 
 /** Generic iterative dominator computation over an adjacency list. */
 std::vector<int>
@@ -137,7 +187,7 @@ class Converter {
     {
         Env env;
         for (size_t i = 0; i < fn_.paramTypes.size(); ++i) {
-            env.values[static_cast<ValueId>(i)] = argT(
+            env.values[static_cast<ValueId>(i)] = uArgT(
                 0, static_cast<int64_t>(i), kindOf(fn_.paramTypes[i]));
         }
         std::vector<TermPtr> effects;
@@ -147,11 +197,11 @@ class Converter {
                            fn_.name + ": no return reached at top level");
 
         std::vector<TermPtr> rootElems;
-        rootElems.push_back(retTerm_ ? retTerm_ : lit(0));
+        rootElems.push_back(retTerm_ ? retTerm_ : uLit(0));
         for (TermPtr& e : effects) {
             rootElems.push_back(std::move(e));
         }
-        out_.root = makeTerm(Op::List, std::move(rootElems));
+        out_.root = uMake(Op::List, std::move(rootElems));
         return std::move(out_);
     }
 
@@ -214,8 +264,8 @@ class Converter {
                 break;
               case Instr::Kind::Const: {
                 TermPtr t = ins.payload.kind == Payload::Kind::Float
-                                ? litF(ins.payload.f)
-                                : lit(ins.payload.a);
+                                ? uLitF(ins.payload.f)
+                                : uLit(ins.payload.a);
                 env.values[ins.dest] = t;
                 break;
               }
@@ -226,7 +276,7 @@ class Converter {
                     children.push_back(value(env, a));
                 }
                 TermPtr t =
-                    makeTerm(ins.op, ins.payload, std::move(children));
+                    uMake(ins.op, ins.payload, std::move(children));
                 note(t, b);
                 env.values[ins.dest] = t;
                 if (ins.op == Op::Store) {
@@ -428,13 +478,13 @@ class Converter {
         body.effects = &body_effects;
         for (size_t j = 0; j < P; ++j) {
             body.values[carried[j].phi] =
-                argT(0, static_cast<int64_t>(j), carried[j].kind);
+                uArgT(0, static_cast<int64_t>(j), carried[j].kind);
         }
         std::vector<ScalarKind> outer_kinds;
         for (size_t k = 0; k < outer.size(); ++k) {
             Type t = typeOfValue(outer[k]);
             outer_kinds.push_back(kindOf(t));
-            body.values[outer[k]] = argT(
+            body.values[outer[k]] = uArgT(
                 0, static_cast<int64_t>(2 * P + k), outer_kinds.back());
         }
 
@@ -446,7 +496,7 @@ class Converter {
 
         TermPtr cont = value(body, lterm.args[0]);
         if (!cont_on_true) {
-            cont = makeTerm(Op::Eq, {cont, lit(0)});
+            cont = uMake(Op::Eq, {cont, uLit(0)});
             note(cont, latch);
         }
 
@@ -459,11 +509,11 @@ class Converter {
         }
         for (size_t j = 0; j < P; ++j) {
             body_out.push_back(
-                argT(0, static_cast<int64_t>(j), carried[j].kind));
+                uArgT(0, static_cast<int64_t>(j), carried[j].kind));
         }
         for (size_t k = 0; k < outer.size(); ++k) {
-            body_out.push_back(argT(0, static_cast<int64_t>(2 * P + k),
-                                    outer_kinds[k]));
+            body_out.push_back(uArgT(0, static_cast<int64_t>(2 * P + k),
+                                     outer_kinds[k]));
         }
         for (TermPtr& s : body_effects) {
             body_out.push_back(std::move(s));
@@ -481,33 +531,33 @@ class Converter {
             inits.push_back(value(env, u));
         }
         for (size_t s = 0; s < body_effects.size(); ++s) {
-            inits.push_back(lit(0));
+            inits.push_back(uLit(0));
         }
 
         TermPtr loop_term =
-            makeTerm(Op::Loop, {makeTerm(Op::List, std::move(inits)),
-                                makeTerm(Op::List, std::move(body_out))});
+            uMake(Op::Loop, {uMake(Op::List, std::move(inits)),
+                             uMake(Op::List, std::move(body_out))});
         note(loop_term, header);
 
         // Surface the loop's effect slots into the enclosing region so the
         // loop (and its stores) stays reachable from the function root
         // even when no data value flows out.
         for (size_t s = 0; s < body_effects.size(); ++s) {
-            TermPtr g = get(loop_term, static_cast<int64_t>(
-                                           2 * P + outer.size() + s));
+            TermPtr g = uGet(loop_term, static_cast<int64_t>(
+                                            2 * P + outer.size() + s));
             note(g, header);
             env.effects->push_back(g);
         }
 
         // Post-loop bindings: next values and pre-update phi values.
         for (size_t j = 0; j < P; ++j) {
-            TermPtr prev = get(loop_term, static_cast<int64_t>(P + j));
+            TermPtr prev = uGet(loop_term, static_cast<int64_t>(P + j));
             note(prev, header);
             env.values[carried[j].phi] = prev;
         }
         for (size_t j = 0; j < P; ++j) {
             if (defined.count(carried[j].next) != 0) {
-                TermPtr next = get(loop_term, static_cast<int64_t>(j));
+                TermPtr next = uGet(loop_term, static_cast<int64_t>(j));
                 note(next, header);
                 env.values[carried[j].next] = next;
             }
@@ -599,8 +649,8 @@ class Converter {
             branch.effects = effects;
             for (size_t k = 0; k < outer.size(); ++k) {
                 branch.values[outer[k]] =
-                    argT(0, static_cast<int64_t>(k),
-                         kindOf(typeOfValue(outer[k])));
+                    uArgT(0, static_cast<int64_t>(k),
+                          kindOf(typeOfValue(outer[k])));
             }
             return branch;
         };
@@ -628,7 +678,7 @@ class Converter {
                 outs.push_back(std::move(e));
             }
             for (size_t i = effects.size(); i < max_effects; ++i) {
-                outs.push_back(lit(0));
+                outs.push_back(uLit(0));
             }
             return outs;
         };
@@ -644,22 +694,22 @@ class Converter {
         }
 
         TermPtr if_term =
-            makeTerm(Op::If, {makeTerm(Op::List, std::move(inputs)),
-                              makeTerm(Op::List, std::move(then_out)),
-                              makeTerm(Op::List, std::move(else_out))});
+            uMake(Op::If, {uMake(Op::List, std::move(inputs)),
+                           uMake(Op::List, std::move(then_out)),
+                           uMake(Op::List, std::move(else_out))});
         note(if_term, b);
 
         // The if's side effects must survive extraction: surface each
         // effect slot as a scalar Get in the enclosing region's effect
         // list (scalar so it can become an i32 loop-carried slot).
         for (size_t e = 0; e < max_effects; ++e) {
-            TermPtr g = get(if_term,
-                            static_cast<int64_t>(join_phis.size() + e));
+            TermPtr g = uGet(if_term,
+                             static_cast<int64_t>(join_phis.size() + e));
             note(g, b);
             env.effects->push_back(g);
         }
         for (size_t m = 0; m < join_phis.size(); ++m) {
-            TermPtr g = get(if_term, static_cast<int64_t>(m));
+            TermPtr g = uGet(if_term, static_cast<int64_t>(m));
             note(g, join);
             env.values[join_phis[m].dest] = g;
         }

@@ -284,7 +284,9 @@ class Scheduler {
             return worst;
         }
         // Sub-instruction instantiated as a module: pay its own critical
-        // path and area.
+        // path and area.  Cost callers pass a resolver over scheduling
+        // views (PatternRegistry::costResolver), which carry the
+        // per-occurrence topology this walk charges area against.
         Scheduler sub(resolver_, trips_);
         double sub_arrival = sub.visit(body);
         area_ += sub.areaUm2();

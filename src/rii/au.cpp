@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dsl/intern.hpp"
 #include "egraph/extract.hpp"
 #include "hls/estimator.hpp"
 #include "rii/structhash.hpp"
@@ -32,12 +33,16 @@ struct PairKeyHash {
     }
 };
 
-/** Structural hash/equality for deduplicating canonical patterns. */
+/**
+ * Structural hash/equality for deduplicating canonical patterns.  With
+ * the hash-consed term layer both are O(1): the hash is a cached field
+ * and equality a pointer compare for interned terms.
+ */
 struct TermPtrHash {
     size_t
     operator()(const TermPtr& term) const
     {
-        return static_cast<size_t>(termHash(term));
+        return static_cast<size_t>(term->hash);
     }
 };
 struct TermPtrEq {
@@ -284,11 +289,15 @@ class AuShard {
             }
             for (const TermPtr& p : produced) {
                 if (termOpCount(p) < options_.minOps ||
-                    termHoles(p).empty() || p->op == Op::List ||
+                    !p->hasHole || p->op == Op::List ||
                     !patternWellFormed(p)) {
                     continue;
                 }
-                rec.patterns.push_back(canonicalizeHoles(p));
+                // The uninterned renaming keeps the candidate's node
+                // topology, which the registry's scheduling view (and
+                // through it, pattern hardware costs) depends on; the
+                // registry interns the canonical identity itself.
+                rec.patterns.push_back(canonicalizeHolesUninterned(p));
             }
             out.records.push_back(std::move(rec));
         }
@@ -446,7 +455,13 @@ class AuShard {
             for (size_t i = 0; i < arity; ++i) {
                 children[i] = childSets[i][index[i]];
             }
-            out.push_back(makeTerm(na.op, na.payload, std::move(children)));
+            // Candidates stay uninterned inside the sweep: the feature
+            // model counts hardware per distinct pointer, so candidate
+            // topology (fresh node per product element over memo-shared
+            // children) is part of sampling's observable behaviour.
+            // Survivors are canonicalized and interned at the registry.
+            out.push_back(makeTermUninterned(na.op, na.payload,
+                                             std::move(children)));
             ++rawCount_;
             if (fault::tripped("au.candidate") ||
                 !budget_.charge(1)) {
@@ -607,13 +622,17 @@ identifyPatterns(const EGraph& egraph, const AuOptions& options,
     const auto pairs = selectAuPairs(egraph, options, &result.stats);
 
     // Small representative terms (for AU(a, a)), shared by all shards.
+    // Each rep is a private uninterned DAG: the pointer-counted feature
+    // model must not see sharing across extraction roots (see
+    // copyTopologyUninterned in dsl/intern.hpp).
     ClassMap<TermPtr> reprs;
     {
         Extractor extractor(egraph, astSizeCost);
         for (EClassId id : egraph.classIds()) {
             if (auto cost = extractor.costOf(id);
                 cost.has_value() && *cost <= 12.0) {
-                reprs[id] = extractor.extract(id).term;
+                reprs[id] =
+                    copyTopologyUninterned(extractor.extract(id).term);
             }
         }
     }

@@ -64,7 +64,11 @@ CostModel::evaluate(int64_t id, const EGraph& egraph,
     // each distinct subterm once, so shared subtrees must not be billed
     // per occurrence.
     eval.opCount = termOpCountUnique(eval.body);
-    eval.hw = hls::estimatePattern(eval.body, registry_->resolver());
+    // The hardware estimate is pointer-topology sensitive (area per
+    // distinct node): schedule the registry's dedicated scheduling
+    // view, not the hash-consed canonical body (see dsl/intern.hpp).
+    eval.hw = hls::estimatePattern(registry_->costBody(id),
+                                   registry_->costResolver());
 
     // Operand delivery: a tightly-coupled CI reads two register operands
     // per issue slot, so wide patterns pay extra transfer time per use.

@@ -1,5 +1,6 @@
 #include "rii/registry.hpp"
 
+#include "dsl/intern.hpp"
 #include "support/check.hpp"
 
 namespace isamore {
@@ -8,15 +9,20 @@ namespace rii {
 int64_t
 PatternRegistry::add(const TermPtr& body)
 {
-    TermPtr canon = canonicalizeHoles(body);
-    std::string key = termToString(canon);
-    auto it = byKey_.find(key);
+    // The scheduling view renames holes like canonicalizeHoles but
+    // keeps the body's arrival topology, which the pointer-counting
+    // HLS estimator observes; interning it yields the canonical body,
+    // whose pointer is a complete structural key.
+    TermPtr costBody = canonicalizeHolesUninterned(body);
+    TermPtr canon = internTerm(costBody);
+    auto it = byKey_.find(canon.get());
     if (it != byKey_.end()) {
         return it->second;
     }
     bodies_.push_back(canon);
+    costBodies_.push_back(std::move(costBody));
     int64_t id = static_cast<int64_t>(bodies_.size() - 1);
-    byKey_.emplace(std::move(key), id);
+    byKey_.emplace(canon.get(), id);
     return id;
 }
 
@@ -25,6 +31,13 @@ PatternRegistry::body(int64_t id) const
 {
     ISAMORE_CHECK_MSG(contains(id), "unknown pattern id");
     return bodies_[static_cast<size_t>(id)];
+}
+
+const TermPtr&
+PatternRegistry::costBody(int64_t id) const
+{
+    ISAMORE_CHECK_MSG(contains(id), "unknown pattern id");
+    return costBodies_[static_cast<size_t>(id)];
 }
 
 bool
@@ -40,6 +53,15 @@ PatternRegistry::resolver() const
     const auto* self = this;
     return [self](int64_t id) -> TermPtr {
         return self->contains(id) ? self->body(id) : nullptr;
+    };
+}
+
+std::function<TermPtr(int64_t)>
+PatternRegistry::costResolver() const
+{
+    const auto* self = this;
+    return [self](int64_t id) -> TermPtr {
+        return self->contains(id) ? self->costBody(id) : nullptr;
     };
 }
 

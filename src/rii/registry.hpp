@@ -26,13 +26,25 @@ class PatternRegistry {
     /** Body of pattern @p id. @throws InternalError for unknown ids. */
     const TermPtr& body(int64_t id) const;
 
+    /**
+     * Scheduling view of pattern @p id's body: hole-spine nodes fresh
+     * per occurrence, hole-free subtrees carrying the sharing the body
+     * arrived with (see canonicalizeHolesUninterned).  The HLS
+     * estimator charges area per distinct pointer, so it must schedule
+     * this view, not the hash-consed canonical body.
+     */
+    const TermPtr& costBody(int64_t id) const;
+
     /** Whether @p id is registered. */
     bool contains(int64_t id) const;
 
     size_t size() const { return bodies_.size(); }
 
-    /** Resolver closure for the HLS estimator and the DSL evaluator. */
+    /** Resolver closure for rewriting and the DSL evaluator. */
     std::function<TermPtr(int64_t)> resolver() const;
+
+    /** Resolver over costBody() views, for the HLS estimator. */
+    std::function<TermPtr(int64_t)> costResolver() const;
 
     /** The κ rewrite for pattern @p id: body => App(PatRef(id), holes). */
     RewriteRule applicationRule(int64_t id) const;
@@ -43,7 +55,14 @@ class PatternRegistry {
 
  private:
     std::vector<TermPtr> bodies_;
-    std::unordered_map<std::string, int64_t> byKey_;
+    /** Per-id scheduling views, index-aligned with bodies_. */
+    std::vector<TermPtr> costBodies_;
+    /**
+     * Interned canonical body -> id.  Hash-consing makes the canonical
+     * body pointer a complete structural key, replacing the
+     * termToString() serialization this map used before the interner.
+     */
+    std::unordered_map<const Term*, int64_t> byKey_;
 };
 
 }  // namespace rii

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <new>
 #include <sstream>
+#include <unordered_set>
 
 #include "support/check.hpp"
 #include "support/fault.hpp"
@@ -321,14 +322,12 @@ runRii(const frontend::EncodedProgram& program,
             }
             // Previously selected patterns stay selectable in this phase.
             {
-                std::vector<int64_t> have;
+                std::unordered_set<int64_t> have;
                 for (const PatternEval& pe : costed) {
-                    have.push_back(pe.id);
+                    have.insert(pe.id);
                 }
                 for (int64_t id : pre_patterns) {
-                    if (std::find(have.begin(), have.end(), id) ==
-                            have.end() &&
-                        costed.size() < 64) {
+                    if (have.count(id) == 0 && costed.size() < 64) {
                         costed.push_back(cost.evaluate(id, work.egraph));
                     }
                 }

@@ -89,19 +89,22 @@ computeStructHashes(const EGraph& egraph, int rounds)
         banded[id] = 0;
     }
 
+    // `level` and `next` hold the same key set on every round, so one
+    // pair of maps is allocated up front and swapped per level instead
+    // of rebuilding a fresh map (and rehashing every class id) each
+    // round.
+    ClassMap<uint64_t> next;
+    next.reserve(ids.size());
     for (int k = 0; k < levels; ++k) {
-        ClassMap<uint64_t> next;
         for (EClassId id : ids) {
-            next[id] = voteClassHash(egraph.cls(id), egraph, level);
-        }
-        // Pack 16 bits of this level into band k.
-        for (EClassId id : ids) {
-            const uint64_t slice = (next[id] ^ (next[id] >> 16) ^
-                                    (next[id] >> 32) ^ (next[id] >> 48)) &
-                                   0xffffull;
+            const uint64_t h = voteClassHash(egraph.cls(id), egraph, level);
+            next[id] = h;
+            // Pack 16 bits of this level into band k.
+            const uint64_t slice =
+                (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) & 0xffffull;
             banded[id] |= slice << (16 * k);
         }
-        level = std::move(next);
+        std::swap(level, next);
     }
     return banded;
 }

@@ -152,7 +152,19 @@ enumerateRules(const EnumerateOptions& options)
 
     // Within each group: rules between the smallest representative and
     // every other member, both directions, after verification.
-    std::unordered_set<std::string> emitted;
+    // Enumerated terms are interned, so the (lhs, rhs) pointer pair is a
+    // complete dedup key; the name string is only built for rules that
+    // actually survive the dedup.
+    struct RuleKeyHash {
+        size_t
+        operator()(const std::pair<const Term*, const Term*>& k) const
+        {
+            return static_cast<size_t>(
+                hashCombine(k.first->hash, k.second->hash));
+        }
+    };
+    std::unordered_set<std::pair<const Term*, const Term*>, RuleKeyHash>
+        emitted;
     for (auto& [fp, members] : groups) {
         if (members.size() < 2) {
             continue;
@@ -195,12 +207,12 @@ enumerateRules(const EnumerateOptions& options)
                         return;
                     }
                 }
-                std::string key = termToString(l) + "=>" + termToString(r);
-                if (!emitted.insert(key).second) {
+                if (!emitted.insert({l.get(), r.get()}).second) {
                     return;
                 }
                 RewriteRule rr;
-                rr.name = "enum:" + key;
+                rr.name =
+                    "enum:" + termToString(l) + "=>" + termToString(r);
                 rr.lhs = l;
                 rr.rhs = r;
                 rr.flags = classifyRule(l, r);

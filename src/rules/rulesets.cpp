@@ -12,13 +12,17 @@ namespace isamore {
 namespace rules {
 namespace {
 
-/** Collect the string forms of all non-leaf subpatterns of @p term. */
+/**
+ * Collect all non-leaf subpatterns of @p term.  Rule patterns are built
+ * through makeTerm, so their subterms are interned and the canonical
+ * pointer is a complete structural key.
+ */
 void
 collectSubpatterns(const TermPtr& term, bool includeRoot,
-                   std::unordered_set<std::string>& out)
+                   std::unordered_set<const Term*>& out)
 {
     if (!opHasFlag(term->op, kLeaf) && includeRoot) {
-        out.insert(termToString(term));
+        out.insert(term.get());
     }
     for (const auto& child : term->children) {
         collectSubpatterns(child, true, out);
@@ -62,9 +66,9 @@ classifyRule(const TermPtr& lhs, const TermPtr& rhs)
     // Saturation: every strict non-leaf subpattern of the RHS must occur
     // in the LHS (then applying the rule only adds nodes to existing
     // classes or unions classes).
-    std::unordered_set<std::string> lhs_subs;
+    std::unordered_set<const Term*> lhs_subs;
     collectSubpatterns(lhs, true, lhs_subs);
-    std::unordered_set<std::string> rhs_subs;
+    std::unordered_set<const Term*> rhs_subs;
     collectSubpatterns(rhs, false, rhs_subs);
     bool saturating = true;
     for (const auto& sub : rhs_subs) {
@@ -315,18 +319,30 @@ RulesetLibrary
 extendedLibrary()
 {
     std::vector<RewriteRule> rules = coreRules();
-    std::unordered_set<std::string> seen;
+    // Interned canonical (lhs, rhs) pointers key the dedup set; the
+    // pre-interner code serialized both sides to a string per rule.
+    struct RuleKeyHash {
+        size_t
+        operator()(const std::pair<const Term*, const Term*>& k) const
+        {
+            return static_cast<size_t>(
+                hashCombine(k.first->hash, k.second->hash));
+        }
+    };
+    auto keyOf = [](const RewriteRule& r) {
+        return std::make_pair(canonicalizeHoles(r.lhs).get(),
+                              canonicalizeHoles(r.rhs).get());
+    };
+    std::unordered_set<std::pair<const Term*, const Term*>, RuleKeyHash>
+        seen;
     for (const RewriteRule& r : rules) {
-        seen.insert(termToString(canonicalizeHoles(r.lhs)) + "=>" +
-                    termToString(canonicalizeHoles(r.rhs)));
+        seen.insert(keyOf(r));
     }
     // The enumerator runs with its defaults (the Enumo substitute; see
     // rules/enumerate.hpp).
     EnumeratedRules enumerated = enumerateRules();
     for (RewriteRule& r : enumerated.rules) {
-        std::string key = termToString(canonicalizeHoles(r.lhs)) + "=>" +
-                          termToString(canonicalizeHoles(r.rhs));
-        if (seen.insert(key).second) {
+        if (seen.insert(keyOf(r)).second) {
             rules.push_back(std::move(r));
         }
     }

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Full-pipeline byte-identity against golden reports.
+ *
+ * The golden files were generated before the term interner landed (at the
+ * PR 3 tree) and pin the pipeline JSON -- pattern set, selection front,
+ * statistics -- for the fig10 workloads.  Every case re-runs the pipeline
+ * at 1, 2 and 4 threads and requires the report to match the golden
+ * byte-for-byte (modulo the one wall-clock field), which is the combined
+ * determinism contract of the work-stealing parallelization (PR 2), the
+ * incremental matcher (PR 3) and the hash-consed term layer (PR 4):
+ * none of them may change what the pipeline computes.
+ *
+ * Regenerate (only when an intentional output change lands) with
+ *   ISAMORE_REGEN_GOLDEN=1 ./tests/test_integration \
+ *       --gtest_filter='GoldenIdentityTest.*'
+ */
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "isamore/isamore.hpp"
+#include "isamore/report.hpp"
+#include "support/pool.hpp"
+#include "workloads/libraries.hpp"
+
+namespace isamore {
+namespace {
+
+/** Drop the wall-clock line; everything else must be deterministic. */
+std::string
+stripWallClock(const std::string& json)
+{
+    std::ostringstream out;
+    std::istringstream in(json);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"seconds\":") == std::string::npos) {
+            out << line << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+goldenPath(const std::string& name)
+{
+    return std::string(ISAMORE_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void
+runCase(const std::string& name, workloads::Workload (*factory)())
+{
+    const size_t restore = globalThreadCount();
+    const AnalyzedWorkload analyzed = analyzeWorkload(factory());
+
+    std::string first;
+    for (size_t threads : {1, 2, 4}) {
+        setGlobalThreads(threads);
+        rii::RiiResult result =
+            identifyInstructions(analyzed, rii::Mode::Default);
+        const std::string json =
+            stripWallClock(resultToJson(analyzed, result));
+        if (first.empty()) {
+            first = json;
+        } else {
+            EXPECT_EQ(first, json)
+                << name << ": report differs at " << threads << " threads";
+        }
+    }
+    setGlobalThreads(restore);
+
+    if (std::getenv("ISAMORE_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath(name));
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath(name);
+        out << first;
+        return;
+    }
+    std::ifstream in(goldenPath(name));
+    ASSERT_TRUE(in.good())
+        << "missing golden " << goldenPath(name)
+        << " (regenerate with ISAMORE_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden.str(), first)
+        << name << ": pipeline JSON diverged from the golden report";
+}
+
+TEST(GoldenIdentityTest, Matmul) { runCase("matmul", workloads::makeMatMul); }
+TEST(GoldenIdentityTest, Conv2D) { runCase("2dconv", workloads::makeConv2D); }
+TEST(GoldenIdentityTest, Fft) { runCase("fft", workloads::makeFft); }
+TEST(GoldenIdentityTest, Stencil)
+{
+    runCase("stencil", workloads::makeStencil);
+}
+TEST(GoldenIdentityTest, QProd) { runCase("qprod", workloads::makeQProd); }
+TEST(GoldenIdentityTest, Sha) { runCase("sha", workloads::makeSha); }
+
+}  // namespace
+}  // namespace isamore

@@ -6,7 +6,7 @@
  * Usage:
  *   isamore_bench [--workloads <a,b,c>] [--reps <n>] [--threads <n>]
  *                 [--out <path>] [--check-identical]
- *                 [--min-ematch-speedup <x>]
+ *                 [--min-ematch-speedup <x>] [--min-au-speedup <x>]
  *
  * Per workload and repetition, the pipeline's stages are timed
  * independently:
@@ -20,6 +20,14 @@
  *               median(naive)/median(compiled) drops below x on any
  *               selected workload
  *   - au:       the anti-unification pair sweep over the saturated graph
+ *   - au_term:  the AU sweep's term-layer churn (candidate construction,
+ *               dedup, registry keying) replayed on the workload's class
+ *               representatives, legacy (fresh tree nodes, recursive
+ *               hash/equality, termToString registry keys) vs interned
+ *               (hash-consed makeTerm, cached hashes, canonical-pointer
+ *               keys); both sides must agree on the unique-pattern
+ *               count, and --min-au-speedup <x> fails the run (exit 1)
+ *               when median(legacy)/median(interned) drops below x
  *   - pipeline: the full identifyInstructions run (includes selection)
  *
  * The report records median and p90 wall-clock milliseconds per stage,
@@ -33,11 +41,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "dsl/intern.hpp"
 #include "egraph/ematch_program.hpp"
+#include "egraph/extract.hpp"
 #include "egraph/rewrite.hpp"
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
@@ -75,7 +88,10 @@ struct WorkloadReport {
     StageTiming ematchNaive;
     StageTiming ematchCompiled;
     StageTiming au;
+    StageTiming auTermLegacy;
+    StageTiming auTermInterned;
     StageTiming pipeline;
+    size_t auTermUnique = 0;
     size_t auPatterns = 0;
     size_t rawCandidates = 0;
     size_t frontSize = 0;
@@ -145,12 +161,20 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
         writeSamples(os, r.ematchCompiled);
         os << ",\n       \"au\": ";
         writeSamples(os, r.au);
+        os << ",\n       \"au_term_legacy\": ";
+        writeSamples(os, r.auTermLegacy);
+        os << ",\n       \"au_term_interned\": ";
+        writeSamples(os, r.auTermInterned);
         os << ",\n       \"pipeline\": ";
         writeSamples(os, r.pipeline);
         os << "\n     },\n"
            << "     \"ematch_speedup\": "
            << r.ematchNaive.median() /
                   std::max(r.ematchCompiled.median(), 1e-6)
+           << ",\n     \"au_term_speedup\": "
+           << r.auTermLegacy.median() /
+                  std::max(r.auTermInterned.median(), 1e-6)
+           << ",\n     \"au_term_unique\": " << r.auTermUnique
            << ",\n     \"au_patterns\": " << r.auPatterns
            << ", \"raw_candidates\": " << r.rawCandidates
            << ", \"front_size\": " << r.frontSize;
@@ -181,12 +205,62 @@ stripWallClock(const std::string& json)
     return out.str();
 }
 
+/**
+ * The candidate stream the AU sweep's term layer sees: every subterm of
+ * every cheap class representative, per-representative deduplicated only
+ * -- structures shared between representatives repeat in the stream,
+ * which is exactly the duplicate pressure the dedup/registry stages
+ * absorb in the real sweep.  Each candidate is delivered as a fresh
+ * uninterned tree so both term-layer variants start from the same
+ * un-canonicalized input.
+ */
+std::vector<TermPtr>
+auCandidateStream(const EGraph& egraph)
+{
+    std::vector<TermPtr> stream;
+    Extractor extractor(egraph, astSizeCost);
+    for (EClassId id : egraph.classIds()) {
+        if (auto cost = extractor.costOf(id);
+            !cost.has_value() || *cost > 12.0) {
+            continue;
+        }
+        TermPtr rep = extractor.extract(id).term;
+        std::unordered_set<const Term*> seen;
+        std::vector<TermPtr> stack{rep};
+        while (!stack.empty()) {
+            TermPtr t = stack.back();
+            stack.pop_back();
+            if (!seen.insert(t.get()).second) {
+                continue;
+            }
+            stream.push_back(copyTopologyUninterned(t));
+            for (const auto& child : t->children) {
+                stack.push_back(child);
+            }
+        }
+    }
+    return stream;
+}
+
+struct DeepTermHash {
+    size_t operator()(const TermPtr& t) const
+    {
+        return static_cast<size_t>(termHashDeep(t));
+    }
+};
+struct DeepTermEq {
+    bool operator()(const TermPtr& a, const TermPtr& b) const
+    {
+        return termEqualsDeep(a, b);
+    }
+};
+
 int
 usage()
 {
     std::cerr << "usage: isamore_bench [--workloads <a,b,c>] [--reps <n>]"
                  " [--threads <n>] [--out <path>] [--check-identical]"
-                 " [--min-ematch-speedup <x>]\n";
+                 " [--min-ematch-speedup <x>] [--min-au-speedup <x>]\n";
     return 2;
 }
 
@@ -200,6 +274,7 @@ main(int argc, char** argv)
     std::string outPath = "BENCH_results.json";
     bool checkIdentical = false;
     double minEmatchSpeedup = 0.0;
+    double minAuSpeedup = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -224,6 +299,11 @@ main(int argc, char** argv)
         } else if (flag == "--min-ematch-speedup" && i + 1 < argc) {
             minEmatchSpeedup = std::strtod(argv[++i], nullptr);
             if (minEmatchSpeedup <= 0.0) {
+                return usage();
+            }
+        } else if (flag == "--min-au-speedup" && i + 1 < argc) {
+            minAuSpeedup = std::strtod(argv[++i], nullptr);
+            if (minAuSpeedup <= 0.0) {
                 return usage();
             }
         } else {
@@ -309,6 +389,57 @@ main(int argc, char** argv)
             report.auPatterns = au.patterns.size();
             report.rawCandidates = au.stats.rawCandidates;
 
+            // Stage 2b: the sweep's term layer, legacy vs interned, on
+            // an identical uninterned candidate stream.  Both variants
+            // construct each candidate from the stream (the sweep
+            // builds every candidate it considers): legacy allocates a
+            // fresh tree and pays recursive hashing/equality for dedup
+            // plus a termToString key per survivor (the pre-interner
+            // registry); interned canonicalizes through the hash-cons
+            // table, after which dedup and registry keying are pointer
+            // operations.  Small per-pass cost, so each sample batches
+            // a few passes.
+            const std::vector<TermPtr> stream = auCandidateStream(egraph);
+            constexpr size_t kTermPasses = 4;
+            size_t legacyUnique = 0;
+            watch.reset();
+            for (size_t pass = 0; pass < kTermPasses; ++pass) {
+                std::unordered_set<TermPtr, DeepTermHash, DeepTermEq> dedup;
+                std::map<std::string, int64_t> registryKeys;
+                for (const TermPtr& t : stream) {
+                    TermPtr built = copyTopologyUninterned(t);
+                    if (dedup.insert(built).second) {
+                        registryKeys.emplace(
+                            termToString(built),
+                            static_cast<int64_t>(registryKeys.size()));
+                    }
+                }
+                legacyUnique = registryKeys.size();
+            }
+            report.auTermLegacy.samplesMs.push_back(watch.seconds() * 1e3 /
+                                                    kTermPasses);
+            size_t internedUnique = 0;
+            watch.reset();
+            for (size_t pass = 0; pass < kTermPasses; ++pass) {
+                std::unordered_set<const Term*> dedup;
+                std::unordered_map<const Term*, int64_t> registryKeys;
+                for (const TermPtr& t : stream) {
+                    TermPtr canon = internTerm(t);
+                    if (dedup.insert(canon.get()).second) {
+                        registryKeys.emplace(
+                            canon.get(),
+                            static_cast<int64_t>(registryKeys.size()));
+                    }
+                }
+                internedUnique = registryKeys.size();
+            }
+            report.auTermInterned.samplesMs.push_back(
+                watch.seconds() * 1e3 / kTermPasses);
+            ISAMORE_CHECK_MSG(legacyUnique == internedUnique,
+                              "term-layer dedup counts disagree on " +
+                                  name);
+            report.auTermUnique = internedUnique;
+
             // Stage 3: the full pipeline (includes selection).
             watch.reset();
             rii::RiiResult result =
@@ -361,6 +492,26 @@ main(int argc, char** argv)
             if (speedup < minEmatchSpeedup) {
                 std::cerr << "FAIL: below the " << minEmatchSpeedup
                           << "x e-match speedup floor\n";
+                fastEnough = false;
+            }
+        }
+        if (!fastEnough) {
+            return 1;
+        }
+    }
+    if (minAuSpeedup > 0.0) {
+        bool fastEnough = true;
+        for (const WorkloadReport& r : reports) {
+            const double speedup =
+                r.auTermLegacy.median() /
+                std::max(r.auTermInterned.median(), 1e-6);
+            std::cerr << "au-term " << r.name << ": legacy "
+                      << r.auTermLegacy.median() << " ms, interned "
+                      << r.auTermInterned.median() << " ms -> " << speedup
+                      << "x\n";
+            if (speedup < minAuSpeedup) {
+                std::cerr << "FAIL: below the " << minAuSpeedup
+                          << "x AU term-layer speedup floor\n";
                 fastEnough = false;
             }
         }
