@@ -16,6 +16,7 @@
 #include "rii/au.hpp"
 #include "rii/structhash.hpp"
 #include "rules/rulesets.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -349,6 +350,76 @@ BM_SmartAu(benchmark::State& state)
     }
 }
 BENCHMARK(BM_SmartAu);
+
+/**
+ * The BM_Telemetry* group prices the observability probes (PR 5).  The
+ * disabled variants measure what every production call site pays -- one
+ * relaxed atomic load and a branch -- and back the <2% pipeline overhead
+ * contract; the enabled variants price the full record path (clock reads
+ * plus a ring append for spans, a relaxed fetch_add for counters).
+ */
+void
+BM_TelemetrySpanDisabled(benchmark::State& state)
+{
+    telemetry::setEnabled(false);
+    for (auto _ : state) {
+        TELEM_SPAN("bench.span", "bench");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+void
+BM_TelemetrySpanEnabled(benchmark::State& state)
+{
+    telemetry::setEnabled(true);
+    size_t sinceClear = 0;
+    for (auto _ : state) {
+        {
+            TELEM_SPAN("bench.span", "bench");
+            benchmark::ClobberMemory();
+        }
+        // Drain well before the per-thread cap so every iteration pays
+        // the true append cost rather than the post-cap drop path.
+        if (++sinceClear == (1u << 18)) {
+            state.PauseTiming();
+            telemetry::Tracer::instance().clear();
+            sinceClear = 0;
+            state.ResumeTiming();
+        }
+    }
+    telemetry::setEnabled(false);
+    telemetry::Tracer::instance().clear();
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+void
+BM_CounterIncrDisabled(benchmark::State& state)
+{
+    telemetry::setEnabled(false);
+    telemetry::Counter& counter =
+        telemetry::Registry::instance().counter("bench.counter");
+    for (auto _ : state) {
+        counter.add();
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_CounterIncrDisabled);
+
+void
+BM_CounterIncr(benchmark::State& state)
+{
+    telemetry::setEnabled(true);
+    telemetry::Counter& counter =
+        telemetry::Registry::instance().counter("bench.counter");
+    for (auto _ : state) {
+        counter.add();
+        benchmark::ClobberMemory();
+    }
+    telemetry::setEnabled(false);
+    telemetry::Registry::instance().reset();
+}
+BENCHMARK(BM_CounterIncr);
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 
@@ -36,7 +37,11 @@ Extractor::Extractor(const EGraph& egraph, CostFn costFn)
     // worklist.  A parent above the improved class re-evaluates within the
     // current ascending pass (as the sweep would), one at or below it
     // waits for the next pass.
+    TELEM_SPAN("extract.relax", "extract");
+    uint64_t evals = 0;
+    uint64_t improvements = 0;
     auto evaluate = [&](EClassId id) {
+        ++evals;
         bool improved = false;
         for (const ENode& node : egraph_.cls(id).nodes) {
             std::vector<double> childCosts;
@@ -59,6 +64,7 @@ Extractor::Extractor(const EGraph& egraph, CostFn costFn)
                 bestCost_[id] = cost;
                 bestNode_[id] = node;
                 improved = true;
+                ++improvements;
             }
         }
         return improved;
@@ -89,6 +95,11 @@ Extractor::Extractor(const EGraph& egraph, CostFn costFn)
             }
         }
         current.swap(next);
+    }
+    if (telemetry::enabled()) {
+        auto& registry = telemetry::Registry::instance();
+        registry.counter("extract.evals").add(evals);
+        registry.counter("extract.improvements").add(improvements);
     }
 }
 
@@ -146,6 +157,9 @@ materialize(const EGraph& egraph,
 Extraction
 Extractor::extract(EClassId root) const
 {
+    if (telemetry::enabled()) {
+        telemetry::Registry::instance().counter("extract.terms").add();
+    }
     root = egraph_.find(root);
     auto cost = costOf(root);
     ISAMORE_CHECK_MSG(cost.has_value(), "root class is not extractable");

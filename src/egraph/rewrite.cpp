@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <new>
 
+#include <sstream>
+
 #include "egraph/ematch_program.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/pool.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 
@@ -43,11 +46,67 @@ stopReasonName(StopReason reason)
     return "?";
 }
 
+namespace {
+
+/** One telemetry iteration record (egg-style report), cold path only. */
+void
+recordIteration(uint64_t runId, size_t iter, const EGraph& egraph,
+                const std::vector<RewriteRule>& rules,
+                const std::vector<RuleTotals>& iterTotals)
+{
+    std::ostringstream rec;
+    rec << "{\"run\": " << runId << ", \"iter\": " << iter
+        << ", \"nodes\": " << egraph.numNodes()
+        << ", \"classes\": " << egraph.numClasses() << ", \"rules\": [";
+    bool first = true;
+    for (size_t r = 0; r < rules.size(); ++r) {
+        const RuleTotals& t = iterTotals[r];
+        if (t.matches == 0 && t.applications == 0 && t.bans == 0 &&
+            t.cacheSkips == 0) {
+            continue;
+        }
+        rec << (first ? "" : ", ") << "{\"rule\": \""
+            << telemetry::jsonEscape(rules[r].name)
+            << "\", \"matches\": " << t.matches
+            << ", \"applications\": " << t.applications
+            << ", \"bans\": " << t.bans
+            << ", \"cache_skips\": " << t.cacheSkips << "}";
+        first = false;
+    }
+    rec << "]}";
+    telemetry::Registry::instance().appendRecord("eqsat.iterations",
+                                                 rec.str());
+}
+
+}  // namespace
+
 EqSatStats
 runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
          const EqSatLimits& limits, Budget* parent)
 {
+    TELEM_SPAN("eqsat.run", "eqsat");
+    // Distinguishes the record streams of the several EqSat runs an RII
+    // pipeline performs (main saturation, per-candidate kappa runs).
+    static std::atomic<uint64_t> runCounter{0};
+    const uint64_t runId =
+        runCounter.fetch_add(1, std::memory_order_relaxed);
+
     EqSatStats stats;
+    stats.perRule.reserve(rules.size());
+    for (const RewriteRule& rule : rules) {
+        stats.perRule.emplace_back(rule.name, RuleTotals{});
+    }
+    // Per-rule applications counters resolve once per run, and only when
+    // telemetry is already on (resolution takes the registry mutex).
+    std::vector<telemetry::Counter*> ruleCounters;
+    if (telemetry::enabled()) {
+        ruleCounters.reserve(rules.size());
+        for (const RewriteRule& rule : rules) {
+            ruleCounters.push_back(&telemetry::Registry::instance().counter(
+                "eqsat.applications{rule=" + rule.name + "}"));
+        }
+    }
+
     Stopwatch watch;
     BudgetSpec spec;
     spec.maxSeconds = limits.maxSeconds;
@@ -93,8 +152,14 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
     std::vector<IncrementalSearchState> searchStates(rules.size());
 
     for (size_t iter = 0; iter < limits.maxIterations; ++iter) {
+        TELEM_SPAN_ARGS("eqsat.iter", "eqsat",
+                        "\"iter\": " + std::to_string(iter));
         stats.iterations = iter + 1;
         size_t skipped_this_iter = 0;
+        // This iteration's per-rule activity; folded into stats.perRule
+        // after the rebuild.  Always-on: the counts are deterministic and
+        // feed the pipeline report, not just telemetry.
+        std::vector<RuleTotals> iterTotals(rules.size());
 
         // Phase 1: search all rules against the current (stable) e-graph.
         // The e-graph is frozen between rebuilds (egg's deferred-rebuild
@@ -141,21 +206,25 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
             searches.push_back(std::move(search));
         }
 
-        globalPool().parallelFor(searches.size(), [&](size_t i) {
-            RuleSearch& search = searches[i];
-            const size_t r = search.ruleIndex;
-            IncrementalSearchState* state =
-                (limits.incrementalSearch && !rules[r].guard)
-                    ? &searchStates[r]
-                    : nullptr;
-            try {
-                search.result = searchPattern(
-                    egraph, programs[r],
-                    limits.useBackoff ? search.cap + 1 : search.cap, state);
-            } catch (...) {
-                search.error = std::current_exception();
-            }
-        });
+        {
+            TELEM_SPAN("eqsat.search", "eqsat");
+            globalPool().parallelFor(searches.size(), [&](size_t i) {
+                RuleSearch& search = searches[i];
+                const size_t r = search.ruleIndex;
+                IncrementalSearchState* state =
+                    (limits.incrementalSearch && !rules[r].guard)
+                        ? &searchStates[r]
+                        : nullptr;
+                try {
+                    search.result = searchPattern(
+                        egraph, programs[r],
+                        limits.useBackoff ? search.cap + 1 : search.cap,
+                        state);
+                } catch (...) {
+                    search.error = std::current_exception();
+                }
+            });
+        }
 
         // Cached matches trailing a rule's last emitted one roll forward
         // to the next pending entry (or to the end of the apply loop).
@@ -174,6 +243,8 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 // totalCount includes the cached contribution of classes
                 // the incremental search skipped, so the overflow check
                 // is exactly the full search's match-list-size check.
+                iterTotals[search.ruleIndex].matches +=
+                    search.result.totalCount;
                 if (limits.useBackoff &&
                     search.result.totalCount > search.cap) {
                     // Ban for an exponentially growing span and skip.
@@ -181,10 +252,13 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                     backoff[r].bannedUntil =
                         iter + (size_t{1} << ++backoff[r].timesBanned);
                     ++stats.rulesBanned;
+                    ++iterTotals[r].bans;
                     any_banned = true;
                     continue;
                 }
                 std::vector<EMatch>& matches = search.result.matches;
+                iterTotals[search.ruleIndex].cacheSkips +=
+                    search.result.totalCount - matches.size();
                 for (size_t j = 0; j < matches.size(); ++j) {
                     virtual_carry += search.result.cachedBefore[j];
                     if (rule.guard && !rule.guard(egraph, matches[j])) {
@@ -240,46 +314,52 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
             }
             return false;
         };
-        for (const PendingUnion& p : pending) {
-            if (advance_virtual(p.virtualBefore)) {
-                break;
-            }
-            if (fault::tripped("eqsat.apply")) {
-                out_of_time = true;
-                break;
-            }
-            try {
-                EClassId rhs_class =
-                    instantiate(egraph, p.rule->rhs, p.match.subst);
-                if (egraph.merge(p.match.root, rhs_class)) {
-                    ++stats.applications;
-                    if (!budget.charge(1)) {
-                        out_of_units = true;
+        {
+            TELEM_SPAN("eqsat.apply", "eqsat");
+            for (const PendingUnion& p : pending) {
+                if (advance_virtual(p.virtualBefore)) {
+                    break;
+                }
+                if (fault::tripped("eqsat.apply")) {
+                    out_of_time = true;
+                    break;
+                }
+                try {
+                    EClassId rhs_class =
+                        instantiate(egraph, p.rule->rhs, p.match.subst);
+                    if (egraph.merge(p.match.root, rhs_class)) {
+                        ++stats.applications;
+                        ++iterTotals[static_cast<size_t>(p.rule -
+                                                         rules.data())]
+                              .applications;
+                        if (!budget.charge(1)) {
+                            out_of_units = true;
+                            break;
+                        }
+                    }
+                } catch (const InternalError&) {
+                    ++skipped_this_iter;
+                    ++apply_skips;
+                    continue;
+                } catch (const std::bad_alloc&) {
+                    ++skipped_this_iter;
+                    ++apply_skips;
+                    continue;
+                }
+                if ((++applied & 63u) == 0) {
+                    if (egraph.numNodes() > limits.maxNodes &&
+                        egraph.numNodes() > nodes_before) {
+                        added_nodes = true;
+                        break;
+                    }
+                    if (poll_budget()) {
                         break;
                     }
                 }
-            } catch (const InternalError&) {
-                ++skipped_this_iter;
-                ++apply_skips;
-                continue;
-            } catch (const std::bad_alloc&) {
-                ++skipped_this_iter;
-                ++apply_skips;
-                continue;
             }
-            if ((++applied & 63u) == 0) {
-                if (egraph.numNodes() > limits.maxNodes &&
-                    egraph.numNodes() > nodes_before) {
-                    added_nodes = true;
-                    break;
-                }
-                if (poll_budget()) {
-                    break;
-                }
+            if (!added_nodes && !out_of_time && !out_of_units) {
+                advance_virtual(virtual_carry);
             }
-        }
-        if (!added_nodes && !out_of_time && !out_of_units) {
-            advance_virtual(virtual_carry);
         }
         if (apply_skips != 0) {
             // A dropped application is a match the incremental baseline
@@ -288,12 +368,24 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 state.reset();
             }
         }
-        egraph.rebuild();
+        {
+            TELEM_SPAN("eqsat.rebuild", "eqsat");
+            egraph.rebuild();
+        }
 
         stats.peakNodes = std::max(stats.peakNodes, egraph.numNodes());
         stats.peakClasses = std::max(stats.peakClasses, egraph.numClasses());
         stats.seconds = watch.seconds();
         stats.skippedRules += skipped_this_iter;
+        for (size_t r = 0; r < rules.size(); ++r) {
+            stats.perRule[r].second += iterTotals[r];
+        }
+        if (telemetry::enabled()) {
+            recordIteration(runId, iter, egraph, rules, iterTotals);
+            for (size_t r = 0; r < ruleCounters.size(); ++r) {
+                ruleCounters[r]->add(iterTotals[r].applications);
+            }
+        }
 
         // Stop-reason decision.  A deadline or budget tripped anywhere in
         // this iteration wins: the iteration did partial work, so a quiet

@@ -86,6 +86,29 @@ enum class StopReason { Saturated, NodeLimit, IterLimit, TimeLimit, Budget };
 /** Printable name of a StopReason. */
 const char* stopReasonName(StopReason reason);
 
+/**
+ * Per-rule work totals accumulated across every iteration of a run (or,
+ * in RiiStats, across every run of a phase).  All four counts are
+ * independent of the thread count and of telemetry being on or off, so
+ * they are safe to surface in deterministic pipeline output.
+ */
+struct RuleTotals {
+    size_t matches = 0;       ///< matches found (incl. incremental-cached)
+    size_t applications = 0;  ///< unions that actually merged two classes
+    size_t bans = 0;          ///< backoff bans issued to this rule
+    size_t cacheSkips = 0;    ///< matches the incremental search re-used
+
+    RuleTotals&
+    operator+=(const RuleTotals& o)
+    {
+        matches += o.matches;
+        applications += o.applications;
+        bans += o.bans;
+        cacheSkips += o.cacheSkips;
+        return *this;
+    }
+};
+
 /** Statistics from one equality-saturation run. */
 struct EqSatStats {
     size_t iterations = 0;
@@ -98,6 +121,8 @@ struct EqSatStats {
     size_t skippedRules = 0;
     StopReason stopReason = StopReason::Saturated;
     double seconds = 0.0;
+    /** One entry per input rule, in rule order (egg-style totals). */
+    std::vector<std::pair<std::string, RuleTotals>> perRule;
 };
 
 /**

@@ -6,12 +6,14 @@
 #include "ir/simplify.hpp"
 #include "ir/unroll.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 
 AnalyzedWorkload
 analyzeWorkload(workloads::Workload workload)
 {
+    TELEM_SPAN("isamore.analyze", "isamore");
     AnalyzedWorkload out;
 
     // Loop unrolling (the -O3 substitute) before anything observes the IR.
@@ -49,6 +51,7 @@ identifyInstructions(const AnalyzedWorkload& analyzed,
                      const rules::RulesetLibrary& rules,
                      const rii::RiiConfig& config)
 {
+    TELEM_SPAN("isamore.identify", "isamore");
     return rii::runRii(analyzed.program, analyzed.profile, rules, config);
 }
 

@@ -2,6 +2,10 @@
 
 #include <sstream>
 
+#include "dsl/intern.hpp"
+#include "support/pool.hpp"
+#include "support/telemetry.hpp"
+
 namespace isamore {
 namespace {
 
@@ -33,7 +37,7 @@ jsonEscape(const std::string& text)
 
 std::string
 resultToJson(const AnalyzedWorkload& analyzed,
-             const rii::RiiResult& result)
+             const rii::RiiResult& result, bool includeRunSummary)
 {
     std::ostringstream os;
     os << "{\n"
@@ -49,8 +53,27 @@ resultToJson(const AnalyzedWorkload& analyzed,
        << "    \"dedupedCandidates\": " << result.stats.dedupedCandidates
        << ",\n"
        << "    \"aborted\": "
-       << (result.stats.auAborted ? "true" : "false") << ",\n"
-       << "    \"seconds\": " << result.stats.seconds << "\n  },\n"
+       << (result.stats.auAborted ? "true" : "false") << ",\n";
+
+    // Per-rule EqSat totals, name-sorted (std::map order) and restricted
+    // to rules that did anything.  Deterministic across thread counts.
+    os << "    \"ruleTotals\": [";
+    bool firstRule = true;
+    for (const auto& [name, totals] : result.stats.ruleTotals) {
+        if (totals.matches == 0 && totals.applications == 0 &&
+            totals.bans == 0 && totals.cacheSkips == 0) {
+            continue;
+        }
+        os << (firstRule ? "\n" : ",\n") << "      {\"rule\": \""
+           << jsonEscape(name) << "\", \"matches\": " << totals.matches
+           << ", \"applications\": " << totals.applications
+           << ", \"bans\": " << totals.bans
+           << ", \"cacheSkips\": " << totals.cacheSkips << "}";
+        firstRule = false;
+    }
+    os << (firstRule ? "],\n" : "\n    ],\n");
+
+    os << "    \"seconds\": " << result.stats.seconds << "\n  },\n"
        << "  \"diagnostics\": {\n"
        << "    \"degraded\": "
        << (result.diagnostics.degraded() ? "true" : "false") << ",\n"
@@ -90,8 +113,50 @@ resultToJson(const AnalyzedWorkload& analyzed,
         }
         os << "]}" << (s + 1 < result.front.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    if (!includeRunSummary) {
+        os << "  ]\n}\n";
+        return os.str();
+    }
+    std::string summary = runSummaryJson();
+    while (!summary.empty() && summary.back() == '\n') {
+        summary.pop_back();
+    }
+    os << "  ],\n  \"runSummary\": " << summary << "\n}\n";
     return os.str();
+}
+
+std::string
+runSummaryJson()
+{
+    const InternStats intern = internStats();
+    const PoolStats pool = globalPool().stats();
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"intern\": {\"terms\": " << intern.terms
+       << ", \"shards\": " << intern.shards << ", \"hits\": " << intern.hits
+       << ", \"misses\": " << intern.misses << "},\n"
+       << "  \"pool\": {\"lanes\": " << pool.lanes
+       << ", \"tasks\": " << pool.tasks << ", \"steals\": " << pool.steals
+       << "},\n"
+       << "  \"threads\": " << globalThreadCount() << "\n}\n";
+    return os.str();
+}
+
+void
+recordProcessMetrics()
+{
+    auto& registry = telemetry::Registry::instance();
+    const InternStats intern = internStats();
+    registry.gauge("intern.terms").set(static_cast<int64_t>(intern.terms));
+    registry.gauge("intern.shards").set(
+        static_cast<int64_t>(intern.shards));
+    registry.gauge("intern.hits").set(static_cast<int64_t>(intern.hits));
+    registry.gauge("intern.misses").set(
+        static_cast<int64_t>(intern.misses));
+    const PoolStats pool = globalPool().stats();
+    registry.gauge("pool.lanes").set(static_cast<int64_t>(pool.lanes));
+    registry.gauge("pool.tasks").set(static_cast<int64_t>(pool.tasks));
+    registry.gauge("pool.steals").set(static_cast<int64_t>(pool.steals));
 }
 
 }  // namespace isamore

@@ -22,8 +22,33 @@ namespace isamore {
  *                "instructions": [ { "id": ..., "uses": ...,
  *                                    "ops": ..., "body": "..." } ] } ]
  * }
+ *
+ * With @p includeRunSummary the document additionally carries a
+ * "runSummary" object (see runSummaryJson()).  That summary is
+ * process-wide and scheduling-dependent, so only the CLI asks for it;
+ * the default document is byte-identical across thread counts and
+ * telemetry settings (modulo the wall-clock "seconds" field).
  */
 std::string resultToJson(const AnalyzedWorkload& analyzed,
-                         const rii::RiiResult& result);
+                         const rii::RiiResult& result,
+                         bool includeRunSummary = false);
+
+/**
+ * Process-wide run summary as a JSON object: intern-table stats, pool
+ * task/steal counters, and the configured thread count.  These values
+ * are NOT deterministic (steal counts depend on scheduling, intern
+ * hit/miss splits accumulate across runs in one process), so this is a
+ * separate document the CLI appends under "runSummary" -- it must never
+ * leak into resultToJson, whose bytes the golden tests pin across
+ * thread counts.
+ */
+std::string runSummaryJson();
+
+/**
+ * Mirror the same process-wide stats into the telemetry registry as
+ * gauges (intern.*, pool.*), so a --metrics-out export carries them.
+ * Call at the end of a run, before telemetry::writeMetrics().
+ */
+void recordProcessMetrics();
 
 }  // namespace isamore

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -14,6 +15,7 @@
 #include "support/hashing.hpp"
 #include "support/pool.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 namespace rii {
@@ -206,6 +208,10 @@ struct ChunkOutcome {
     std::vector<PairRecord> records;
     bool stopped = false;  ///< sweep deadline / sweep fault: rest skipped
     bool aborted = false;  ///< candidate budget blew (last record partial)
+    // Shard memo behaviour over this chunk (telemetry; deterministic for
+    // a full chunk because the memo resets at every chunk boundary).
+    size_t memoHits = 0;
+    size_t memoMisses = 0;
 };
 
 /**
@@ -304,6 +310,8 @@ class AuShard {
         // An abort on the chunk's last pair never reaches the loop-top
         // check; make sure the merge still sees it.
         out.aborted = out.aborted || aborted_;
+        out.memoHits = memoHits_;
+        out.memoMisses = memoMisses_;
         return out;
     }
 
@@ -366,8 +374,10 @@ class AuShard {
         PairKey key{a, b};
         auto memo = memo_.find(key);
         if (memo != memo_.end()) {
+            ++memoHits_;
             return memo->second;
         }
+        ++memoMisses_;
         // Break cycles through in-progress pairs with the pair hole.  The
         // set stores the keys themselves: a hash collision here must not
         // make an unrelated pair look in-progress and silently degrade it
@@ -587,6 +597,8 @@ class AuShard {
     std::unordered_set<PairKey, PairKeyHash> inProgress_;
     int64_t nextHole_ = 0;
     size_t rawCount_ = 0;
+    size_t memoHits_ = 0;
+    size_t memoMisses_ = 0;
     bool aborted_ = false;
 };
 
@@ -618,6 +630,7 @@ AuResult
 identifyPatterns(const EGraph& egraph, const AuOptions& options,
                  Budget* budget)
 {
+    TELEM_SPAN("au.sweep", "au");
     AuResult result;
     const auto pairs = selectAuPairs(egraph, options, &result.stats);
 
@@ -627,6 +640,7 @@ identifyPatterns(const EGraph& egraph, const AuOptions& options,
     // copyTopologyUninterned in dsl/intern.hpp).
     ClassMap<TermPtr> reprs;
     {
+        TELEM_SPAN("au.reprs", "au");
         Extractor extractor(egraph, astSizeCost);
         for (EClassId id : egraph.classIds()) {
             if (auto cost = extractor.costOf(id);
@@ -648,6 +662,8 @@ identifyPatterns(const EGraph& egraph, const AuOptions& options,
     std::vector<ChunkOutcome> outcomes(numChunks);
     std::atomic<bool> stopFlag{false};
     auto runChunk = [&](size_t c) {
+        TELEM_SPAN_ARGS("au.chunk", "au",
+                        "\"chunk\": " + std::to_string(c));
         AuShard shard(ctx, budget);
         outcomes[c] = shard.runChunk(
             pairs, c * chunkSize,
@@ -662,6 +678,38 @@ identifyPatterns(const EGraph& egraph, const AuOptions& options,
     } else {
         ThreadPool pool(options.threads);
         pool.parallelFor(numChunks, runChunk);
+    }
+
+    // Telemetry per-shard records: what every chunk actually did,
+    // including chunks the merge below will cut off.  Hit rates and
+    // budget charge are per-chunk because each chunk is its own shard
+    // (fresh memo, own Budget child).
+    if (telemetry::enabled()) {
+        auto& registry = telemetry::Registry::instance();
+        for (size_t c = 0; c < numChunks; ++c) {
+            const ChunkOutcome& chunk = outcomes[c];
+            size_t raw = 0;
+            size_t skipped = 0;
+            for (const PairRecord& rec : chunk.records) {
+                raw += rec.rawCandidates;
+                skipped += rec.skipped ? 1 : 0;
+            }
+            std::ostringstream rec;
+            rec << "{\"chunk\": " << c
+                << ", \"pairs\": " << chunk.records.size()
+                << ", \"raw_candidates\": " << raw
+                << ", \"memo_hits\": " << chunk.memoHits
+                << ", \"memo_misses\": " << chunk.memoMisses
+                << ", \"skipped\": " << skipped
+                << ", \"stopped\": " << (chunk.stopped ? "true" : "false")
+                << ", \"aborted\": " << (chunk.aborted ? "true" : "false")
+                << "}";
+            registry.appendRecord("au.shards", rec.str());
+            registry.counter("au.pairs_explored").add(chunk.records.size());
+            registry.counter("au.raw_candidates").add(raw);
+            registry.counter("au.memo_hits").add(chunk.memoHits);
+            registry.counter("au.memo_misses").add(chunk.memoMisses);
+        }
     }
 
     // Merge in pair order, replaying the serial sweep's control flow:

@@ -8,6 +8,7 @@
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 namespace rii {
@@ -159,10 +160,16 @@ runRii(const frontend::EncodedProgram& program,
        const profile::ModuleProfile& profile,
        const rules::RulesetLibrary& rules, const RiiConfig& config)
 {
+    TELEM_SPAN("rii.run", "rii");
     Stopwatch watch;
     RiiResult result;
     RiiStats& stats = result.stats;
     RunDiagnostics& diag = result.diagnostics;
+    auto foldRuleTotals = [&stats](const EqSatStats& eq) {
+        for (const auto& [name, totals] : eq.perRule) {
+            stats.ruleTotals[name] += totals;
+        }
+    };
     Budget runBudget(config.budget);
     const uint64_t faultsBefore = fault::Registry::instance().firedCount();
 
@@ -179,6 +186,7 @@ runRii(const frontend::EncodedProgram& program,
         // A faulty vectorizer degrades Vector mode to the scalar-only
         // phase loop instead of killing the run.
         try {
+            TELEM_SPAN("rii.vectorize", "rii");
             VectorizeResult vr = vectorizeProgram(
                 program, rules.vector(), config.vectorize);
             vectorized = std::move(vr.program);
@@ -205,6 +213,8 @@ runRii(const frontend::EncodedProgram& program,
         std::string last_signature;
         const int total_phases = 2 + config.maxPhases;
         for (int phase = 0; phase < total_phases; ++phase) {
+            TELEM_SPAN_ARGS("rii.phase", "rii",
+                            "\"phase\": " + std::to_string(phase));
             // Whole-run budget gate: remaining phases are dropped, not
             // aborted, once it expires.
             if (fault::tripped("rii.phase") || !runBudget.ok()) {
@@ -254,6 +264,7 @@ runRii(const frontend::EncodedProgram& program,
             }
             EqSatStats eq = runEqSat(work.egraph, phase_rules, limits,
                                      &runBudget);
+            foldRuleTotals(eq);
             diag.lastEqSatStop = eq.stopReason;
             diag.skippedRules += eq.skippedRules;
             if (eq.stopReason == StopReason::NodeLimit) {
@@ -299,14 +310,17 @@ runRii(const frontend::EncodedProgram& program,
             // Cost the candidates and keep the best few.  A candidate
             // whose evaluation fails is dropped, not fatal.
             std::vector<PatternEval> costed;
-            for (const TermPtr& p : au.patterns) {
-                try {
-                    int64_t id = result.registry.add(p);
-                    costed.push_back(cost.evaluate(id, work.egraph));
-                } catch (const InternalError&) {
-                    ++diag.skippedPatterns;
-                } catch (const std::bad_alloc&) {
-                    ++diag.skippedPatterns;
+            {
+                TELEM_SPAN("rii.cost", "rii");
+                for (const TermPtr& p : au.patterns) {
+                    try {
+                        int64_t id = result.registry.add(p);
+                        costed.push_back(cost.evaluate(id, work.egraph));
+                    } catch (const InternalError&) {
+                        ++diag.skippedPatterns;
+                    } catch (const std::bad_alloc&) {
+                        ++diag.skippedPatterns;
+                    }
                 }
             }
             std::sort(costed.begin(), costed.end(),
@@ -352,8 +366,9 @@ runRii(const frontend::EncodedProgram& program,
             EqSatLimits app_limits;
             app_limits.maxIterations = 1;
             app_limits.maxNodes = limits.maxNodes * 2;
-            runEqSat(work.egraph, result.registry.applicationRules(ids),
-                     app_limits, &runBudget);
+            foldRuleTotals(runEqSat(work.egraph,
+                                    result.registry.applicationRules(ids),
+                                    app_limits, &runBudget));
             stats.peakNodes =
                 std::max(stats.peakNodes, work.egraph.numNodes());
             stats.peakClasses =
@@ -365,6 +380,7 @@ runRii(const frontend::EncodedProgram& program,
             SelectOutcome selOutcome;
             std::vector<Solution> solutions;
             try {
+                TELEM_SPAN("rii.select", "rii");
                 solutions = selectAndRefine(work.egraph, work.root,
                                             costed, cost, config.select,
                                             &runBudget, &selOutcome);

@@ -24,6 +24,8 @@
  */
 #pragma once
 
+#include <map>
+
 #include "frontend/encode.hpp"
 #include "profile/interp.hpp"
 #include "rii/au.hpp"
@@ -92,6 +94,13 @@ struct RiiStats {
     double seconds = 0.0;
     size_t peakRssBytes = 0;
     size_t packsCreated = 0;   ///< Vector mode
+
+    /**
+     * Per-rule EqSat totals summed over every saturation run of the whole
+     * pipeline (phase runs and the kappa-application runs), keyed by rule
+     * name.  Thread-count deterministic; surfaced by the CLI report.
+     */
+    std::map<std::string, RuleTotals> ruleTotals;
 };
 
 /**

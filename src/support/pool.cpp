@@ -28,8 +28,10 @@ ThreadPool::ThreadPool(size_t threads)
 {
     if (lanes_ <= 1) {
         lanes_ = 1;
+        counters_ = std::make_unique<LaneCounters[]>(1);
         return;
     }
+    counters_ = std::make_unique<LaneCounters[]>(lanes_);
     deques_ = std::make_unique<Deque[]>(lanes_);
     workers_.reserve(lanes_ - 1);
     for (size_t lane = 1; lane < lanes_; ++lane) {
@@ -103,8 +105,10 @@ void
 ThreadPool::runLane(size_t lane)
 {
     size_t index;
+    LaneCounters& counters = counters_[lane];
     while (true) {
         if (popOwn(deques_[lane], index)) {
+            counters.tasks.fetch_add(1, std::memory_order_relaxed);
             execute(index);
             continue;
         }
@@ -115,6 +119,8 @@ ThreadPool::runLane(size_t lane)
         bool stole = false;
         for (size_t k = 1; k < lanes_; ++k) {
             if (steal(deques_[(lane + k) % lanes_], index)) {
+                counters.tasks.fetch_add(1, std::memory_order_relaxed);
+                counters.steals.fetch_add(1, std::memory_order_relaxed);
                 execute(index);
                 stole = true;
                 break;
@@ -161,6 +167,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& body)
         for (size_t i = 0; i < n; ++i) {
             body(i);
         }
+        counters_[0].tasks.fetch_add(n, std::memory_order_relaxed);
         return;
     }
 
@@ -207,6 +214,26 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& body)
         error_ = nullptr;
         std::rethrow_exception(error);
     }
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats out;
+    out.lanes = lanes_;
+    out.perLaneTasks.reserve(lanes_);
+    out.perLaneSteals.reserve(lanes_);
+    for (size_t lane = 0; lane < lanes_; ++lane) {
+        const uint64_t tasks =
+            counters_[lane].tasks.load(std::memory_order_relaxed);
+        const uint64_t steals =
+            counters_[lane].steals.load(std::memory_order_relaxed);
+        out.perLaneTasks.push_back(tasks);
+        out.perLaneSteals.push_back(steals);
+        out.tasks += tasks;
+        out.steals += steals;
+    }
+    return out;
 }
 
 namespace {

@@ -22,7 +22,8 @@
  * priority order, setGlobalThreads() (the CLI's --threads flag), the
  * ISAMORE_THREADS environment variable, and the hardware concurrency.
  * A size of 1 (or a 1-core host) degrades every parallelFor to a plain
- * serial loop -- no threads are ever spawned and no atomics are touched.
+ * serial loop -- no threads are ever spawned and the only atomic touched
+ * is one task-counter add per job (see PoolStats).
  *
  * The pool runs one parallelFor at a time (a mutex serializes concurrent
  * submitters); nested parallelFor from inside a task would deadlock and
@@ -41,6 +42,22 @@
 #include <vector>
 
 namespace isamore {
+
+/**
+ * Cumulative work accounting for one ThreadPool since construction.
+ * `tasks` counts body(i) invocations per lane (serial fallbacks charge
+ * lane 0); `steals` counts the subset a lane claimed from another lane's
+ * deque.  Values are relaxed-atomic snapshots: exact at quiescent points,
+ * approximate while a job runs.  Steal counts depend on scheduling and
+ * are NOT deterministic across runs or thread counts.
+ */
+struct PoolStats {
+    size_t lanes = 1;
+    uint64_t tasks = 0;
+    uint64_t steals = 0;
+    std::vector<uint64_t> perLaneTasks;
+    std::vector<uint64_t> perLaneSteals;
+};
 
 class ThreadPool {
  public:
@@ -78,6 +95,9 @@ class ThreadPool {
     /** ISAMORE_THREADS if set (>=1), else the hardware concurrency. */
     static size_t defaultThreadCount();
 
+    /** Snapshot the cumulative task/steal counters (see PoolStats). */
+    PoolStats stats() const;
+
  private:
     /**
      * Chase--Lev deque of task indices, preloaded before a job starts.
@@ -91,6 +111,17 @@ class ThreadPool {
         std::atomic<int64_t> bottom{0};
     };
 
+    /**
+     * Per-lane work counters, cache-line separated so the hot-loop
+     * increments never share a line across lanes.  Always-on relaxed
+     * adds: the cost is one uncontended add per executed task, which the
+     * bench harness showed is noise next to the task bodies themselves.
+     */
+    struct alignas(64) LaneCounters {
+        std::atomic<uint64_t> tasks{0};
+        std::atomic<uint64_t> steals{0};
+    };
+
     bool popOwn(Deque& deque, size_t& out);
     bool steal(Deque& deque, size_t& out);
     void runLane(size_t lane);
@@ -100,6 +131,7 @@ class ThreadPool {
     size_t lanes_ = 1;
     std::vector<std::thread> workers_;
     std::unique_ptr<Deque[]> deques_;  // atomics make Deque non-movable
+    std::unique_ptr<LaneCounters[]> counters_;  // one per lane, always set
 
     // Job slot (one job at a time; submitMutex_ serializes submitters).
     std::mutex submitMutex_;

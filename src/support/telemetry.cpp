@@ -1,0 +1,412 @@
+#include "support/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace isamore {
+namespace telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void
+setEnabled(bool on)
+{
+#if defined(ISAMORE_NO_TELEMETRY)
+    (void)on;
+#else
+    // Touch the epoch before the first probe can, so timestamps are
+    // relative to the moment tracing was first switched on, not to an
+    // arbitrary first span.
+    nowNs();
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+#endif
+}
+
+uint64_t
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch)
+            .count());
+}
+
+// ---------------------------------------------------------------- Tracer
+
+Tracer&
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::ThreadBuffer&
+Tracer::localBuffer()
+{
+    // One buffer per recording thread, registered once.  The shared_ptr
+    // in buffers_ keeps the events alive after the thread exits (pool
+    // workers die on every resize), so a late export still sees them.
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(mutex_);
+        fresh->tid = static_cast<uint32_t>(buffers_.size());
+        buffers_.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    ThreadBuffer& buffer = localBuffer();
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.events.push_back(std::move(event));
+}
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Microseconds with three fractional digits, as Chrome "ts" wants. */
+void
+writeMicros(std::ostream& os, uint64_t ns)
+{
+    os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+       << static_cast<char>('0' + (ns % 100) / 10)
+       << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+std::string
+Tracer::toChromeJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    bool first = true;
+    for (const auto& buffer : buffers_) {
+        if (buffer->events.empty()) {
+            continue;
+        }
+        // One metadata event names the thread so Perfetto's track labels
+        // are readable.
+        os << (first ? "" : ",\n")
+           << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << buffer->tid
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+              "\"thread-"
+           << buffer->tid << "\"}}";
+        first = false;
+        for (const TraceEvent& event : buffer->events) {
+            os << ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": "
+               << buffer->tid << ", \"name\": \""
+               << jsonEscape(event.name) << "\", \"cat\": \""
+               << jsonEscape(event.cat == nullptr ? "isamore" : event.cat)
+               << "\", \"ts\": ";
+            writeMicros(os, event.startNs);
+            os << ", \"dur\": ";
+            writeMicros(os, event.durNs);
+            if (!event.args.empty()) {
+                os << ", \"args\": {" << event.args << "}";
+            }
+            os << "}";
+        }
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+        buffer->events.clear();
+        buffer->dropped = 0;
+    }
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const auto& buffer : buffers_) {
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+uint64_t
+Tracer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto& buffer : buffers_) {
+        total += buffer->dropped;
+    }
+    return total;
+}
+
+// -------------------------------------------------------------- Registry
+
+size_t
+Histogram::bucketOf(uint64_t v)
+{
+    if (v == 0) {
+        return 0;
+    }
+    size_t bits = 0;
+    while (v != 0) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;  // v in [2^(bits-1), 2^bits) -> bucket `bits`
+}
+
+Registry&
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+Registry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram&
+Registry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+}
+
+void
+Registry::appendRecord(const std::string& stream, std::string json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_[stream].push_back(std::move(json));
+}
+
+namespace {
+
+/**
+ * A sorted name->rendered-value map printed as dot-nested JSON objects:
+ * "a.b.c" and "a.b.d{rule=x}" become {"a": {"b": {"c": ..., "d{rule=x}":
+ * ...}}}.  The label suffix never splits (no dots inside {...} by
+ * construction of our metric names).  Input being a std::map makes every
+ * object's keys sorted.
+ */
+void
+writeNested(std::ostream& os,
+            const std::map<std::string, std::string>& entries,
+            size_t begin, size_t end, size_t depth,
+            const std::string& prefix)
+{
+    // Materialize the [begin, end) slice of entries whose keys start with
+    // prefix; group by the next dot-segment.
+    auto it = entries.begin();
+    std::advance(it, begin);
+    std::string indent(2 * (depth + 1), ' ');
+    os << "{";
+    bool first = true;
+    size_t index = begin;
+    while (index < end) {
+        const std::string& key = it->first;
+        const std::string rest = key.substr(prefix.size());
+        const size_t brace = rest.find('{');
+        size_t dot = rest.find('.');
+        if (brace != std::string::npos && dot != std::string::npos &&
+            brace < dot) {
+            dot = std::string::npos;  // dots inside a label stay put
+        }
+        os << (first ? "\n" : ",\n") << indent;
+        first = false;
+        if (dot == std::string::npos) {
+            // Leaf at this level.
+            os << "\"" << jsonEscape(rest) << "\": " << it->second;
+            ++it;
+            ++index;
+            continue;
+        }
+        // Subtree: emit one nested object for every key sharing this
+        // segment.
+        const std::string segment = rest.substr(0, dot);
+        const std::string child = prefix + segment + ".";
+        size_t span = index;
+        auto probe = it;
+        while (span < end && probe->first.compare(0, child.size(), child) ==
+                                 0) {
+            ++probe;
+            ++span;
+        }
+        os << "\"" << jsonEscape(segment) << "\": ";
+        writeNested(os, entries, index, span, depth + 1, child);
+        it = probe;
+        index = span;
+    }
+    if (!first) {
+        os << "\n" << std::string(2 * depth, ' ');
+    }
+    os << "}";
+}
+
+void
+writeSection(std::ostream& os, const char* title,
+             const std::map<std::string, std::string>& entries, bool last)
+{
+    os << "  \"" << title << "\": ";
+    writeNested(os, entries, 0, entries.size(), 1, "");
+    os << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+std::string
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::string> counters;
+    for (const auto& [name, counter] : counters_) {
+        counters[name] = std::to_string(counter->value());
+    }
+    std::map<std::string, std::string> gauges;
+    for (const auto& [name, gauge] : gauges_) {
+        gauges[name] = std::to_string(gauge->value());
+    }
+    std::map<std::string, std::string> histograms;
+    for (const auto& [name, histogram] : histograms_) {
+        std::ostringstream value;
+        value << "{\"count\": " << histogram->count()
+              << ", \"sum\": " << histogram->sum() << ", \"buckets\": [";
+        bool first = true;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const uint64_t n = histogram->bucket(i);
+            if (n == 0) {
+                continue;
+            }
+            const uint64_t lo = i == 0 ? 0 : uint64_t{1} << (i - 1);
+            value << (first ? "" : ", ") << "[" << lo << ", " << n << "]";
+            first = false;
+        }
+        value << "]}";
+        histograms[name] = value.str();
+    }
+    std::map<std::string, std::string> records;
+    for (const auto& [stream, entries] : records_) {
+        std::ostringstream value;
+        value << "[";
+        for (size_t i = 0; i < entries.size(); ++i) {
+            value << (i == 0 ? "" : ", ") << entries[i];
+        }
+        value << "]";
+        records[stream] = value.str();
+    }
+
+    std::ostringstream os;
+    os << "{\n";
+    writeSection(os, "counters", counters, false);
+    writeSection(os, "gauges", gauges, false);
+    writeSection(os, "histograms", histograms, false);
+    writeSection(os, "records", records, true);
+    os << "}\n";
+    return os.str();
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    records_.clear();
+}
+
+bool
+writeChromeTrace(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out.good()) {
+        return false;
+    }
+    out << Tracer::instance().toChromeJson();
+    return out.good();
+}
+
+bool
+writeMetrics(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out.good()) {
+        return false;
+    }
+    out << Registry::instance().toJson();
+    return out.good();
+}
+
+}  // namespace telemetry
+}  // namespace isamore

@@ -8,7 +8,8 @@
  * at 1, 2 and 4 threads and requires the report to match the golden
  * byte-for-byte (modulo the one wall-clock field), which is the combined
  * determinism contract of the work-stealing parallelization (PR 2), the
- * incremental matcher (PR 3) and the hash-consed term layer (PR 4):
+ * incremental matcher (PR 3), the hash-consed term layer (PR 4) and the
+ * telemetry probes (PR 5, exercised by the Telemetry* variants below):
  * none of them may change what the pipeline computes.
  *
  * Regenerate (only when an intentional output change lands) with
@@ -24,6 +25,7 @@
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
 #include "support/pool.hpp"
+#include "support/telemetry.hpp"
 #include "workloads/libraries.hpp"
 
 namespace isamore {
@@ -50,8 +52,15 @@ goldenPath(const std::string& name)
     return std::string(ISAMORE_GOLDEN_DIR) + "/" + name + ".json";
 }
 
+/**
+ * Run @p name at 1/2/4 threads and pin the report to the golden bytes.
+ * The telemetry variant does the same with the probes enabled -- spans
+ * and metrics must be a pure side channel, so the report bytes have to
+ * match the same golden the telemetry-off runs pin.
+ */
 void
-runCase(const std::string& name, workloads::Workload (*factory)())
+runCase(const std::string& name, workloads::Workload (*factory)(),
+        bool withTelemetry = false)
 {
     const size_t restore = globalThreadCount();
     const AnalyzedWorkload analyzed = analyzeWorkload(factory());
@@ -59,8 +68,10 @@ runCase(const std::string& name, workloads::Workload (*factory)())
     std::string first;
     for (size_t threads : {1, 2, 4}) {
         setGlobalThreads(threads);
+        telemetry::setEnabled(withTelemetry);
         rii::RiiResult result =
             identifyInstructions(analyzed, rii::Mode::Default);
+        telemetry::setEnabled(false);
         const std::string json =
             stripWallClock(resultToJson(analyzed, result));
         if (first.empty()) {
@@ -71,8 +82,18 @@ runCase(const std::string& name, workloads::Workload (*factory)())
         }
     }
     setGlobalThreads(restore);
+    if (withTelemetry && telemetry::kCompiled) {
+        // The probes must have fired; then drop their buffers so later
+        // cases (and a later export in this process) start clean.
+        EXPECT_GT(telemetry::Tracer::instance().eventCount(), 0u);
+        telemetry::Tracer::instance().clear();
+        telemetry::Registry::instance().reset();
+    }
 
     if (std::getenv("ISAMORE_REGEN_GOLDEN") != nullptr) {
+        if (withTelemetry) {
+            return;  // goldens are written by the telemetry-off cases
+        }
         std::ofstream out(goldenPath(name));
         ASSERT_TRUE(out.good()) << "cannot write " << goldenPath(name);
         out << first;
@@ -97,6 +118,18 @@ TEST(GoldenIdentityTest, Stencil)
 }
 TEST(GoldenIdentityTest, QProd) { runCase("qprod", workloads::makeQProd); }
 TEST(GoldenIdentityTest, Sha) { runCase("sha", workloads::makeSha); }
+
+// Telemetry-enabled variants: same goldens, probes on.  Two workloads
+// cover both pipeline shapes (matmul saturates, fft iterates) without
+// doubling the suite's runtime.
+TEST(GoldenIdentityTest, TelemetryMatmul)
+{
+    runCase("matmul", workloads::makeMatMul, /*withTelemetry=*/true);
+}
+TEST(GoldenIdentityTest, TelemetryFft)
+{
+    runCase("fft", workloads::makeFft, /*withTelemetry=*/true);
+}
 
 }  // namespace
 }  // namespace isamore

@@ -32,6 +32,14 @@
  * `--threads` (or the ISAMORE_THREADS environment variable) sizes the
  * work-stealing pool used by EqSat's match phase and the AU pair sweep;
  * results are identical for every thread count (see DESIGN.md).
+ *
+ * `--trace-out <path>` / `--metrics-out <path>` switch the telemetry
+ * layer on for the run and export a Chrome trace-event JSON (load it in
+ * Perfetto or chrome://tracing) / a hierarchical metrics JSON.  The
+ * ISAMORE_TRACE environment variable does the same without touching the
+ * command line: "1" just enables the probes, any other value is used as
+ * the trace output path.  Telemetry never changes pipeline output (see
+ * DESIGN.md "Observability").
  */
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +54,7 @@
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/pool.hpp"
+#include "support/telemetry.hpp"
 #include "workloads/libraries.hpp"
 
 namespace {
@@ -146,18 +155,53 @@ listWorkloads()
     return kExitOk;
 }
 
+void
+printUsage(std::ostream& os)
+{
+    os << "usage: isamore_cli list\n"
+       << "       isamore_cli run <workload> [flags]\n"
+       << "       isamore_cli --help\n"
+       << "\n"
+       << "run flags (every other flag is an error):\n"
+       << "  --mode <m>         default | astsize | kdsample | vector | "
+          "noeqsat | llmt\n"
+       << "  --json             append the machine-readable result JSON "
+          "(with runSummary)\n"
+       << "  --emit-verilog     print Verilog for the best solution's "
+          "instructions\n"
+       << "  --rocc             model RoCC accelerator integration\n"
+       << "  --dump-egraph      print the initial e-graph\n"
+       << "  --extended-rules   use the extended ruleset library\n"
+       << "  --inject <faults>  arm deterministic fault injection "
+          "(see support/fault.hpp)\n"
+       << "  --threads <n>      size the work-stealing pool (>= 1)\n"
+       << "  --trace-out <path>   enable telemetry; write a Chrome "
+          "trace-event JSON\n"
+       << "  --metrics-out <path> enable telemetry; write the metrics "
+          "registry JSON\n"
+       << "\n"
+       << "environment:\n"
+       << "  ISAMORE_THREADS    default pool size (--threads wins)\n"
+       << "  ISAMORE_FAULTS     fault spec (--inject wins)\n"
+       << "  ISAMORE_TRACE      \"1\" enables telemetry; any other value "
+          "is a trace output path\n"
+       << "\n"
+       << "exit codes: 0 ok, 2 usage, 3 invalid input, 4 internal "
+          "error, 5 degraded success\n";
+}
+
 int
 usage()
 {
-    std::cerr
-        << "usage: isamore_cli list\n"
-        << "       isamore_cli run <workload> [--mode <m>] "
-           "[--emit-verilog] [--rocc] [--dump-egraph] [--json]\n"
-        << "                   [--extended-rules] [--inject <faults>] "
-           "[--threads <n>]\n"
-        << "exit codes: 0 ok, 2 usage, 3 invalid input, 4 internal "
-           "error, 5 degraded success\n";
+    printUsage(std::cerr);
     return kExitUsage;
+}
+
+int
+help()
+{
+    printUsage(std::cout);
+    return kExitOk;
 }
 
 /** The `run` subcommand; throws UserError/InternalError for main to map. */
@@ -171,27 +215,64 @@ runCommand(int argc, char** argv)
     bool dump = false;
     bool json = false;
     bool extended = false;
+    std::string trace_out;
+    std::string metrics_out;
+    // A value-taking flag at the end of the command line is a usage
+    // error, not a silently ignored flag.
+    auto value_of = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "error: " << argv[i] << " requires a value\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
     for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
-        if (flag == "--json") {
+        if (flag == "--help" || flag == "-h") {
+            return help();
+        } else if (flag == "--json") {
             json = true;
         } else if (flag == "--extended-rules") {
             extended = true;
-        } else if (flag == "--mode" && i + 1 < argc) {
-            auto parsed = parseMode(argv[++i]);
+        } else if (flag == "--mode") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
+            auto parsed = parseMode(value);
             ISAMORE_USER_CHECK(parsed.has_value(),
-                               std::string("unknown mode: ") + argv[i]);
+                               std::string("unknown mode: ") + value);
             mode = *parsed;
-        } else if (flag == "--inject" && i + 1 < argc) {
-            fault::Registry::instance().configure(argv[++i]);
-        } else if (flag == "--threads" && i + 1 < argc) {
+        } else if (flag == "--inject") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
+            fault::Registry::instance().configure(value);
+        } else if (flag == "--threads") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
             char* end = nullptr;
-            const unsigned long threads = std::strtoul(argv[++i], &end, 10);
+            const unsigned long threads = std::strtoul(value, &end, 10);
             ISAMORE_USER_CHECK(end != nullptr && *end == '\0' &&
                                    threads >= 1,
                                std::string("bad --threads value: ") +
-                                   argv[i]);
+                                   value);
             setGlobalThreads(static_cast<size_t>(threads));
+        } else if (flag == "--trace-out") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
+            trace_out = value;
+        } else if (flag == "--metrics-out") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
+            metrics_out = value;
         } else if (flag == "--emit-verilog") {
             emit_verilog = true;
         } else if (flag == "--rocc") {
@@ -199,8 +280,22 @@ runCommand(int argc, char** argv)
         } else if (flag == "--dump-egraph") {
             dump = true;
         } else {
+            std::cerr << "error: unknown flag: " << flag << "\n";
             return usage();
         }
+    }
+
+    // ISAMORE_TRACE turns the probes on without command-line access;
+    // any value other than "1" doubles as the trace output path.
+    if (const char* env = std::getenv("ISAMORE_TRACE");
+        env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "1") != 0 && trace_out.empty()) {
+            trace_out = env;
+        }
+        telemetry::setEnabled(true);
+    }
+    if (!trace_out.empty() || !metrics_out.empty()) {
+        telemetry::setEnabled(true);
     }
 
     auto workload = findWorkload(name);
@@ -245,7 +340,9 @@ runCommand(int argc, char** argv)
                   << "% freq=" << report.frequencyMHz << "MHz\n";
     }
     if (json) {
-        std::cout << "\n" << resultToJson(analyzed, result);
+        std::cout << "\n"
+                  << resultToJson(analyzed, result,
+                                  /*includeRunSummary=*/true);
     }
     if (emit_verilog) {
         // Per-module degradation: one faulty emission skips that module
@@ -262,6 +359,22 @@ runCommand(int argc, char** argv)
                 degraded = true;
             }
         }
+    }
+
+    // Telemetry exports happen last, at a quiescent point (no pool job
+    // in flight), so the trace carries every span of the run.
+    if (!metrics_out.empty() || !trace_out.empty()) {
+        recordProcessMetrics();
+    }
+    if (!metrics_out.empty()) {
+        ISAMORE_USER_CHECK(telemetry::writeMetrics(metrics_out),
+                           "cannot write metrics to " + metrics_out);
+        std::cerr << "metrics written to " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+        ISAMORE_USER_CHECK(telemetry::writeChromeTrace(trace_out),
+                           "cannot write trace to " + trace_out);
+        std::cerr << "trace written to " << trace_out << "\n";
     }
 
     if (degraded) {
@@ -283,6 +396,9 @@ main(int argc, char** argv)
             return usage();
         }
         const std::string command = argv[1];
+        if (command == "--help" || command == "-h" || command == "help") {
+            return help();
+        }
         if (command == "list") {
             return listWorkloads();
         }
