@@ -110,6 +110,16 @@ class Interner {
         return out;
     }
 
+    void
+    resetCounters()
+    {
+        for (Shard& shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.hits = 0;
+            shard.misses = 0;
+        }
+    }
+
     size_t
     purge()
     {
@@ -187,6 +197,12 @@ size_t
 internPurge()
 {
     return Interner::instance().purge();
+}
+
+void
+internResetCounters()
+{
+    Interner::instance().resetCounters();
 }
 
 TermPtr

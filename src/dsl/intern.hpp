@@ -42,6 +42,14 @@ struct InternStats {
 InternStats internStats();
 
 /**
+ * Zero the hit/miss counters (the live-node count is structural and
+ * stays).  A long-lived server resets them per sweep window so the
+ * telemetry gauges report per-window rates instead of process-lifetime
+ * totals.
+ */
+void internResetCounters();
+
+/**
  * Drop canonical nodes that nothing outside the table references.
  * Iterates to a fixpoint (purging a parent can orphan its children).
  * Must not race with makeTerm; returns the number of nodes dropped.

@@ -124,7 +124,10 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         if (budget.ok()) {
             return false;
         }
-        if (budget.effectiveStop() == BudgetStop::Deadline) {
+        // Cancellation (a watchdog expiring the enclosing budget) is a
+        // deadline-class stop: the run was out of time, not out of work.
+        if (budget.effectiveStop() == BudgetStop::Deadline ||
+            budget.effectiveStop() == BudgetStop::Cancelled) {
             out_of_time = true;
         } else {
             out_of_units = true;

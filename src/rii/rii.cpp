@@ -170,7 +170,7 @@ runRii(const frontend::EncodedProgram& program,
             stats.ruleTotals[name] += totals;
         }
     };
-    Budget runBudget(config.budget);
+    Budget runBudget(config.budget, config.parentBudget);
     const uint64_t faultsBefore = fault::Registry::instance().firedCount();
 
     // Vector mode runs pattern vectorization up front (its phase applies

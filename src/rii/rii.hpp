@@ -67,6 +67,16 @@ struct RiiConfig {
      */
     BudgetSpec budget;
 
+    /**
+     * Optional enclosing budget the run budget is split from.  The
+     * server threads each request's root budget through here so the
+     * request deadline clamps the run and a watchdog cancel() on the
+     * root stops every stage at its next charge/poll.  Must outlive the
+     * runRii call; nullptr (the default, and every CLI path) keeps the
+     * run budget a root.
+     */
+    Budget* parentBudget = nullptr;
+
     /** Per-invocation custom-instruction overhead (RoCC issue+writeback). */
     double invokeOverheadNs = 0.5;
     /** Candidates kept for selection (<= 64). */

@@ -1,0 +1,289 @@
+#include "server/serve.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsl/intern.hpp"
+#include "isamore/report.hpp"
+#include "server/queue.hpp"
+#include "server/session.hpp"
+#include "support/budget.hpp"
+#include "support/telemetry.hpp"
+
+namespace isamore {
+namespace server {
+
+namespace {
+
+/**
+ * The watchdog's view of running requests: root budgets keyed by request
+ * sequence number, each with the wall-clock instant past which it must be
+ * cancelled.  Budgets are registered only while the owning lane is inside
+ * executeRequest, so the pointers never dangle.
+ */
+class InFlightTable {
+ public:
+    void
+    add(uint64_t seq, Budget* budget,
+        std::chrono::steady_clock::time_point deadline)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_[seq] = {budget, deadline};
+    }
+
+    void
+    remove(uint64_t seq)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(seq);
+    }
+
+    /** Cancel every budget past its deadline; returns how many. */
+    size_t
+    reapOverdue(std::chrono::steady_clock::time_point now)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        size_t reaped = 0;
+        for (auto& [seq, entry] : entries_) {
+            if (now >= entry.deadline && !entry.cancelled) {
+                entry.budget->cancel();
+                entry.cancelled = true;
+                ++reaped;
+            }
+        }
+        return reaped;
+    }
+
+ private:
+    struct Entry {
+        Budget* budget = nullptr;
+        std::chrono::steady_clock::time_point deadline;
+        bool cancelled = false;
+    };
+    std::mutex mutex_;
+    std::map<uint64_t, Entry> entries_;
+};
+
+/** Everything the lanes, reader, and watchdog share. */
+struct ServeContext {
+    explicit ServeContext(const ServeOptions& opts)
+        : options(opts), queue(opts.queueCapacity) {}
+
+    const ServeOptions& options;
+    SharedState state;
+    BoundedQueue<Request> queue;
+    InFlightTable inFlight;
+
+    std::mutex outMutex;
+    std::ostream* out = nullptr;
+    std::ostream* err = nullptr;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<uint64_t> analyzesSinceSweep{0};
+    std::atomic<uint64_t> watchdogCancellations{0};
+};
+
+/**
+ * Write one response line.  This is the only function that ever touches
+ * the output stream: a single mutex-guarded "line + newline + flush" so
+ * concurrent lanes can never interleave bytes and downstream line-oriented
+ * consumers (jq, the chaos harness) always see whole JSON documents.
+ */
+void
+writeResponse(ServeContext& ctx, const Response& response)
+{
+    const std::string line = serializeResponse(response);
+    std::lock_guard<std::mutex> lock(ctx.outMutex);
+    (*ctx.out) << line << '\n';
+    ctx.out->flush();
+}
+
+/**
+ * Between-request intern sweep: under the exclusive isolation lane (no
+ * request is mid-makeTerm), drop unreferenced interned nodes, refresh the
+ * intern/pool telemetry gauges, and reset the per-window hit counters.
+ * This is what bounds a long-lived daemon's memory: without it every
+ * distinct analysis leaves its temporary terms in the table forever.
+ */
+void
+purgeSweep(ServeContext& ctx)
+{
+    std::unique_lock<std::shared_mutex> exclusive(
+        ctx.state.isolationLock());
+    const size_t dropped = internPurge();
+    ctx.state.recordPurge(dropped);
+    recordProcessMetrics();  // intern.* / pool.* gauges post-purge
+    internResetCounters();
+    const InternStats stats = internStats();
+    telemetry::Registry::instance()
+        .gauge("server.intern_live_nodes")
+        .set(static_cast<int64_t>(stats.terms));
+    (*ctx.err) << "[isamore_serve] purge sweep: dropped " << dropped
+               << " interned nodes, " << stats.terms << " live\n";
+    ctx.err->flush();
+}
+
+/** One session lane: drain the queue until shutdown. */
+void
+laneMain(ServeContext& ctx)
+{
+    Request request;
+    for (;;) {
+        if (!ctx.queue.waitPop(request,
+                               std::chrono::milliseconds(200))) {
+            if (ctx.stopping.load(std::memory_order_acquire)) {
+                // Interrupted: waitPop keeps returning queued items
+                // until the ring is empty, so reaching false here means
+                // the backlog is fully drained.
+                return;
+            }
+            continue;
+        }
+
+        Budget root(requestBudgetSpec(request));
+        const bool watched = request.deadlineMs > 0.0;
+        if (watched) {
+            ctx.inFlight.add(
+                request.seq, &root,
+                std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(static_cast<int64_t>(
+                        request.deadlineMs * 1e3)));
+        }
+
+        Response response;
+        if (request.wantsExclusive()) {
+            // Fault-injected requests swap the process-global fault
+            // registry, so nothing else may run beside them.
+            std::unique_lock<std::shared_mutex> exclusive(
+                ctx.state.isolationLock());
+            response = ctx.state.executeRequest(request, root);
+        } else {
+            std::shared_lock<std::shared_mutex> shared(
+                ctx.state.isolationLock());
+            response = ctx.state.executeRequest(request, root);
+        }
+
+        if (watched) {
+            ctx.inFlight.remove(request.seq);
+            if (root.effectiveStop() == BudgetStop::Cancelled) {
+                ctx.state.recordCancelled();
+            }
+        }
+
+        ctx.state.recordServed(response.status, response.cached);
+        writeResponse(ctx, response);
+
+        if (request.op == RequestOp::Analyze &&
+            ctx.options.purgeEvery > 0) {
+            const uint64_t n = ctx.analyzesSinceSweep.fetch_add(
+                                   1, std::memory_order_acq_rel) +
+                               1;
+            if (n % ctx.options.purgeEvery == 0) {
+                purgeSweep(ctx);
+            }
+        }
+    }
+}
+
+/** Watchdog: poll the in-flight table and cancel overdue budgets. */
+void
+watchdogMain(ServeContext& ctx)
+{
+    const auto period =
+        std::chrono::milliseconds(ctx.options.watchdogPollMs);
+    while (!ctx.stopping.load(std::memory_order_acquire)) {
+        const size_t reaped =
+            ctx.inFlight.reapOverdue(std::chrono::steady_clock::now());
+        if (reaped > 0) {
+            ctx.watchdogCancellations.fetch_add(
+                reaped, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(period);
+    }
+}
+
+}  // namespace
+
+int
+serveLoop(std::istream& in, std::ostream& out, std::ostream& err,
+          const ServeOptions& options)
+{
+    ServeContext ctx(options);
+    ctx.out = &out;
+    ctx.err = &err;
+
+    if (options.banner) {
+        err << "[isamore_serve] serving JSON-lines on stdin: " << options.lanes
+            << " lanes, queue " << ctx.queue.capacity() << ", purge every "
+            << options.purgeEvery << " analyses\n";
+        err.flush();
+    }
+
+    std::vector<std::thread> lanes;
+    lanes.reserve(options.lanes);
+    for (size_t i = 0; i < options.lanes; ++i) {
+        lanes.emplace_back(laneMain, std::ref(ctx));
+    }
+    std::thread watchdog(watchdogMain, std::ref(ctx));
+
+    // The caller thread is the reader: parse errors and overload
+    // shedding are answered inline so a flooded queue still yields one
+    // response per request line, never a silent drop.
+    std::string line;
+    uint64_t seq = 0;
+    while (std::getline(in, line)) {
+        ++seq;
+        if (line.empty() ||
+            line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;  // blank keep-alive lines are not requests
+        }
+        Request request = parseRequest(line, seq);
+        if (!request.valid) {
+            Response response = ctx.state.badRequestResponse(request);
+            ctx.state.recordServed(response.status, false);
+            writeResponse(ctx, response);
+            continue;
+        }
+        if (!ctx.queue.tryPush(std::move(request))) {
+            // tryPush leaves the request untouched when the ring is
+            // full, so it is still safe to answer from.
+            Response response = ctx.state.overloadedResponse(
+                request, ctx.queue.capacity());
+            ctx.state.recordServed(response.status, false);
+            writeResponse(ctx, response);
+        }
+    }
+
+    // EOF: let the lanes drain the backlog, then stop everything.
+    ctx.stopping.store(true, std::memory_order_release);
+    ctx.queue.interrupt();
+    for (auto& lane : lanes) {
+        lane.join();
+    }
+    watchdog.join();
+
+    if (options.banner) {
+        const ServerCounters counters = ctx.state.counters();
+        err << "[isamore_serve] shutdown: served " << counters.served
+            << " (ok " << counters.ok << ", degraded " << counters.degraded
+            << ", invalid " << counters.invalid << ", internal "
+            << counters.internal << ", bad_request " << counters.badRequest
+            << ", overloaded " << counters.overloaded << "), cache hits "
+            << counters.cacheHits << ", watchdog cancellations "
+            << ctx.watchdogCancellations.load() << ", purge sweeps "
+            << counters.purgeSweeps << "\n";
+        err.flush();
+    }
+    return 0;
+}
+
+}  // namespace server
+}  // namespace isamore

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The analysis daemon's serving loop: threads, queue, watchdog, purge.
+ *
+ * Topology (see DESIGN.md "Server mode & overload taxonomy"):
+ *
+ *     stdin --> reader (caller thread)
+ *                 |  parse; bad lines answered immediately
+ *                 v
+ *           BoundedQueue  -- full? answer "overloaded" immediately
+ *                 |
+ *           session lanes (N worker threads)
+ *                 |  per-request root Budget + watchdog registration
+ *                 |  shared/exclusive isolation lock (fault scopes, purge)
+ *                 v
+ *     stdout <-- one JSON line per response (mutex-serialized)
+ *
+ * A watchdog thread polls the in-flight table and cancel()s any root
+ * budget past its deadline, so a request that stops polling its own
+ * deadline still gets reeled in.  Every `purgeEvery` analyze responses,
+ * a lane takes the exclusive lock and runs internPurge() + a telemetry
+ * sweep so a long-lived daemon's intern table stays bounded.
+ *
+ * Stdout hygiene: the ONLY bytes this loop ever writes to @p out are
+ * complete JSON response lines.  Banners, purge notices, and shutdown
+ * summaries all go to @p err, so `isamore_serve | jq` never chokes.
+ */
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace isamore {
+namespace server {
+
+/** Tunables of one serve loop run. */
+struct ServeOptions {
+    /** Session lanes (worker threads) draining the queue. */
+    size_t lanes = 2;
+    /** Bounded request-queue capacity (rounded up to a power of two). */
+    size_t queueCapacity = 64;
+    /** Run an intern purge sweep every this many analyze responses. */
+    size_t purgeEvery = 64;
+    /** Watchdog poll period in milliseconds. */
+    size_t watchdogPollMs = 5;
+    /** Print a startup banner and shutdown summary to the error stream. */
+    bool banner = true;
+};
+
+/**
+ * Serve JSON-lines requests from @p in to @p out until EOF, with notices
+ * on @p err.  Blocks the calling thread (it becomes the reader).
+ * @return the process exit code (0 on clean EOF shutdown).
+ */
+int serveLoop(std::istream& in, std::ostream& out, std::ostream& err,
+              const ServeOptions& options);
+
+}  // namespace server
+}  // namespace isamore

@@ -19,6 +19,8 @@ budgetStopName(BudgetStop stop)
         return "units";
       case BudgetStop::Memory:
         return "memory";
+      case BudgetStop::Cancelled:
+        return "cancelled";
     }
     return "?";
 }

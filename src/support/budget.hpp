@@ -52,7 +52,7 @@ struct BudgetSpec {
 };
 
 /** The first limit a budget ran out of. */
-enum class BudgetStop { None, Deadline, Units, Memory };
+enum class BudgetStop { None, Deadline, Units, Memory, Cancelled };
 
 /** Printable name of a BudgetStop. */
 const char* budgetStopName(BudgetStop stop);
@@ -88,6 +88,17 @@ class Budget {
 
     /** !expired(). */
     bool ok() { return !expired(); }
+
+    /**
+     * Externally latch the Cancelled stop (idempotent; an earlier stop
+     * wins).  This is the asynchronous cancellation hook: a watchdog
+     * thread can expire a budget another thread is charging against
+     * without waiting for that thread to poll the deadline -- charge()
+     * observes the latch on its next call, which covers hot paths that
+     * never call expired().  Cancellation counts as a deadline-class stop
+     * for degradation reporting.
+     */
+    void cancel() { latchStop(BudgetStop::Cancelled); }
 
     /** The first limit that tripped on *this* level (None while ok). */
     BudgetStop stop() const { return stop_.load(std::memory_order_relaxed); }

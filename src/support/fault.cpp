@@ -138,6 +138,39 @@ Registry::hitCount(const std::string& site) const
                : it->second.hits.load(std::memory_order_relaxed);
 }
 
+std::vector<FaultArm>
+Registry::arms() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return arms_;
+}
+
+Scope::Scope(const std::string& spec)
+{
+    Registry& registry = Registry::instance();
+    saved_ = registry.arms();
+    registry.reset();
+    try {
+        registry.configure(spec);
+    } catch (...) {
+        // A malformed spec must not leave the registry disarmed when the
+        // process had faults armed before the scope.
+        for (FaultArm& arm : saved_) {
+            registry.arm(std::move(arm));
+        }
+        throw;
+    }
+}
+
+Scope::~Scope()
+{
+    Registry& registry = Registry::instance();
+    registry.reset();
+    for (FaultArm& arm : saved_) {
+        registry.arm(std::move(arm));
+    }
+}
+
 bool
 Registry::shouldTrip(const char* site)
 {

@@ -93,6 +93,9 @@ class Registry {
     /** Visits recorded for @p site (0 when never visited while armed). */
     uint64_t hitCount(const std::string& site) const;
 
+    /** Snapshot of the currently armed faults (for scoped re-arming). */
+    std::vector<FaultArm> arms() const;
+
     /**
      * Record a visit to @p site and fire any armed fault that matches.
      * Trip faults return true; BadAlloc/Invariant faults throw.
@@ -111,6 +114,35 @@ class Registry {
     mutable std::mutex mutex_;  // guards arms_ and the sites_ map itself
     std::vector<FaultArm> arms_;
     std::unordered_map<std::string, SiteState> sites_;
+};
+
+/**
+ * Scoped fault arming for per-request injection in long-lived processes.
+ *
+ * The registry is process-global and its `@N` hit counters only count
+ * while something is armed, so a daemon serving many requests needs each
+ * request's injection to see a *fresh* registry: construction snapshots
+ * the currently armed faults, clears the registry (arms, hit counters,
+ * fired count) and arms @p spec; destruction clears again and re-arms the
+ * snapshot.  `@N` indices are therefore relative to the scope, exactly as
+ * they are relative to the process in single-shot CLI runs.
+ *
+ * Scopes do not nest across threads: the caller must guarantee that no
+ * other thread arms faults or depends on armed faults while a Scope is
+ * alive (the server runs fault-injected requests under an exclusive
+ * isolation lock for exactly this reason; see src/server/serve.cpp).
+ */
+class Scope {
+ public:
+    /** @throws UserError when @p spec is malformed (nothing is armed). */
+    explicit Scope(const std::string& spec);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+ private:
+    std::vector<FaultArm> saved_;
 };
 
 /**

@@ -24,6 +24,8 @@
 
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
+#include "server/session.hpp"
+#include "support/budget.hpp"
 #include "support/pool.hpp"
 #include "support/telemetry.hpp"
 #include "workloads/libraries.hpp"
@@ -130,6 +132,54 @@ TEST(GoldenIdentityTest, TelemetryFft)
 {
     runCase("fft", workloads::makeFft, /*withTelemetry=*/true);
 }
+
+/**
+ * Server-mode identity: the `result` field of an isamore_serve analyze
+ * response must carry the byte-exact document the single-shot CLI pins
+ * in the goldens, at every thread count.  The first request analyzes
+ * fresh; the repeat exercises the cached-AnalyzedWorkload path, and the
+ * response cache is cleared between thread counts so the pipeline
+ * actually re-runs.
+ */
+void
+runServerCase(const std::string& name)
+{
+    const size_t restore = globalThreadCount();
+    std::ifstream in(goldenPath(name));
+    ASSERT_TRUE(in.good()) << "missing golden " << goldenPath(name);
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    server::SharedState state;
+    server::Request request;
+    request.op = server::RequestOp::Analyze;
+    request.workload = name;
+    request.valid = true;
+    request.idJson = "1";
+
+    for (size_t threads : {1, 2, 4}) {
+        setGlobalThreads(threads);
+        state.clearResponseCache();
+        for (int repeat = 0; repeat < 2; ++repeat) {
+            Budget root;
+            const server::Response response =
+                state.executeRequest(request, root);
+            ASSERT_EQ(response.status, server::Status::Ok)
+                << name << " at " << threads << " threads: "
+                << response.error;
+            EXPECT_EQ(response.cached, repeat == 1);
+            EXPECT_EQ(golden.str(), stripWallClock(response.result))
+                << name << ": server response diverged from the golden "
+                << "at " << threads << " threads (repeat " << repeat
+                << ")";
+        }
+    }
+    setGlobalThreads(restore);
+}
+
+TEST(GoldenIdentityTest, ServerMatmul) { runServerCase("matmul"); }
+TEST(GoldenIdentityTest, ServerStencil) { runServerCase("stencil"); }
+TEST(GoldenIdentityTest, ServerQProd) { runServerCase("qprod"); }
 
 }  // namespace
 }  // namespace isamore

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/check.hpp"
+#include "support/pool.hpp"
 
 namespace isamore {
 namespace fault {
@@ -158,6 +159,80 @@ TEST_F(FaultTest, ResetDisarmsAndZeroesCounters)
     EXPECT_FALSE(tripped("au.pair"));
     EXPECT_EQ(Registry::instance().firedCount(), 0u);
     EXPECT_EQ(Registry::instance().hitCount("au.pair"), 0u);
+}
+
+TEST_F(FaultTest, ScopeArmsAndRestoresOnExit)
+{
+    // The server arms faults per request through Scope: inside the
+    // scope only the scoped spec is live, and destruction restores
+    // whatever was armed before (here: nothing).
+    {
+        Scope scope("au.pair=trip@1");
+        EXPECT_TRUE(Registry::instance().enabled());
+        EXPECT_TRUE(tripped("au.pair"));
+    }
+    EXPECT_FALSE(Registry::instance().enabled());
+    EXPECT_FALSE(tripped("au.pair"));
+    EXPECT_EQ(Registry::instance().firedCount(), 0u);
+}
+
+TEST_F(FaultTest, ScopeRestoresPriorArms)
+{
+    Registry::instance().configure("eqsat.apply=trip@1+");
+    {
+        Scope scope("au.pair=trip@1");
+        // The prior arm is swapped out, not merged.
+        EXPECT_FALSE(tripped("eqsat.apply"));
+        EXPECT_TRUE(tripped("au.pair"));
+    }
+    // The outer arm is re-armed with a fresh hit counter.
+    EXPECT_TRUE(tripped("eqsat.apply"));
+}
+
+TEST_F(FaultTest, ScopeHitCountersAreScopeRelative)
+{
+    // Two back-to-back scopes of the same spec behave identically: the
+    // @N index is relative to the scope, not to process history.  This
+    // is what makes a replayed server request deterministic.
+    for (int round = 0; round < 2; ++round) {
+        Scope scope("au.pair=trip@3");
+        EXPECT_FALSE(tripped("au.pair"));
+        EXPECT_FALSE(tripped("au.pair"));
+        EXPECT_TRUE(tripped("au.pair"));
+        EXPECT_FALSE(tripped("au.pair"));
+    }
+}
+
+TEST_F(FaultTest, ScopeMalformedSpecThrowsAndRestores)
+{
+    Registry::instance().configure("eqsat.apply=trip@1");
+    EXPECT_THROW(Scope("au.pair=explode"), UserError);
+    // The failed scope must not have eaten the prior arms.
+    EXPECT_TRUE(tripped("eqsat.apply"));
+}
+
+TEST_F(FaultTest, ScopedExactlyOnceArmAcrossPoolLanes)
+{
+    // The server's end-to-end injection path: a per-request Scope arms
+    // a one-shot @N fault and the pipeline then hammers the site from
+    // every pool lane.  The arm must fire for exactly one visit, with
+    // every visit counted, and repeating the request (a fresh Scope)
+    // must reproduce the exact same behavior.
+    constexpr size_t kVisits = 1000;
+    for (int request = 0; request < 3; ++request) {
+        Scope scope("au.pair=trip@500");
+        std::atomic<size_t> fires{0};
+        globalPool().parallelFor(kVisits, [&](size_t) {
+            if (tripped("au.pair")) {
+                fires.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+        EXPECT_EQ(fires.load(), 1u) << "request " << request;
+        EXPECT_EQ(Registry::instance().firedCount(), 1u)
+            << "request " << request;
+        EXPECT_EQ(Registry::instance().hitCount("au.pair"), kVisits)
+            << "request " << request;
+    }
 }
 
 }  // namespace

@@ -29,6 +29,14 @@
  *               count, and --min-au-speedup <x> fails the run (exit 1)
  *               when median(legacy)/median(interned) drops below x
  *   - pipeline: the full identifyInstructions run (includes selection)
+ *   - serve:    (--serve-bench) server-mode request latency -- cold
+ *               (fresh process state per request, what a single-shot
+ *               CLI invocation pays), warm (process state amortized,
+ *               pipeline re-run), and cached (the daemon's steady-state
+ *               fast path) -- plus cache-served requests/sec across
+ *               `--threads` issuing lanes; --min-serve-speedup <x>
+ *               fails the run (exit 1) when median(cold)/median(cached)
+ *               drops below x on any selected workload
  *
  * The report records median and p90 wall-clock milliseconds per stage,
  * the thread count, and candidate counts.  `--check-identical` re-runs
@@ -44,6 +52,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +63,8 @@
 #include "egraph/rewrite.hpp"
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
+#include "server/session.hpp"
+#include "support/budget.hpp"
 #include "support/check.hpp"
 #include "support/pool.hpp"
 #include "support/stopwatch.hpp"
@@ -91,6 +102,11 @@ struct WorkloadReport {
     StageTiming auTermLegacy;
     StageTiming auTermInterned;
     StageTiming pipeline;
+    StageTiming serveCold;
+    StageTiming serveWarm;
+    StageTiming serveCached;
+    double serveReqPerSec = 0.0;
+    bool serveBenched = false;
     size_t auTermUnique = 0;
     size_t auPatterns = 0;
     size_t rawCandidates = 0;
@@ -167,6 +183,14 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
         writeSamples(os, r.auTermInterned);
         os << ",\n       \"pipeline\": ";
         writeSamples(os, r.pipeline);
+        if (r.serveBenched) {
+            os << ",\n       \"serve_cold\": ";
+            writeSamples(os, r.serveCold);
+            os << ",\n       \"serve_warm\": ";
+            writeSamples(os, r.serveWarm);
+            os << ",\n       \"serve_cached\": ";
+            writeSamples(os, r.serveCached);
+        }
         os << "\n     },\n"
            << "     \"ematch_speedup\": "
            << r.ematchNaive.median() /
@@ -174,8 +198,14 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
            << ",\n     \"au_term_speedup\": "
            << r.auTermLegacy.median() /
                   std::max(r.auTermInterned.median(), 1e-6)
-           << ",\n     \"au_term_unique\": " << r.auTermUnique
-           << ",\n     \"au_patterns\": " << r.auPatterns
+           << ",\n     \"au_term_unique\": " << r.auTermUnique;
+        if (r.serveBenched) {
+            os << ",\n     \"serve_speedup\": "
+               << r.serveCold.median() /
+                      std::max(r.serveCached.median(), 1e-6)
+               << ",\n     \"serve_req_per_sec\": " << r.serveReqPerSec;
+        }
+        os << ",\n     \"au_patterns\": " << r.auPatterns
            << ", \"raw_candidates\": " << r.rawCandidates
            << ", \"front_size\": " << r.frontSize;
         if (r.identicalChecked) {
@@ -255,12 +285,26 @@ struct DeepTermEq {
     }
 };
 
+/** A synthetic analyze request for the in-process serve stage. */
+server::Request
+serveRequest(const std::string& workload, bool useCache)
+{
+    server::Request request;
+    request.op = server::RequestOp::Analyze;
+    request.workload = workload;
+    request.cache = useCache;
+    request.valid = true;
+    request.idJson = "0";
+    return request;
+}
+
 int
 usage()
 {
     std::cerr << "usage: isamore_bench [--workloads <a,b,c>] [--reps <n>]"
                  " [--threads <n>] [--out <path>] [--check-identical]"
-                 " [--min-ematch-speedup <x>] [--min-au-speedup <x>]\n";
+                 " [--min-ematch-speedup <x>] [--min-au-speedup <x>]"
+                 " [--serve-bench] [--min-serve-speedup <x>]\n";
     return 2;
 }
 
@@ -273,8 +317,10 @@ main(int argc, char** argv)
     size_t reps = 3;
     std::string outPath = "BENCH_results.json";
     bool checkIdentical = false;
+    bool serveBench = false;
     double minEmatchSpeedup = 0.0;
     double minAuSpeedup = 0.0;
+    double minServeSpeedup = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -304,6 +350,14 @@ main(int argc, char** argv)
         } else if (flag == "--min-au-speedup" && i + 1 < argc) {
             minAuSpeedup = std::strtod(argv[++i], nullptr);
             if (minAuSpeedup <= 0.0) {
+                return usage();
+            }
+        } else if (flag == "--serve-bench") {
+            serveBench = true;
+        } else if (flag == "--min-serve-speedup" && i + 1 < argc) {
+            serveBench = true;
+            minServeSpeedup = std::strtod(argv[++i], nullptr);
+            if (minServeSpeedup <= 0.0) {
                 return usage();
             }
         } else {
@@ -469,6 +523,83 @@ main(int argc, char** argv)
                 }
             }
         }
+
+        if (serveBench) {
+            // Stage 4: server-mode request latency.  Cold = a fresh
+            // SharedState per request (rule-library compile + workload
+            // analysis + pipeline: what every single-shot CLI invocation
+            // pays); warm = same state re-running the pipeline with the
+            // analysis and libraries amortized (cache opted out); cached
+            // = the deterministic-response fast path a steady-state
+            // daemon serves from.  The speedup gate compares cold
+            // against cached, the daemon's warm steady state.
+            report.serveBenched = true;
+            for (size_t rep = 0; rep < reps; ++rep) {
+                Stopwatch watch;
+                {
+                    server::SharedState cold;
+                    Budget root;
+                    server::Response response = cold.executeRequest(
+                        serveRequest(name, /*useCache=*/false), root);
+                    ISAMORE_CHECK_MSG(
+                        response.status == server::Status::Ok,
+                        "serve cold request failed on " + name);
+                }
+                report.serveCold.samplesMs.push_back(watch.seconds() *
+                                                     1e3);
+            }
+
+            server::SharedState warm;
+            {
+                Budget root;
+                warm.executeRequest(serveRequest(name, true), root);
+            }
+            for (size_t rep = 0; rep < reps; ++rep) {
+                Budget root;
+                Stopwatch watch;
+                server::Response response = warm.executeRequest(
+                    serveRequest(name, /*useCache=*/false), root);
+                report.serveWarm.samplesMs.push_back(watch.seconds() *
+                                                     1e3);
+                ISAMORE_CHECK_MSG(response.status == server::Status::Ok,
+                                  "serve warm request failed on " + name);
+            }
+            for (size_t rep = 0; rep < reps; ++rep) {
+                Budget root;
+                Stopwatch watch;
+                server::Response response = warm.executeRequest(
+                    serveRequest(name, /*useCache=*/true), root);
+                report.serveCached.samplesMs.push_back(watch.seconds() *
+                                                       1e3);
+                ISAMORE_CHECK_MSG(response.status == server::Status::Ok &&
+                                      response.cached,
+                                  "serve cached request missed on " +
+                                      name);
+            }
+
+            // Throughput: `threads` issuing lanes slam cache-served
+            // requests concurrently (the steady-state serving path).
+            const size_t lanes = std::max<size_t>(threads, 1);
+            const size_t perLane = std::max<size_t>(64 / lanes, 1);
+            Stopwatch watch;
+            std::vector<std::thread> issuers;
+            issuers.reserve(lanes);
+            for (size_t lane = 0; lane < lanes; ++lane) {
+                issuers.emplace_back([&warm, &name, perLane] {
+                    for (size_t n = 0; n < perLane; ++n) {
+                        Budget root;
+                        warm.executeRequest(serveRequest(name, true),
+                                            root);
+                    }
+                });
+            }
+            for (std::thread& t : issuers) {
+                t.join();
+            }
+            report.serveReqPerSec =
+                static_cast<double>(lanes * perLane) /
+                std::max(watch.seconds(), 1e-9);
+        }
         reports.push_back(std::move(report));
     }
 
@@ -512,6 +643,26 @@ main(int argc, char** argv)
             if (speedup < minAuSpeedup) {
                 std::cerr << "FAIL: below the " << minAuSpeedup
                           << "x AU term-layer speedup floor\n";
+                fastEnough = false;
+            }
+        }
+        if (!fastEnough) {
+            return 1;
+        }
+    }
+    if (minServeSpeedup > 0.0) {
+        bool fastEnough = true;
+        for (const WorkloadReport& r : reports) {
+            const double speedup = r.serveCold.median() /
+                                   std::max(r.serveCached.median(), 1e-6);
+            std::cerr << "serve " << r.name << ": cold "
+                      << r.serveCold.median() << " ms, warm "
+                      << r.serveWarm.median() << " ms, cached "
+                      << r.serveCached.median() << " ms -> " << speedup
+                      << "x, " << r.serveReqPerSec << " req/s\n";
+            if (speedup < minServeSpeedup) {
+                std::cerr << "FAIL: below the " << minServeSpeedup
+                          << "x warm-serve speedup floor\n";
                 fastEnough = false;
             }
         }

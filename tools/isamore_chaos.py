@@ -1,0 +1,384 @@
+#!/usr/bin/env python3
+"""Chaos/soak harness for isamore_serve.
+
+Generates a mixed request corpus -- valid analyses, malformed JSON,
+fault-injected runs, deadline-exceeding runs, and queue-saturating
+bursts -- feeds it to a single isamore_serve process, and asserts the
+daemon's robustness contract:
+
+  * zero crashes: the daemon exits 0 after EOF, never signals;
+  * zero hangs: everything completes under a global timeout;
+  * zero silent drops: every request line gets exactly one response
+    line, matched by id, with a structured status;
+  * taxonomy: malformed lines answer bad_request, unknown workloads
+    answer invalid, injected faults answer degraded/ok (never crash),
+    shed requests answer overloaded;
+  * stdout hygiene: every stdout byte belongs to a strict JSON line;
+  * byte identity: ok responses for unconstrained requests carry the
+    byte-exact single-shot CLI document (checked against the committed
+    goldens when --golden-dir is given, after dropping the wall-clock
+    "seconds" lines, same as the golden tests).
+
+Usage:
+  isamore_chaos.py --serve build/tools/isamore_serve [--requests 500]
+                   [--golden-dir tests/isamore/golden] [--seed 7]
+                   [--timeout 600] [--lanes 4] [--queue 16]
+                   [--workloads matmul,stencil,qprod,2dconv]
+
+Exit code 0 when every assertion holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+
+# Faults with a process-lifetime "fire once" site would poison later
+# requests; every site here is armed per-request through the server's
+# fault scope, so each spec is self-contained.
+FAULT_SPECS = [
+    "rii.phase=trip@1",
+    "rii.phase=trip@2",
+    "au.pair=trip@1+",
+    "eqsat.search=trip@1",
+    "select.round=trip@1",
+]
+
+MODES = ["default", "astsize", "noeqsat"]
+
+
+def strip_wall_clock(text):
+    return "\n".join(
+        line for line in text.splitlines() if '"seconds":' not in line
+    )
+
+
+def build_corpus(args, rng):
+    """Return a list of (line, expectation) pairs.
+
+    expectation is a dict: kind tags what the response must look like.
+    """
+    workloads = args.workloads.split(",")
+    corpus = []
+    n = args.requests
+    n_malformed = max(1, n * 20 // 100)
+    n_fault = max(1, n * 10 // 100)
+    n_deadline = max(1, n * 10 // 100)
+    n_valid = n - n_malformed - n_fault - n_deadline
+
+    malformed_lines = [
+        "not json at all",
+        "{",
+        "[1, 2",
+        '{"workload": }',
+        '{"workload": "matmul"} trailing',
+        '{"workload": 42}',
+        '{"workload": "matmul", "mystery": true}',
+        '{"workload": "matmul", "deadlineMs": -5}',
+        '{"op": "launch_missiles"}',
+        '{"workload": "matmul", "maxUnits": 1.5}',
+        '"just a string"',
+        '{"workload": "matmul", "extendedRules": "yes"}',
+        "\x00\x01\x02",
+        '{"id": [1], "workload": "matmul"}',
+    ]
+
+    uid = 0
+
+    def next_id(prefix):
+        nonlocal uid
+        uid += 1
+        return "%s-%d" % (prefix, uid)
+
+    for _ in range(n_valid):
+        rid = next_id("ok")
+        workload = rng.choice(workloads)
+        req = {"id": rid, "workload": workload}
+        mode = rng.choice(MODES)
+        if mode != "default":
+            req["mode"] = mode
+        corpus.append(
+            (
+                json.dumps(req),
+                {
+                    "id": rid,
+                    "kind": "valid",
+                    "workload": workload,
+                    "mode": mode,
+                },
+            )
+        )
+
+    for _ in range(n_malformed):
+        line = rng.choice(malformed_lines)
+        # No reliable id inside a malformed line: matched by order of the
+        # bad_request responses instead.
+        corpus.append((line, {"kind": "malformed"}))
+
+    for _ in range(n_fault):
+        rid = next_id("fault")
+        req = {
+            "id": rid,
+            "workload": rng.choice(workloads),
+            "inject": rng.choice(FAULT_SPECS),
+        }
+        corpus.append((json.dumps(req), {"id": rid, "kind": "fault"}))
+
+    for _ in range(n_deadline):
+        rid = next_id("deadline")
+        req = {
+            "id": rid,
+            "workload": rng.choice(workloads),
+            "deadlineMs": rng.choice([1, 2, 5]),
+        }
+        corpus.append((json.dumps(req), {"id": rid, "kind": "deadline"}))
+
+    rng.shuffle(corpus)
+    return corpus
+
+
+def run_session(args, corpus):
+    """Drive one isamore_serve process over the corpus.
+
+    Requests are written in phases: a steady phase with small pauses and
+    burst phases that slam the queue faster than the lanes drain it (to
+    exercise overload shedding).  stdout is consumed on a reader thread
+    so the daemon can never block on a full pipe.
+    """
+    cmd = [
+        args.serve,
+        "--lanes",
+        str(args.lanes),
+        "--queue",
+        str(args.queue),
+        "--purge-every",
+        "32",
+        "--quiet",
+    ]
+    proc = subprocess.Popen(
+        cmd,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+    stdout_chunks = []
+    stderr_chunks = []
+
+    def drain(stream, into):
+        while True:
+            chunk = stream.read(65536)
+            if not chunk:
+                return
+            into.append(chunk)
+
+    readers = [
+        threading.Thread(target=drain, args=(proc.stdout, stdout_chunks)),
+        threading.Thread(target=drain, args=(proc.stderr, stderr_chunks)),
+    ]
+    for t in readers:
+        t.start()
+
+    deadline = time.monotonic() + args.timeout
+
+    def over_deadline():
+        return time.monotonic() > deadline
+
+    try:
+        # Burst phases: every burst_period requests, dump a burst_size
+        # window as fast as the pipe accepts; otherwise trickle.
+        burst_period = 50
+        burst_size = max(args.queue * 2, 20)
+        i = 0
+        while i < len(corpus):
+            if over_deadline():
+                raise TimeoutError("feeding the corpus")
+            in_burst = (i // burst_period) % 2 == 1
+            window = burst_size if in_burst else 1
+            for line, _ in corpus[i : i + window]:
+                payload = (line + "\n").encode("utf-8", "surrogateescape")
+                proc.stdin.write(payload)
+            proc.stdin.flush()
+            i += window
+            if not in_burst:
+                time.sleep(0.002)
+        proc.stdin.close()
+        remaining = max(1.0, deadline - time.monotonic())
+        proc.wait(timeout=remaining)
+    except (TimeoutError, subprocess.TimeoutExpired):
+        proc.kill()
+        proc.wait()
+        for t in readers:
+            t.join()
+        return None, b"", b"".join(stderr_chunks)
+    for t in readers:
+        t.join()
+    return proc.returncode, b"".join(stdout_chunks), b"".join(stderr_chunks)
+
+
+def load_goldens(args):
+    goldens = {}
+    if not args.golden_dir:
+        return goldens
+    for name in os.listdir(args.golden_dir):
+        if name.endswith(".json"):
+            path = os.path.join(args.golden_dir, name)
+            with open(path, "r") as f:
+                goldens[name[: -len(".json")]] = strip_wall_clock(f.read())
+    return goldens
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True,
+                        help="path to the isamore_serve binary")
+    parser.add_argument("--requests", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="global wall-clock budget (hang detector)")
+    parser.add_argument("--lanes", type=int, default=4)
+    parser.add_argument("--queue", type=int, default=16)
+    parser.add_argument("--golden-dir", default="",
+                        help="dir of committed goldens for byte-identity")
+    parser.add_argument("--workloads",
+                        default="matmul,stencil,qprod,2dconv")
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    corpus = build_corpus(args, rng)
+    by_kind = {}
+    for _, exp in corpus:
+        by_kind[exp["kind"]] = by_kind.get(exp["kind"], 0) + 1
+    print("corpus: %d requests %s" % (len(corpus), by_kind), flush=True)
+
+    returncode, stdout, stderr = run_session(args, corpus)
+
+    failures = []
+
+    if returncode is None:
+        failures.append(
+            "HANG: global timeout (%gs) exceeded; daemon killed"
+            % args.timeout
+        )
+    elif returncode != 0:
+        failures.append(
+            "CRASH: daemon exited %d (negative = signal)" % returncode
+        )
+        sys.stderr.write(stderr.decode("utf-8", "replace")[-4000:])
+
+    # Stdout hygiene: every line must be a standalone JSON object.
+    responses = []
+    for lineno, raw in enumerate(stdout.splitlines(), 1):
+        text = raw.decode("utf-8", "replace")
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            failures.append(
+                "STDOUT HYGIENE: line %d is not JSON: %r"
+                % (lineno, text[:80])
+            )
+            continue
+        if not isinstance(doc, dict) or "status" not in doc:
+            failures.append(
+                "PROTOCOL: line %d has no status: %r" % (lineno, text[:80])
+            )
+            continue
+        responses.append(doc)
+
+    if returncode == 0 and len(responses) != len(corpus):
+        failures.append(
+            "SILENT DROP: %d requests but %d responses"
+            % (len(corpus), len(responses))
+        )
+
+    by_id = {}
+    statuses = {}
+    for doc in responses:
+        statuses[doc["status"]] = statuses.get(doc["status"], 0) + 1
+        rid = doc.get("id")
+        if isinstance(rid, str):
+            by_id[rid] = doc
+    print("statuses: %s" % statuses, flush=True)
+
+    goldens = load_goldens(args)
+    identical = 0
+    for _, exp in corpus:
+        kind = exp["kind"]
+        doc = by_id.get(exp.get("id", ""))
+        if kind == "malformed":
+            continue  # counted in aggregate below
+        if doc is None:
+            if returncode == 0:
+                failures.append("MISSING: no response for id %s" % exp["id"])
+            continue
+        status = doc["status"]
+        if kind == "valid":
+            if status == "overloaded":
+                continue  # legal under burst; sheds are explicit
+            if status not in ("ok", "degraded"):
+                failures.append(
+                    "TAXONOMY: valid %s answered %s: %s"
+                    % (exp["id"], status, doc.get("error", ""))
+                )
+                continue
+            if (
+                status == "ok"
+                and exp["mode"] == "default"
+                and exp["workload"] in goldens
+            ):
+                got = strip_wall_clock(doc.get("result", ""))
+                if got != goldens[exp["workload"]]:
+                    failures.append(
+                        "BYTE IDENTITY: %s (%s) differs from golden"
+                        % (exp["id"], exp["workload"])
+                    )
+                else:
+                    identical += 1
+        elif kind == "fault":
+            # An injected fault degrades or is survived -- any structured
+            # per-request status except internal is within contract.
+            if status not in ("ok", "degraded", "overloaded", "invalid"):
+                failures.append(
+                    "TAXONOMY: fault %s answered %s" % (exp["id"], status)
+                )
+        elif kind == "deadline":
+            if status not in ("ok", "degraded", "overloaded"):
+                failures.append(
+                    "TAXONOMY: deadline %s answered %s" % (exp["id"], status)
+                )
+
+    n_malformed = sum(
+        1 for _, exp in corpus if exp["kind"] == "malformed"
+    )
+    n_bad = statuses.get("bad_request", 0)
+    if returncode == 0 and n_bad != n_malformed:
+        failures.append(
+            "TAXONOMY: %d malformed lines but %d bad_request responses"
+            % (n_malformed, n_bad)
+        )
+
+    if goldens:
+        print("byte-identical ok responses vs goldens: %d" % identical,
+              flush=True)
+        if identical == 0 and returncode == 0:
+            failures.append(
+                "BYTE IDENTITY: no ok response was checked against a "
+                "golden (wrong --golden-dir or workloads?)"
+            )
+
+    if failures:
+        print("\nFAIL (%d):" % len(failures))
+        for f in failures[:50]:
+            print("  " + f)
+        return 1
+    print("PASS: %d requests, zero crashes, zero hangs, every request "
+          "answered" % len(corpus))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

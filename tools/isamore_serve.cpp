@@ -1,0 +1,137 @@
+/**
+ * @file
+ * isamore_serve: the fault-isolated analysis daemon.
+ *
+ * Usage:
+ *   isamore_serve [--lanes <n>] [--queue <n>] [--purge-every <n>]
+ *                 [--threads <n>] [--watchdog-ms <n>] [--quiet]
+ *
+ * Reads one JSON request object per stdin line and writes one JSON
+ * response object per stdout line; everything else (banner, purge
+ * notices, shutdown summary) goes to stderr, so stdout is strict
+ * JSON-lines end to end:
+ *
+ *   $ printf '%s\n' '{"workload": "matmul"}' | isamore_serve | jq .status
+ *   "ok"
+ *
+ * Request fields: workload (required for analyze), op
+ * (analyze|ping|stats), mode, extendedRules, deadlineMs, maxUnits,
+ * inject, cache, id.  Response `status`/`code` mirror the CLI exit-code
+ * taxonomy (see DESIGN.md "Server mode & overload taxonomy"); the
+ * `result` field carries the byte-exact single-shot CLI JSON document.
+ *
+ * Exit codes: 0 on clean EOF shutdown, 2 on bad usage.
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/serve.hpp"
+#include "support/pool.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+
+void
+usage(std::ostream& os)
+{
+    os << "usage: isamore_serve [options]\n"
+       << "  --lanes <n>        session lanes draining the queue (default 2)\n"
+       << "  --queue <n>        bounded request-queue capacity (default 64)\n"
+       << "  --purge-every <n>  intern purge period in analyze responses\n"
+       << "                     (default 64; 0 disables sweeps)\n"
+       << "  --watchdog-ms <n>  deadline-watchdog poll period (default 5)\n"
+       << "  --threads <n>      size the work-stealing pool (>= 1)\n"
+       << "  --quiet            no banner/summary on stderr\n"
+       << "  --help             this text\n"
+       << "Protocol: one JSON request per stdin line, one JSON response per\n"
+       << "stdout line; all notices go to stderr.  EOF shuts down cleanly.\n";
+}
+
+bool
+parseCount(const char* text, size_t& into, bool allowZero)
+{
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || (!allowZero && value == 0)) {
+        return false;
+    }
+    into = static_cast<size_t>(value);
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace isamore;
+
+    server::ServeOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto nextValue = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "isamore_serve: " << flag
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(std::cout);
+            return kExitOk;
+        } else if (flag == "--quiet") {
+            options.banner = false;
+        } else if (flag == "--lanes") {
+            const char* value = nextValue();
+            if (value == nullptr ||
+                !parseCount(value, options.lanes, false)) {
+                std::cerr << "isamore_serve: bad --lanes value\n";
+                return kExitUsage;
+            }
+        } else if (flag == "--queue") {
+            const char* value = nextValue();
+            if (value == nullptr ||
+                !parseCount(value, options.queueCapacity, false)) {
+                std::cerr << "isamore_serve: bad --queue value\n";
+                return kExitUsage;
+            }
+        } else if (flag == "--purge-every") {
+            const char* value = nextValue();
+            if (value == nullptr ||
+                !parseCount(value, options.purgeEvery, true)) {
+                std::cerr << "isamore_serve: bad --purge-every value\n";
+                return kExitUsage;
+            }
+        } else if (flag == "--watchdog-ms") {
+            const char* value = nextValue();
+            if (value == nullptr ||
+                !parseCount(value, options.watchdogPollMs, false)) {
+                std::cerr << "isamore_serve: bad --watchdog-ms value\n";
+                return kExitUsage;
+            }
+        } else if (flag == "--threads") {
+            const char* value = nextValue();
+            size_t threads = 0;
+            if (value == nullptr || !parseCount(value, threads, false)) {
+                std::cerr << "isamore_serve: bad --threads value\n";
+                return kExitUsage;
+            }
+            // Pool sizing is process-wide and must happen before the
+            // first parallelFor; the serve loop never resizes it.
+            setGlobalThreads(threads);
+        } else {
+            std::cerr << "isamore_serve: unknown flag '" << flag
+                      << "'\n";
+            usage(std::cerr);
+            return kExitUsage;
+        }
+    }
+
+    std::ios::sync_with_stdio(false);
+    return server::serveLoop(std::cin, std::cout, std::cerr, options);
+}
