@@ -64,6 +64,36 @@ BM_RebuildAfterMerges(benchmark::State& state)
 }
 BENCHMARK(BM_RebuildAfterMerges)->Arg(256);
 
+/**
+ * Const find() over every id after a rebuild: the path-compression
+ * sweep at the end of rebuild() guarantees one-hop resolution, so this
+ * measures the O(1) post-rebuild read path the matcher and extractor
+ * sit on (a regression here means the sweep stopped compressing).
+ */
+void
+BM_FindPostRebuild(benchmark::State& state)
+{
+    EGraph g;
+    buildChain(g, static_cast<int>(state.range(0)));
+    auto ids = g.classIds();
+    for (size_t i = 8; i + 1 < ids.size(); i += 7) {
+        g.merge(ids[i], ids[i + 1]);
+    }
+    g.rebuild();
+    const EGraph& frozen = g;
+    const size_t n = frozen.numIds();
+    for (auto _ : state) {
+        EClassId acc = 0;
+        for (size_t id = 0; id < n; ++id) {
+            acc ^= frozen.find(static_cast<EClassId>(id));
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FindPostRebuild)->Arg(256)->Arg(4096);
+
 void
 BM_EMatch(benchmark::State& state)
 {

@@ -6,6 +6,9 @@
 
 #include "support/check.hpp"
 #include "support/hashing.hpp"
+#include "support/pool.hpp"
+#include "support/reclaim.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 
@@ -35,29 +38,229 @@ ENode::str() const
     return os.str();
 }
 
+EGraph::EGraph()
+    : segments_(std::make_unique<std::atomic<Segment*>[]>(kMaxSegments)),
+      shards_(std::make_unique<Shard[]>(kShardCount)),
+      stripes_(std::make_unique<std::mutex[]>(kStripeCount))
+{}
+
+EGraph::~EGraph()
+{
+    releaseStorage();
+}
+
+void
+EGraph::releaseStorage()
+{
+    if (!segments_) {
+        return;
+    }
+    const uint32_t ids = idCount_.load(std::memory_order_relaxed);
+    const size_t used =
+        (static_cast<size_t>(ids) + kSegmentSize - 1) >> kSegmentBits;
+    for (size_t s = 0; s < used; ++s) {
+        Segment* segment = segments_[s].load(std::memory_order_relaxed);
+        if (segment == nullptr) {
+            continue;
+        }
+        const size_t base = s << kSegmentBits;
+        const size_t count = std::min(kSegmentSize, ids - base);
+        for (size_t i = 0; i < count; ++i) {
+            // Classes retired to the reclaim limbo were nulled out of
+            // their slot first, so this never double-frees.
+            delete segment->slots[i].cls.load(std::memory_order_relaxed);
+        }
+        delete segment;
+        segments_[s].store(nullptr, std::memory_order_relaxed);
+    }
+    idCount_.store(0, std::memory_order_relaxed);
+}
+
+void
+EGraph::copyFrom(const EGraph& other)
+{
+    const uint32_t ids = other.idCount_.load(std::memory_order_acquire);
+    idCount_.store(ids, std::memory_order_relaxed);
+    for (uint32_t id = 0; id < ids; ++id) {
+        ensureSlot(id);
+        Slot& dst = slotRef(id);
+        const Slot& src = other.slotRef(id);
+        dst.parent.store(src.parent.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        dst.stamp.store(src.stamp.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        const EClass* cls = src.cls.load(std::memory_order_relaxed);
+        dst.cls.store(cls == nullptr ? nullptr : new EClass(*cls),
+                      std::memory_order_relaxed);
+    }
+    for (size_t s = 0; s < kShardCount; ++s) {
+        shards_[s].map = other.shards_[s].map;
+    }
+    classCount_.store(other.classCount_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    nodeCount_.store(other.nodeCount_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    version_.store(other.version_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    clock_.store(other.clock_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    worklist_ = other.worklist_;
+    dirtySeeds_ = other.dirtySeeds_;
+    lastRebuild_ = other.lastRebuild_;
+    classIdsCache_ = other.classIdsCache_;
+    opIndex_ = other.opIndex_;
+    cachesStale_.store(other.cachesStale_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+EGraph::EGraph(const EGraph& other)
+    : EGraph()
+{
+    copyFrom(other);
+}
+
+EGraph&
+EGraph::operator=(const EGraph& other)
+{
+    if (this == &other) {
+        return *this;
+    }
+    releaseStorage();
+    if (!segments_) {
+        segments_ = std::make_unique<std::atomic<Segment*>[]>(kMaxSegments);
+        shards_ = std::make_unique<Shard[]>(kShardCount);
+        stripes_ = std::make_unique<std::mutex[]>(kStripeCount);
+    }
+    for (size_t s = 0; s < kShardCount; ++s) {
+        shards_[s].map.clear();
+    }
+    copyFrom(other);
+    return *this;
+}
+
+EGraph::EGraph(EGraph&& other) noexcept
+    : segments_(std::move(other.segments_)),
+      shards_(std::move(other.shards_)),
+      stripes_(std::move(other.stripes_)),
+      idCount_(other.idCount_.load(std::memory_order_relaxed)),
+      classCount_(other.classCount_.load(std::memory_order_relaxed)),
+      nodeCount_(other.nodeCount_.load(std::memory_order_relaxed)),
+      version_(other.version_.load(std::memory_order_relaxed)),
+      clock_(other.clock_.load(std::memory_order_relaxed)),
+      worklist_(std::move(other.worklist_)),
+      dirtySeeds_(std::move(other.dirtySeeds_)),
+      lastRebuild_(other.lastRebuild_),
+      classIdsCache_(std::move(other.classIdsCache_)),
+      opIndex_(std::move(other.opIndex_)),
+      cachesStale_(other.cachesStale_.load(std::memory_order_relaxed))
+{
+    other.idCount_.store(0, std::memory_order_relaxed);
+}
+
+EGraph&
+EGraph::operator=(EGraph&& other) noexcept
+{
+    if (this == &other) {
+        return *this;
+    }
+    releaseStorage();
+    segments_ = std::move(other.segments_);
+    shards_ = std::move(other.shards_);
+    stripes_ = std::move(other.stripes_);
+    idCount_.store(other.idCount_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    classCount_.store(other.classCount_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    nodeCount_.store(other.nodeCount_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    version_.store(other.version_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    clock_.store(other.clock_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    worklist_ = std::move(other.worklist_);
+    dirtySeeds_ = std::move(other.dirtySeeds_);
+    lastRebuild_ = other.lastRebuild_;
+    classIdsCache_ = std::move(other.classIdsCache_);
+    opIndex_ = std::move(other.opIndex_);
+    cachesStale_.store(other.cachesStale_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    other.idCount_.store(0, std::memory_order_relaxed);
+    return *this;
+}
+
+EGraph::Slot&
+EGraph::slotRef(EClassId id) const
+{
+    ISAMORE_CHECK(id < idCount_.load(std::memory_order_acquire));
+    Segment* segment =
+        segments_[id >> kSegmentBits].load(std::memory_order_acquire);
+    return segment->slots[id & (kSegmentSize - 1)];
+}
+
+EGraph::Shard&
+EGraph::shardFor(uint64_t hash) const
+{
+    return shards_[hash & (kShardCount - 1)];
+}
+
+std::mutex&
+EGraph::stripeFor(EClassId id) const
+{
+    return stripes_[id & (kStripeCount - 1)];
+}
+
+void
+EGraph::ensureSlot(EClassId id)
+{
+    const size_t segment = id >> kSegmentBits;
+    ISAMORE_CHECK_MSG(segment < kMaxSegments, "e-graph id space exhausted");
+    if (segments_[segment].load(std::memory_order_acquire) != nullptr) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(growMutex_);
+    if (segments_[segment].load(std::memory_order_relaxed) == nullptr) {
+        // Segments are allocated once and freed only at destruction, so
+        // a concurrent reader's slot reference can never dangle.
+        segments_[segment].store(new Segment(), std::memory_order_release);
+    }
+}
+
 EClassId
 EGraph::find(EClassId id) const
 {
-    ISAMORE_CHECK(id < parent_.size());
-    // Pure walk, no compression: this runs concurrently from the match
-    // fan-out and the AU shards, where any write to parent_ would race.
-    // Mutation paths keep the union-find shallow via findMutable().
-    while (parent_[id] != id) {
-        id = parent_[id];
+    // Lock-free walk over atomic parent links; merges only ever move a
+    // link toward its root, so the walk stays sound mid-race.  After a
+    // rebuild every link is a self-loop or points directly at a root
+    // (compressPaths), making this O(1) until the next merge.
+    for (;;) {
+        const EClassId parent =
+            slotRef(id).parent.load(std::memory_order_acquire);
+        if (parent == id) {
+            return id;
+        }
+        id = parent;
     }
-    return id;
 }
 
 EClassId
 EGraph::findMutable(EClassId id)
 {
-    ISAMORE_CHECK(id < parent_.size());
-    // Path halving.
-    while (parent_[id] != id) {
-        parent_[id] = parent_[parent_[id]];
-        id = parent_[id];
+    // Path halving over the atomic links.  Racing halvers only ever
+    // store ancestors, so concurrent calls stay sound.
+    for (;;) {
+        Slot& slot = slotRef(id);
+        const EClassId parent = slot.parent.load(std::memory_order_acquire);
+        if (parent == id) {
+            return id;
+        }
+        const EClassId grand =
+            slotRef(parent).parent.load(std::memory_order_acquire);
+        if (grand == parent) {
+            return parent;
+        }
+        slot.parent.store(grand, std::memory_order_release);
+        id = grand;
     }
-    return id;
 }
 
 ENode
@@ -74,36 +277,73 @@ EClassId
 EGraph::lookup(const ENode& node) const
 {
     ENode canonical = canonicalize(node);
-    auto it = memo_.find(canonical);
-    return it == memo_.end() ? kInvalidClass : find(it->second);
+    Shard& shard = shardFor(canonical.hash());
+    EClassId hit = kInvalidClass;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(canonical);
+        if (it != shard.map.end()) {
+            hit = it->second;
+        }
+    }
+    return hit == kInvalidClass ? kInvalidClass : find(hit);
 }
 
-EClassId
-EGraph::makeClass(ENode node)
+void
+EGraph::hookParents(const ENode& node, EClassId id)
 {
-    const EClassId id = static_cast<EClassId>(parent_.size());
-    parent_.push_back(id);
-    stamp_.push_back(++clock_);
-    EClass& data = classes_[id];
-    for (EClassId child : node.children) {
-        classes_.at(child).parents.emplace_back(node, id);
+    for (const EClassId child : node.children) {
+        for (;;) {
+            const EClassId canonical = find(child);
+            std::lock_guard<std::mutex> lock(stripeFor(canonical));
+            if (slotRef(canonical).parent.load(std::memory_order_acquire) !=
+                canonical) {
+                continue;  // lost a race with merge(); re-resolve
+            }
+            EClass* data = slotRef(canonical).cls.load(
+                std::memory_order_acquire);
+            data->parents.emplace_back(node, id);
+            break;
+        }
     }
-    memo_.emplace(node, id);
-    data.nodes.push_back(std::move(node));
-    ++nodeCount_;
-    cachesStale_ = true;
-    return id;
 }
 
 EClassId
 EGraph::add(ENode node)
 {
     ENode canonical = canonicalize(node);
-    auto it = memo_.find(canonical);
-    if (it != memo_.end()) {
-        return find(it->second);
+    Shard& shard = shardFor(canonical.hash());
+    EClassId id = kInvalidClass;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(canonical);
+        if (it != shard.map.end()) {
+            id = it->second;
+        } else {
+            id = static_cast<EClassId>(
+                idCount_.fetch_add(1, std::memory_order_acq_rel));
+            ensureSlot(id);
+            Slot& slot = slotRef(id);
+            slot.parent.store(id, std::memory_order_release);
+            slot.stamp.store(
+                clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+            EClass* data = new EClass();
+            data->nodes.push_back(canonical);
+            slot.cls.store(data, std::memory_order_release);
+            shard.map.emplace(canonical, id);
+            classCount_.fetch_add(1, std::memory_order_relaxed);
+            nodeCount_.fetch_add(1, std::memory_order_relaxed);
+            cachesStale_.store(true, std::memory_order_relaxed);
+            created = true;
+        }
     }
-    return makeClass(std::move(canonical));
+    if (!created) {
+        return find(id);
+    }
+    hookParents(canonical, id);
+    return id;
 }
 
 EClassId
@@ -120,53 +360,247 @@ EGraph::addTerm(const TermPtr& term)
 bool
 EGraph::merge(EClassId a, EClassId b)
 {
-    a = findMutable(a);
-    b = findMutable(b);
-    if (a == b) {
-        return false;
+    for (;;) {
+        a = findMutable(a);
+        b = findMutable(b);
+        if (a == b) {
+            return false;
+        }
+        // Lock the two class stripes in index order, then re-verify both
+        // ids are still roots; a racing merge loses exactly one of them.
+        const size_t sa = static_cast<size_t>(a) & (kStripeCount - 1);
+        const size_t sb = static_cast<size_t>(b) & (kStripeCount - 1);
+        std::unique_lock<std::mutex> first(stripes_[std::min(sa, sb)]);
+        std::unique_lock<std::mutex> second;
+        if (sa != sb) {
+            second = std::unique_lock<std::mutex>(stripes_[std::max(sa, sb)]);
+        }
+        if (slotRef(a).parent.load(std::memory_order_acquire) != a ||
+            slotRef(b).parent.load(std::memory_order_acquire) != b) {
+            continue;
+        }
+        EClass* winner = slotRef(a).cls.load(std::memory_order_acquire);
+        EClass* loser = slotRef(b).cls.load(std::memory_order_acquire);
+        // Union by (node-count) size: keep the larger class canonical.
+        if (winner->nodes.size() + winner->parents.size() <
+            loser->nodes.size() + loser->parents.size()) {
+            std::swap(a, b);
+            std::swap(winner, loser);
+        }
+        slotRef(b).parent.store(a, std::memory_order_release);
+        winner->nodes.insert(winner->nodes.end(),
+                             std::make_move_iterator(loser->nodes.begin()),
+                             std::make_move_iterator(loser->nodes.end()));
+        winner->parents.insert(
+            winner->parents.end(),
+            std::make_move_iterator(loser->parents.begin()),
+            std::make_move_iterator(loser->parents.end()));
+        // Unlink, then epoch-retire: a reader that resolved b's storage
+        // before the unlink may still be walking it, so the free waits
+        // for a full grace period (support/reclaim.hpp).
+        slotRef(b).cls.store(nullptr, std::memory_order_release);
+        reclaim::retireObject(loser);
+        classCount_.fetch_sub(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(worklistMutex_);
+            worklist_.push_back(a);
+            dirtySeeds_.push_back(a);
+        }
+        version_.fetch_add(1, std::memory_order_relaxed);
+        slotRef(a).stamp.store(
+            clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+        cachesStale_.store(true, std::memory_order_relaxed);
+        return true;
     }
-    // Union by (node-count) size: keep the larger class canonical.
-    EClass& ca = classes_.at(a);
-    EClass& cb = classes_.at(b);
-    if (ca.nodes.size() + ca.parents.size() <
-        cb.nodes.size() + cb.parents.size()) {
-        std::swap(a, b);
+}
+
+EGraph::RepairResult
+EGraph::repairProbe(EClassId id)
+{
+    RepairResult result;
+    EClass* data = slotRef(id).cls.load(std::memory_order_acquire);
+    ISAMORE_CHECK(data != nullptr);
+
+    // Repair re-canonicalizes parent nodes, fixes the hashcons, and
+    // collects classes made congruent by the pending unions.  Probes read
+    // the union-find frozen at the round boundary (no merges run until
+    // the serial drain), so every lane computes identical plans at every
+    // thread count.
+    auto parents = std::move(data->parents);
+    data->parents.clear();
+
+    // First-seen dedup of canonical parent nodes; the map carries the
+    // index into freshParents so iteration order never depends on the
+    // hash map's layout.
+    std::unordered_map<ENode, size_t, ENodeHash> fresh;
+    fresh.reserve(parents.size());
+    result.freshParents.reserve(parents.size());
+    for (auto& [pnode, pclass] : parents) {
+        {
+            // Drop the stale key.  Cross-probe interleavings cannot lose
+            // entries: a key another probe freshly inserted is canonical,
+            // and a probe that erases a canonical key always re-inserts
+            // it (with an identical frozen-find value) in the same pass.
+            Shard& shard = shardFor(pnode.hash());
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.map.erase(pnode);
+        }
+        ENode canonical = canonicalize(pnode);
+        const EClassId canonicalClass = find(pclass);
+        auto it = fresh.find(canonical);
+        if (it != fresh.end()) {
+            // Congruent duplicates: defer the union to the serial drain.
+            result.unions.emplace_back(
+                result.freshParents[it->second].second, canonicalClass);
+        } else {
+            fresh.emplace(canonical, result.freshParents.size());
+            result.freshParents.emplace_back(std::move(canonical),
+                                             canonicalClass);
+        }
     }
-    EClass& winner = classes_.at(a);
-    EClass& loser = classes_.at(b);
-    parent_[b] = a;
-    winner.nodes.insert(winner.nodes.end(),
-                        std::make_move_iterator(loser.nodes.begin()),
-                        std::make_move_iterator(loser.nodes.end()));
-    winner.parents.insert(winner.parents.end(),
-                          std::make_move_iterator(loser.parents.begin()),
-                          std::make_move_iterator(loser.parents.end()));
-    classes_.erase(b);
-    worklist_.push_back(a);
-    ++version_;
-    stamp_[a] = ++clock_;
-    dirtySeeds_.push_back(a);
-    cachesStale_ = true;
-    return true;
+
+    // Deduplicate this class's own nodes after canonicalization.
+    std::unordered_set<uint64_t> hashes;
+    result.uniqueNodes.reserve(data->nodes.size());
+    for (ENode& node : data->nodes) {
+        ENode canonical = canonicalize(node);
+        const uint64_t h = canonical.hash();
+        bool duplicate = false;
+        if (!hashes.insert(h).second) {
+            for (const ENode& existing : result.uniqueNodes) {
+                if (existing == canonical) {
+                    duplicate = true;
+                    break;
+                }
+            }
+        }
+        if (!duplicate) {
+            result.uniqueNodes.push_back(std::move(canonical));
+        }
+    }
+    result.removedNodes = data->nodes.size() - result.uniqueNodes.size();
+    return result;
+}
+
+void
+EGraph::repairCommit(EClassId id, RepairResult& result)
+{
+    for (const auto& [node, klass] : result.freshParents) {
+        Shard& shard = shardFor(node.hash());
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map[node] = klass;
+    }
+    EClass* data = slotRef(id).cls.load(std::memory_order_acquire);
+    data->parents = std::move(result.freshParents);
+    data->nodes = std::move(result.uniqueNodes);
+    if (result.removedNodes != 0) {
+        nodeCount_.fetch_sub(result.removedNodes, std::memory_order_relaxed);
+    }
 }
 
 void
 EGraph::rebuild()
 {
-    while (!worklist_.empty()) {
+    struct RoundRecord {
+        size_t frontier = 0;
+        size_t repaired = 0;
+        size_t unions = 0;
+    };
+    RebuildStats stats;
+    std::vector<RoundRecord> rounds;
+    ThreadPool& pool = globalPool();
+
+    for (;;) {
         std::vector<EClassId> todo;
-        todo.swap(worklist_);
-        std::unordered_set<EClassId> seen;
-        for (EClassId id : todo) {
-            EClassId canonical = findMutable(id);
-            if (seen.insert(canonical).second) {
-                repair(canonical);
+        {
+            std::lock_guard<std::mutex> lock(worklistMutex_);
+            todo.swap(worklist_);
+        }
+        if (todo.empty()) {
+            break;
+        }
+        ++stats.rounds;
+
+        // Stable-dedup to canonical ids.  The worklist order is the
+        // (serial, deterministic) merge order, so first-occurrence order
+        // is deterministic too.
+        std::vector<EClassId> classes;
+        classes.reserve(todo.size());
+        {
+            std::unordered_set<EClassId> seen;
+            seen.reserve(todo.size() * 2);
+            for (EClassId id : todo) {
+                const EClassId canonical = findMutable(id);
+                if (seen.insert(canonical).second) {
+                    classes.push_back(canonical);
+                }
             }
         }
+
+        // Parallel repair: each probe owns one dirty class, reads the
+        // frozen union-find, and publishes its class's fresh parent list
+        // and memo entries.  Discovered congruences are deferred.
+        std::vector<RepairResult> results(classes.size());
+        auto repairOne = [&](size_t i) {
+            results[i] = repairProbe(classes[i]);
+            repairCommit(classes[i], results[i]);
+        };
+        if (pool.threadCount() > 1 && classes.size() > 1) {
+            pool.parallelFor(classes.size(), repairOne);
+        } else {
+            for (size_t i = 0; i < classes.size(); ++i) {
+                repairOne(i);
+            }
+        }
+
+        // Serial merge-frontier drain in (class order, discovery order):
+        // union winners depend only on class sizes, so every thread
+        // count applies the same unions with the same outcomes.
+        size_t unions = 0;
+        for (RepairResult& result : results) {
+            for (const auto& [x, y] : result.unions) {
+                if (merge(x, y)) {
+                    ++unions;
+                }
+            }
+        }
+        stats.repaired += classes.size();
+        stats.unions += unions;
+        if (telemetry::enabled()) {
+            rounds.push_back({todo.size(), classes.size(), unions});
+        }
     }
+    // Each drained union retires exactly one loser class to the limbo.
+    stats.retired = stats.unions;
+
     propagateDirty();
-    if (cachesStale_) {
+    // Snapshot canonical ids into every link: post-rebuild find() is a
+    // single load until the next merge.
+    compressPaths();
+    if (cachesStale_.load(std::memory_order_relaxed)) {
         refreshCaches();
+    }
+    lastRebuild_ = stats;
+
+    // The caller holds no references into retired storage here, and the
+    // pool quiesced when its last job drained: collect what has expired.
+    reclaim::quiescent();
+    reclaim::tryReclaim();
+
+    if (telemetry::enabled()) {
+        auto& registry = telemetry::Registry::instance();
+        size_t round = 0;
+        for (const RoundRecord& record : rounds) {
+            registry.appendRecord(
+                "eqsat.rebuild",
+                "{\"round\": " + std::to_string(++round) +
+                    ", \"frontier\": " + std::to_string(record.frontier) +
+                    ", \"repaired\": " + std::to_string(record.repaired) +
+                    ", \"unions\": " + std::to_string(record.unions) + "}");
+        }
+        registry.gauge("egraph.reclaim_deferred")
+            .set(static_cast<int64_t>(reclaim::deferredCount()));
     }
 }
 
@@ -182,13 +616,14 @@ EGraph::propagateDirty()
     // Parent entries of untouched classes may hold stale ids; findMutable
     // resolves them (a superset of true ancestors is harmless: stamping a
     // class conservatively only costs a redundant re-match).
-    const uint64_t now = ++clock_;
+    const uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::vector<EClassId> queue;
     queue.reserve(dirtySeeds_.size());
     for (EClassId seed : dirtySeeds_) {
         const EClassId c = findMutable(seed);
-        if (stamp_[c] != now) {
-            stamp_[c] = now;
+        Slot& slot = slotRef(c);
+        if (slot.stamp.load(std::memory_order_relaxed) != now) {
+            slot.stamp.store(now, std::memory_order_relaxed);
             queue.push_back(c);
         }
     }
@@ -196,10 +631,12 @@ EGraph::propagateDirty()
     while (!queue.empty()) {
         const EClassId c = queue.back();
         queue.pop_back();
-        for (const auto& [pnode, pclass] : classes_.at(c).parents) {
+        const EClass* data = slotRef(c).cls.load(std::memory_order_relaxed);
+        for (const auto& [pnode, pclass] : data->parents) {
             const EClassId p = findMutable(pclass);
-            if (stamp_[p] != now) {
-                stamp_[p] = now;
+            Slot& slot = slotRef(p);
+            if (slot.stamp.load(std::memory_order_relaxed) != now) {
+                slot.stamp.store(now, std::memory_order_relaxed);
                 queue.push_back(p);
             }
         }
@@ -207,80 +644,46 @@ EGraph::propagateDirty()
 }
 
 void
-EGraph::repair(EClassId id)
+EGraph::compressPaths()
 {
-    ISAMORE_CHECK(classes_.count(id) != 0);
-
-    // Repair uses: re-canonicalize parent nodes, fix the hashcons, and
-    // merge classes made congruent by this union.
-    auto parents = std::move(classes_.at(id).parents);
-    classes_.at(id).parents.clear();
-
-    std::unordered_map<ENode, EClassId, ENodeHash> fresh;
-    fresh.reserve(parents.size());
-    for (auto& [pnode, pclass] : parents) {
-        memo_.erase(pnode);
-        ENode canonical = canonicalize(pnode);
-        EClassId canonical_class = findMutable(pclass);
-        auto it = fresh.find(canonical);
-        if (it != fresh.end()) {
-            // Congruent duplicates: union their classes.
-            merge(it->second, canonical_class);
-        } else {
-            fresh.emplace(canonical, findMutable(canonical_class));
+    const uint32_t ids = idCount_.load(std::memory_order_relaxed);
+    for (uint32_t id = 0; id < ids; ++id) {
+        Slot& slot = slotRef(id);
+        const EClassId parent = slot.parent.load(std::memory_order_relaxed);
+        if (parent != id) {
+            slot.parent.store(findMutable(parent),
+                              std::memory_order_relaxed);
         }
     }
-
-    EClass& data = classes_.at(findMutable(id));
-    for (auto& [node, klass] : fresh) {
-        EClassId canonical_class = findMutable(klass);
-        memo_[node] = canonical_class;
-        data.parents.emplace_back(node, canonical_class);
-    }
-
-    // Deduplicate this class's own nodes after canonicalization.
-    EClass& self = classes_.at(findMutable(id));
-    std::unordered_set<uint64_t> hashes;
-    std::vector<ENode> unique;
-    unique.reserve(self.nodes.size());
-    for (ENode& node : self.nodes) {
-        ENode canonical = canonicalize(node);
-        uint64_t h = canonical.hash();
-        bool duplicate = false;
-        if (!hashes.insert(h).second) {
-            for (const ENode& existing : unique) {
-                if (existing == canonical) {
-                    duplicate = true;
-                    break;
-                }
-            }
-        }
-        if (!duplicate) {
-            unique.push_back(std::move(canonical));
-        }
-    }
-    nodeCount_ -= self.nodes.size() - unique.size();
-    self.nodes = std::move(unique);
 }
 
 const EClass&
 EGraph::cls(EClassId id) const
 {
-    auto it = classes_.find(id);
-    ISAMORE_CHECK_MSG(it != classes_.end(),
+    const EClass* data = slotRef(id).cls.load(std::memory_order_acquire);
+    ISAMORE_CHECK_MSG(data != nullptr,
                       "cls() requires a canonical id; call find() first");
-    return it->second;
+    return *data;
+}
+
+bool
+EGraph::needsRebuild() const
+{
+    std::lock_guard<std::mutex> lock(worklistMutex_);
+    return !worklist_.empty();
 }
 
 void
 EGraph::refreshCaches() const
 {
+    const uint32_t ids = idCount_.load(std::memory_order_acquire);
     classIdsCache_.clear();
-    classIdsCache_.reserve(classes_.size());
-    for (const auto& [id, data] : classes_) {
-        classIdsCache_.push_back(id);
+    classIdsCache_.reserve(classCount_.load(std::memory_order_relaxed));
+    for (uint32_t id = 0; id < ids; ++id) {
+        if (slotRef(id).cls.load(std::memory_order_relaxed) != nullptr) {
+            classIdsCache_.push_back(id);
+        }
     }
-    std::sort(classIdsCache_.begin(), classIdsCache_.end());
 
     opIndex_.assign(kNumOps, {});
     for (EClassId id : classIdsCache_) {
@@ -289,7 +692,8 @@ EGraph::refreshCaches() const
         // outer walk is ascending.
         uint64_t emitted = 0;  // bitset over ops (kNumOps < 64)
         static_assert(kNumOps <= 64);
-        for (const ENode& node : classes_.at(id).nodes) {
+        const EClass* data = slotRef(id).cls.load(std::memory_order_relaxed);
+        for (const ENode& node : data->nodes) {
             const uint64_t bit = uint64_t{1} << static_cast<size_t>(node.op);
             if ((emitted & bit) == 0) {
                 emitted |= bit;
@@ -297,13 +701,13 @@ EGraph::refreshCaches() const
             }
         }
     }
-    cachesStale_ = false;
+    cachesStale_.store(false, std::memory_order_release);
 }
 
 const std::vector<EClassId>&
 EGraph::classIds() const
 {
-    if (cachesStale_) {
+    if (cachesStale_.load(std::memory_order_acquire)) {
         refreshCaches();
     }
     return classIdsCache_;
@@ -312,7 +716,7 @@ EGraph::classIds() const
 const std::vector<EClassId>&
 EGraph::classesWithOp(Op op) const
 {
-    if (cachesStale_) {
+    if (cachesStale_.load(std::memory_order_acquire)) {
         refreshCaches();
     }
     return opIndex_[static_cast<size_t>(op)];
@@ -321,8 +725,7 @@ EGraph::classesWithOp(Op op) const
 uint64_t
 EGraph::classStamp(EClassId id) const
 {
-    ISAMORE_CHECK(id < stamp_.size());
-    return stamp_[id];
+    return slotRef(id).stamp.load(std::memory_order_acquire);
 }
 
 std::vector<EClassId>
@@ -330,7 +733,7 @@ EGraph::classesDirtySince(uint64_t version) const
 {
     std::vector<EClassId> out;
     for (EClassId id : classIds()) {
-        if (stamp_[id] > version) {
+        if (slotRef(id).stamp.load(std::memory_order_relaxed) > version) {
             out.push_back(id);
         }
     }

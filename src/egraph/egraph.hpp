@@ -7,10 +7,44 @@
  * ids.  Congruence closure is maintained lazily: merge() records pending
  * unions and rebuild() repairs the hashcons and parent lists to a fixpoint
  * (the deferred-rebuilding design from egg).
+ *
+ * Concurrency model (DESIGN.md "Concurrent e-graph"):
+ *
+ *  - **add() / merge() / find() / lookup() / canonicalize() / addTerm()**
+ *    are thread-safe against each other.  The hashcons is split over 64
+ *    mutex-striped shards (the same pattern as the dsl term interner), the
+ *    union-find lives in a two-level table of atomic slots whose addresses
+ *    never move (segments are allocated once and never reallocated, so a
+ *    concurrent reader never observes a growing vector), and per-class
+ *    node/parent storage is guarded by 64 striped class locks keyed on the
+ *    canonical id.  A class that loses a merge has its storage retired
+ *    through epoch-based reclamation (support/reclaim.hpp) instead of
+ *    freed, so a racing reader that resolved the class a moment earlier
+ *    never touches freed memory.
+ *  - **rebuild()** is a serial entry point (no concurrent mutators or
+ *    readers) but internally fans congruence repair out across the global
+ *    pool: each round re-canonicalizes the dirty classes' parent lists in
+ *    parallel against the frozen union-find, then drains the discovered
+ *    merge frontier serially in deterministic order.  Results are
+ *    byte-identical at every thread count.
+ *  - **Structure reads** (cls(), classIds(), classesWithOp(), stamps) are
+ *    safe concurrently with each other but not with mutation; callers
+ *    synchronize phases, which every in-tree user already does (search
+ *    fan-outs run against a rebuilt, frozen graph).
+ *
+ * Determinism: class ids, stamps, and merge outcomes depend only on the
+ * order of add()/merge() calls.  The EqSat driver keeps that order serial
+ * and deterministic (parallel planning, serial commit), so pipeline output
+ * is byte-identical at every thread count.  Callers that genuinely mutate
+ * concurrently (the server's shared-graph priming, stress tests) get
+ * thread-safety but not id determinism, and must not rely on specific ids.
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -68,6 +102,14 @@ struct EClass {
     std::vector<std::pair<ENode, EClassId>> parents;
 };
 
+/** Rebuild introspection for the last rebuild() call (telemetry). */
+struct RebuildStats {
+    size_t rounds = 0;       ///< repair rounds until fixpoint
+    size_t repaired = 0;     ///< classes repaired across all rounds
+    size_t unions = 0;       ///< congruence merges discovered
+    size_t retired = 0;      ///< loser classes retired to the epoch limbo
+};
+
 /**
  * E-graph with deferred congruence repair.
  *
@@ -89,13 +131,23 @@ struct EClass {
  */
 class EGraph {
  public:
-    EGraph() = default;
+    EGraph();
+    ~EGraph();
+
+    /** Deep copy.  @pre @p other is quiescent (no concurrent mutators). */
+    EGraph(const EGraph& other);
+    EGraph& operator=(const EGraph& other);
+
+    /** Move.  The moved-from graph may only be destroyed or assigned. */
+    EGraph(EGraph&& other) noexcept;
+    EGraph& operator=(EGraph&& other) noexcept;
 
     /** @name Construction
      *  @{ */
 
     /**
      * Add (hashcons) a node; children must be existing class ids.
+     * Thread-safe against concurrent add()/merge()/find()/lookup().
      * @return the canonical class containing the node.
      */
     EClassId add(ENode node);
@@ -105,11 +157,19 @@ class EGraph {
 
     /**
      * Merge two e-classes; repair is deferred until rebuild().
+     * Thread-safe against concurrent add()/merge()/find()/lookup(); the
+     * losing class's storage is epoch-retired, never freed in place.
      * @return true when the classes were distinct.
      */
     bool merge(EClassId a, EClassId b);
 
-    /** Restore the hashcons/congruence invariants after merges. */
+    /**
+     * Restore the hashcons/congruence invariants after merges.  Serial
+     * entry point (no concurrent graph access); internally parallelizes
+     * each repair round across the global pool.  Must not be called from
+     * inside a pool task.  Also snapshots canonical ids into the
+     * union-find (full path compression), so post-rebuild find() is O(1).
+     */
     void rebuild();
 
     /** @} */
@@ -118,9 +178,10 @@ class EGraph {
      *  @{ */
 
     /**
-     * Canonical representative of @p id.  Read-only (no path compression),
-     * so concurrent find() calls from pool workers are safe; mutation
-     * paths compress through findMutable() instead.
+     * Canonical representative of @p id.  Read-only and safe concurrently
+     * with add()/merge(): the walk follows atomic parent links.  After a
+     * rebuild() every link points directly at its root, so this is O(1)
+     * until the next merge.
      */
     EClassId find(EClassId id) const;
 
@@ -133,14 +194,27 @@ class EGraph {
      */
     EClassId lookup(const ENode& node) const;
 
-    /** Class data. @pre @p id is canonical (call find() first). */
+    /** Class data. @pre @p id is canonical (call find() first) and no
+     *  concurrent mutator is running. */
     const EClass& cls(EClassId id) const;
 
     /** Number of live (canonical) e-classes. */
-    size_t numClasses() const { return classes_.size(); }
+    size_t numClasses() const
+    {
+        return classCount_.load(std::memory_order_relaxed);
+    }
 
     /** Number of e-nodes across live classes (maintained incrementally). */
-    size_t numNodes() const { return nodeCount_; }
+    size_t numNodes() const
+    {
+        return nodeCount_.load(std::memory_order_relaxed);
+    }
+
+    /** Total ids ever allocated (canonical or merged away). */
+    size_t numIds() const
+    {
+        return idCount_.load(std::memory_order_acquire);
+    }
 
     /**
      * Snapshot of all canonical class ids (stable order: ascending).
@@ -156,10 +230,16 @@ class EGraph {
     const std::vector<EClassId>& classesWithOp(Op op) const;
 
     /** Whether there are pending merges not yet rebuilt. */
-    bool needsRebuild() const { return !worklist_.empty(); }
+    bool needsRebuild() const;
 
     /** Monotone counter of merges performed (for saturation detection). */
-    uint64_t version() const { return version_; }
+    uint64_t version() const
+    {
+        return version_.load(std::memory_order_relaxed);
+    }
+
+    /** Introspection for the most recent rebuild() call. */
+    const RebuildStats& lastRebuild() const { return lastRebuild_; }
 
     /** @name Dirty tracking (incremental e-matching)
      *  @{ */
@@ -169,7 +249,10 @@ class EGraph {
      * merge.  Snapshot it after a rebuild(); classes whose stamp exceeds
      * the snapshot may match differently than they did then.
      */
-    uint64_t matchClock() const { return clock_; }
+    uint64_t matchClock() const
+    {
+        return clock_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Last-modification stamp of class @p id, upward-propagated: covers
@@ -189,32 +272,94 @@ class EGraph {
     /** @} */
 
  private:
-    EClassId makeClass(ENode node);
-    void repair(EClassId id);
+    // Sharding parameters.  64 shards/stripes mirror the dsl interner:
+    // wide enough that 16 lanes rarely collide, small enough that the
+    // per-graph footprint stays in the tens of kilobytes.
+    static constexpr size_t kShardCount = 64;
+    static constexpr size_t kStripeCount = 64;
+    // Two-level id table: segments of 2048 slots, addresses fixed for the
+    // graph's lifetime so lock-free readers never chase a reallocation.
+    static constexpr size_t kSegmentBits = 11;
+    static constexpr size_t kSegmentSize = size_t{1} << kSegmentBits;
+    static constexpr size_t kMaxSegments = 2048;  // ~4.2M ids
+
+    /** Per-id record: union-find link, dirty stamp, class storage. */
+    struct Slot {
+        std::atomic<EClassId> parent{0};
+        std::atomic<uint64_t> stamp{0};
+        std::atomic<EClass*> cls{nullptr};
+    };
+    struct Segment {
+        Slot slots[kSegmentSize];
+    };
+    /** One hashcons shard: nodes whose hash lands in this shard. */
+    struct Shard {
+        std::mutex mutex;
+        std::unordered_map<ENode, EClassId, ENodeHash> map;
+    };
+
+    /** Outcome of one parallel repair probe (frozen union-find reads). */
+    struct RepairResult {
+        /** Re-canonicalized parent list, first-seen order (deterministic
+         *  independent of hash-map iteration). */
+        std::vector<std::pair<ENode, EClassId>> freshParents;
+        /** Congruent duplicate pairs to union, discovery order. */
+        std::vector<std::pair<EClassId, EClassId>> unions;
+        /** Deduplicated canonical own nodes. */
+        std::vector<ENode> uniqueNodes;
+        /** Nodes removed by the dedup (nodeCount_ adjustment). */
+        size_t removedNodes = 0;
+    };
+
+    Slot& slotRef(EClassId id) const;
+    Shard& shardFor(uint64_t hash) const;
+    std::mutex& stripeFor(EClassId id) const;
+    /** Ensure the segment containing @p id exists. */
+    void ensureSlot(EClassId id);
+    /** Hook @p node (with class @p id) into its children's parent lists. */
+    void hookParents(const ENode& node, EClassId id);
+    /** Phase 1 of repair: erase stale memo keys, plan the fresh state. */
+    RepairResult repairProbe(EClassId id);
+    /** Phase 2 of repair: publish memo entries and class storage. */
+    void repairCommit(EClassId id, RepairResult& result);
     /** find() with path halving; only valid from mutation paths. */
     EClassId findMutable(EClassId id);
     /** Rebuild classIds/op-index caches when stale. */
     void refreshCaches() const;
     /** Propagate dirty stamps from merge winners up to all ancestors. */
     void propagateDirty();
+    /** Point every id's parent link directly at its root. */
+    void compressPaths();
+    /** Free all owned storage (quiescent; for dtor/assignment). */
+    void releaseStorage();
+    /** Deep-copy @p other into this empty graph. */
+    void copyFrom(const EGraph& other);
 
-    std::vector<EClassId> parent_;  // union-find
-    std::unordered_map<ENode, EClassId, ENodeHash> memo_;
-    std::unordered_map<EClassId, EClass> classes_;
+    // Id table + hashcons + class locks.  unique_ptr arrays keep the
+    // graph movable (mutexes themselves are pinned).
+    std::unique_ptr<std::atomic<Segment*>[]> segments_;
+    std::unique_ptr<Shard[]> shards_;
+    std::unique_ptr<std::mutex[]> stripes_;
+    std::mutex growMutex_;
+
+    std::atomic<uint32_t> idCount_{0};
+    std::atomic<size_t> classCount_{0};
+    std::atomic<size_t> nodeCount_{0};  // Σ nodes over live classes
+    std::atomic<uint64_t> version_{0};
+    std::atomic<uint64_t> clock_{0};    // modification clock
+
+    mutable std::mutex worklistMutex_;
     std::vector<EClassId> worklist_;
-    uint64_t version_ = 0;
+    std::vector<EClassId> dirtySeeds_;  // merge winners awaiting propagation
 
-    size_t nodeCount_ = 0;             // Σ nodes over live classes
-    uint64_t clock_ = 0;               // modification clock
-    std::vector<uint64_t> stamp_;      // per class id, parallel to parent_
-    std::vector<EClassId> dirtySeeds_; // merge winners awaiting propagation
+    RebuildStats lastRebuild_;
 
     // Lazily refreshed read caches (see refreshCaches()).  Mutable so the
     // const read path can refresh them; rebuild() always refreshes
     // eagerly, which keeps the concurrent read-only phases refresh-free.
     mutable std::vector<EClassId> classIdsCache_;
     mutable std::vector<std::vector<EClassId>> opIndex_;  // by Op value
-    mutable bool cachesStale_ = true;
+    mutable std::atomic<bool> cachesStale_{true};
 };
 
 }  // namespace isamore

@@ -1,0 +1,110 @@
+#include "egraph/parallel_apply.hpp"
+
+#include "support/check.hpp"
+
+namespace isamore {
+namespace {
+
+/**
+ * Recursive planner mirroring instantiate(): returns either a concrete
+ * canonical class id or a kApplyLocalRef-tagged index of the step that
+ * will produce the value at commit.
+ */
+EClassId
+planTerm(const EGraph& egraph, const TermPtr& term, const Subst& subst,
+         ApplyPlan& plan)
+{
+    if (term->op == Op::Hole) {
+        auto it = subst.find(term->payload.a);
+        if (it != subst.end()) {
+            // Frozen resolution; the commit re-applies find(), which
+            // composes to the same value serial instantiate() computes.
+            return egraph.find(it->second);
+        }
+        ApplyStep step;
+        step.node = ENode(Op::Hole, term->payload, {});
+        step.frozenClass = egraph.lookup(step.node);
+        plan.steps.push_back(std::move(step));
+        return kApplyLocalRef |
+               static_cast<EClassId>(plan.steps.size() - 1);
+    }
+    std::vector<EClassId> children;
+    children.reserve(term->children.size());
+    bool anyLocal = false;
+    for (const auto& child : term->children) {
+        const EClassId ref = planTerm(egraph, child, subst, plan);
+        anyLocal = anyLocal || (ref & kApplyLocalRef) != 0;
+        children.push_back(ref);
+    }
+    ApplyStep step;
+    step.node = ENode(term->op, term->payload, std::move(children));
+    if (!anyLocal) {
+        // All children exist already: probe the hashcons once now so the
+        // commit can skip the hash + shard lookup entirely.
+        step.frozenClass = egraph.lookup(step.node);
+    }
+    plan.steps.push_back(std::move(step));
+    return kApplyLocalRef | static_cast<EClassId>(plan.steps.size() - 1);
+}
+
+}  // namespace
+
+ApplyPlan
+planInstantiation(const EGraph& egraph, const TermPtr& term,
+                  const Subst& subst)
+{
+    ApplyPlan plan;
+    try {
+        const EClassId root = planTerm(egraph, term, subst, plan);
+        if ((root & kApplyLocalRef) != 0) {
+            plan.rootIsStep = true;
+        } else {
+            plan.root = root;
+        }
+    } catch (...) {
+        plan.error = std::current_exception();
+    }
+    return plan;
+}
+
+EClassId
+commitPlan(EGraph& egraph, const ApplyPlan& plan)
+{
+    if (plan.error) {
+        std::rethrow_exception(plan.error);
+    }
+    if (!plan.rootIsStep) {
+        return egraph.find(plan.root);
+    }
+    std::vector<EClassId> results(plan.steps.size(), kInvalidClass);
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+        const ApplyStep& step = plan.steps[i];
+        ENode node = step.node;
+        bool childrenUnmoved = true;
+        for (EClassId& child : node.children) {
+            if ((child & kApplyLocalRef) != 0) {
+                // Results of earlier steps are canonical: nothing merges
+                // during a single plan's commit.
+                child = results[child & ~kApplyLocalRef];
+                childrenUnmoved = false;
+            } else {
+                const EClassId canonical = egraph.find(child);
+                if (canonical != child) {
+                    child = canonical;
+                    childrenUnmoved = false;
+                }
+            }
+        }
+        if (step.frozenClass != kInvalidClass && childrenUnmoved) {
+            // The commit-time key equals the plan-time key and memo
+            // entries are never removed between rebuilds, so the frozen
+            // hit is still the entry add() would find.
+            results[i] = egraph.find(step.frozenClass);
+        } else {
+            results[i] = egraph.add(std::move(node));
+        }
+    }
+    return results.back();
+}
+
+}  // namespace isamore

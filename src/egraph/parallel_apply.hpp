@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parallel RHS instantiation planning for the EqSat apply phase.
+ *
+ * The apply phase must mutate the e-graph in deterministic (rule,
+ * match-index) order so pipeline output stays byte-identical at every
+ * thread count.  What it does *not* have to do serially is the expensive
+ * part of instantiate(): hashing every RHS node and probing the hashcons.
+ * Between the search fan-out and the apply loop the e-graph is frozen, so
+ * a planning pass can run one read-only probe per pending match across
+ * the pool lanes, recording for each RHS node either the class that
+ * already contains it or the exact node to insert.
+ *
+ * The serial commit then replays each plan:
+ *  - a step whose children are all still canonical and that had a memo
+ *    hit at plan time resolves with a single find() — no hashing, no
+ *    shard lock (memo entries are never removed between rebuilds, so a
+ *    plan-time hit cannot go stale);
+ *  - any other step falls back to EGraph::add() on the re-resolved node,
+ *    which is exactly what serial instantiate() would have executed.
+ *
+ * Both paths return the identical class id the serial recursion would
+ * have produced at that point in the commit order, so plans are a pure
+ * latency optimization: same merges, same ids, same stats.
+ */
+#pragma once
+
+#include <exception>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+#include "egraph/ematch.hpp"
+
+namespace isamore {
+
+/** One RHS node to resolve at commit, in post-order. */
+struct ApplyStep {
+    /**
+     * The node with children encoded as either concrete class ids
+     * (canonical at plan time) or kApplyLocalRef | stepIndex references
+     * to earlier steps of the same plan.
+     */
+    ENode node;
+    /** Plan-time hashcons hit for this node, or kInvalidClass. */
+    EClassId frozenClass = kInvalidClass;
+};
+
+/** Tag bit marking an ApplyStep child as a local step reference. */
+inline constexpr EClassId kApplyLocalRef = 0x80000000u;
+
+/** A planned instantiation: post-order steps, or a direct class root. */
+struct ApplyPlan {
+    std::vector<ApplyStep> steps;
+    /** Root class when the RHS is a bound hole (rootIsStep == false). */
+    EClassId root = kInvalidClass;
+    /** True when the root is the last step's result. */
+    bool rootIsStep = false;
+    /** Exception raised while planning; rethrown by commitPlan so the
+     *  apply loop's per-match skip accounting stays unchanged. */
+    std::exception_ptr error;
+};
+
+/**
+ * Plan the instantiation of @p term under @p subst against the frozen
+ * @p egraph.  Read-only; safe to run concurrently for many matches.
+ * Never throws: failures are captured into ApplyPlan::error.
+ */
+ApplyPlan planInstantiation(const EGraph& egraph, const TermPtr& term,
+                            const Subst& subst);
+
+/**
+ * Execute @p plan against @p egraph, returning the root class exactly as
+ * serial instantiate() would at this point of the commit sequence.
+ * Serial (called from the deterministic apply loop only).
+ */
+EClassId commitPlan(EGraph& egraph, const ApplyPlan& plan);
+
+}  // namespace isamore

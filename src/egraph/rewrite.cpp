@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "egraph/ematch_program.hpp"
+#include "egraph/parallel_apply.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/pool.hpp"
@@ -111,7 +112,11 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
     BudgetSpec spec;
     spec.maxSeconds = limits.maxSeconds;
     Budget budget(spec, parent);
-    egraph.rebuild();
+    {
+        Stopwatch phase;
+        egraph.rebuild();
+        stats.rebuildSeconds += phase.seconds();
+    }
     stats.peakNodes = egraph.numNodes();
     stats.peakClasses = egraph.numClasses();
 
@@ -209,6 +214,7 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
             searches.push_back(std::move(search));
         }
 
+        Stopwatch searchWatch;
         {
             TELEM_SPAN("eqsat.search", "eqsat");
             globalPool().parallelFor(searches.size(), [&](size_t i) {
@@ -284,6 +290,7 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 break;
             }
         }
+        stats.searchSeconds += searchWatch.seconds();
 
         // Phase 2: apply.  Matches already collected are applied even
         // when the search was cut short, mirroring the pre-budget
@@ -317,9 +324,28 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
             }
             return false;
         };
+        Stopwatch applyWatch;
+        // Plan the RHS instantiations in parallel against the frozen
+        // graph: all the hashing and hashcons probing happens here, one
+        // pool task per pending match, while the mutations below stay in
+        // deterministic (rule, match-index) order.  Skipped when a limit
+        // already tripped — the loop below exits within one poll window,
+        // so eager planning would be wasted work.
+        std::vector<ApplyPlan> plans;
+        const bool planned =
+            !pending.empty() && !out_of_time && !out_of_units;
+        if (planned) {
+            TELEM_SPAN("eqsat.plan", "eqsat");
+            plans.resize(pending.size());
+            globalPool().parallelFor(pending.size(), [&](size_t i) {
+                plans[i] = planInstantiation(egraph, pending[i].rule->rhs,
+                                             pending[i].match.subst);
+            });
+        }
         {
             TELEM_SPAN("eqsat.apply", "eqsat");
-            for (const PendingUnion& p : pending) {
+            for (size_t pi = 0; pi < pending.size(); ++pi) {
+                const PendingUnion& p = pending[pi];
                 if (advance_virtual(p.virtualBefore)) {
                     break;
                 }
@@ -329,7 +355,9 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 }
                 try {
                     EClassId rhs_class =
-                        instantiate(egraph, p.rule->rhs, p.match.subst);
+                        planned ? commitPlan(egraph, plans[pi])
+                                : instantiate(egraph, p.rule->rhs,
+                                              p.match.subst);
                     if (egraph.merge(p.match.root, rhs_class)) {
                         ++stats.applications;
                         ++iterTotals[static_cast<size_t>(p.rule -
@@ -364,6 +392,7 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
                 advance_virtual(virtual_carry);
             }
         }
+        stats.applySeconds += applyWatch.seconds();
         if (apply_skips != 0) {
             // A dropped application is a match the incremental baseline
             // would wrongly consider consumed; start every rule over.
@@ -373,7 +402,9 @@ runEqSat(EGraph& egraph, const std::vector<RewriteRule>& rules,
         }
         {
             TELEM_SPAN("eqsat.rebuild", "eqsat");
+            Stopwatch rebuildWatch;
             egraph.rebuild();
+            stats.rebuildSeconds += rebuildWatch.seconds();
         }
 
         stats.peakNodes = std::max(stats.peakNodes, egraph.numNodes());

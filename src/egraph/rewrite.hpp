@@ -121,6 +121,11 @@ struct EqSatStats {
     size_t skippedRules = 0;
     StopReason stopReason = StopReason::Saturated;
     double seconds = 0.0;
+    /** Wall-clock per phase, summed over iterations (bench/telemetry
+     *  only — never surfaced in deterministic pipeline output). */
+    double searchSeconds = 0.0;
+    double applySeconds = 0.0;   ///< planning + deterministic commit
+    double rebuildSeconds = 0.0; ///< congruence repair fixpoints
     /** One entry per input rule, in rule order (egg-style totals). */
     std::vector<std::pair<std::string, RuleTotals>> perRule;
 };

@@ -228,6 +228,7 @@ class Converter {
     void
     note(const TermPtr& term, BlockId b)
     {
+        out_.provenancePins.push_back(term);
         out_.provenance[term.get()] = b;
     }
 

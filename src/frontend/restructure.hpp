@@ -45,6 +45,16 @@ struct DslFunction {
      * leaves are omitted).  Keys are exact term nodes of @ref root.
      */
     std::unordered_map<const Term*, ir::BlockId> provenance;
+
+    /**
+     * Strong refs pinning every provenance key alive.  Some noted terms
+     * are dropped during conversion (loop-carried values overwritten in
+     * the environment); without a pin their freed addresses could be
+     * recycled for later root-reachable terms, which would then inherit
+     * a dead term's provenance entry — making the encoder's site list
+     * depend on heap-allocation order instead of program structure.
+     */
+    std::vector<TermPtr> provenancePins;
 };
 
 /** Thrown when the CFG is outside the supported structured family. */

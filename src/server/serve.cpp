@@ -16,6 +16,7 @@
 #include "server/queue.hpp"
 #include "server/session.hpp"
 #include "support/budget.hpp"
+#include "support/reclaim.hpp"
 #include "support/telemetry.hpp"
 
 namespace isamore {
@@ -180,6 +181,11 @@ laneMain(ServeContext& ctx)
 
         ctx.state.recordServed(response.status, response.cached);
         writeResponse(ctx, response);
+
+        // The response is out and this lane holds no references into
+        // any shared e-graph: a natural quiescent point, so retired
+        // e-graph storage from this request can be reclaimed.
+        reclaim::quiescent();
 
         if (request.op == RequestOp::Analyze &&
             ctx.options.purgeEvery > 0) {

@@ -12,6 +12,7 @@
 #include "isamore/report.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
+#include "support/pool.hpp"
 #include "support/stopwatch.hpp"
 #include "workloads/libraries.hpp"
 
@@ -530,6 +531,15 @@ parseRequest(const std::string& line, uint64_t seq)
                 return request;
             }
             request.maxUnits = static_cast<uint64_t>(value.number);
+        } else if (key == "threads") {
+            if (value.type != JsonValue::Type::Number ||
+                value.number < 1.0 || value.number > 64.0 ||
+                std::floor(value.number) != value.number) {
+                request.error = "field 'threads' must be an integer "
+                                "between 1 and 64";
+                return request;
+            }
+            request.threads = static_cast<size_t>(value.number);
         } else {
             // Strict: a typo'd field name must not silently change the
             // request's meaning.
@@ -676,11 +686,12 @@ SharedState::runAnalysis(const Request& request, Budget& rootBudget)
     }
 
     // Only unconstrained, fault-free requests may use the response
-    // cache: anything with a budget or an injection must actually run
-    // to observe its own degradation.
+    // cache: anything with a budget, an injection, or a pinned thread
+    // count must actually run to observe its own degradation (or, for
+    // threads, to actually exercise the pipeline at that width).
     const bool cacheable = request.cache && request.inject.empty() &&
                            request.deadlineMs == 0.0 &&
-                           request.maxUnits == 0;
+                           request.maxUnits == 0 && request.threads == 0;
     const std::string cacheKey = request.workload + '\x1f' +
                                  rii::modeName(*mode) + '\x1f' +
                                  (request.extendedRules ? "x" : "-");
@@ -699,6 +710,28 @@ SharedState::runAnalysis(const Request& request, Budget& rootBudget)
     // lane whenever inject is non-empty, so the process-global registry
     // swap cannot leak faults into a concurrently running request.
     std::optional<fault::Scope> scope;
+
+    // Pin the pool width for the duration of the request.  The caller
+    // holds the exclusive isolation lane whenever threads != 0, so the
+    // process-global pool swap cannot race another request.
+    struct ThreadPin {
+        bool active;
+        size_t previous = 0;
+        explicit ThreadPin(size_t threads) : active(threads != 0)
+        {
+            if (active) {
+                previous = globalThreadCount();
+                setGlobalThreads(threads);
+            }
+        }
+        ~ThreadPin()
+        {
+            if (active) {
+                setGlobalThreads(previous);
+            }
+        }
+    } threadPin(request.threads);
+
     try {
         if (!request.inject.empty()) {
             scope.emplace(request.inject);

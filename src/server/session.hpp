@@ -111,11 +111,22 @@ struct Request {
     uint64_t maxUnits = 0;    ///< 0 = no per-request work-unit cap
     std::string inject;       ///< fault spec; non-empty => exclusive lane
     bool cache = true;        ///< response-cache opt-out for benchmarks
+    /**
+     * Pool lanes to run this request with (0 = the server's default).
+     * Pinning the thread count swaps the process-global pool, so such
+     * requests take the exclusive lane and skip the response cache —
+     * the point is to actually exercise the pipeline at that width
+     * (determinism harnesses assert the bytes match every other width).
+     */
+    size_t threads = 0;
     bool valid = false;
     std::string error;
 
     /** Whether execution needs the exclusive isolation lane. */
-    bool wantsExclusive() const { return !inject.empty(); }
+    bool wantsExclusive() const
+    {
+        return !inject.empty() || threads != 0;
+    }
 };
 
 /**

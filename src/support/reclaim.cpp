@@ -1,0 +1,243 @@
+#include "support/reclaim.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace isamore {
+namespace reclaim {
+namespace {
+
+/**
+ * Per-thread participation record.  Owned by the domain (never freed
+ * while the process lives) so a scan can race a thread's exit: an
+ * exiting thread parks its record at kOffline, which scans ignore.
+ */
+struct Participant {
+    /** Last global epoch observed at a quiescent point; kOffline when
+     *  the thread has exited (or never registered). */
+    std::atomic<uint64_t> epoch{0};
+    /** ThreadScope nesting depth + implicit registration; bookkeeping
+     *  only, touched by the owning thread. */
+    int nesting = 0;
+};
+
+constexpr uint64_t kOffline = ~uint64_t{0};
+
+struct LimboEntry {
+    void* object;
+    void (*deleter)(void*);
+    uint64_t epoch;  ///< global epoch at retire time
+};
+
+/**
+ * The process-wide reclamation domain.  A leaked singleton: thread_local
+ * destructors of late-dying threads may run after main() returns, and
+ * they must still find the domain alive.
+ */
+struct Domain {
+    std::atomic<uint64_t> globalEpoch{2};  // >= 2 so epoch-2 never wraps
+    std::atomic<size_t> deferred{0};
+    std::atomic<uint64_t> reclaimed{0};
+
+    std::mutex mutex;  // guards participants + limbo
+    std::vector<Participant*> participants;
+    std::vector<LimboEntry> limbo;
+};
+
+Domain&
+domain()
+{
+    static Domain* d = new Domain();
+    return *d;
+}
+
+/** The calling thread's record; created on first use, parked offline at
+ *  thread exit. */
+struct LocalHandle {
+    Participant* participant = nullptr;
+
+    Participant&
+    get()
+    {
+        if (participant == nullptr) {
+            participant = new Participant();
+            Domain& d = domain();
+            participant->epoch.store(
+                d.globalEpoch.load(std::memory_order_acquire),
+                std::memory_order_release);
+            std::lock_guard<std::mutex> lock(d.mutex);
+            d.participants.push_back(participant);
+        }
+        return *participant;
+    }
+
+    ~LocalHandle()
+    {
+        if (participant != nullptr) {
+            // Park, don't free: a concurrent scan may hold the pointer.
+            // The record stays in the registry and is skipped as offline.
+            participant->epoch.store(kOffline, std::memory_order_release);
+        }
+    }
+};
+
+thread_local LocalHandle t_handle;
+
+/**
+ * Advance the epoch when every online participant has caught up, and
+ * free limbo entries whose grace period (two full epochs) has elapsed.
+ * @return objects freed.
+ */
+size_t
+advanceAndReclaim()
+{
+    Domain& d = domain();
+    std::vector<LimboEntry> expired;
+    {
+        std::lock_guard<std::mutex> lock(d.mutex);
+        const uint64_t global =
+            d.globalEpoch.load(std::memory_order_acquire);
+        uint64_t minEpoch = global;
+        for (Participant* p : d.participants) {
+            const uint64_t seen = p->epoch.load(std::memory_order_acquire);
+            if (seen == kOffline) {
+                continue;
+            }
+            minEpoch = seen < minEpoch ? seen : minEpoch;
+        }
+        if (minEpoch == global) {
+            // Everyone online has quiesced in the current epoch: open
+            // the next one.  (Monotone; no CAS needed under the lock.)
+            d.globalEpoch.store(global + 1, std::memory_order_release);
+        }
+        // An entry retired in epoch E is safe once minEpoch >= E + 2:
+        // every participant then quiesced after the epoch that was
+        // current when the retire could still have had readers.
+        size_t kept = 0;
+        for (LimboEntry& entry : d.limbo) {
+            if (entry.epoch + 2 <= minEpoch) {
+                expired.push_back(entry);
+            } else {
+                d.limbo[kept++] = entry;
+            }
+        }
+        d.limbo.resize(kept);
+    }
+    // Run deleters outside the lock: a deleter may recursively retire
+    // (e.g. a class whose nodes own further retired storage).
+    for (const LimboEntry& entry : expired) {
+        entry.deleter(entry.object);
+    }
+    if (!expired.empty()) {
+        d.deferred.fetch_sub(expired.size(), std::memory_order_relaxed);
+        d.reclaimed.fetch_add(expired.size(), std::memory_order_relaxed);
+    }
+    return expired.size();
+}
+
+}  // namespace
+
+ThreadScope::ThreadScope()
+{
+    Participant& p = t_handle.get();
+    if (p.nesting++ == 0) {
+        p.epoch.store(domain().globalEpoch.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    }
+}
+
+ThreadScope::~ThreadScope()
+{
+    Participant& p = t_handle.get();
+    --p.nesting;
+    // The record stays online until thread exit; refresh its epoch so a
+    // finished scope never pins the grace period at the epoch it entered
+    // with.  quiescent() hooks keep long-lived threads advancing.
+    p.epoch.store(domain().globalEpoch.load(std::memory_order_acquire),
+                  std::memory_order_release);
+}
+
+void
+quiescent()
+{
+    Participant& p = t_handle.get();
+    p.epoch.store(domain().globalEpoch.load(std::memory_order_acquire),
+                  std::memory_order_release);
+    // Amortize the registry scan: the stripe counter is thread-local,
+    // so every thread independently pays one scan per 16 calls.
+    thread_local unsigned counter = 0;
+    if ((++counter & 15u) == 0 &&
+        domain().deferred.load(std::memory_order_relaxed) != 0) {
+        advanceAndReclaim();
+    }
+}
+
+void
+retire(void* object, void (*deleter)(void*))
+{
+    Domain& d = domain();
+    const uint64_t epoch = d.globalEpoch.load(std::memory_order_acquire);
+    {
+        std::lock_guard<std::mutex> lock(d.mutex);
+        d.limbo.push_back(LimboEntry{object, deleter, epoch});
+    }
+    d.deferred.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t
+tryReclaim()
+{
+    if (domain().deferred.load(std::memory_order_relaxed) == 0) {
+        return 0;
+    }
+    return advanceAndReclaim();
+}
+
+size_t
+drainAllUnsafe()
+{
+    Domain& d = domain();
+    std::vector<LimboEntry> all;
+    {
+        std::lock_guard<std::mutex> lock(d.mutex);
+        all.swap(d.limbo);
+    }
+    for (const LimboEntry& entry : all) {
+        entry.deleter(entry.object);
+    }
+    if (!all.empty()) {
+        d.deferred.fetch_sub(all.size(), std::memory_order_relaxed);
+        d.reclaimed.fetch_add(all.size(), std::memory_order_relaxed);
+    }
+    return all.size();
+}
+
+size_t
+deferredCount()
+{
+    return domain().deferred.load(std::memory_order_relaxed);
+}
+
+uint64_t
+reclaimedCount()
+{
+    return domain().reclaimed.load(std::memory_order_relaxed);
+}
+
+size_t
+participantCount()
+{
+    Domain& d = domain();
+    std::lock_guard<std::mutex> lock(d.mutex);
+    size_t online = 0;
+    for (Participant* p : d.participants) {
+        if (p->epoch.load(std::memory_order_acquire) != kOffline) {
+            ++online;
+        }
+    }
+    return online;
+}
+
+}  // namespace reclaim
+}  // namespace isamore

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Quiescent-state-based epoch reclamation (QSBR) for shared structures
+ * mutated concurrently from pool lanes (DESIGN.md "Concurrent e-graph").
+ *
+ * The problem: a thread-safe EGraph::merge() unlinks the losing class's
+ * storage while other lanes may still be walking it through find() /
+ * lookup().  Freeing it immediately would hand those readers a dangling
+ * pointer; locking every read would serialize the hot paths.  Instead,
+ * retired objects park on an epoch-tagged limbo list and are freed only
+ * after every participating thread has passed a *quiescent point* (a
+ * moment at which it provably holds no references into the shared
+ * structure) in a later epoch — the xenium-style quiescent-state
+ * reclamation scheme, stripped to what the e-graph needs.
+ *
+ * Protocol:
+ *  - every thread that touches a concurrently-mutated structure is a
+ *    *participant*: pool lanes register automatically (the pool calls
+ *    quiescent() at task boundaries, which self-registers), other
+ *    threads hold a reclaim::ThreadScope;
+ *  - quiescent() declares "this thread holds no shared references right
+ *    now"; the pool invokes it between tasks, EGraph::rebuild() invokes
+ *    it for the (serial) caller, the server lane loop invokes it between
+ *    requests;
+ *  - retire() parks an object tagged with the current global epoch; an
+ *    object retired in epoch E is freed once every participant has
+ *    quiesced in an epoch >= E + 2 (the classic two-epoch grace period:
+ *    one bump may be concurrent with the retire itself).
+ *
+ * A participant that never quiesces again pins the limbo list (QSBR's
+ * standard caveat); the hooks above make every long-lived thread in this
+ * codebase quiesce at natural boundaries.  Threads deregister on exit,
+ * so a dead lane never blocks reclamation.
+ *
+ * All functions are safe to call from any thread at any time; none
+ * allocate while holding another subsystem's lock.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace isamore {
+namespace reclaim {
+
+/**
+ * Register the calling thread as a participant for its lifetime (RAII).
+ * Registration is idempotent per thread; nesting is counted.  Pool lanes
+ * do not need an explicit scope — quiescent() self-registers.
+ */
+class ThreadScope {
+ public:
+    ThreadScope();
+    ~ThreadScope();
+    ThreadScope(const ThreadScope&) = delete;
+    ThreadScope& operator=(const ThreadScope&) = delete;
+};
+
+/**
+ * Declare a quiescent point: the calling thread holds no references into
+ * any epoch-protected structure.  Self-registers the thread on first
+ * use.  Cheap (two relaxed atomic ops); every ~16th call additionally
+ * tries to advance the global epoch and free expired limbo entries.
+ */
+void quiescent();
+
+/**
+ * Park @p object for deferred destruction; @p deleter runs once the
+ * grace period elapses.  The object must already be unreachable for new
+ * readers (e.g. its slot was overwritten before the retire).
+ */
+void retire(void* object, void (*deleter)(void*));
+
+/** Typed convenience: retire with `delete static_cast<T*>(p)`. */
+template <typename T>
+void
+retireObject(T* object)
+{
+    retire(object, [](void* p) { delete static_cast<T*>(p); });
+}
+
+/**
+ * Try to advance the epoch and free expired entries now.  Called
+ * opportunistically by quiescent(); exposed for explicit drain points
+ * (EGraph::rebuild, tests).  @return the number of objects freed.
+ */
+size_t tryReclaim();
+
+/**
+ * Free every parked object regardless of grace periods.  Only valid
+ * when the caller can prove no participant holds references (process
+ * teardown, test fixtures, a fully joined pool).  @return objects freed.
+ */
+size_t drainAllUnsafe();
+
+/** Objects currently parked awaiting a grace period (telemetry gauge). */
+size_t deferredCount();
+
+/** Cumulative objects freed since process start (telemetry/tests). */
+uint64_t reclaimedCount();
+
+/** Number of registered participants (tests). */
+size_t participantCount();
+
+}  // namespace reclaim
+}  // namespace isamore

@@ -1,0 +1,136 @@
+/**
+ * Unit tests for quiescent-state epoch reclamation (support/reclaim).
+ * Each gtest case runs in its own process (gtest_discover_tests), so the
+ * global domain starts clean and participant sets are fully controlled.
+ */
+#include "support/reclaim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "support/pool.hpp"
+
+namespace isamore {
+namespace {
+
+struct Tracked {
+    explicit Tracked(std::atomic<int>& counter) : deleted(&counter) {}
+    ~Tracked() { deleted->fetch_add(1); }
+    std::atomic<int>* deleted;
+};
+
+TEST(ReclaimTest, RetireDefersUntilGracePeriod)
+{
+    reclaim::ThreadScope scope;
+    std::atomic<int> deleted{0};
+    reclaim::quiescent();
+    reclaim::retireObject(new Tracked(deleted));
+    EXPECT_EQ(deleted.load(), 0);
+    EXPECT_GE(reclaim::deferredCount(), 1u);
+
+    // As the only participant, two quiescent points pass the two-epoch
+    // grace period and the deleter must have run.
+    for (int i = 0; i < 4 && deleted.load() == 0; ++i) {
+        reclaim::quiescent();
+        reclaim::tryReclaim();
+    }
+    EXPECT_EQ(deleted.load(), 1);
+    EXPECT_GE(reclaim::reclaimedCount(), 1u);
+}
+
+TEST(ReclaimTest, NonQuiescentParticipantPinsReclamation)
+{
+    reclaim::ThreadScope scope;
+    std::atomic<int> deleted{0};
+    std::atomic<bool> registered{false};
+    std::atomic<bool> release{false};
+
+    // A second participant that registers, then stalls without quiescing:
+    // it may still hold references, so the grace period cannot elapse.
+    std::thread pinner([&] {
+        reclaim::ThreadScope peer;
+        reclaim::quiescent();
+        registered.store(true);
+        while (!release.load()) {
+            std::this_thread::yield();
+        }
+        // Final quiescent point before deregistering on exit.
+        reclaim::quiescent();
+    });
+    while (!registered.load()) {
+        std::this_thread::yield();
+    }
+    ASSERT_GE(reclaim::participantCount(), 2u);
+
+    reclaim::retireObject(new Tracked(deleted));
+    for (int i = 0; i < 8; ++i) {
+        reclaim::quiescent();
+        reclaim::tryReclaim();
+    }
+    EXPECT_EQ(deleted.load(), 0) << "freed while a peer could still read";
+
+    release.store(true);
+    pinner.join();
+    for (int i = 0; i < 8 && deleted.load() == 0; ++i) {
+        reclaim::quiescent();
+        reclaim::tryReclaim();
+    }
+    EXPECT_EQ(deleted.load(), 1);
+}
+
+TEST(ReclaimTest, DeadThreadDoesNotBlockReclamation)
+{
+    reclaim::ThreadScope scope;
+    // A participant that exits without an explicit final quiescent call
+    // must deregister on thread exit rather than pin the epoch forever.
+    std::thread ephemeral([] {
+        reclaim::ThreadScope peer;
+        reclaim::quiescent();
+    });
+    ephemeral.join();
+
+    std::atomic<int> deleted{0};
+    reclaim::retireObject(new Tracked(deleted));
+    for (int i = 0; i < 8 && deleted.load() == 0; ++i) {
+        reclaim::quiescent();
+        reclaim::tryReclaim();
+    }
+    EXPECT_EQ(deleted.load(), 1);
+}
+
+TEST(ReclaimTest, PoolLanesQuiesceAtTaskBoundaries)
+{
+    reclaim::ThreadScope scope;
+    setGlobalThreads(4);
+    std::atomic<int> deleted{0};
+    // Lanes retire from inside tasks; running further task batches moves
+    // every lane through its boundary quiescent point.
+    globalPool().parallelFor(64, [&](size_t) {
+        reclaim::retireObject(new Tracked(deleted));
+    });
+    for (int i = 0; i < 32 && deleted.load() < 64; ++i) {
+        globalPool().parallelFor(16, [](size_t) {});
+        reclaim::quiescent();
+        reclaim::tryReclaim();
+    }
+    EXPECT_EQ(deleted.load(), 64);
+    setGlobalThreads(0);
+}
+
+TEST(ReclaimTest, DrainAllUnsafeFreesEverything)
+{
+    reclaim::ThreadScope scope;
+    std::atomic<int> deleted{0};
+    for (int i = 0; i < 10; ++i) {
+        reclaim::retireObject(new Tracked(deleted));
+    }
+    EXPECT_GE(reclaim::deferredCount(), 10u);
+    reclaim::drainAllUnsafe();
+    EXPECT_EQ(deleted.load(), 10);
+    EXPECT_EQ(reclaim::deferredCount(), 0u);
+}
+
+}  // namespace
+}  // namespace isamore

@@ -6,12 +6,18 @@
  * Usage:
  *   isamore_bench [--workloads <a,b,c>] [--reps <n>] [--threads <n>]
  *                 [--out <path>] [--check-identical]
- *                 [--min-ematch-speedup <x>] [--min-au-speedup <x>]
+ *                 [--min-eqsat-speedup <x>] [--min-ematch-speedup <x>]
+ *                 [--min-au-speedup <x>]
  *
  * Per workload and repetition, the pipeline's stages are timed
  * independently:
  *   - eqsat:    equality saturation of the encoded e-graph with the
- *               integer saturating ruleset (the match fan-out hot path)
+ *               integer saturating ruleset, at the configured thread
+ *               count and serially on an identical copy; the report
+ *               breaks both runs into search / apply / rebuild phase
+ *               medians, and --min-eqsat-speedup <x> fails the run
+ *               (exit 1) when median(serial)/median(parallel) drops
+ *               below x on any selected workload
  *   - ematch:   one full-ruleset search pass over the saturated graph,
  *               naive (legacy backtracking matcher, whole-graph scan)
  *               vs compiled (pattern VM seeded from the op index); both
@@ -96,6 +102,13 @@ struct StageTiming {
 struct WorkloadReport {
     std::string name;
     StageTiming eqsat;
+    StageTiming eqsatSerial;
+    StageTiming eqsatSearch;
+    StageTiming eqsatApply;
+    StageTiming eqsatRebuild;
+    StageTiming eqsatSerialSearch;
+    StageTiming eqsatSerialApply;
+    StageTiming eqsatSerialRebuild;
     StageTiming ematchNaive;
     StageTiming ematchCompiled;
     StageTiming au;
@@ -171,6 +184,20 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
            << "     \"stages\": {\n"
            << "       \"eqsat\": ";
         writeSamples(os, r.eqsat);
+        os << ",\n       \"eqsat_serial\": ";
+        writeSamples(os, r.eqsatSerial);
+        os << ",\n       \"eqsat_search\": ";
+        writeSamples(os, r.eqsatSearch);
+        os << ",\n       \"eqsat_apply\": ";
+        writeSamples(os, r.eqsatApply);
+        os << ",\n       \"eqsat_rebuild\": ";
+        writeSamples(os, r.eqsatRebuild);
+        os << ",\n       \"eqsat_serial_search\": ";
+        writeSamples(os, r.eqsatSerialSearch);
+        os << ",\n       \"eqsat_serial_apply\": ";
+        writeSamples(os, r.eqsatSerialApply);
+        os << ",\n       \"eqsat_serial_rebuild\": ";
+        writeSamples(os, r.eqsatSerialRebuild);
         os << ",\n       \"ematch_naive\": ";
         writeSamples(os, r.ematchNaive);
         os << ",\n       \"ematch_compiled\": ";
@@ -192,7 +219,9 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
             writeSamples(os, r.serveCached);
         }
         os << "\n     },\n"
-           << "     \"ematch_speedup\": "
+           << "     \"eqsat_speedup\": "
+           << r.eqsatSerial.median() / std::max(r.eqsat.median(), 1e-6)
+           << ",\n     \"ematch_speedup\": "
            << r.ematchNaive.median() /
                   std::max(r.ematchCompiled.median(), 1e-6)
            << ",\n     \"au_term_speedup\": "
@@ -303,8 +332,9 @@ usage()
 {
     std::cerr << "usage: isamore_bench [--workloads <a,b,c>] [--reps <n>]"
                  " [--threads <n>] [--out <path>] [--check-identical]"
-                 " [--min-ematch-speedup <x>] [--min-au-speedup <x>]"
-                 " [--serve-bench] [--min-serve-speedup <x>]\n";
+                 " [--min-eqsat-speedup <x>] [--min-ematch-speedup <x>]"
+                 " [--min-au-speedup <x>] [--serve-bench]"
+                 " [--min-serve-speedup <x>]\n";
     return 2;
 }
 
@@ -321,6 +351,7 @@ main(int argc, char** argv)
     double minEmatchSpeedup = 0.0;
     double minAuSpeedup = 0.0;
     double minServeSpeedup = 0.0;
+    double minEqsatSpeedup = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -345,6 +376,11 @@ main(int argc, char** argv)
         } else if (flag == "--min-ematch-speedup" && i + 1 < argc) {
             minEmatchSpeedup = std::strtod(argv[++i], nullptr);
             if (minEmatchSpeedup <= 0.0) {
+                return usage();
+            }
+        } else if (flag == "--min-eqsat-speedup" && i + 1 < argc) {
+            minEqsatSpeedup = std::strtod(argv[++i], nullptr);
+            if (minEqsatSpeedup <= 0.0) {
                 return usage();
             }
         } else if (flag == "--min-au-speedup" && i + 1 < argc) {
@@ -398,11 +434,47 @@ main(int argc, char** argv)
         }
 
         for (size_t rep = 0; rep < reps; ++rep) {
-            // Stage 1: EqSat on a fresh copy of the encoded e-graph.
+            // Stage 1: EqSat on a fresh copy of the encoded e-graph, at
+            // the configured thread count and serially on an identical
+            // copy.  The EqSatStats phase clocks break the totals into
+            // search / apply (plan + commit) / rebuild so the report
+            // shows where the lanes actually help.
             EGraph egraph = analyzed.program.egraph;
             Stopwatch watch;
-            runEqSat(egraph, searchRules, config.eqsat);
+            const EqSatStats parStats =
+                runEqSat(egraph, searchRules, config.eqsat);
             report.eqsat.samplesMs.push_back(watch.seconds() * 1e3);
+            report.eqsatSearch.samplesMs.push_back(parStats.searchSeconds *
+                                                   1e3);
+            report.eqsatApply.samplesMs.push_back(parStats.applySeconds *
+                                                  1e3);
+            report.eqsatRebuild.samplesMs.push_back(
+                parStats.rebuildSeconds * 1e3);
+            {
+                EGraph serialGraph = analyzed.program.egraph;
+                setGlobalThreads(1);
+                watch.reset();
+                const EqSatStats serialStats =
+                    runEqSat(serialGraph, searchRules, config.eqsat);
+                report.eqsatSerial.samplesMs.push_back(watch.seconds() *
+                                                       1e3);
+                setGlobalThreads(threads);
+                report.eqsatSerialSearch.samplesMs.push_back(
+                    serialStats.searchSeconds * 1e3);
+                report.eqsatSerialApply.samplesMs.push_back(
+                    serialStats.applySeconds * 1e3);
+                report.eqsatSerialRebuild.samplesMs.push_back(
+                    serialStats.rebuildSeconds * 1e3);
+                // Only a wall-clock stop may legitimately differ
+                // between the two runs.
+                ISAMORE_CHECK_MSG(
+                    serialStats.stopReason == StopReason::TimeLimit ||
+                        parStats.stopReason == StopReason::TimeLimit ||
+                        (serialStats.applications ==
+                             parStats.applications &&
+                         serialStats.iterations == parStats.iterations),
+                    "serial and parallel EqSat diverged on " + name);
+            }
 
             // Stage 1b: full-ruleset search passes over the saturated
             // graph, old engine vs new, serially (the engines themselves,
@@ -610,6 +682,31 @@ main(int argc, char** argv)
 
     if (checkIdentical && !allIdentical) {
         return 1;
+    }
+    if (minEqsatSpeedup > 0.0) {
+        bool fastEnough = true;
+        for (const WorkloadReport& r : reports) {
+            const double speedup =
+                r.eqsatSerial.median() / std::max(r.eqsat.median(), 1e-6);
+            std::cerr << "eqsat " << r.name << ": serial "
+                      << r.eqsatSerial.median() << " ms, " << threads
+                      << "-thread " << r.eqsat.median() << " ms -> "
+                      << speedup << "x (search "
+                      << r.eqsatSerialSearch.median() << " -> "
+                      << r.eqsatSearch.median() << ", apply "
+                      << r.eqsatSerialApply.median() << " -> "
+                      << r.eqsatApply.median() << ", rebuild "
+                      << r.eqsatSerialRebuild.median() << " -> "
+                      << r.eqsatRebuild.median() << ")\n";
+            if (speedup < minEqsatSpeedup) {
+                std::cerr << "FAIL: below the " << minEqsatSpeedup
+                          << "x EqSat speedup floor\n";
+                fastEnough = false;
+            }
+        }
+        if (!fastEnough) {
+            return 1;
+        }
     }
     if (minEmatchSpeedup > 0.0) {
         bool fastEnough = true;

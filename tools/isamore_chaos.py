@@ -17,7 +17,12 @@ daemon's robustness contract:
   * byte identity: ok responses for unconstrained requests carry the
     byte-exact single-shot CLI document (checked against the committed
     goldens when --golden-dir is given, after dropping the wall-clock
-    "seconds" lines, same as the golden tests).
+    "seconds" lines, same as the golden tests);
+  * thread-width identity: a slice of analyze requests pins the pool
+    width ("threads": 1/2/4, interleaved in the same daemon run, cache
+    off so each one actually executes); every width must reproduce the
+    same golden bytes -- the concurrent e-graph's determinism contract
+    exercised through a live daemon under load.
 
 Usage:
   isamore_chaos.py --serve build/tools/isamore_serve [--requests 500]
@@ -68,7 +73,8 @@ def build_corpus(args, rng):
     n_malformed = max(1, n * 20 // 100)
     n_fault = max(1, n * 10 // 100)
     n_deadline = max(1, n * 10 // 100)
-    n_valid = n - n_malformed - n_fault - n_deadline
+    n_threads = max(3, n * 10 // 100)
+    n_valid = n - n_malformed - n_fault - n_deadline - n_threads
 
     malformed_lines = [
         "not json at all",
@@ -136,6 +142,31 @@ def build_corpus(args, rng):
             "deadlineMs": rng.choice([1, 2, 5]),
         }
         corpus.append((json.dumps(req), {"id": rid, "kind": "deadline"}))
+
+    # Thread-width identity phase: default-mode analyses pinned to pool
+    # widths 1/2/4, cycled so every width appears, cache off so each
+    # request runs the pipeline rather than replaying a stored response.
+    for k in range(n_threads):
+        rid = next_id("threads")
+        threads = (1, 2, 4)[k % 3]
+        workload = rng.choice(workloads)
+        req = {
+            "id": rid,
+            "workload": workload,
+            "threads": threads,
+            "cache": False,
+        }
+        corpus.append(
+            (
+                json.dumps(req),
+                {
+                    "id": rid,
+                    "kind": "threads",
+                    "workload": workload,
+                    "threads": threads,
+                },
+            )
+        )
 
     rng.shuffle(corpus)
     return corpus
@@ -306,6 +337,7 @@ def main():
 
     goldens = load_goldens(args)
     identical = 0
+    width_identical = {1: 0, 2: 0, 4: 0}
     for _, exp in corpus:
         kind = exp["kind"]
         doc = by_id.get(exp.get("id", ""))
@@ -338,6 +370,31 @@ def main():
                     )
                 else:
                     identical += 1
+        elif kind == "threads":
+            if status == "overloaded":
+                continue  # legal under burst; sheds are explicit
+            if status != "ok":
+                failures.append(
+                    "TAXONOMY: threads %s answered %s: %s"
+                    % (exp["id"], status, doc.get("error", ""))
+                )
+                continue
+            if doc.get("cached"):
+                failures.append(
+                    "CACHE: threads %s served from the response cache"
+                    % exp["id"]
+                )
+                continue
+            if exp["workload"] in goldens:
+                got = strip_wall_clock(doc.get("result", ""))
+                if got != goldens[exp["workload"]]:
+                    failures.append(
+                        "BYTE IDENTITY: %s (%s at %d threads) differs "
+                        "from golden"
+                        % (exp["id"], exp["workload"], exp["threads"])
+                    )
+                else:
+                    width_identical[exp["threads"]] += 1
         elif kind == "fault":
             # An injected fault degrades or is survived -- any structured
             # per-request status except internal is within contract.
@@ -368,6 +425,28 @@ def main():
             failures.append(
                 "BYTE IDENTITY: no ok response was checked against a "
                 "golden (wrong --golden-dir or workloads?)"
+            )
+        print(
+            "byte-identical per pool width: %s"
+            % {k: v for k, v in sorted(width_identical.items())},
+            flush=True,
+        )
+        # A mismatching width already failed above per request; this
+        # coverage check catches the harness itself going blind.  A
+        # single width can legitimately lose all its requests to
+        # overload shedding under burst, so that only warns.
+        if returncode == 0 and all(
+            v == 0 for v in width_identical.values()
+        ):
+            failures.append(
+                "BYTE IDENTITY: no pool width was ever verified against "
+                "a golden (all thread-pinned requests shed or failed?)"
+            )
+        elif any(v == 0 for v in width_identical.values()):
+            print(
+                "warning: a pool width was fully shed under burst: %s"
+                % width_identical,
+                flush=True,
             )
 
     if failures:

@@ -16,7 +16,8 @@
  *
  * Request fields: workload (required for analyze), op
  * (analyze|ping|stats), mode, extendedRules, deadlineMs, maxUnits,
- * inject, cache, id.  Response `status`/`code` mirror the CLI exit-code
+ * inject, cache, threads, id.  Response `status`/`code` mirror the CLI
+ * exit-code
  * taxonomy (see DESIGN.md "Server mode & overload taxonomy"); the
  * `result` field carries the byte-exact single-shot CLI JSON document.
  *
