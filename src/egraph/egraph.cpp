@@ -87,8 +87,11 @@ EGraph::copyFrom(const EGraph& other)
         const Slot& src = other.slotRef(id);
         dst.parent.store(src.parent.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
-        dst.stamp.store(src.stamp.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
+        for (size_t j = 0; j < kStampDepths; ++j) {
+            dst.stamps[j].store(
+                src.stamps[j].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
         const EClass* cls = src.cls.load(std::memory_order_relaxed);
         dst.cls.store(cls == nullptr ? nullptr : new EClass(*cls),
                       std::memory_order_relaxed);
@@ -109,6 +112,7 @@ EGraph::copyFrom(const EGraph& other)
     lastRebuild_ = other.lastRebuild_;
     classIdsCache_ = other.classIdsCache_;
     opIndex_ = other.opIndex_;
+    opStampCache_ = other.opStampCache_;
     cachesStale_.store(other.cachesStale_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
 }
@@ -152,6 +156,7 @@ EGraph::EGraph(EGraph&& other) noexcept
       lastRebuild_(other.lastRebuild_),
       classIdsCache_(std::move(other.classIdsCache_)),
       opIndex_(std::move(other.opIndex_)),
+      opStampCache_(std::move(other.opStampCache_)),
       cachesStale_(other.cachesStale_.load(std::memory_order_relaxed))
 {
     other.idCount_.store(0, std::memory_order_relaxed);
@@ -182,6 +187,7 @@ EGraph::operator=(EGraph&& other) noexcept
     lastRebuild_ = other.lastRebuild_;
     classIdsCache_ = std::move(other.classIdsCache_);
     opIndex_ = std::move(other.opIndex_);
+    opStampCache_ = std::move(other.opStampCache_);
     cachesStale_.store(other.cachesStale_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     other.idCount_.store(0, std::memory_order_relaxed);
@@ -326,9 +332,11 @@ EGraph::add(ENode node)
             ensureSlot(id);
             Slot& slot = slotRef(id);
             slot.parent.store(id, std::memory_order_release);
-            slot.stamp.store(
-                clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-                std::memory_order_release);
+            const uint64_t born =
+                clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+            for (size_t j = 0; j < kStampDepths; ++j) {
+                slot.stamps[j].store(born, std::memory_order_release);
+            }
             EClass* data = new EClass();
             data->nodes.push_back(canonical);
             slot.cls.store(data, std::memory_order_release);
@@ -407,9 +415,11 @@ EGraph::merge(EClassId a, EClassId b)
             dirtySeeds_.push_back(a);
         }
         version_.fetch_add(1, std::memory_order_relaxed);
-        slotRef(a).stamp.store(
-            clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-            std::memory_order_release);
+        const uint64_t merged =
+            clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+        for (size_t j = 0; j < kStampDepths; ++j) {
+            slotRef(a).stamps[j].store(merged, std::memory_order_release);
+        }
         cachesStale_.store(true, std::memory_order_relaxed);
         return true;
     }
@@ -554,6 +564,19 @@ EGraph::rebuild()
             }
         }
 
+        // A repair that collapsed duplicate nodes changed the class's own
+        // node list — match-visible at distance 0, exactly like a merge
+        // append — so it seeds the dirty propagation at depth 0 (merges
+        // seed themselves in merge()).
+        {
+            std::lock_guard<std::mutex> lock(worklistMutex_);
+            for (size_t i = 0; i < classes.size(); ++i) {
+                if (results[i].removedNodes != 0) {
+                    dirtySeeds_.push_back(classes[i]);
+                }
+            }
+        }
+
         // Serial merge-frontier drain in (class order, discovery order):
         // union winners depend only on class sizes, so every thread
         // count applies the same unions with the same outcomes.
@@ -616,30 +639,45 @@ EGraph::propagateDirty()
     // Parent entries of untouched classes may hold stale ids; findMutable
     // resolves them (a superset of true ancestors is harmless: stamping a
     // class conservatively only costs a redundant re-match).
+    //
+    // Propagation is a layered BFS so every class learns its *distance*
+    // from the nearest change: a class first reached at distance d gets
+    // stamp buckets [min(d, last)..last] bumped, leaving the shallower
+    // buckets untouched -- a pattern that reads only r levels deep can
+    // then skip a class whose nearest change sits more than r edges
+    // below it, even though the unbounded bucket is dirty.  Multi-source
+    // BFS visits each class at its minimal distance first, which is
+    // exactly the bucket boundary the skip proof needs.
     const uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::vector<EClassId> queue;
-    queue.reserve(dirtySeeds_.size());
-    for (EClassId seed : dirtySeeds_) {
-        const EClassId c = findMutable(seed);
+    std::vector<EClassId> frontier;
+    std::vector<EClassId> next;
+    frontier.reserve(dirtySeeds_.size());
+    auto visit = [&](EClassId c, size_t dist, std::vector<EClassId>& out) {
         Slot& slot = slotRef(c);
-        if (slot.stamp.load(std::memory_order_relaxed) != now) {
-            slot.stamp.store(now, std::memory_order_relaxed);
-            queue.push_back(c);
+        if (slot.stamps[kStampDepths - 1].load(std::memory_order_relaxed) ==
+            now) {
+            return;  // already reached at a smaller or equal distance
         }
+        for (size_t j = std::min(dist, kStampDepths - 1); j < kStampDepths;
+             ++j) {
+            slot.stamps[j].store(now, std::memory_order_relaxed);
+        }
+        out.push_back(c);
+    };
+    for (EClassId seed : dirtySeeds_) {
+        visit(findMutable(seed), 0, frontier);
     }
     dirtySeeds_.clear();
-    while (!queue.empty()) {
-        const EClassId c = queue.back();
-        queue.pop_back();
-        const EClass* data = slotRef(c).cls.load(std::memory_order_relaxed);
-        for (const auto& [pnode, pclass] : data->parents) {
-            const EClassId p = findMutable(pclass);
-            Slot& slot = slotRef(p);
-            if (slot.stamp.load(std::memory_order_relaxed) != now) {
-                slot.stamp.store(now, std::memory_order_relaxed);
-                queue.push_back(p);
+    for (size_t dist = 1; !frontier.empty(); ++dist) {
+        next.clear();
+        for (EClassId c : frontier) {
+            const EClass* data =
+                slotRef(c).cls.load(std::memory_order_relaxed);
+            for (const auto& [pnode, pclass] : data->parents) {
+                visit(findMutable(pclass), dist, next);
             }
         }
+        frontier.swap(next);
     }
 }
 
@@ -686,18 +724,32 @@ EGraph::refreshCaches() const
     }
 
     opIndex_.assign(kNumOps, {});
+    opStampCache_.assign(kNumOps * kStampDepths, 0);
     for (EClassId id : classIdsCache_) {
         // Emit each (op, class) pair once even when a class holds several
         // nodes with the same root op; ids come out ascending because the
-        // outer walk is ascending.
+        // outer walk is ascending.  The per-(op, depth) stamp watermarks
+        // ride the same walk: stamps are final here (rebuild() propagates
+        // them before refreshing), so the max over emitted classes is
+        // exact.
         uint64_t emitted = 0;  // bitset over ops (kNumOps < 64)
         static_assert(kNumOps <= 64);
-        const EClass* data = slotRef(id).cls.load(std::memory_order_relaxed);
+        const Slot& slot = slotRef(id);
+        uint64_t stamps[kStampDepths];
+        for (size_t j = 0; j < kStampDepths; ++j) {
+            stamps[j] = slot.stamps[j].load(std::memory_order_relaxed);
+        }
+        const EClass* data = slot.cls.load(std::memory_order_relaxed);
         for (const ENode& node : data->nodes) {
             const uint64_t bit = uint64_t{1} << static_cast<size_t>(node.op);
             if ((emitted & bit) == 0) {
                 emitted |= bit;
-                opIndex_[static_cast<size_t>(node.op)].push_back(id);
+                const size_t op = static_cast<size_t>(node.op);
+                opIndex_[op].push_back(id);
+                uint64_t* marks = &opStampCache_[op * kStampDepths];
+                for (size_t j = 0; j < kStampDepths; ++j) {
+                    marks[j] = std::max(marks[j], stamps[j]);
+                }
             }
         }
     }
@@ -723,9 +775,28 @@ EGraph::classesWithOp(Op op) const
 }
 
 uint64_t
+EGraph::maxStampWithOp(Op op, size_t depth) const
+{
+    if (cachesStale_.load(std::memory_order_acquire)) {
+        refreshCaches();
+    }
+    return opStampCache_[static_cast<size_t>(op) * kStampDepths +
+                         std::min(depth, kStampDepths - 1)];
+}
+
+uint64_t
 EGraph::classStamp(EClassId id) const
 {
-    return slotRef(id).stamp.load(std::memory_order_acquire);
+    return slotRef(id).stamps[kStampDepths - 1].load(
+        std::memory_order_acquire);
+}
+
+uint64_t
+EGraph::classStampAtDepth(EClassId id, size_t depth) const
+{
+    return slotRef(id)
+        .stamps[std::min(depth, kStampDepths - 1)]
+        .load(std::memory_order_acquire);
 }
 
 std::vector<EClassId>
@@ -733,7 +804,8 @@ EGraph::classesDirtySince(uint64_t version) const
 {
     std::vector<EClassId> out;
     for (EClassId id : classIds()) {
-        if (slotRef(id).stamp.load(std::memory_order_relaxed) > version) {
+        if (slotRef(id).stamps[kStampDepths - 1].load(
+                std::memory_order_relaxed) > version) {
             out.push_back(id);
         }
     }

@@ -255,11 +255,29 @@ class EGraph {
     }
 
     /**
+     * Number of dirty-stamp distance buckets.  Bucket @c j < kStampDepths-1
+     * covers changes within @c j parent-edges below a class; the last
+     * bucket covers the whole reachable sub-DAG (the classic unbounded
+     * stamp).  A pattern that reads class data @c r levels deep only
+     * needs bucket min(r, kStampDepths-1) -- a change far below a class
+     * cannot alter the matches of a shallow pattern rooted there.
+     */
+    static constexpr size_t kStampDepths = 4;
+
+    /**
      * Last-modification stamp of class @p id, upward-propagated: covers
      * changes anywhere in the class's reachable sub-DAG as of the last
      * rebuild().  @pre @p id is canonical.
      */
     uint64_t classStamp(EClassId id) const;
+
+    /**
+     * Depth-bounded stamp of class @p id: covers changes within
+     * @p depth parent-edges below the class (clamped to the last,
+     * unbounded bucket).  classStampAtDepth(id, kStampDepths-1) ==
+     * classStamp(id).  @pre @p id is canonical.
+     */
+    uint64_t classStampAtDepth(EClassId id, size_t depth) const;
 
     /**
      * Canonical ids (ascending) whose stamp exceeds @p version.  A class
@@ -268,6 +286,17 @@ class EGraph {
      * snapshotted (provided the graph was rebuilt at both points).
      */
     std::vector<EClassId> classesDirtySince(uint64_t version) const;
+
+    /**
+     * Maximum classStampAtDepth(id, @p depth) over classesWithOp(@p op)
+     * -- the op's dirty watermark at that read depth.  O(1): maintained
+     * alongside the op index, so a scheduler can ask "was any candidate
+     * of this root op touched, as far as a depth-d pattern can see,
+     * since clock c?" without re-walking the candidate list every
+     * iteration.  Returns 0 when no class carries the op.  Same caching
+     * contract as classIds().
+     */
+    uint64_t maxStampWithOp(Op op, size_t depth) const;
 
     /** @} */
 
@@ -283,10 +312,16 @@ class EGraph {
     static constexpr size_t kSegmentSize = size_t{1} << kSegmentBits;
     static constexpr size_t kMaxSegments = 2048;  // ~4.2M ids
 
-    /** Per-id record: union-find link, dirty stamp, class storage. */
+    /** Per-id record: union-find link, dirty stamps, class storage. */
     struct Slot {
         std::atomic<EClassId> parent{0};
-        std::atomic<uint64_t> stamp{0};
+        /**
+         * Dirty stamps by distance bucket: stamps[j] is the latest clock
+         * at which anything within j parent-edges below this class (the
+         * class itself at j == 0) changed; the last bucket is unbounded.
+         * Monotone in j by construction.
+         */
+        std::atomic<uint64_t> stamps[kStampDepths] = {};
         std::atomic<EClass*> cls{nullptr};
     };
     struct Segment {
@@ -359,6 +394,8 @@ class EGraph {
     // eagerly, which keeps the concurrent read-only phases refresh-free.
     mutable std::vector<EClassId> classIdsCache_;
     mutable std::vector<std::vector<EClassId>> opIndex_;  // by Op value
+    /** Max stamp per (op, depth bucket), flat [op * kStampDepths + j]. */
+    mutable std::vector<uint64_t> opStampCache_;
     mutable std::atomic<bool> cachesStale_{true};
 };
 

@@ -1,5 +1,7 @@
 #include "egraph/ematch_program.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace isamore {
@@ -9,12 +11,12 @@ PatternProgram::compile(const TermPtr& pattern)
 {
     PatternProgram program;
     program.rootOp_ = pattern->op;
-    program.compileNode(pattern, 0);
+    program.compileNode(pattern, 0, 0);
     return program;
 }
 
 void
-PatternProgram::compileNode(const TermPtr& node, uint16_t reg)
+PatternProgram::compileNode(const TermPtr& node, uint16_t reg, size_t depth)
 {
     if (node->op == Op::Hole) {
         const int64_t holeId = node->payload.a;
@@ -30,6 +32,13 @@ PatternProgram::compileNode(const TermPtr& node, uint16_t reg)
             insn.kind = Kind::BindHole;
         } else {
             insn.kind = Kind::Compare;
+            // A merge of the two bound classes (each at this hole's
+            // distance or shallower) can flip this equality test and
+            // change the match *count*, so the pattern reads one level
+            // past its deepest Bind here.  BindHole alone needs no such
+            // widening: a renamed capture changes only the subst values
+            // of matches the skip path never re-emits.
+            readDepth_ = std::max(readDepth_, depth);
         }
         insns_.push_back(insn);
         return;
@@ -44,9 +53,10 @@ PatternProgram::compileNode(const TermPtr& node, uint16_t reg)
     insn.outBase = numRegs_;
     numRegs_ = static_cast<uint16_t>(numRegs_ + insn.arity);
     insns_.push_back(insn);
+    readDepth_ = std::max(readDepth_, depth);  // Bind reads class data
     for (size_t i = 0; i < node->children.size(); ++i) {
         compileNode(node->children[i],
-                    static_cast<uint16_t>(insn.outBase + i));
+                    static_cast<uint16_t>(insn.outBase + i), depth + 1);
     }
 }
 
@@ -154,10 +164,17 @@ searchPattern(const EGraph& egraph, const PatternProgram& program,
         program.rootIsHole() ? egraph.classIds()
                              : egraph.classesWithOp(program.rootOp());
     const bool incremental = state != nullptr && state->valid;
-    std::unordered_map<EClassId, uint32_t> newCounts;
+    // The fresh count list reuses the state's spare buffer: candidates
+    // come out ascending, so counts append in order and the cached-count
+    // reads below are one merge cursor, not hash probes -- the
+    // bookkeeping a mostly-clean search pays is a linear scan of two
+    // short sorted arrays instead of a hash-table build per call.
+    std::vector<std::pair<EClassId, uint32_t>>* newCounts = nullptr;
     if (state != nullptr) {
-        newCounts.reserve(candidates.size());
+        state->scratch.clear();
+        newCounts = &state->scratch;
     }
+    size_t cursor = 0;  // into state->counts (ascending, like candidates)
     // The VM scratch and the per-class substitution buffer survive across
     // calls (per thread) so a search allocates nothing but its results.
     thread_local MatchScratch scratch;
@@ -170,15 +187,37 @@ searchPattern(const EGraph& egraph, const PatternProgram& program,
         }
         const size_t budget = maxTotal - total;
         size_t count = 0;
-        if (incremental && egraph.classStamp(id) <= state->clock) {
+        bool skip = false;
+        uint32_t cachedCount = 0;
+        if (incremental) {
+            while (cursor < state->counts.size() &&
+                   state->counts[cursor].first < id) {
+                ++cursor;
+            }
+            if (cursor < state->counts.size() &&
+                state->counts[cursor].first == id) {
+                cachedCount = state->counts[cursor].second;
+            }
+            // A class cached at zero matches is skippable when it is
+            // clean as deep as the pattern reads: the search would emit
+            // nothing and the engine apply nothing, so the skip is
+            // invisible.  A nonzero cache needs the whole cone
+            // untouched — the reference engine re-applies those
+            // matches, and a re-instantiation reads arbitrarily deep
+            // (through the RHS instance already merged into this
+            // class), so movement anywhere below can turn the re-apply
+            // into a real merge the skip would lose.
+            skip = cachedCount == 0
+                       ? egraph.classStampAtDepth(
+                             id, program.readDepth()) <= state->clock
+                       : egraph.classStamp(id) <= state->clock;
+        }
+        if (skip) {
             // Untouched since the last complete search: its matches are
             // unchanged (and were already consumed then), so only its
             // cached count participates — capped exactly where the full
             // enumeration would have stopped inside this class.
-            auto it = state->counts.find(id);
-            count = it == state->counts.end()
-                        ? 0
-                        : std::min<size_t>(it->second, budget);
+            count = std::min<size_t>(cachedCount, budget);
             pendingCached += count;
         } else {
             substs.clear();
@@ -192,7 +231,7 @@ searchPattern(const EGraph& egraph, const PatternProgram& program,
         }
         total += count;
         if (state != nullptr && count != 0) {
-            newCounts.emplace(id, static_cast<uint32_t>(count));
+            newCounts->emplace_back(id, static_cast<uint32_t>(count));
         }
     }
     result.cachedAfter = pendingCached;
@@ -208,7 +247,7 @@ searchPattern(const EGraph& egraph, const PatternProgram& program,
         } else {
             state->valid = true;
             state->clock = egraph.matchClock();
-            state->counts = std::move(newCounts);
+            state->counts.swap(state->scratch);
         }
     }
     return result;

@@ -54,6 +54,18 @@ class PatternProgram {
     bool rootIsHole() const { return rootOp_ == Op::Hole; }
 
     /**
+     * How many levels of class data below a candidate root the program
+     * reads: the deepest Bind instruction's distance from the root (a
+     * bare hole reads none), widened by one at every repeated hole —
+     * a Compare makes class *equality* at the hole's own depth
+     * match-count-visible.  The incremental driver pairs this with the
+     * e-graph's depth-bucketed dirty stamps: a change strictly deeper
+     * than readDepth() below a class cannot change the program's match
+     * count there.
+     */
+    size_t readDepth() const { return readDepth_; }
+
+    /**
      * Enumerate matches rooted at @p root, appending at most
      * @p maxMatches substitutions to @p out.  @p scratch is caller-owned
      * so repeated calls reuse its buffers (no per-frame allocation).
@@ -75,12 +87,13 @@ class PatternProgram {
         Payload payload;       // Bind only
     };
 
-    void compileNode(const TermPtr& node, uint16_t reg);
+    void compileNode(const TermPtr& node, uint16_t reg, size_t depth);
 
     std::vector<Insn> insns_;
     std::vector<int64_t> slotHoleIds_;  // slot index -> hole id
     uint16_t numRegs_ = 1;
     Op rootOp_ = Op::Hole;
+    size_t readDepth_ = 0;
 };
 
 /**
@@ -118,7 +131,14 @@ struct SearchResult {
 struct IncrementalSearchState {
     bool valid = false;
     uint64_t clock = 0;
-    std::unordered_map<EClassId, uint32_t> counts;  // nonzero counts only
+    /**
+     * Nonzero per-class counts, ascending by class id (candidates are
+     * enumerated ascending, so the search appends in order and the skip
+     * path reads with a merge cursor instead of a hash probe).
+     */
+    std::vector<std::pair<EClassId, uint32_t>> counts;
+    /** Spare buffer the next search fills (keeps its capacity). */
+    std::vector<std::pair<EClassId, uint32_t>> scratch;
 
     void reset() { valid = false; counts.clear(); }
 };

@@ -1,0 +1,214 @@
+#include "egraph/scheduler.hpp"
+
+#include <algorithm>
+
+#include "egraph/rewrite.hpp"
+
+namespace isamore {
+
+Scheduler::Scheduler(const Strategy& strategy,
+                     const std::vector<RewriteRule>& rules,
+                     const std::vector<PatternProgram>& programs,
+                     const EqSatLimits& limits)
+    : strategy_(strategy),
+      rules_(rules),
+      limitMaxNodes_(limits.maxNodes),
+      limitMatchCap_(limits.maxMatchesPerRule),
+      limitBackoff_(limits.useBackoff),
+      incremental_(limits.incrementalSearch)
+{
+    if (strategy_.phased()) {
+        maxIterations_ = 0;
+        for (const StrategyPhase& phase : strategy_.phases) {
+            maxIterations_ += phase.iters;
+        }
+    } else {
+        maxIterations_ = limits.maxIterations;
+    }
+    info_.resize(rules_.size());
+    for (size_t r = 0; r < rules_.size(); ++r) {
+        info_[r].rootOp = rules_[r].lhs->op;
+        info_[r].readDepth = programs[r].readDepth();
+        info_[r].guarded = static_cast<bool>(rules_[r].guard);
+        info_[r].saturating = rules_[r].isSaturating();
+    }
+    plan_.actions.resize(rules_.size());
+    plan_.replayTotals.resize(rules_.size());
+}
+
+bool
+Scheduler::selectedInPhase(const RuleInfo& info, const std::string& name,
+                           const StrategyPhase& phase) const
+{
+    switch (phase.selector) {
+      case RuleSelector::All:
+        return true;
+      case RuleSelector::Sat:
+        return info.saturating;
+      case RuleSelector::NonSat:
+        return !info.saturating;
+      case RuleSelector::Named:
+        return std::binary_search(phase.ruleNames.begin(),
+                                  phase.ruleNames.end(), name);
+    }
+    return true;
+}
+
+const Scheduler::IterationPlan&
+Scheduler::plan(const EGraph& egraph,
+                const std::vector<IncrementalSearchState>& states)
+{
+    plan_.active = plan_.replayed = plan_.pruned = plan_.rearmed = 0;
+    plan_.phase = phaseIndex_;
+    plan_.maxNodes = limitMaxNodes_;
+    plan_.matchCap = limitMatchCap_;
+    plan_.useBackoff = limitBackoff_;
+
+    const StrategyPhase* phase = nullptr;
+    if (strategy_.phased()) {
+        phase = &strategy_.phases[phaseIndex_];
+        if (phaseFresh_) {
+            phaseStartNodes_ = egraph.numNodes();
+            phaseFresh_ = false;
+        }
+        if (phase->growth > 0.0) {
+            const double cap =
+                static_cast<double>(phaseStartNodes_) * phase->growth;
+            plan_.maxNodes = std::min(
+                plan_.maxNodes,
+                std::max<size_t>(phaseStartNodes_ + 1,
+                                 static_cast<size_t>(cap)));
+        }
+        if (phase->matchCap != 0) {
+            plan_.matchCap = phase->matchCap;
+        }
+        if (phase->backoff != Toggle::Inherit) {
+            plan_.useBackoff = phase->backoff == Toggle::On;
+        }
+    }
+
+    // A replayed result must be exactly what a real (incremental) search
+    // would return; that search would not truncate only if the cached
+    // total is under the cap it would be called with.  Banned rules may
+    // carry a larger (doubled) cap, so the base cap is the conservative
+    // lower bound.
+    const size_t replayMaxTotal =
+        plan_.useBackoff ? plan_.matchCap + 1 : plan_.matchCap;
+
+    for (size_t r = 0; r < rules_.size(); ++r) {
+        RuleInfo& info = info_[r];
+        const bool wasPruned = info.prunedNow;
+        info.prunedNow = false;
+        if (phase != nullptr &&
+            !selectedInPhase(info, rules_[r].name, *phase)) {
+            plan_.actions[r] = Action::Deselect;
+            continue;
+        }
+        // Provable skip: the incremental baseline is intact, no candidate
+        // class of the rule's root operator was dirtied since its clock,
+        // and the cached total fits the cap — the search would return
+        // zero fresh matches with exactly `lastTotal` cached ones.
+        bool replay = strategy_.adaptive() && incremental_ &&
+                      !info.guarded && info.cachedKnown &&
+                      states[r].valid && info.rootOp != Op::Hole &&
+                      info.lastTotal < replayMaxTotal;
+        if (replay && info.lastTotal == 0 &&
+            info.zeroStreak < strategy_.pruneAfterZeroSearches) {
+            replay = false;  // not yet confident enough to prune
+        }
+        // Zero-total rules replay on a read-depth-bounded watermark:
+        // the search would emit nothing and the engine apply nothing,
+        // so the skip is provably invisible.  Nonzero totals need every
+        // candidate's whole cone untouched — the reference engine
+        // re-applies those cached matches, and a re-instantiation reads
+        // arbitrarily deep (through the RHS instance already merged into
+        // the root class), so movement anywhere below can turn the
+        // re-apply into a real merge.
+        const size_t depth = info.lastTotal == 0 ? info.readDepth
+                                                 : EGraph::kStampDepths - 1;
+        if (replay &&
+            egraph.maxStampWithOp(info.rootOp, depth) > states[r].clock) {
+            replay = false;  // re-armed: a candidate class was dirtied
+            if (wasPruned) {
+                ++plan_.rearmed;
+            }
+        }
+        if (replay) {
+            plan_.actions[r] = Action::Replay;
+            plan_.replayTotals[r] = info.lastTotal;
+            if (info.lastTotal == 0) {
+                info.prunedNow = true;
+                ++plan_.pruned;
+            } else {
+                ++plan_.replayed;
+            }
+        } else {
+            plan_.actions[r] = Action::Search;
+            ++plan_.active;
+        }
+    }
+    return plan_;
+}
+
+void
+Scheduler::observeSearch(size_t rule, const SearchResult& result)
+{
+    RuleInfo& info = info_[rule];
+    if (result.truncated) {
+        // The per-class counts were discarded; nothing to replay.
+        info.cachedKnown = false;
+        info.zeroStreak = 0;
+        return;
+    }
+    info.lastTotal = result.totalCount;
+    info.cachedKnown = true;
+    info.zeroStreak = result.totalCount == 0 ? info.zeroStreak + 1 : 0;
+}
+
+void
+Scheduler::observeBan(size_t rule)
+{
+    info_[rule].cachedKnown = false;
+    info_[rule].zeroStreak = 0;
+}
+
+void
+Scheduler::observeError(size_t rule)
+{
+    info_[rule].cachedKnown = false;
+    info_[rule].zeroStreak = 0;
+}
+
+void
+Scheduler::invalidateCaches()
+{
+    for (RuleInfo& info : info_) {
+        info.cachedKnown = false;
+        info.zeroStreak = 0;
+    }
+}
+
+Scheduler::Next
+Scheduler::endIteration(bool quiet, bool phaseCapped)
+{
+    if (!strategy_.phased()) {
+        return quiet ? Next::StopSaturated : Next::Continue;
+    }
+    ++itersInPhase_;
+    const StrategyPhase& phase = strategy_.phases[phaseIndex_];
+    const bool advance = phaseCapped ||
+                         (quiet && phase.stop == PhaseStop::Quiet) ||
+                         itersInPhase_ >= phase.iters;
+    if (!advance) {
+        return Next::Continue;
+    }
+    ++phaseIndex_;
+    itersInPhase_ = 0;
+    phaseFresh_ = true;
+    if (phaseIndex_ >= strategy_.phases.size()) {
+        return quiet ? Next::StopSaturated : Next::StopIterLimit;
+    }
+    return Next::Continue;
+}
+
+}  // namespace isamore

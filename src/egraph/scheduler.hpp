@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Adaptive rule scheduling for the equality-saturation runner.
+ *
+ * The Scheduler is consulted by runEqSat once per iteration.  It owns two
+ * orthogonal mechanisms:
+ *
+ *  - **Provable search skipping** (the default, byte-identity-preserving
+ *    path): a rule whose last complete incremental search is still a
+ *    valid baseline, and whose root-operator candidate classes were all
+ *    untouched since that search's clock, would provably return an empty
+ *    match list with exactly its cached total again — so the search call
+ *    is skipped and its result synthesized from the cached total.  Rules
+ *    whose cached total is zero are *pruned* this way after
+ *    `Strategy::pruneAfterZeroSearches` consecutive empty complete
+ *    searches, and re-armed the moment any class carrying their root
+ *    operator is dirtied; rules with nonzero cached totals are *replayed*
+ *    (their totals still participate in cap/backoff accounting).  Either
+ *    way the runner keeps a synthesized entry in its per-iteration search
+ *    list, so fault polling, budget polling, per-rule totals, and the
+ *    virtual-apply counters are exactly those of a run that searched.
+ *
+ *  - **Phasing** (named strategies only): the strategy's phases partition
+ *    the iteration budget, each activating a rule subset under its own
+ *    node-growth / match-cap / backoff overrides and an optional
+ *    quiet-iteration early stop.  Phased strategies may trade
+ *    completeness for time and are never used on the golden-pinned
+ *    default path.
+ *
+ * Determinism: for the default (unphased) strategy every decision is a
+ * pure function of the rule's incremental search state and the e-graph's
+ * dirty stamps, both of which are thread-count-invariant, so the
+ * schedule — and therefore the pipeline output — is identical at every
+ * pool width.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+#include "egraph/ematch_program.hpp"
+#include "egraph/strategy.hpp"
+
+namespace isamore {
+
+struct RewriteRule;
+struct EqSatLimits;
+struct SearchResult;
+
+class Scheduler {
+ public:
+    /** What the runner does with one rule this iteration. */
+    enum class Action : uint8_t {
+        Search,    ///< run searchPattern as usual
+        Replay,    ///< synthesize the provably-unchanged cached result
+        Deselect,  ///< not in the current phase's rule set at all
+    };
+
+    /**
+     * @p programs are the rules' compiled patterns, parallel to
+     * @p rules: the replay proof must test dirtiness at exactly the
+     * read depth the search itself would use.
+     */
+    Scheduler(const Strategy& strategy,
+              const std::vector<RewriteRule>& rules,
+              const std::vector<PatternProgram>& programs,
+              const EqSatLimits& limits);
+
+    /** Whether this schedule runs the strategy's phase list. */
+    bool phased() const { return strategy_.phased(); }
+
+    /**
+     * Iteration bound for the whole run: the strategy's summed phase
+     * budgets when phased (they supersede limits.maxIterations),
+     * otherwise limits.maxIterations.
+     */
+    size_t maxIterations() const { return maxIterations_; }
+
+    /** The per-iteration schedule handed to the runner. */
+    struct IterationPlan {
+        size_t phase = 0;          ///< phase index (0 when unphased)
+        size_t maxNodes = 0;       ///< effective node cap this iteration
+        size_t matchCap = 0;       ///< effective per-rule match cap base
+        bool useBackoff = false;   ///< effective backoff toggle
+        std::vector<Action> actions;       ///< parallel to rules
+        std::vector<size_t> replayTotals;  ///< cached totals (Replay only)
+        // Telemetry counts (never in deterministic output).
+        size_t active = 0;    ///< rules scheduled for a real search
+        size_t replayed = 0;  ///< nonzero cached results synthesized
+        size_t pruned = 0;    ///< zero-match rules held out of the set
+        size_t rearmed = 0;   ///< previously pruned rules re-activated
+    };
+
+    /**
+     * Plan the iteration about to run.  @p egraph must be rebuilt (the
+     * plan reads its dirty stamps); @p states are the runner's per-rule
+     * incremental search states.  The returned reference is valid until
+     * the next plan() call.
+     */
+    const IterationPlan& plan(
+        const EGraph& egraph,
+        const std::vector<IncrementalSearchState>& states);
+
+    /** A rule's search completed un-banned; record its total. */
+    void observeSearch(size_t rule, const SearchResult& result);
+
+    /** A rule's search was truncated/banned; its baseline is gone. */
+    void observeBan(size_t rule);
+
+    /** A rule's search died (fault/alloc); distrust its baseline. */
+    void observeError(size_t rule);
+
+    /** Applications were dropped: every cached baseline is unusable. */
+    void invalidateCaches();
+
+    /** What the runner should do after an iteration's stop checks. */
+    enum class Next : uint8_t {
+        Continue,       ///< run another iteration
+        StopSaturated,  ///< quiet and nothing left to schedule
+        StopIterLimit,  ///< phase budgets exhausted without saturation
+    };
+
+    /**
+     * Advance phase bookkeeping at the end of an iteration.  @p quiet is
+     * the runner's saturation predicate (no merges, no growth, no bans,
+     * no skips); @p phaseCapped reports that this iteration tripped the
+     * *phase* node cap (growth budget) rather than the global one.
+     */
+    Next endIteration(bool quiet, bool phaseCapped);
+
+ private:
+    struct RuleInfo {
+        Op rootOp = Op::Hole;
+        size_t readDepth = 0;  ///< PatternProgram::readDepth() of the LHS
+        bool guarded = false;
+        bool saturating = false;
+        size_t lastTotal = 0;   ///< totalCount of the last complete search
+        size_t zeroStreak = 0;  ///< consecutive complete zero-match ones
+        bool cachedKnown = false;  ///< lastTotal mirrors the search state
+        bool prunedNow = false;    ///< held out of the current iteration
+    };
+
+    bool selectedInPhase(const RuleInfo& info, const std::string& name,
+                         const StrategyPhase& phase) const;
+
+    const Strategy strategy_;
+    const std::vector<RewriteRule>& rules_;
+    size_t maxIterations_ = 0;
+    size_t limitMaxNodes_ = 0;
+    size_t limitMatchCap_ = 0;
+    bool limitBackoff_ = false;
+    bool incremental_ = false;
+
+    std::vector<RuleInfo> info_;
+    IterationPlan plan_;
+
+    // Phase cursor (phased strategies only).
+    size_t phaseIndex_ = 0;
+    size_t itersInPhase_ = 0;
+    size_t phaseStartNodes_ = 0;
+    bool phaseFresh_ = true;
+};
+
+}  // namespace isamore

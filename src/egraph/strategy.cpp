@@ -1,0 +1,385 @@
+#include "egraph/strategy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace isamore {
+
+namespace {
+
+const char*
+selectorName(RuleSelector selector)
+{
+    switch (selector) {
+      case RuleSelector::All:
+        return "all";
+      case RuleSelector::Sat:
+        return "sat";
+      case RuleSelector::NonSat:
+        return "nonsat";
+      case RuleSelector::Named:
+        return "named";
+    }
+    return "?";
+}
+
+/** %g keeps human-written growth factors (2, 1.5, 4) stable. */
+std::string
+formatGrowth(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", value);
+    return buf;
+}
+
+/** Identifier charset for names and labels (spec-delimiter free). */
+bool
+validIdent(const std::string& text)
+{
+    if (text.empty()) {
+        return false;
+    }
+    for (char c : text) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                        c == '.';
+        if (!ok) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::string>
+split(const std::string& text, char sep)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(text);
+    while (std::getline(is, item, sep)) {
+        // Tolerate whitespace/newlines around separators so specs can be
+        // wrapped in scripts and config files.
+        size_t begin = item.find_first_not_of(" \t\r\n");
+        size_t end = item.find_last_not_of(" \t\r\n");
+        out.push_back(begin == std::string::npos
+                          ? std::string()
+                          : item.substr(begin, end - begin + 1));
+    }
+    return out;
+}
+
+bool
+parseSize(const std::string& text, size_t& out)
+{
+    if (text.empty()) {
+        return false;
+    }
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+        return false;
+    }
+    out = static_cast<size_t>(value);
+    return true;
+}
+
+bool
+parsePhaseItem(const std::string& key, const std::string& value,
+               StrategyPhase& phase, std::string& error)
+{
+    if (key == "rules") {
+        if (value == "all") {
+            phase.selector = RuleSelector::All;
+        } else if (value == "sat") {
+            phase.selector = RuleSelector::Sat;
+        } else if (value == "nonsat") {
+            phase.selector = RuleSelector::NonSat;
+        } else {
+            phase.selector = RuleSelector::Named;
+            phase.ruleNames.clear();
+            for (const std::string& name : split(value, '+')) {
+                if (!validIdent(name)) {
+                    error = "bad rule name '" + name + "' in rules=";
+                    return false;
+                }
+                phase.ruleNames.push_back(name);
+            }
+            std::sort(phase.ruleNames.begin(), phase.ruleNames.end());
+        }
+        return true;
+    }
+    if (key == "iters") {
+        size_t iters = 0;
+        if (!parseSize(value, iters) || iters == 0) {
+            error = "iters= needs a positive integer, got '" + value + "'";
+            return false;
+        }
+        phase.iters = iters;
+        return true;
+    }
+    if (key == "growth") {
+        char* end = nullptr;
+        const double growth = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0' || !(growth >= 1.0)) {
+            error = "growth= needs a number >= 1, got '" + value + "'";
+            return false;
+        }
+        phase.growth = growth;
+        return true;
+    }
+    if (key == "stop") {
+        if (value == "quiet") {
+            phase.stop = PhaseStop::Quiet;
+        } else if (value == "none") {
+            phase.stop = PhaseStop::None;
+        } else {
+            error = "stop= must be quiet|none, got '" + value + "'";
+            return false;
+        }
+        return true;
+    }
+    if (key == "cap") {
+        size_t cap = 0;
+        if (!parseSize(value, cap) || cap == 0) {
+            error = "cap= needs a positive integer, got '" + value + "'";
+            return false;
+        }
+        phase.matchCap = cap;
+        return true;
+    }
+    if (key == "backoff") {
+        if (value == "on") {
+            phase.backoff = Toggle::On;
+        } else if (value == "off") {
+            phase.backoff = Toggle::Off;
+        } else {
+            error = "backoff= must be on|off, got '" + value + "'";
+            return false;
+        }
+        return true;
+    }
+    error = "unknown phase key '" + key + "'";
+    return false;
+}
+
+bool
+parsePhase(const std::string& body, StrategyPhase& phase,
+           std::string& error)
+{
+    const size_t colon = body.find(':');
+    phase.label = colon == std::string::npos ? body : body.substr(0, colon);
+    if (!validIdent(phase.label)) {
+        error = "bad phase label '" + phase.label + "'";
+        return false;
+    }
+    if (colon == std::string::npos) {
+        return true;
+    }
+    for (const std::string& item : split(body.substr(colon + 1), ',')) {
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            error = "phase item '" + item + "' is not key=value";
+            return false;
+        }
+        if (!parsePhaseItem(item.substr(0, eq), item.substr(eq + 1), phase,
+                            error)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+bool
+StrategyPhase::operator==(const StrategyPhase& o) const
+{
+    return label == o.label && selector == o.selector &&
+           ruleNames == o.ruleNames && iters == o.iters &&
+           growth == o.growth && stop == o.stop && matchCap == o.matchCap &&
+           backoff == o.backoff;
+}
+
+bool
+Strategy::operator==(const Strategy& o) const
+{
+    return name == o.name &&
+           pruneAfterZeroSearches == o.pruneAfterZeroSearches &&
+           phases == o.phases;
+}
+
+std::string
+Strategy::encode() const
+{
+    std::ostringstream os;
+    os << "name=" << name << ";prune=";
+    if (pruneAfterZeroSearches == 0) {
+        os << "off";
+    } else {
+        os << pruneAfterZeroSearches;
+    }
+    for (const StrategyPhase& phase : phases) {
+        os << ";phase=" << phase.label << ":rules=";
+        if (phase.selector == RuleSelector::Named) {
+            for (size_t i = 0; i < phase.ruleNames.size(); ++i) {
+                os << (i == 0 ? "" : "+") << phase.ruleNames[i];
+            }
+        } else {
+            os << selectorName(phase.selector);
+        }
+        os << ",iters=" << phase.iters;
+        if (phase.growth > 0.0) {
+            os << ",growth=" << formatGrowth(phase.growth);
+        }
+        os << ",stop=" << (phase.stop == PhaseStop::Quiet ? "quiet" : "none");
+        if (phase.matchCap != 0) {
+            os << ",cap=" << phase.matchCap;
+        }
+        if (phase.backoff != Toggle::Inherit) {
+            os << ",backoff=" << (phase.backoff == Toggle::On ? "on" : "off");
+        }
+    }
+    return os.str();
+}
+
+Strategy
+Strategy::defaults()
+{
+    return Strategy{};
+}
+
+Strategy
+Strategy::exhaustive()
+{
+    Strategy strategy;
+    strategy.name = "exhaustive";
+    strategy.pruneAfterZeroSearches = 0;
+    return strategy;
+}
+
+std::optional<Strategy>
+builtinStrategy(const std::string& name)
+{
+    if (name == "default") {
+        return Strategy::defaults();
+    }
+    if (name == "exhaustive") {
+        return Strategy::exhaustive();
+    }
+    if (name == "sat-first") {
+        // Caviar-style phasing: drain the cheap saturating rules first
+        // (they cannot grow the graph), then admit the expanding rules
+        // under a growth budget.  Completeness-trading: the expanding
+        // phase is shorter than the default schedule's.
+        Strategy strategy;
+        strategy.name = "sat-first";
+        StrategyPhase sat;
+        sat.label = "sat";
+        sat.selector = RuleSelector::Sat;
+        sat.iters = 8;
+        sat.stop = PhaseStop::Quiet;
+        StrategyPhase expand;
+        expand.label = "expand";
+        expand.selector = RuleSelector::All;
+        expand.iters = 4;
+        expand.growth = 4.0;
+        expand.stop = PhaseStop::Quiet;
+        strategy.phases = {sat, expand};
+        return strategy;
+    }
+    if (name == "trim") {
+        // Aggressive: tight match caps with backoff plus a small growth
+        // allowance, for latency-sensitive serving paths.
+        Strategy strategy;
+        strategy.name = "trim";
+        strategy.pruneAfterZeroSearches = 2;
+        StrategyPhase sat;
+        sat.label = "sat";
+        sat.selector = RuleSelector::Sat;
+        sat.iters = 6;
+        sat.stop = PhaseStop::Quiet;
+        StrategyPhase expand;
+        expand.label = "expand";
+        expand.selector = RuleSelector::NonSat;
+        expand.iters = 2;
+        expand.growth = 2.0;
+        expand.stop = PhaseStop::Quiet;
+        expand.matchCap = 512;
+        expand.backoff = Toggle::On;
+        StrategyPhase polish;
+        polish.label = "polish";
+        polish.selector = RuleSelector::Sat;
+        polish.iters = 2;
+        polish.stop = PhaseStop::Quiet;
+        strategy.phases = {sat, expand, polish};
+        return strategy;
+    }
+    return std::nullopt;
+}
+
+std::string
+builtinStrategyNames()
+{
+    return "default|exhaustive|sat-first|trim";
+}
+
+std::optional<Strategy>
+parseStrategy(const std::string& text, std::string& error)
+{
+    if (auto builtin = builtinStrategy(text)) {
+        return builtin;
+    }
+    if (text.find('=') == std::string::npos) {
+        error = "unknown strategy '" + text + "' (builtins: " +
+                builtinStrategyNames() + "; or a name=...;phase=... spec)";
+        return std::nullopt;
+    }
+    Strategy strategy;
+    strategy.name.clear();
+    for (const std::string& item : split(text, ';')) {
+        if (item.empty()) {
+            continue;
+        }
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            error = "strategy item '" + item + "' is not key=value";
+            return std::nullopt;
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "name") {
+            if (!validIdent(value)) {
+                error = "bad strategy name '" + value + "'";
+                return std::nullopt;
+            }
+            strategy.name = value;
+        } else if (key == "prune") {
+            if (value == "off") {
+                strategy.pruneAfterZeroSearches = 0;
+            } else if (!parseSize(value, strategy.pruneAfterZeroSearches) ||
+                       strategy.pruneAfterZeroSearches == 0) {
+                error = "prune= needs a positive integer or 'off', got '" +
+                        value + "'";
+                return std::nullopt;
+            }
+        } else if (key == "phase") {
+            StrategyPhase phase;
+            if (!parsePhase(value, phase, error)) {
+                return std::nullopt;
+            }
+            strategy.phases.push_back(std::move(phase));
+        } else {
+            error = "unknown strategy key '" + key + "'";
+            return std::nullopt;
+        }
+    }
+    if (strategy.name.empty()) {
+        error = "strategy spec needs a name= item";
+        return std::nullopt;
+    }
+    return strategy;
+}
+
+}  // namespace isamore

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * First-class equality-saturation strategies (ROADMAP item 2).
+ *
+ * A Strategy is searchable data describing *how* runEqSat spends its
+ * iteration budget: which rules participate, in what phases, under what
+ * per-phase iteration / node-growth / match-cap budgets, and which
+ * early-stop predicates cut a phase short (Caviar-style pruning).  The
+ * default strategy drives the adaptive scheduler, whose pruning only ever
+ * skips searches that provably produce zero new matches, so pipeline
+ * output stays byte-identical to the exhaustive engine; named aggressive
+ * strategies may trade completeness for time (their contract is
+ * equal-or-better Pareto fronts at lower EqSat time, checked offline by
+ * tools/isamore_tune).
+ *
+ * Strategies round-trip through a textual encoding so they can live on a
+ * command line (`--strategy`), in an environment variable
+ * ($ISAMORE_STRATEGY), in a server request field, or in a future on-disk
+ * corpus:
+ *
+ *   name=sat-first;prune=1;
+ *     phase=sat:rules=sat,iters=8,stop=quiet;
+ *     phase=expand:rules=all,iters=4,growth=4,stop=quiet
+ *
+ * (whitespace/newlines around ';' are ignored).  `parseStrategy` also
+ * accepts a bare built-in name ("default", "exhaustive", "sat-first",
+ * "trim"); `Strategy::encode()` prints the canonical spec, and
+ * parse(encode(s)) == s for every representable strategy.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isamore {
+
+/** Which rules a strategy phase activates. */
+enum class RuleSelector : uint8_t {
+    All,     ///< every rule handed to runEqSat
+    Sat,     ///< rules flagged kRuleSat (cheap: only union, never grow)
+    NonSat,  ///< rules that may create e-classes (expensive, expanding)
+    Named,   ///< an explicit rule-name list
+};
+
+/** Early-stop predicate ending a phase before its iteration budget. */
+enum class PhaseStop : uint8_t {
+    None,   ///< run the phase's full iteration budget
+    Quiet,  ///< stop the phase after an iteration with no merges/growth
+};
+
+/** Tri-state override of a boolean runner limit. */
+enum class Toggle : uint8_t { Inherit, On, Off };
+
+/**
+ * One phase of a strategy: a rule subset run for up to `iters`
+ * iterations, optionally bounded by node growth relative to the phase's
+ * starting size and cut short by an early-stop predicate.
+ */
+struct StrategyPhase {
+    std::string label;  ///< display/telemetry name (no ':' ',' ';' '=')
+    RuleSelector selector = RuleSelector::All;
+    std::vector<std::string> ruleNames;  ///< Named selector only (sorted)
+    size_t iters = 4;     ///< iteration budget of this phase
+    double growth = 0.0;  ///< >0: phase node cap = start nodes * growth
+    PhaseStop stop = PhaseStop::Quiet;
+    size_t matchCap = 0;  ///< >0: overrides limits.maxMatchesPerRule
+    Toggle backoff = Toggle::Inherit;  ///< overrides limits.useBackoff
+
+    bool operator==(const StrategyPhase& o) const;
+};
+
+/**
+ * A complete strategy.  No phases = the single implicit all-rules phase
+ * governed entirely by the runner's EqSatLimits; this is the only shape
+ * whose output is guaranteed byte-identical to the exhaustive engine.
+ */
+struct Strategy {
+    std::string name = "default";
+
+    /**
+     * Adaptive pruning: a rule is dropped from the search set after
+     * `pruneAfterZeroSearches` consecutive complete searches with zero
+     * matches, and re-armed as soon as any e-class carrying its root
+     * operator is dirtied.  Rules with cached nonzero match counts are
+     * skipped the same provable way (their cached counts are replayed).
+     * 0 disables pruning entirely (the exhaustive scheduler).
+     */
+    size_t pruneAfterZeroSearches = 1;
+
+    std::vector<StrategyPhase> phases;
+
+    bool phased() const { return !phases.empty(); }
+    bool adaptive() const { return pruneAfterZeroSearches > 0; }
+
+    /** Canonical textual form; parseStrategy() round-trips it. */
+    std::string encode() const;
+
+    bool operator==(const Strategy& o) const;
+
+    /** The byte-identical adaptive default. */
+    static Strategy defaults();
+    /** Scheduling disabled: every rule searched every iteration (PR 7). */
+    static Strategy exhaustive();
+};
+
+/** Names accepted as bare built-in strategies, comma-joined for errors. */
+std::string builtinStrategyNames();
+
+/** The built-in strategy registry ("default", "exhaustive", ...). */
+std::optional<Strategy> builtinStrategy(const std::string& name);
+
+/**
+ * Parse @p text as a bare built-in name or a full `name=...` spec.
+ * @return std::nullopt with a human-readable reason in @p error.
+ */
+std::optional<Strategy> parseStrategy(const std::string& text,
+                                      std::string& error);
+
+}  // namespace isamore

@@ -56,11 +56,17 @@ identifyInstructions(const AnalyzedWorkload& analyzed,
 }
 
 rii::RiiResult
-identifyInstructions(const AnalyzedWorkload& analyzed, rii::Mode mode)
+identifyInstructions(const AnalyzedWorkload& analyzed,
+                     const rii::RiiConfig& config)
 {
     static const rules::RulesetLibrary library = rules::defaultLibrary();
-    return identifyInstructions(analyzed, library,
-                                rii::RiiConfig::forMode(mode));
+    return identifyInstructions(analyzed, library, config);
+}
+
+rii::RiiResult
+identifyInstructions(const AnalyzedWorkload& analyzed, rii::Mode mode)
+{
+    return identifyInstructions(analyzed, rii::RiiConfig::forMode(mode));
 }
 
 std::string

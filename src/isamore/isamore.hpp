@@ -38,6 +38,10 @@ rii::RiiResult identifyInstructions(const AnalyzedWorkload& analyzed,
                                     const rules::RulesetLibrary& rules,
                                     const rii::RiiConfig& config);
 
+/** Convenience overload: default library + explicit config. */
+rii::RiiResult identifyInstructions(const AnalyzedWorkload& analyzed,
+                                    const rii::RiiConfig& config);
+
 /** Convenience overload: default library + mode-derived config. */
 rii::RiiResult identifyInstructions(const AnalyzedWorkload& analyzed,
                                     rii::Mode mode = rii::Mode::Default);

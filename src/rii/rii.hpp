@@ -53,7 +53,9 @@ struct RiiConfig {
     size_t rulesPerPhase = 8;
 
     EqSatLimits eqsat{/*maxNodes=*/20000, /*maxIterations=*/8,
-                      /*maxSeconds=*/10.0, /*maxMatchesPerRule=*/1024};
+                      /*maxSeconds=*/10.0, /*maxMatchesPerRule=*/1024,
+                      /*useBackoff=*/false, /*incrementalSearch=*/true,
+                      /*strategy=*/{}};
     AuOptions au;
     SelectOptions select;
     VectorizeOptions vectorize;

@@ -506,6 +506,10 @@ parseRequest(const std::string& line, uint64_t seq)
             if (!wantBool(value, "extendedRules", request.extendedRules)) {
                 return request;
             }
+        } else if (key == "strategy") {
+            if (!wantString(value, "strategy", request.strategyText)) {
+                return request;
+            }
         } else if (key == "inject") {
             if (!wantString(value, "inject", request.inject)) {
                 return request;
@@ -667,6 +671,16 @@ SharedState::runAnalysis(const Request& request, Budget& rootBudget)
         response.error = "unknown mode: " + request.modeText;
         return response;
     }
+    std::optional<Strategy> strategy;
+    if (!request.strategyText.empty()) {
+        std::string strategyError;
+        strategy = parseStrategy(request.strategyText, strategyError);
+        if (!strategy.has_value()) {
+            response.status = Status::Invalid;
+            response.error = "bad strategy: " + strategyError;
+            return response;
+        }
+    }
 
     std::shared_ptr<const AnalyzedWorkload> analyzed;
     try {
@@ -688,10 +702,14 @@ SharedState::runAnalysis(const Request& request, Budget& rootBudget)
     // Only unconstrained, fault-free requests may use the response
     // cache: anything with a budget, an injection, or a pinned thread
     // count must actually run to observe its own degradation (or, for
-    // threads, to actually exercise the pipeline at that width).
+    // threads, to actually exercise the pipeline at that width).  A
+    // requested strategy also runs uncached: only the default schedule
+    // is proven byte-identical to the cached (golden) documents.
     const bool cacheable = request.cache && request.inject.empty() &&
                            request.deadlineMs == 0.0 &&
-                           request.maxUnits == 0 && request.threads == 0;
+                           request.maxUnits == 0 &&
+                           request.threads == 0 &&
+                           request.strategyText.empty();
     const std::string cacheKey = request.workload + '\x1f' +
                                  rii::modeName(*mode) + '\x1f' +
                                  (request.extendedRules ? "x" : "-");
@@ -738,6 +756,9 @@ SharedState::runAnalysis(const Request& request, Budget& rootBudget)
         }
 
         rii::RiiConfig config = rii::RiiConfig::forMode(*mode);
+        if (strategy.has_value()) {
+            config.eqsat.strategy = *strategy;
+        }
         config.parentBudget = &rootBudget;
         const rules::RulesetLibrary& library =
             request.extendedRules ? extendedLibrary() : default_;

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Tests for the adaptive EqSat scheduler (scheduler.hpp): a 1000-case
+ * adaptive-vs-exhaustive runEqSat differential at 1/2/4 threads (the
+ * default schedule's provable skips must leave e-graph and statistics
+ * byte-identical to the unscheduled engine), unit tests for the
+ * prune/replay/re-arm decisions against the op index's depth-bucketed
+ * dirty stamps, depth-bucket stamp units, and phased-strategy behavior.
+ */
+#include "egraph/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "egraph/dump.hpp"
+#include "egraph/rewrite.hpp"
+#include "support/pool.hpp"
+#include "support/rng.hpp"
+
+namespace isamore {
+namespace {
+
+/** Random expression over +, *, -, << with shared leaves. */
+TermPtr
+randomTerm(Rng& rng, int depth)
+{
+    if (depth <= 0 || rng.next() % 4 == 0) {
+        if (rng.next() % 2 == 0) {
+            return lit(static_cast<int64_t>(rng.next() % 4));
+        }
+        return arg(0, static_cast<int64_t>(rng.next() % 3));
+    }
+    static const Op kOps[] = {Op::Add, Op::Mul, Op::Sub, Op::Shl};
+    const Op op = kOps[rng.next() % 4];
+    return makeTerm(op,
+                    {randomTerm(rng, depth - 1), randomTerm(rng, depth - 1)});
+}
+
+std::vector<RewriteRule>
+differentialRules()
+{
+    return {
+        makeRule("add-comm", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat | kRuleInt),
+        makeRule("mul-comm", "(* ?0 ?1)", "(* ?1 ?0)", kRuleSat | kRuleInt),
+        makeRule("mul2-shift", "(* ?0 2)", "(<< ?0 1)", kRuleInt),
+        makeRule("distribute", "(* (+ ?0 ?1) ?2)", "(+ (* ?0 ?2) (* ?1 ?2))",
+                 kRuleInt),
+        makeRule("add-zero", "(+ ?0 0)", "?0", kRuleSat | kRuleInt),
+    };
+}
+
+struct RunResult {
+    std::string dump;
+    size_t iterations;
+    size_t applications;
+    size_t peakNodes;
+    size_t peakClasses;
+    StopReason stopReason;
+    std::vector<std::pair<std::string, RuleTotals>> perRule;
+};
+
+RunResult
+runCase(uint64_t seed, size_t threads, bool adaptive)
+{
+    setGlobalThreads(threads);
+    Rng rng(seed);
+    EGraph g;
+    const size_t terms = 2 + rng.next() % 5;
+    for (size_t t = 0; t < terms; ++t) {
+        g.addTerm(randomTerm(rng, 2 + static_cast<int>(rng.next() % 3)));
+    }
+    EqSatLimits limits;
+    limits.maxIterations = 4;
+    limits.maxNodes = 4000;
+    limits.maxSeconds = 1e9;  // no wall-clock dependence in a differential
+    if (adaptive) {
+        limits.strategy = Strategy::defaults();
+        limits.incrementalSearch = true;
+    } else {
+        // The unscheduled PR 7 engine: every rule fully searched every
+        // iteration, nothing skipped, nothing replayed.
+        limits.strategy = Strategy::exhaustive();
+        limits.incrementalSearch = false;
+    }
+    const EqSatStats stats = runEqSat(g, differentialRules(), limits);
+    RunResult out;
+    out.dump = dumpText(g);
+    out.iterations = stats.iterations;
+    out.applications = stats.applications;
+    out.peakNodes = stats.peakNodes;
+    out.peakClasses = stats.peakClasses;
+    out.stopReason = stats.stopReason;
+    out.perRule = stats.perRule;
+    return out;
+}
+
+TEST(SchedulerTest, ThousandCaseAdaptiveExhaustiveDifferential)
+{
+    constexpr uint64_t kCases = 1000;
+    for (uint64_t seed = 0; seed < kCases; ++seed) {
+        const RunResult exhaustive = runCase(seed, 1, false);
+        for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+            const RunResult adaptive = runCase(seed, threads, true);
+            ASSERT_EQ(exhaustive.dump, adaptive.dump)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(exhaustive.iterations, adaptive.iterations)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(exhaustive.applications, adaptive.applications)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(exhaustive.peakNodes, adaptive.peakNodes)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(exhaustive.peakClasses, adaptive.peakClasses)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(exhaustive.stopReason, adaptive.stopReason)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(exhaustive.perRule.size(), adaptive.perRule.size());
+            for (size_t r = 0; r < exhaustive.perRule.size(); ++r) {
+                ASSERT_EQ(exhaustive.perRule[r].first,
+                          adaptive.perRule[r].first);
+                // A replayed search must report the matches and
+                // applications of the search it skipped (cacheSkips
+                // legitimately differ: they count the skipping itself).
+                ASSERT_EQ(exhaustive.perRule[r].second.matches,
+                          adaptive.perRule[r].second.matches)
+                    << "seed " << seed << " threads " << threads << " rule "
+                    << exhaustive.perRule[r].first;
+                ASSERT_EQ(exhaustive.perRule[r].second.applications,
+                          adaptive.perRule[r].second.applications)
+                    << "seed " << seed << " threads " << threads << " rule "
+                    << exhaustive.perRule[r].first;
+            }
+        }
+    }
+    setGlobalThreads(0);
+}
+
+TEST(SchedulerTest, DifferentialHoldsUnderBackoffAndTightCaps)
+{
+    // Backoff bans and cap truncation drop the replay baseline; the
+    // scheduler must fall back to real searches without drifting.
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        for (const size_t cap : {size_t{4}, size_t{16}}) {
+            auto run = [&](bool adaptive) {
+                setGlobalThreads(adaptive ? 4 : 1);
+                Rng rng(seed);
+                EGraph g;
+                for (size_t t = 0; t < 3; ++t) {
+                    g.addTerm(randomTerm(rng, 3));
+                }
+                EqSatLimits limits;
+                limits.maxIterations = 5;
+                limits.maxSeconds = 1e9;
+                limits.useBackoff = true;
+                limits.maxMatchesPerRule = cap;
+                if (adaptive) {
+                    limits.strategy = Strategy::defaults();
+                } else {
+                    limits.strategy = Strategy::exhaustive();
+                    limits.incrementalSearch = false;
+                }
+                runEqSat(g, differentialRules(), limits);
+                return dumpText(g);
+            };
+            ASSERT_EQ(run(false), run(true))
+                << "seed " << seed << " cap " << cap;
+        }
+    }
+    setGlobalThreads(0);
+}
+
+// --- prune / replay / re-arm units -----------------------------------
+
+/**
+ * Drives a Scheduler the way runEqSat does: plan, search the rules the
+ * plan asks to search, feed the results back.
+ */
+struct SchedulerHarness {
+    explicit SchedulerHarness(std::vector<RewriteRule> rulesIn)
+        : rules(std::move(rulesIn))
+    {
+        for (const RewriteRule& rule : rules) {
+            programs.push_back(PatternProgram::compile(rule.lhs));
+        }
+        limits.maxSeconds = 1e9;
+        scheduler.emplace(Strategy::defaults(), rules, programs, limits);
+        states.resize(rules.size());
+    }
+
+    /** Plan one iteration against @p g and run the scheduled searches. */
+    const Scheduler::IterationPlan&
+    step(const EGraph& g)
+    {
+        const Scheduler::IterationPlan& plan = scheduler->plan(g, states);
+        for (size_t r = 0; r < rules.size(); ++r) {
+            if (plan.actions[r] != Scheduler::Action::Search) {
+                continue;
+            }
+            const SearchResult result = searchPattern(
+                g, programs[r], limits.maxMatchesPerRule, &states[r]);
+            scheduler->observeSearch(r, result);
+        }
+        return plan;
+    }
+
+    std::vector<RewriteRule> rules;
+    std::vector<PatternProgram> programs;
+    EqSatLimits limits;
+    std::optional<Scheduler> scheduler;
+    std::vector<IncrementalSearchState> states;
+};
+
+TEST(SchedulerTest, PrunesZeroMatchRulesAndRearmsOnOpDirtying)
+{
+    // No Mul anywhere: mul-comm's first complete search comes back empty
+    // and the rule is pruned; add-comm keeps a nonzero cached total and
+    // is replayed.  Adding a Mul class re-arms exactly mul-comm.
+    EGraph g;
+    g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    g.rebuild();
+
+    SchedulerHarness h({
+        makeRule("add-comm", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat | kRuleInt),
+        makeRule("mul-comm", "(* ?0 ?1)", "(* ?1 ?0)", kRuleSat | kRuleInt),
+    });
+
+    // Iteration 1: no baselines yet, everything searches.
+    const auto& first = h.step(g);
+    EXPECT_EQ(first.actions[0], Scheduler::Action::Search);
+    EXPECT_EQ(first.actions[1], Scheduler::Action::Search);
+    EXPECT_EQ(first.active, 2u);
+    EXPECT_EQ(first.pruned, 0u);
+
+    // Iteration 2 on the untouched graph: add-comm replays its cached
+    // match, mul-comm is pruned outright.
+    const auto& second = h.step(g);
+    EXPECT_EQ(second.actions[0], Scheduler::Action::Replay);
+    EXPECT_EQ(second.replayTotals[0], 1u);
+    EXPECT_EQ(second.actions[1], Scheduler::Action::Replay);
+    EXPECT_EQ(second.replayTotals[1], 0u);
+    EXPECT_EQ(second.replayed, 1u);
+    EXPECT_EQ(second.pruned, 1u);
+    EXPECT_EQ(second.rearmed, 0u);
+
+    // A new class carrying Mul dirties mul-comm's candidate watermark:
+    // the prune is no longer provable and the rule re-arms.  The Add
+    // candidates are untouched, so add-comm still replays.
+    g.addTerm(parseTerm("(* $0.0 $0.1)"));
+    g.rebuild();
+    const auto& third = h.step(g);
+    EXPECT_EQ(third.actions[0], Scheduler::Action::Replay);
+    EXPECT_EQ(third.actions[1], Scheduler::Action::Search);
+    EXPECT_EQ(third.rearmed, 1u);
+
+    // The re-armed search found the new match; with the graph quiet
+    // again the rule settles back into nonzero replay.
+    const auto& fourth = h.step(g);
+    EXPECT_EQ(fourth.actions[1], Scheduler::Action::Replay);
+    EXPECT_EQ(fourth.replayTotals[1], 1u);
+    EXPECT_EQ(fourth.pruned, 0u);
+}
+
+TEST(SchedulerTest, ZeroMatchPruneIgnoresChangesBelowReadDepth)
+{
+    // distribute's LHS (* (+ ?0 ?1) ?2) reads one level below its Mul
+    // candidates.  The graph's only Mul has a Sub child, so the rule is
+    // pruned; dirtying a *leaf* two levels below the Mul cannot create
+    // an Add child, and the depth-bucketed watermark proves it.
+    EGraph g;
+    const EClassId leaf = g.addTerm(parseTerm("$0.0"));
+    g.addTerm(parseTerm("(* (- $0.0 $0.1) $0.2)"));
+    g.rebuild();
+
+    SchedulerHarness h({
+        makeRule("distribute", "(* (+ ?0 ?1) ?2)",
+                 "(+ (* ?0 ?2) (* ?1 ?2))", kRuleInt),
+    });
+    ASSERT_EQ(h.programs[0].readDepth(), 1u);
+
+    h.step(g);  // establish the zero baseline
+    const auto& pruned = h.step(g);
+    ASSERT_EQ(pruned.actions[0], Scheduler::Action::Replay);
+    EXPECT_EQ(pruned.pruned, 1u);
+
+    // Merge into the leaf: the Sub class is dirtied at bucket >= 1 and
+    // the Mul class at bucket >= 2, but the Mul's bucket-1 stamp (all
+    // the pattern reads) stays clean -- still provably matchless.
+    g.merge(leaf, g.addTerm(parseTerm("$0.3")));
+    g.rebuild();
+    const auto& still = h.step(g);
+    EXPECT_EQ(still.actions[0], Scheduler::Action::Replay);
+    EXPECT_EQ(still.pruned, 1u);
+    EXPECT_EQ(still.rearmed, 0u);
+
+    // Merge into the Sub class itself (distance 1 from the Mul): now a
+    // bucket-1 change, inside the pattern's read depth -- re-arm.
+    const EClassId sub = g.addTerm(parseTerm("(- $0.0 $0.1)"));
+    g.merge(sub, g.addTerm(parseTerm("$0.4")));
+    g.rebuild();
+    const auto& rearmed = h.step(g);
+    EXPECT_EQ(rearmed.actions[0], Scheduler::Action::Search);
+    EXPECT_EQ(rearmed.rearmed, 1u);
+}
+
+TEST(SchedulerTest, NonzeroReplayRequiresWholeConeClean)
+{
+    // add-comm's pattern reads no class data below its candidates
+    // (readDepth 0), but a *nonzero* cached result may still be
+    // re-applied by the engine, and re-instantiation reads arbitrarily
+    // deep -- so any movement in the candidate's cone, however far below
+    // the read depth, must force a real search.
+    EGraph g;
+    const EClassId leaf = g.addTerm(parseTerm("$0.0"));
+    g.addTerm(parseTerm("(+ (+ $0.0 $0.1) $0.2)"));
+    g.rebuild();
+
+    SchedulerHarness h({
+        makeRule("add-comm", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat | kRuleInt),
+    });
+    ASSERT_EQ(h.programs[0].readDepth(), 0u);
+
+    h.step(g);
+    const auto& replayed = h.step(g);
+    ASSERT_EQ(replayed.actions[0], Scheduler::Action::Replay);
+    ASSERT_EQ(replayed.replayTotals[0], 2u);
+
+    // Leaf movement is two edges below the outer Add and strictly below
+    // the pattern's read depth -- a zero-total rule could ignore it, but
+    // the nonzero baseline must be re-searched.
+    g.merge(leaf, g.addTerm(parseTerm("$0.3")));
+    g.rebuild();
+    const auto& after = h.step(g);
+    EXPECT_EQ(after.actions[0], Scheduler::Action::Search);
+}
+
+TEST(SchedulerTest, GuardedRulesNeverReplay)
+{
+    EGraph g;
+    g.addTerm(parseTerm("(+ $0.0 $0.1)"));
+    g.rebuild();
+
+    RewriteRule guarded =
+        makeRule("add-comm", "(+ ?0 ?1)", "(+ ?1 ?0)", kRuleSat | kRuleInt);
+    guarded.guard = [](const EGraph&, const EMatch&) { return true; };
+    SchedulerHarness h({guarded});
+
+    h.step(g);
+    // A guard may re-admit an old match after unrelated changes; its
+    // searches are never provably redundant.
+    const auto& plan = h.step(g);
+    EXPECT_EQ(plan.actions[0], Scheduler::Action::Search);
+    EXPECT_EQ(plan.replayed + plan.pruned, 0u);
+}
+
+// --- depth-bucketed dirty stamps -------------------------------------
+
+TEST(DepthStampTest, BucketsBoundDirtinessByDistance)
+{
+    // chain[i] is i parent-edges above the leaf.
+    EGraph g;
+    TermPtr t = arg(0, 0);
+    std::vector<EClassId> chain = {g.addTerm(t)};
+    for (int i = 0; i < 5; ++i) {
+        t = makeTerm(Op::Add, {t, lit(static_cast<int64_t>(i))});
+        chain.push_back(g.addTerm(t));
+    }
+    g.rebuild();
+    const uint64_t snapshot = g.matchClock();
+
+    g.merge(chain[0], g.addTerm(parseTerm("$0.7")));
+    g.rebuild();
+
+    for (size_t i = 1; i < chain.size(); ++i) {
+        const EClassId id = g.find(chain[i]);
+        for (size_t depth = 0; depth < EGraph::kStampDepths; ++depth) {
+            // Bucket d covers changes within d edges below the class;
+            // the last bucket is unbounded.
+            const bool covered =
+                depth >= std::min(i, EGraph::kStampDepths - 1);
+            EXPECT_EQ(g.classStampAtDepth(id, depth) > snapshot, covered)
+                << "link " << i << " depth " << depth;
+        }
+        EXPECT_EQ(g.classStampAtDepth(id, EGraph::kStampDepths - 1),
+                  g.classStamp(id));
+    }
+}
+
+TEST(DepthStampTest, OpWatermarkTracksPerDepthMaximum)
+{
+    EGraph g;
+    const EClassId leaf = g.addTerm(parseTerm("$0.0"));
+    g.addTerm(parseTerm("(+ (+ $0.0 $0.1) $0.2)"));
+    g.addTerm(parseTerm("(* $0.1 $0.2)"));
+    g.rebuild();
+    const uint64_t snapshot = g.matchClock();
+
+    g.merge(leaf, g.addTerm(parseTerm("$0.5")));
+    g.rebuild();
+
+    // The leaf is 1 edge below the inner Add and 2 below the outer: the
+    // Add watermark is clean at depth 0 and dirty from depth 1 up.  No
+    // Mul class saw any movement at any depth.
+    EXPECT_LE(g.maxStampWithOp(Op::Add, 0), snapshot);
+    EXPECT_GT(g.maxStampWithOp(Op::Add, 1), snapshot);
+    EXPECT_GT(g.maxStampWithOp(Op::Add, EGraph::kStampDepths - 1), snapshot);
+    for (size_t depth = 0; depth < EGraph::kStampDepths; ++depth) {
+        EXPECT_LE(g.maxStampWithOp(Op::Mul, depth), snapshot) << depth;
+    }
+    // Ops absent from the graph have no watermark at all.
+    EXPECT_EQ(g.maxStampWithOp(Op::Div, EGraph::kStampDepths - 1), 0u);
+}
+
+TEST(DepthStampTest, OpWatermarkSurvivesMoveAndCopy)
+{
+    // Regression: the op-stamp watermark cache must travel with the
+    // graph.  A moved-from cache left "fresh but empty" dereferences
+    // nothing valid on the next maxStampWithOp call.
+    EGraph g;
+    g.addTerm(parseTerm("(+ (* $0.0 2) $0.1)"));
+    g.rebuild();
+    const uint64_t adds = g.maxStampWithOp(Op::Add, 1);  // warm the cache
+    ASSERT_GT(adds, 0u);
+
+    EGraph moved = std::move(g);
+    EXPECT_EQ(moved.maxStampWithOp(Op::Add, 1), adds);
+
+    EGraph assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.maxStampWithOp(Op::Add, 1), adds);
+
+    const EGraph copy = assigned;
+    EXPECT_EQ(copy.maxStampWithOp(Op::Add, 1), adds);
+}
+
+// --- phased strategies -----------------------------------------------
+
+TEST(SchedulerTest, PhasedStrategyRestrictsRuleSubset)
+{
+    // A Named single-phase strategy must keep deselected rules entirely
+    // out of the run: no matches, no applications.
+    Rng rng(7);
+    EGraph g;
+    for (size_t t = 0; t < 4; ++t) {
+        g.addTerm(randomTerm(rng, 3));
+    }
+    EqSatLimits limits;
+    limits.maxSeconds = 1e9;
+    std::string error;
+    const auto strategy = parseStrategy(
+        "name=only-comm;phase=main:rules=add-comm+mul-comm,iters=4", error);
+    ASSERT_TRUE(strategy.has_value()) << error;
+    limits.strategy = *strategy;
+    const EqSatStats stats = runEqSat(g, differentialRules(), limits);
+    EXPECT_GE(stats.phasesRun, 1u);
+    for (const auto& [name, totals] : stats.perRule) {
+        if (name != "add-comm" && name != "mul-comm") {
+            EXPECT_EQ(totals.matches, 0u) << name;
+            EXPECT_EQ(totals.applications, 0u) << name;
+        }
+    }
+}
+
+TEST(SchedulerTest, PhaseIterationBudgetsSupersedeRunnerLimit)
+{
+    Rng rng(11);
+    EGraph g;
+    for (size_t t = 0; t < 4; ++t) {
+        g.addTerm(randomTerm(rng, 3));
+    }
+    EqSatLimits limits;
+    limits.maxSeconds = 1e9;
+    limits.maxIterations = 16;
+    std::string error;
+    const auto strategy =
+        parseStrategy("name=one-shot;phase=main:rules=all,iters=1,stop=none",
+                      error);
+    ASSERT_TRUE(strategy.has_value()) << error;
+    limits.strategy = *strategy;
+    const EqSatStats stats = runEqSat(g, differentialRules(), limits);
+    EXPECT_LE(stats.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace isamore

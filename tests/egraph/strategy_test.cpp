@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the Strategy textual encoding (strategy.hpp): the built-in
+ * registry, round-tripping (parse(encode(s)) == s for every
+ * representable strategy), tolerant parsing, and rejection diagnostics.
+ */
+#include "egraph/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace isamore {
+namespace {
+
+TEST(StrategyTest, BuiltinsRoundTripThroughTheirNamesAndSpecs)
+{
+    for (const char* name : {"default", "exhaustive", "sat-first", "trim"}) {
+        const auto builtin = builtinStrategy(name);
+        ASSERT_TRUE(builtin.has_value()) << name;
+        EXPECT_EQ(builtin->name, name);
+
+        // A bare built-in name parses to the registry entry...
+        std::string error;
+        const auto byName = parseStrategy(name, error);
+        ASSERT_TRUE(byName.has_value()) << name << ": " << error;
+        EXPECT_EQ(*byName, *builtin) << name;
+
+        // ...and so does its canonical spec.
+        const auto bySpec = parseStrategy(builtin->encode(), error);
+        ASSERT_TRUE(bySpec.has_value()) << name << ": " << error;
+        EXPECT_EQ(*bySpec, *builtin) << builtin->encode();
+    }
+    EXPECT_FALSE(builtinStrategy("no-such-strategy").has_value());
+}
+
+TEST(StrategyTest, DefaultIsAdaptiveAndUnphased)
+{
+    const Strategy def = Strategy::defaults();
+    EXPECT_TRUE(def.adaptive());
+    EXPECT_FALSE(def.phased());
+    const Strategy exhaustive = Strategy::exhaustive();
+    EXPECT_FALSE(exhaustive.adaptive());
+    EXPECT_FALSE(exhaustive.phased());
+    EXPECT_NE(def, exhaustive);
+}
+
+TEST(StrategyTest, FullSpecRoundTripsEveryField)
+{
+    Strategy s;
+    s.name = "kitchen-sink";
+    s.pruneAfterZeroSearches = 3;
+
+    StrategyPhase warm;
+    warm.label = "warm";
+    warm.selector = RuleSelector::Sat;
+    warm.iters = 6;
+    warm.stop = PhaseStop::Quiet;
+
+    StrategyPhase grow;
+    grow.label = "grow";
+    grow.selector = RuleSelector::Named;
+    grow.ruleNames = {"add-comm", "distribute"};  // kept sorted
+    grow.iters = 2;
+    grow.growth = 1.5;
+    grow.stop = PhaseStop::None;
+    grow.matchCap = 256;
+    grow.backoff = Toggle::On;
+
+    StrategyPhase polish;
+    polish.label = "polish";
+    polish.selector = RuleSelector::NonSat;
+    polish.iters = 1;
+    polish.backoff = Toggle::Off;
+
+    s.phases = {warm, grow, polish};
+
+    std::string error;
+    const auto parsed = parseStrategy(s.encode(), error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, s) << s.encode();
+    // The canonical form is a fixpoint of parse-then-encode.
+    EXPECT_EQ(parsed->encode(), s.encode());
+}
+
+TEST(StrategyTest, ParserToleratesWhitespaceAndSortsRuleNames)
+{
+    std::string error;
+    const auto parsed = parseStrategy("name=wrapped; prune=off;\n"
+                                      "  phase=main:rules=zz+aa, iters=2",
+                                      error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->name, "wrapped");
+    EXPECT_EQ(parsed->pruneAfterZeroSearches, 0u);
+    ASSERT_EQ(parsed->phases.size(), 1u);
+    const std::vector<std::string> want = {"aa", "zz"};
+    EXPECT_EQ(parsed->phases[0].ruleNames, want);
+    EXPECT_EQ(parsed->phases[0].iters, 2u);
+}
+
+TEST(StrategyTest, RejectionsCarryAReason)
+{
+    const char* bad[] = {
+        "no-such-builtin",                       // unknown bare name
+        "prune=1",                               // missing name=
+        "name=x;bogus=1",                        // unknown strategy key
+        "name=x;phase=p:rules=all,iters=0",      // zero iteration budget
+        "name=x;phase=p:rules=all,growth=0.5",   // growth below 1
+        "name=x;phase=p:rules=all,stop=someday", // unknown stop predicate
+        "name=x;phase=p:rules=all,volume=11",    // unknown phase key
+        "name=x;phase=bad label:rules=all",      // label with a space
+        "name=has spaces",                       // name with a space
+    };
+    for (const char* text : bad) {
+        std::string error;
+        EXPECT_FALSE(parseStrategy(text, error).has_value()) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+}  // namespace
+}  // namespace isamore

@@ -5,9 +5,10 @@
  *
  * Usage:
  *   isamore_bench [--workloads <a,b,c>] [--reps <n>] [--threads <n>]
- *                 [--out <path>] [--check-identical]
+ *                 [--out <path>] [--baseline <path>] [--check-identical]
  *                 [--min-eqsat-speedup <x>] [--min-ematch-speedup <x>]
  *                 [--min-au-speedup <x>]
+ *                 [--min-eqsat-time-reduction <x>]
  *
  * Per workload and repetition, the pipeline's stages are timed
  * independently:
@@ -17,6 +18,21 @@
  *               breaks both runs into search / apply / rebuild phase
  *               medians, and --min-eqsat-speedup <x> fails the run
  *               (exit 1) when median(serial)/median(parallel) drops
+ *               below x on any selected workload.  A schedule
+ *               comparison additionally times, on identical copies with
+ *               per-rep rotated run order, the adaptive default, the
+ *               exhaustive strategy (scheduling and incremental search
+ *               off: every rule searched from scratch every iteration),
+ *               and -- with --tuned <strategy|@map-file> -- the tuned
+ *               aggressive strategy isamore_tune emitted.  Exhaustive
+ *               must agree with adaptive on applications/iterations/stop
+ *               reason (the provable-skip contract); the tuned strategy
+ *               may trade completeness for time but must reproduce an
+ *               equal-or-better pipeline Pareto front (re-checked here
+ *               once per workload, exit 1 on violation).
+ *               --min-eqsat-time-reduction <x> fails the run (exit 1)
+ *               when median(exhaustive)/median(tuned) -- or, without
+ *               --tuned, median(exhaustive)/median(adaptive) -- drops
  *               below x on any selected workload
  *   - ematch:   one full-ruleset search pass over the saturated graph,
  *               naive (legacy backtracking matcher, whole-graph scan)
@@ -45,7 +61,11 @@
  *               drops below x on any selected workload
  *
  * The report records median and p90 wall-clock milliseconds per stage,
- * the thread count, and candidate counts.  `--check-identical` re-runs
+ * the thread count, and candidate counts.  `--baseline <path>` loads a
+ * previously written report (e.g. the committed BENCH_seed.json) and
+ * prints per-stage median deltas against it, so a perf regression shows
+ * up as a signed percentage instead of requiring two terminals and a
+ * diff.  `--check-identical` re-runs
  * the pipeline single-threaded and fails (exit 1) unless the JSON report
  * -- pattern set, selection front, statistics -- is byte-identical to
  * the multi-threaded run, which is the determinism contract of the
@@ -56,6 +76,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -65,6 +86,7 @@
 
 #include "dsl/intern.hpp"
 #include "egraph/ematch_program.hpp"
+#include "egraph/strategy.hpp"
 #include "egraph/extract.hpp"
 #include "egraph/rewrite.hpp"
 #include "isamore/isamore.hpp"
@@ -109,6 +131,15 @@ struct WorkloadReport {
     StageTiming eqsatSerialSearch;
     StageTiming eqsatSerialApply;
     StageTiming eqsatSerialRebuild;
+    StageTiming eqsatExhaustive;
+    /** Adaptive default re-timed inside the fair rotation (the headline
+     *  `eqsat` sample always runs first in a rep, so it systematically
+     *  pays the cold start the rotation spreads evenly). */
+    StageTiming eqsatAdaptive;
+    StageTiming eqsatTuned;
+    bool tunedBenched = false;
+    std::string tunedName;
+    bool tunedFrontOk = true;
     StageTiming ematchNaive;
     StageTiming ematchCompiled;
     StageTiming au;
@@ -198,6 +229,14 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
         writeSamples(os, r.eqsatSerialApply);
         os << ",\n       \"eqsat_serial_rebuild\": ";
         writeSamples(os, r.eqsatSerialRebuild);
+        os << ",\n       \"eqsat_exhaustive\": ";
+        writeSamples(os, r.eqsatExhaustive);
+        os << ",\n       \"eqsat_adaptive\": ";
+        writeSamples(os, r.eqsatAdaptive);
+        if (r.tunedBenched) {
+            os << ",\n       \"eqsat_tuned\": ";
+            writeSamples(os, r.eqsatTuned);
+        }
         os << ",\n       \"ematch_naive\": ";
         writeSamples(os, r.ematchNaive);
         os << ",\n       \"ematch_compiled\": ";
@@ -221,7 +260,18 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
         os << "\n     },\n"
            << "     \"eqsat_speedup\": "
            << r.eqsatSerial.median() / std::max(r.eqsat.median(), 1e-6)
-           << ",\n     \"ematch_speedup\": "
+           << ",\n     \"eqsat_time_reduction\": "
+           << r.eqsatExhaustive.median() /
+                  std::max(r.eqsatAdaptive.median(), 1e-6);
+        if (r.tunedBenched) {
+            os << ",\n     \"eqsat_tuned_strategy\": \"" << r.tunedName
+               << "\",\n     \"eqsat_tuned_reduction\": "
+               << r.eqsatExhaustive.median() /
+                      std::max(r.eqsatTuned.median(), 1e-6)
+               << ",\n     \"eqsat_tuned_front_ok\": "
+               << (r.tunedFrontOk ? "true" : "false");
+        }
+        os << ",\n     \"ematch_speedup\": "
            << r.ematchNaive.median() /
                   std::max(r.ematchCompiled.median(), 1e-6)
            << ",\n     \"au_term_speedup\": "
@@ -244,6 +294,34 @@ writeReport(std::ostream& os, const std::vector<WorkloadReport>& reports,
         os << "}" << (w + 1 < reports.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+}
+
+/**
+ * Weak Pareto coverage: every baseline (speedup, area) point is matched
+ * or beaten by some candidate point in both objectives.  This is the
+ * tuned-strategy admissibility contract isamore_tune establishes
+ * offline; the bench re-checks it so a stale tuned map fails loudly
+ * instead of gating on a degraded front.
+ */
+bool
+frontCovered(const std::vector<rii::Solution>& baseline,
+             const std::vector<rii::Solution>& candidate)
+{
+    constexpr double kEps = 1e-9;
+    for (const rii::Solution& b : baseline) {
+        bool covered = false;
+        for (const rii::Solution& c : candidate) {
+            if (c.speedup >= b.speedup - kEps &&
+                c.areaUm2 <= b.areaUm2 + kEps) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered) {
+            return false;
+        }
+    }
+    return true;
 }
 
 /**
@@ -327,14 +405,131 @@ serveRequest(const std::string& workload, bool useCache)
     return request;
 }
 
+/**
+ * Per-stage medians of one previously written report, keyed by workload
+ * name -- the shape `--baseline` compares against.  Only the medians are
+ * kept; sample arrays and derived ratios are recomputed facts.
+ */
+using BaselineMedians =
+    std::map<std::string, std::map<std::string, double>>;
+
+/**
+ * Load the stage medians out of a report written by writeReport().
+ * @return false with a message in @p error when the file is missing or
+ *         not a bench report.
+ */
+bool
+loadBaseline(const std::string& path, BaselineMedians& out,
+             std::string& error)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    server::JsonValue root;
+    if (!server::parseJson(buffer.str(), root, error)) {
+        return false;
+    }
+    const server::JsonValue* workloads = root.find("workloads");
+    if (workloads == nullptr ||
+        workloads->type != server::JsonValue::Type::Array) {
+        error = path + " is not a bench report (no workloads array)";
+        return false;
+    }
+    for (const server::JsonValue& workload : workloads->items) {
+        const server::JsonValue* name = workload.find("name");
+        const server::JsonValue* stages = workload.find("stages");
+        if (name == nullptr || stages == nullptr ||
+            stages->type != server::JsonValue::Type::Object) {
+            continue;
+        }
+        for (const auto& [stage, timing] : stages->members) {
+            const server::JsonValue* median = timing.find("median_ms");
+            if (median != nullptr &&
+                median->type == server::JsonValue::Type::Number) {
+                out[name->text][stage] = median->number;
+            }
+        }
+    }
+    if (out.empty()) {
+        error = path + " carries no stage medians";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Print signed per-stage deltas of @p reports against @p baseline.
+ * Stages absent from the baseline (a report written before the stage
+ * existed) are called out instead of silently skipped.
+ */
+void
+printBaselineDeltas(const std::vector<WorkloadReport>& reports,
+                    const BaselineMedians& baseline,
+                    const std::string& baselinePath)
+{
+    std::cerr << "deltas vs " << baselinePath
+              << " (negative = faster now):\n";
+    for (const WorkloadReport& r : reports) {
+        const auto found = baseline.find(r.name);
+        if (found == baseline.end()) {
+            std::cerr << "  " << r.name << ": not in baseline\n";
+            continue;
+        }
+        const std::map<std::string, double>& stages = found->second;
+        const std::vector<std::pair<std::string, const StageTiming*>>
+            current{
+                {"eqsat", &r.eqsat},
+                {"eqsat_serial", &r.eqsatSerial},
+                {"eqsat_exhaustive", &r.eqsatExhaustive},
+                {"eqsat_adaptive", &r.eqsatAdaptive},
+                {"eqsat_tuned", &r.eqsatTuned},
+                {"ematch_naive", &r.ematchNaive},
+                {"ematch_compiled", &r.ematchCompiled},
+                {"au", &r.au},
+                {"au_term_legacy", &r.auTermLegacy},
+                {"au_term_interned", &r.auTermInterned},
+                {"pipeline", &r.pipeline},
+                {"serve_cold", &r.serveCold},
+                {"serve_warm", &r.serveWarm},
+                {"serve_cached", &r.serveCached},
+            };
+        for (const auto& [stage, timing] : current) {
+            if (timing->samplesMs.empty()) {
+                continue;  // stage not benched this run (e.g. no --serve-bench)
+            }
+            const auto base = stages.find(stage);
+            if (base == stages.end()) {
+                std::cerr << "  " << r.name << " " << stage
+                          << ": new stage, no baseline\n";
+                continue;
+            }
+            const double now = timing->median();
+            const double then = base->second;
+            const double deltaPct =
+                (now - then) / std::max(then, 1e-6) * 100.0;
+            std::cerr << "  " << r.name << " " << stage << ": " << then
+                      << " ms -> " << now << " ms ("
+                      << (deltaPct >= 0.0 ? "+" : "") << deltaPct
+                      << "%)\n";
+        }
+    }
+}
+
 int
 usage()
 {
     std::cerr << "usage: isamore_bench [--workloads <a,b,c>] [--reps <n>]"
-                 " [--threads <n>] [--out <path>] [--check-identical]"
+                 " [--threads <n>] [--out <path>] [--baseline <path>]"
+                 " [--check-identical]"
                  " [--min-eqsat-speedup <x>] [--min-ematch-speedup <x>]"
-                 " [--min-au-speedup <x>] [--serve-bench]"
-                 " [--min-serve-speedup <x>]\n";
+                 " [--min-au-speedup <x>]"
+                 " [--min-eqsat-time-reduction <x>] [--serve-bench]"
+                 " [--min-serve-speedup <x>]"
+                 " [--tuned <strategy|@map-file>]\n";
     return 2;
 }
 
@@ -346,12 +541,16 @@ main(int argc, char** argv)
     std::vector<std::string> names{"matmul", "2dconv", "fft"};
     size_t reps = 3;
     std::string outPath = "BENCH_results.json";
+    std::string baselinePath;
     bool checkIdentical = false;
     bool serveBench = false;
     double minEmatchSpeedup = 0.0;
     double minAuSpeedup = 0.0;
     double minServeSpeedup = 0.0;
     double minEqsatSpeedup = 0.0;
+    double minEqsatTimeReduction = 0.0;
+    /** Workload (or "global") -> tuned strategy spec (see --tuned). */
+    std::map<std::string, std::string> tunedSpecs;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -371,6 +570,8 @@ main(int argc, char** argv)
             setGlobalThreads(threads);
         } else if (flag == "--out" && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (flag == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
         } else if (flag == "--check-identical") {
             checkIdentical = true;
         } else if (flag == "--min-ematch-speedup" && i + 1 < argc) {
@@ -388,6 +589,46 @@ main(int argc, char** argv)
             if (minAuSpeedup <= 0.0) {
                 return usage();
             }
+        } else if (flag == "--min-eqsat-time-reduction" && i + 1 < argc) {
+            minEqsatTimeReduction = std::strtod(argv[++i], nullptr);
+            if (minEqsatTimeReduction <= 0.0) {
+                return usage();
+            }
+        } else if (flag == "--tuned" && i + 1 < argc) {
+            // A bare built-in name / spec applies to every workload; an
+            // @file is the per-workload map isamore_tune emits
+            // ("<workload> <spec>" lines, '#' comments, a "global"
+            // fallback row).
+            const std::string arg = argv[++i];
+            if (!arg.empty() && arg[0] == '@') {
+                std::ifstream in(arg.substr(1));
+                if (!in) {
+                    std::cerr << "error: cannot read tuned map "
+                              << arg.substr(1) << "\n";
+                    return 2;
+                }
+                std::string line;
+                while (std::getline(in, line)) {
+                    if (line.empty() || line[0] == '#') {
+                        continue;
+                    }
+                    const size_t space = line.find(' ');
+                    if (space == std::string::npos) {
+                        std::cerr << "error: bad tuned-map line: " << line
+                                  << "\n";
+                        return 2;
+                    }
+                    tunedSpecs[line.substr(0, space)] =
+                        line.substr(space + 1);
+                }
+                if (tunedSpecs.empty()) {
+                    std::cerr << "error: empty tuned map " << arg.substr(1)
+                              << "\n";
+                    return 2;
+                }
+            } else {
+                tunedSpecs["global"] = arg;
+            }
         } else if (flag == "--serve-bench") {
             serveBench = true;
         } else if (flag == "--min-serve-speedup" && i + 1 < argc) {
@@ -401,6 +642,16 @@ main(int argc, char** argv)
         }
     }
 
+    // Fail fast on an unreadable baseline -- before minutes of timing.
+    BaselineMedians baseline;
+    if (!baselinePath.empty()) {
+        std::string error;
+        if (!loadBaseline(baselinePath, baseline, error)) {
+            std::cerr << "error: bad --baseline: " << error << "\n";
+            return 2;
+        }
+    }
+
     const size_t threads = globalThreadCount();
     const rules::RulesetLibrary library = rules::defaultLibrary();
     const rii::RiiConfig config =
@@ -408,6 +659,7 @@ main(int argc, char** argv)
 
     std::vector<WorkloadReport> reports;
     bool allIdentical = true;
+    bool allTunedFrontsOk = true;
     for (const std::string& name : names) {
         workloads::Workload (*factory)() = nullptr;
         for (const auto& [key, make] : benchFactories()) {
@@ -426,6 +678,31 @@ main(int argc, char** argv)
         WorkloadReport report;
         report.name = name;
         const AnalyzedWorkload analyzed = analyzeWorkload(factory());
+        Strategy tunedStrategy;
+        const bool tunedActive = !tunedSpecs.empty();
+        if (tunedActive) {
+            auto found = tunedSpecs.find(name);
+            if (found == tunedSpecs.end()) {
+                found = tunedSpecs.find("global");
+            }
+            if (found == tunedSpecs.end()) {
+                std::cerr << "error: tuned map has no entry (nor a "
+                             "global fallback) for "
+                          << name << "\n";
+                return 2;
+            }
+            std::string strategyError;
+            const std::optional<Strategy> parsed =
+                parseStrategy(found->second, strategyError);
+            if (!parsed.has_value()) {
+                std::cerr << "error: bad tuned strategy for " << name
+                          << ": " << strategyError << "\n";
+                return 2;
+            }
+            tunedStrategy = *parsed;
+            report.tunedBenched = true;
+            report.tunedName = tunedStrategy.name;
+        }
         const std::vector<RewriteRule> searchRules = library.intSat();
         std::vector<PatternProgram> programs;
         programs.reserve(searchRules.size());
@@ -474,6 +751,56 @@ main(int argc, char** argv)
                              parStats.applications &&
                          serialStats.iterations == parStats.iterations),
                     "serial and parallel EqSat diverged on " + name);
+            }
+            {
+                // Schedule comparison.  Exhaustive control =
+                // replay/pruning AND incremental search disabled --
+                // every rule searched from scratch every iteration, the
+                // fully unscheduled engine.  The adaptive default only
+                // ever skips work that provably produces nothing fresh,
+                // so it must walk the same iteration/application
+                // trajectory; the tuned strategy (with --tuned) may
+                // trade completeness for time, bounded by the rep-0
+                // Pareto check below.  Each contender runs on a fresh
+                // copy with per-rep rotated order, so none of them
+                // systematically pays the cold start.
+                EqSatLimits exhaustiveLimits = config.eqsat;
+                exhaustiveLimits.strategy = Strategy::exhaustive();
+                exhaustiveLimits.incrementalSearch = false;
+                EqSatLimits tunedLimits = config.eqsat;
+                tunedLimits.strategy = tunedStrategy;
+                struct Contender {
+                    StageTiming* out;
+                    const EqSatLimits* limits;
+                    bool checkTrajectory;
+                };
+                std::vector<Contender> contenders{
+                    {&report.eqsatAdaptive, &config.eqsat, false},
+                    {&report.eqsatExhaustive, &exhaustiveLimits, true},
+                };
+                if (tunedActive) {
+                    contenders.push_back(
+                        {&report.eqsatTuned, &tunedLimits, false});
+                }
+                for (size_t i = 0; i < contenders.size(); ++i) {
+                    const Contender& contender =
+                        contenders[(i + rep) % contenders.size()];
+                    EGraph copy = analyzed.program.egraph;
+                    watch.reset();
+                    const EqSatStats stats =
+                        runEqSat(copy, searchRules, *contender.limits);
+                    contender.out->samplesMs.push_back(watch.seconds() *
+                                                       1e3);
+                    ISAMORE_CHECK_MSG(
+                        !contender.checkTrajectory ||
+                            stats.stopReason == StopReason::TimeLimit ||
+                            parStats.stopReason == StopReason::TimeLimit ||
+                            (stats.applications == parStats.applications &&
+                             stats.iterations == parStats.iterations &&
+                             stats.stopReason == parStats.stopReason),
+                        "adaptive and exhaustive EqSat diverged on " +
+                            name);
+                }
             }
 
             // Stage 1b: full-ruleset search passes over the saturated
@@ -572,6 +899,25 @@ main(int argc, char** argv)
                 identifyInstructions(analyzed, rii::Mode::Default);
             report.pipeline.samplesMs.push_back(watch.seconds() * 1e3);
             report.frontSize = result.front.size();
+
+            if (tunedActive && rep == 0) {
+                // Tuned-strategy contract: trading completeness for time
+                // is admissible only while the full pipeline's Pareto
+                // front stays equal-or-better than the default
+                // schedule's (DESIGN.md "Rule scheduling & strategies").
+                rii::RiiConfig tunedConfig = config;
+                tunedConfig.eqsat.strategy = tunedStrategy;
+                const rii::RiiResult tunedResult =
+                    identifyInstructions(analyzed, tunedConfig);
+                report.tunedFrontOk =
+                    frontCovered(result.front, tunedResult.front);
+                if (!report.tunedFrontOk) {
+                    allTunedFrontsOk = false;
+                    std::cerr << "MISMATCH: " << name
+                              << " tuned strategy '" << report.tunedName
+                              << "' front is not equal-or-better\n";
+                }
+            }
 
             if (checkIdentical && rep == 0) {
                 // Determinism contract: the JSON report (pattern set,
@@ -680,8 +1026,44 @@ main(int argc, char** argv)
     writeReport(out, reports, threads, reps);
     std::cerr << "wrote " << outPath << "\n";
 
+    if (!baseline.empty()) {
+        printBaselineDeltas(reports, baseline, baselinePath);
+    }
+
     if (checkIdentical && !allIdentical) {
         return 1;
+    }
+    if (!allTunedFrontsOk) {
+        return 1;
+    }
+    if (minEqsatTimeReduction > 0.0) {
+        // The floor applies to the tuned strategy when one is loaded
+        // (the configuration allowed to trade completeness for time);
+        // without --tuned it falls on the byte-identical adaptive
+        // default, whose only lever is provable work avoidance.
+        bool fastEnough = true;
+        for (const WorkloadReport& r : reports) {
+            const StageTiming& contender =
+                r.tunedBenched ? r.eqsatTuned : r.eqsatAdaptive;
+            const double reduction = r.eqsatExhaustive.median() /
+                                     std::max(contender.median(), 1e-6);
+            std::cerr << "eqsat-schedule " << r.name << ": exhaustive "
+                      << r.eqsatExhaustive.median() << " ms, adaptive "
+                      << r.eqsatAdaptive.median() << " ms";
+            if (r.tunedBenched) {
+                std::cerr << ", tuned(" << r.tunedName << ") "
+                          << r.eqsatTuned.median() << " ms";
+            }
+            std::cerr << " -> " << reduction << "x\n";
+            if (reduction < minEqsatTimeReduction) {
+                std::cerr << "FAIL: below the " << minEqsatTimeReduction
+                          << "x EqSat time-reduction floor\n";
+                fastEnough = false;
+            }
+        }
+        if (!fastEnough) {
+            return 1;
+        }
     }
     if (minEqsatSpeedup > 0.0) {
         bool fastEnough = true;

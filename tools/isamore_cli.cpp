@@ -6,6 +6,7 @@
  *   isamore_cli list
  *   isamore_cli run <workload> [--mode default|astsize|kdsample|vector|
  *                                      noeqsat|llmt]
+ *                   [--strategy <name-or-spec>]
  *                   [--emit-verilog] [--rocc] [--dump-egraph] [--json]
  *                   [--extended-rules] [--inject <faults>] [--threads <n>]
  *
@@ -32,6 +33,13 @@
  * `--threads` (or the ISAMORE_THREADS environment variable) sizes the
  * work-stealing pool used by EqSat's match phase and the AU pair sweep;
  * results are identical for every thread count (see DESIGN.md).
+ *
+ * `--strategy` (or the ISAMORE_STRATEGY environment variable) selects
+ * the EqSat scheduling strategy: a built-in name ("default",
+ * "exhaustive", "sat-first", "trim") or a full `name=...;phase=...`
+ * spec (see src/egraph/strategy.hpp).  The default adaptive strategy
+ * produces output byte-identical to "exhaustive"; other named
+ * strategies may trade completeness for EqSat time.
  *
  * `--trace-out <path>` / `--metrics-out <path>` switch the telemetry
  * layer on for the run and export a Chrome trace-event JSON (load it in
@@ -165,6 +173,10 @@ printUsage(std::ostream& os)
        << "run flags (every other flag is an error):\n"
        << "  --mode <m>         default | astsize | kdsample | vector | "
           "noeqsat | llmt\n"
+       << "  --strategy <s>     EqSat scheduling strategy: "
+          "default | exhaustive | sat-first | trim,\n"
+       << "                     or a name=...;phase=... spec "
+          "(src/egraph/strategy.hpp)\n"
        << "  --json             append the machine-readable result JSON "
           "(with runSummary)\n"
        << "  --emit-verilog     print Verilog for the best solution's "
@@ -183,6 +195,7 @@ printUsage(std::ostream& os)
        << "environment:\n"
        << "  ISAMORE_THREADS    default pool size (--threads wins)\n"
        << "  ISAMORE_FAULTS     fault spec (--inject wins)\n"
+       << "  ISAMORE_STRATEGY   EqSat strategy (--strategy wins)\n"
        << "  ISAMORE_TRACE      \"1\" enables telemetry; any other value "
           "is a trace output path\n"
        << "\n"
@@ -210,6 +223,7 @@ runCommand(int argc, char** argv)
 {
     const std::string name = argv[2];
     rii::Mode mode = rii::Mode::Default;
+    std::optional<Strategy> strategy;
     bool emit_verilog = false;
     bool rocc = false;
     bool dump = false;
@@ -240,9 +254,28 @@ runCommand(int argc, char** argv)
                 return kExitUsage;
             }
             auto parsed = parseMode(value);
-            ISAMORE_USER_CHECK(parsed.has_value(),
-                               std::string("unknown mode: ") + value);
+            if (!parsed.has_value()) {
+                // An unknown enum value is a malformed command line, not
+                // bad input data: report it with the accepted set and
+                // exit 2, like any other usage error.
+                std::cerr << "error: unknown --mode value: " << value
+                          << " (accepted: default|astsize|kdsample|"
+                             "vector|noeqsat|llmt)\n";
+                return kExitUsage;
+            }
             mode = *parsed;
+        } else if (flag == "--strategy") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
+            std::string error;
+            strategy = parseStrategy(value, error);
+            if (!strategy.has_value()) {
+                std::cerr << "error: bad --strategy value: " << error
+                          << "\n";
+                return kExitUsage;
+            }
         } else if (flag == "--inject") {
             const char* value = value_of(i);
             if (value == nullptr) {
@@ -297,6 +330,16 @@ runCommand(int argc, char** argv)
     if (!trace_out.empty() || !metrics_out.empty()) {
         telemetry::setEnabled(true);
     }
+    // ISAMORE_STRATEGY mirrors --strategy for scripted runs (flag wins).
+    // Unlike the flag, a bad value here is invalid input (exit 3): the
+    // command line itself was well-formed.
+    if (const char* env = std::getenv("ISAMORE_STRATEGY");
+        env != nullptr && *env != '\0' && !strategy.has_value()) {
+        std::string error;
+        strategy = parseStrategy(env, error);
+        ISAMORE_USER_CHECK(strategy.has_value(),
+                           "bad ISAMORE_STRATEGY: " + error);
+    }
 
     auto workload = findWorkload(name);
     ISAMORE_USER_CHECK(workload.has_value(),
@@ -315,11 +358,14 @@ runCommand(int argc, char** argv)
         std::cout << dumpText(analyzed.program.egraph);
     }
 
+    rii::RiiConfig config = rii::RiiConfig::forMode(mode);
+    if (strategy.has_value()) {
+        config.eqsat.strategy = *strategy;
+    }
     rii::RiiResult result =
         extended ? identifyInstructions(analyzed,
-                                        rules::extendedLibrary(),
-                                        rii::RiiConfig::forMode(mode))
-                 : identifyInstructions(analyzed, mode);
+                                        rules::extendedLibrary(), config)
+                 : identifyInstructions(analyzed, config);
     std::cout << "\nmode " << rii::modeName(mode) << ":\n"
               << describeResult(result)
               << "\nphases=" << result.stats.phasesRun
