@@ -1,0 +1,1191 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+
+#include "dsl/intern.hpp"
+#include "support/hashing.hpp"
+
+namespace isamore {
+namespace corpus {
+namespace {
+
+/** Entry caps: stores past these are refused (never evicted, so chunk
+ *  pointers handed to the AU sweep stay valid for the corpus lifetime). */
+constexpr size_t kMaxChunks = 4096;
+constexpr size_t kMaxLibrary = 4096;
+constexpr size_t kMaxResults = 256;
+constexpr size_t kMaxEGraphs = 64;
+
+/** Pool id for a null TermPtr. */
+constexpr uint32_t kNullTerm = 0xFFFFFFFFu;
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+uint64_t
+stringHash(const std::string& s)
+{
+    return fnv1a(s.data(), s.size());
+}
+
+// ---------------------------------------------------------------------
+// Scalar payload / e-node primitives shared by the term pool and the
+// e-graph snapshot codecs.
+
+void
+writePayload(ByteWriter& out, const Payload& payload)
+{
+    out.u8(static_cast<uint8_t>(payload.kind));
+    switch (payload.kind) {
+      case Payload::Kind::None:
+        break;
+      case Payload::Kind::Int:
+        out.i64(payload.a);
+        break;
+      case Payload::Kind::Float:
+        // Raw bits: NaN and -0.0 round-trip exactly, matching Payload's
+        // bit-pattern equality and hashing.
+        out.f64(payload.f);
+        break;
+      case Payload::Kind::Pair:
+        out.i64(payload.a);
+        out.i64(payload.b);
+        break;
+    }
+}
+
+Payload
+readPayload(ByteReader& in, const std::string& what)
+{
+    switch (in.u8()) {
+      case static_cast<uint8_t>(Payload::Kind::None):
+        return Payload::none();
+      case static_cast<uint8_t>(Payload::Kind::Int):
+        return Payload::ofInt(in.i64());
+      case static_cast<uint8_t>(Payload::Kind::Float):
+        return Payload::ofFloat(in.f64());
+      case static_cast<uint8_t>(Payload::Kind::Pair): {
+        const int64_t a = in.i64();
+        const int64_t b = in.i64();
+        return Payload::ofPair(a, b);
+      }
+      default:
+        throw UserError(what + ": corrupt payload kind");
+    }
+}
+
+Op
+readOp(ByteReader& in, const std::string& what)
+{
+    const uint16_t op = in.u16();
+    if (op >= kNumOps) {
+        throw UserError(what + ": operator index " + std::to_string(op) +
+                        " out of range");
+    }
+    return static_cast<Op>(op);
+}
+
+void
+writeENode(ByteWriter& out, const ENode& node)
+{
+    out.u16(static_cast<uint16_t>(node.op));
+    writePayload(out, node.payload);
+    out.u32(static_cast<uint32_t>(node.children.size()));
+    for (const EClassId child : node.children) {
+        out.u32(child);
+    }
+}
+
+ENode
+readENode(ByteReader& in, uint32_t numIds, const std::string& what)
+{
+    ENode node;
+    node.op = readOp(in, what);
+    node.payload = readPayload(in, what);
+    const uint32_t count = in.u32();
+    in.checkCount(count, 4);
+    node.children.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const EClassId child = in.u32();
+        if (child >= numIds) {
+            throw UserError(what + ": e-node child out of range");
+        }
+        node.children.push_back(child);
+    }
+    return node;
+}
+
+// ---------------------------------------------------------------------
+// Term pool: one DAG-preserving table of term nodes per section.  Nodes
+// are written children-before-parents; pointer identity inside the pool
+// captures sharing exactly, so restored uninterned DAGs keep the
+// topology the pointer-counting cost model observes.
+
+class TermPoolWriter {
+ public:
+    uint32_t
+    id(const TermPtr& term)
+    {
+        if (term == nullptr) {
+            return kNullTerm;
+        }
+        const auto it = ids_.find(term.get());
+        if (it != ids_.end()) {
+            return it->second;
+        }
+        for (const TermPtr& child : term->children) {
+            id(child);
+        }
+        const uint32_t fresh = static_cast<uint32_t>(nodes_.size());
+        ids_.emplace(term.get(), fresh);
+        nodes_.push_back(term.get());
+        return fresh;
+    }
+
+    void
+    serialize(ByteWriter& out) const
+    {
+        out.u32(static_cast<uint32_t>(nodes_.size()));
+        for (const Term* node : nodes_) {
+            out.u16(static_cast<uint16_t>(node->op));
+            writePayload(out, node->payload);
+            out.boolean(node->interned);
+            out.u32(static_cast<uint32_t>(node->children.size()));
+            for (const TermPtr& child : node->children) {
+                out.u32(ids_.at(child.get()));
+            }
+        }
+    }
+
+ private:
+    std::unordered_map<const Term*, uint32_t> ids_;
+    std::vector<const Term*> nodes_;
+};
+
+class TermPoolReader {
+ public:
+    static TermPoolReader
+    deserialize(ByteReader& in, const std::string& what)
+    {
+        TermPoolReader pool;
+        const uint32_t count = in.u32();
+        in.checkCount(count, 8);
+        pool.terms_.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            const Op op = readOp(in, what);
+            Payload payload = readPayload(in, what);
+            const bool interned = in.boolean();
+            const uint32_t childCount = in.u32();
+            in.checkCount(childCount, 4);
+            const int arity = opArity(op);
+            if (arity >= 0 && childCount != static_cast<uint32_t>(arity)) {
+                throw UserError(what + ": term arity mismatch for " +
+                                std::string(opName(op)));
+            }
+            std::vector<TermPtr> children;
+            children.reserve(childCount);
+            for (uint32_t c = 0; c < childCount; ++c) {
+                const uint32_t child = in.u32();
+                if (child >= pool.terms_.size()) {
+                    throw UserError(
+                        what + ": term child precedes its definition");
+                }
+                children.push_back(pool.terms_[child]);
+            }
+            pool.terms_.push_back(
+                interned ? makeTerm(op, payload, std::move(children))
+                         : makeTermUninterned(op, payload,
+                                              std::move(children)));
+        }
+        return pool;
+    }
+
+    TermPtr
+    get(uint32_t id, const std::string& what) const
+    {
+        if (id == kNullTerm) {
+            return nullptr;
+        }
+        if (id >= terms_.size()) {
+            throw UserError(what + ": term reference out of range");
+        }
+        return terms_[id];
+    }
+
+ private:
+    std::vector<TermPtr> terms_;
+};
+
+// ---------------------------------------------------------------------
+// rii-type codecs.
+
+void
+writeSolution(ByteWriter& out, TermPoolWriter& pool,
+              const rii::Solution& s)
+{
+    out.u32(static_cast<uint32_t>(s.patternIds.size()));
+    for (const int64_t id : s.patternIds) {
+        out.i64(id);
+    }
+    out.f64(s.deltaNs);
+    out.f64(s.speedup);
+    out.f64(s.areaUm2);
+    out.u32(pool.id(s.program));
+    out.u32(static_cast<uint32_t>(s.useCounts.size()));
+    for (const size_t n : s.useCounts) {
+        out.u64(n);
+    }
+}
+
+rii::Solution
+readSolution(ByteReader& in, const TermPoolReader& pool,
+             const std::string& what)
+{
+    rii::Solution s;
+    const uint32_t ids = in.u32();
+    in.checkCount(ids, 8);
+    s.patternIds.reserve(ids);
+    for (uint32_t i = 0; i < ids; ++i) {
+        s.patternIds.push_back(in.i64());
+    }
+    s.deltaNs = in.f64();
+    s.speedup = in.f64();
+    s.areaUm2 = in.f64();
+    s.program = pool.get(in.u32(), what);
+    const uint32_t uses = in.u32();
+    in.checkCount(uses, 8);
+    s.useCounts.reserve(uses);
+    for (uint32_t i = 0; i < uses; ++i) {
+        s.useCounts.push_back(in.u64());
+    }
+    return s;
+}
+
+void
+writeStats(ByteWriter& out, const rii::RiiStats& stats)
+{
+    out.u64(stats.origNodes);
+    out.u64(stats.origClasses);
+    out.u64(stats.peakNodes);
+    out.u64(stats.peakClasses);
+    out.u64(stats.rawCandidates);
+    out.u64(stats.dedupedCandidates);
+    out.u64(stats.phasesRun);
+    out.boolean(stats.auAborted);
+    out.f64(stats.seconds);
+    out.u64(stats.peakRssBytes);
+    out.u64(stats.packsCreated);
+    out.u32(static_cast<uint32_t>(stats.ruleTotals.size()));
+    for (const auto& [name, totals] : stats.ruleTotals) {
+        out.str(name);
+        out.u64(totals.matches);
+        out.u64(totals.applications);
+        out.u64(totals.bans);
+        out.u64(totals.cacheSkips);
+    }
+}
+
+rii::RiiStats
+readStats(ByteReader& in)
+{
+    rii::RiiStats stats;
+    stats.origNodes = in.u64();
+    stats.origClasses = in.u64();
+    stats.peakNodes = in.u64();
+    stats.peakClasses = in.u64();
+    stats.rawCandidates = in.u64();
+    stats.dedupedCandidates = in.u64();
+    stats.phasesRun = in.u64();
+    stats.auAborted = in.boolean();
+    stats.seconds = in.f64();
+    stats.peakRssBytes = in.u64();
+    stats.packsCreated = in.u64();
+    const uint32_t rules = in.u32();
+    in.checkCount(rules, 36);
+    for (uint32_t i = 0; i < rules; ++i) {
+        std::string name = in.str();
+        RuleTotals totals;
+        totals.matches = in.u64();
+        totals.applications = in.u64();
+        totals.bans = in.u64();
+        totals.cacheSkips = in.u64();
+        stats.ruleTotals.emplace(std::move(name), totals);
+    }
+    return stats;
+}
+
+void
+writeDiagnostics(ByteWriter& out, const rii::RunDiagnostics& diag)
+{
+    out.u32(static_cast<uint32_t>(diag.lastEqSatStop));
+    out.u64(diag.eqsatNodeTrips);
+    out.u64(diag.eqsatTimeouts);
+    out.u64(diag.skippedRules);
+    out.u64(diag.skippedPairs);
+    out.u64(diag.skippedPatterns);
+    out.u64(diag.skippedPhases);
+    out.u64(diag.faultsInjected);
+    out.boolean(diag.auBudgetTripped);
+    out.boolean(diag.auTimedOut);
+    out.boolean(diag.selectionTruncated);
+    out.boolean(diag.budgetExhausted);
+}
+
+rii::RunDiagnostics
+readDiagnostics(ByteReader& in, const std::string& what)
+{
+    rii::RunDiagnostics diag;
+    const uint32_t stop = in.u32();
+    if (stop > static_cast<uint32_t>(StopReason::Budget)) {
+        throw UserError(what + ": corrupt stop reason");
+    }
+    diag.lastEqSatStop = static_cast<StopReason>(stop);
+    diag.eqsatNodeTrips = in.u64();
+    diag.eqsatTimeouts = in.u64();
+    diag.skippedRules = in.u64();
+    diag.skippedPairs = in.u64();
+    diag.skippedPatterns = in.u64();
+    diag.skippedPhases = in.u64();
+    diag.faultsInjected = in.u64();
+    diag.auBudgetTripped = in.boolean();
+    diag.auTimedOut = in.boolean();
+    diag.selectionTruncated = in.boolean();
+    diag.budgetExhausted = in.boolean();
+    return diag;
+}
+
+void
+writeEval(ByteWriter& out, TermPoolWriter& pool, const rii::PatternEval& e)
+{
+    out.i64(e.id);
+    out.u32(pool.id(e.body));
+    out.u64(e.opCount);
+    out.i64(e.hw.cycles);
+    out.f64(e.hw.latencyNs);
+    out.f64(e.hw.areaUm2);
+    out.i64(e.hw.initiationInterval);
+    out.u32(static_cast<uint32_t>(e.uses.size()));
+    for (const rii::UseSite& use : e.uses) {
+        out.u32(use.klass);
+        out.i64(use.func);
+        out.u32(use.block);
+        out.u64(use.execCount);
+        out.f64(use.cpoCycles);
+        out.f64(use.savedNs);
+    }
+    out.f64(e.deltaNs);
+}
+
+rii::PatternEval
+readEval(ByteReader& in, const TermPoolReader& pool,
+         const std::string& what)
+{
+    rii::PatternEval e;
+    e.id = in.i64();
+    e.body = pool.get(in.u32(), what);
+    e.opCount = in.u64();
+    e.hw.cycles = static_cast<int>(in.i64());
+    e.hw.latencyNs = in.f64();
+    e.hw.areaUm2 = in.f64();
+    e.hw.initiationInterval = static_cast<int>(in.i64());
+    const uint32_t uses = in.u32();
+    in.checkCount(uses, 40);
+    e.uses.reserve(uses);
+    for (uint32_t i = 0; i < uses; ++i) {
+        rii::UseSite use;
+        use.klass = in.u32();
+        use.func = static_cast<int>(in.i64());
+        use.block = in.u32();
+        use.execCount = in.u64();
+        use.cpoCycles = in.f64();
+        use.savedNs = in.f64();
+        e.uses.push_back(use);
+    }
+    e.deltaNs = in.f64();
+    return e;
+}
+
+void
+writeCachedResult(ByteWriter& out, TermPoolWriter& pool,
+                  const CachedResult& result)
+{
+    out.u32(static_cast<uint32_t>(result.registryBodies.size()));
+    for (const TermPtr& body : result.registryBodies) {
+        out.u32(pool.id(body));
+    }
+    out.u32(static_cast<uint32_t>(result.front.size()));
+    for (const rii::Solution& s : result.front) {
+        writeSolution(out, pool, s);
+    }
+    writeStats(out, result.stats);
+    writeDiagnostics(out, result.diagnostics);
+    out.u32(static_cast<uint32_t>(result.evaluations.size()));
+    for (const auto& [id, eval] : result.evaluations) {
+        out.i64(id);
+        writeEval(out, pool, eval);
+    }
+}
+
+CachedResult
+readCachedResult(ByteReader& in, const TermPoolReader& pool,
+                 const std::string& what)
+{
+    CachedResult result;
+    const uint32_t bodies = in.u32();
+    in.checkCount(bodies, 4);
+    result.registryBodies.reserve(bodies);
+    for (uint32_t i = 0; i < bodies; ++i) {
+        TermPtr body = pool.get(in.u32(), what);
+        if (body == nullptr) {
+            throw UserError(what + ": null registry body");
+        }
+        result.registryBodies.push_back(std::move(body));
+    }
+    const uint32_t front = in.u32();
+    in.checkCount(front, 40);
+    result.front.reserve(front);
+    for (uint32_t i = 0; i < front; ++i) {
+        result.front.push_back(readSolution(in, pool, what));
+    }
+    result.stats = readStats(in);
+    result.diagnostics = readDiagnostics(in, what);
+    const uint32_t evals = in.u32();
+    in.checkCount(evals, 60);
+    result.evaluations.reserve(evals);
+    for (uint32_t i = 0; i < evals; ++i) {
+        const int64_t id = in.i64();
+        result.evaluations.emplace_back(id, readEval(in, pool, what));
+    }
+    return result;
+}
+
+void
+writeSnapshot(ByteWriter& out, const EGraphSnapshot& snap)
+{
+    out.u64(snap.clock);
+    out.u64(snap.version);
+    out.u32(snap.numIds);
+    for (const EClassId parent : snap.unionFind) {
+        out.u32(parent);
+    }
+    for (const uint64_t stamp : snap.stamps) {
+        out.u64(stamp);
+    }
+    out.u32(static_cast<uint32_t>(snap.classes.size()));
+    for (const EGraphSnapshot::ClassImage& image : snap.classes) {
+        out.u32(image.id);
+        out.u32(static_cast<uint32_t>(image.nodes.size()));
+        for (const ENode& node : image.nodes) {
+            writeENode(out, node);
+        }
+        out.u32(static_cast<uint32_t>(image.parents.size()));
+        for (const auto& [pnode, pclass] : image.parents) {
+            writeENode(out, pnode);
+            out.u32(pclass);
+        }
+    }
+}
+
+EGraphSnapshot
+readSnapshot(ByteReader& in, const std::string& what)
+{
+    EGraphSnapshot snap;
+    snap.clock = in.u64();
+    snap.version = in.u64();
+    snap.numIds = in.u32();
+    in.checkCount(snap.numIds, 4 + 8 * EGraph::kStampDepths);
+    snap.unionFind.reserve(snap.numIds);
+    for (uint32_t i = 0; i < snap.numIds; ++i) {
+        snap.unionFind.push_back(in.u32());
+    }
+    snap.stamps.reserve(static_cast<size_t>(snap.numIds) *
+                        EGraph::kStampDepths);
+    for (size_t i = 0;
+         i < static_cast<size_t>(snap.numIds) * EGraph::kStampDepths; ++i) {
+        snap.stamps.push_back(in.u64());
+    }
+    const uint32_t classes = in.u32();
+    in.checkCount(classes, 12);
+    snap.classes.reserve(classes);
+    for (uint32_t c = 0; c < classes; ++c) {
+        EGraphSnapshot::ClassImage image;
+        image.id = in.u32();
+        const uint32_t nodes = in.u32();
+        in.checkCount(nodes, 7);
+        image.nodes.reserve(nodes);
+        for (uint32_t i = 0; i < nodes; ++i) {
+            image.nodes.push_back(readENode(in, snap.numIds, what));
+        }
+        const uint32_t parents = in.u32();
+        in.checkCount(parents, 11);
+        image.parents.reserve(parents);
+        for (uint32_t i = 0; i < parents; ++i) {
+            ENode node = readENode(in, snap.numIds, what);
+            const EClassId pclass = in.u32();
+            image.parents.emplace_back(std::move(node), pclass);
+        }
+        snap.classes.push_back(std::move(image));
+    }
+    // Structural consistency (canonical ids, child ranges) is enforced a
+    // second time by EGraph::restoreSnapshot before any graph mutates.
+    return snap;
+}
+
+uint64_t
+hashEqSatLimits(const EqSatLimits& limits)
+{
+    uint64_t h = mix64(0x65713464ull);
+    h = hashCombine(h, limits.maxNodes);
+    h = hashCombine(h, limits.maxIterations);
+    h = hashCombine(h, doubleBits(limits.maxSeconds));
+    h = hashCombine(h, limits.maxMatchesPerRule);
+    h = hashCombine(h, limits.useBackoff ? 1 : 0);
+    h = hashCombine(h, limits.incrementalSearch ? 1 : 0);
+    h = hashCombine(h, stringHash(limits.strategy.encode()));
+    return h;
+}
+
+uint64_t
+hashAuOptions(const rii::AuOptions& au)
+{
+    // au.threads and au.chunkCache are deliberately absent: thread count
+    // and cache hits are behaviour-invariant by the sweep's contract.
+    uint64_t h = mix64(0x61753634ull);
+    h = hashCombine(h, static_cast<uint64_t>(au.sampling));
+    h = hashCombine(h, au.typeFilter ? 1 : 0);
+    h = hashCombine(h, au.hashFilter ? 1 : 0);
+    h = hashCombine(h, static_cast<uint64_t>(au.hammingThreshold));
+    h = hashCombine(h, static_cast<uint64_t>(au.maxDepth));
+    h = hashCombine(h, au.maxPairs);
+    h = hashCombine(h, au.quadraticPairLimit);
+    h = hashCombine(h, au.bandingWindow);
+    h = hashCombine(h, au.maxCandidates);
+    h = hashCombine(h, au.maxPatternsPerPair);
+    h = hashCombine(h, au.maxResultPatterns);
+    h = hashCombine(h, static_cast<uint64_t>(au.kdDims));
+    h = hashCombine(h, static_cast<uint64_t>(au.kdBeta));
+    h = hashCombine(h, au.minOps);
+    h = hashCombine(h, doubleBits(au.maxSeconds));
+    h = hashCombine(h, doubleBits(au.maxSecondsPerPair));
+    return h;
+}
+
+}  // namespace
+
+uint64_t
+rulesFingerprint(const rules::RulesetLibrary& rules)
+{
+    uint64_t h = mix64(0x72756c65ull);
+    for (const RewriteRule& rule : rules.all()) {
+        h = hashCombine(h, stringHash(rule.name));
+        h = hashCombine(h, rule.flags);
+        h = hashCombine(h, stringHash(termToString(rule.lhs)));
+        h = hashCombine(h, stringHash(termToString(rule.rhs)));
+    }
+    return h;
+}
+
+uint64_t
+opSchemaFingerprint()
+{
+    uint64_t h = mix64(0x6f707363ull);
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const OpInfo& info = opInfo(static_cast<Op>(i));
+        h = hashCombine(h, i);
+        h = hashCombine(h, fnv1a(info.name.data(), info.name.size()));
+        h = hashCombine(h, static_cast<uint64_t>(
+                               static_cast<int64_t>(info.arity)));
+        h = hashCombine(h, info.flags);
+    }
+    return h;
+}
+
+uint64_t
+programFingerprint(const AnalyzedWorkload& analyzed)
+{
+    const frontend::EncodedProgram& program = analyzed.program;
+    const EGraph& egraph = program.egraph;
+    uint64_t h = mix64(0x70726f67ull);
+    for (const EClassId id : egraph.classIds()) {
+        h = hashCombine(h, id);
+        for (const ENode& node : egraph.cls(id).nodes) {
+            h = hashCombine(h, node.hash());
+        }
+    }
+    h = hashCombine(h, egraph.find(program.root));
+    for (const EClassId root : program.functionRoots) {
+        h = hashCombine(h, egraph.find(root));
+    }
+    for (const frontend::Site& site : program.sites) {
+        h = hashCombine(h, egraph.find(site.klass));
+        h = hashCombine(h, static_cast<uint64_t>(
+                               static_cast<int64_t>(site.func)));
+        h = hashCombine(h, site.block);
+    }
+    h = hashCombine(h, doubleBits(analyzed.profile.totalNs()));
+    h = hashCombine(h, analyzed.irInstructions);
+    return h;
+}
+
+uint64_t
+configFingerprint(const rii::RiiConfig& config)
+{
+    uint64_t h = mix64(0x636f6e66ull);
+    h = hashCombine(h, static_cast<uint64_t>(config.mode));
+    h = hashCombine(h, static_cast<uint64_t>(
+                           static_cast<int64_t>(config.maxPhases)));
+    h = hashCombine(h, config.rulesPerPhase);
+    h = hashCombine(h, hashEqSatLimits(config.eqsat));
+    h = hashCombine(h, hashAuOptions(config.au));
+    h = hashCombine(h, config.select.beamK);
+    h = hashCombine(h, config.select.maxRounds);
+    h = hashCombine(h, config.select.astSizeObjective ? 1 : 0);
+    h = hashCombine(h, doubleBits(config.select.maxSeconds));
+    h = hashCombine(h, static_cast<uint64_t>(
+                           static_cast<int64_t>(config.vectorize.lanes)));
+    h = hashCombine(h, config.vectorize.maxPacks);
+    h = hashCombine(h, hashAuOptions(config.vectorize.seedAu));
+    h = hashCombine(h, hashEqSatLimits(config.vectorize.liftLimits));
+    h = hashCombine(h, doubleBits(config.budget.maxSeconds));
+    h = hashCombine(h, config.budget.maxUnits);
+    h = hashCombine(h, config.budget.maxRssBytes);
+    h = hashCombine(h, doubleBits(config.invokeOverheadNs));
+    h = hashCombine(h, config.maxCostedCandidates);
+    h = hashCombine(h, config.seedPatterns.size());
+    for (const TermPtr& seed : config.seedPatterns) {
+        h = hashCombine(h, termHashDeep(seed));
+    }
+    return h;
+}
+
+std::string
+resultKey(const std::string& workload, uint64_t programFp, rii::Mode mode,
+          uint64_t rulesFp, uint64_t configFp)
+{
+    std::ostringstream os;
+    os << workload << '\x1f' << rii::modeName(mode) << '\x1f' << std::hex
+       << programFp << '\x1f' << rulesFp << '\x1f' << configFp;
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Corpus.
+
+void
+Corpus::load(const std::string& path, const rules::RulesetLibrary& rules)
+{
+    std::string image;
+    std::string error;
+    if (!readFile(path, image, error)) {
+        throw UserError("corpus: " + error);
+    }
+    const auto sections =
+        unframeFile(image, rulesFingerprint(rules), opSchemaFingerprint(),
+                    path);
+    const std::string what = "corpus " + path;
+
+    // Parse everything into locals; state swaps in only after the whole
+    // file validated (the no-partial-loads contract).
+    std::map<std::string, Strategy> strategies;
+    std::vector<LibraryEntry> library;
+    std::unordered_map<const Term*, size_t> libraryIndex;
+    std::unordered_map<uint64_t, std::unique_ptr<rii::AuCachedChunk>>
+        chunks;
+    std::map<std::string, std::unique_ptr<CachedResult>> results;
+    std::map<std::string, EGraphSnapshot> egraphs;
+
+    for (const auto& [tag, payload] : sections) {
+        ByteReader in(payload, what.c_str());
+        switch (tag) {
+          case SectionTag::Strategies: {
+            const uint32_t count = in.u32();
+            in.checkCount(count, 8);
+            for (uint32_t i = 0; i < count; ++i) {
+                std::string workload = in.str();
+                const std::string text = in.str();
+                std::string parseError;
+                auto strategy = parseStrategy(text, parseError);
+                if (!strategy.has_value()) {
+                    throw UserError(what + ": corrupt strategy for \"" +
+                                    workload + "\": " + parseError);
+                }
+                strategies[std::move(workload)] = std::move(*strategy);
+            }
+            break;
+          }
+          case SectionTag::Library: {
+            const TermPoolReader pool =
+                TermPoolReader::deserialize(in, what);
+            const uint32_t count = in.u32();
+            in.checkCount(count, 16);
+            for (uint32_t i = 0; i < count; ++i) {
+                LibraryEntry entry;
+                entry.body = pool.get(in.u32(), what);
+                if (entry.body == nullptr) {
+                    throw UserError(what + ": null library body");
+                }
+                entry.workload = in.str();
+                entry.seen = in.u64();
+                entry.canonical = internTerm(entry.body);
+                if (libraryIndex.count(entry.canonical.get()) != 0) {
+                    throw UserError(what + ": duplicate library body");
+                }
+                libraryIndex.emplace(entry.canonical.get(),
+                                     library.size());
+                library.push_back(std::move(entry));
+            }
+            break;
+          }
+          case SectionTag::AuChunks: {
+            const TermPoolReader pool =
+                TermPoolReader::deserialize(in, what);
+            const uint32_t count = in.u32();
+            in.checkCount(count, 36);
+            for (uint32_t i = 0; i < count; ++i) {
+                const uint64_t signature = in.u64();
+                auto chunk = std::make_unique<rii::AuCachedChunk>();
+                chunk->units = in.u64();
+                chunk->memoHits = in.u64();
+                chunk->memoMisses = in.u64();
+                const uint32_t pairs = in.u32();
+                in.checkCount(pairs, 12);
+                chunk->pairs.reserve(pairs);
+                for (uint32_t p = 0; p < pairs; ++p) {
+                    rii::AuCachedPair pair;
+                    pair.rawCandidates = in.u64();
+                    const uint32_t patterns = in.u32();
+                    in.checkCount(patterns, 4);
+                    pair.patterns.reserve(patterns);
+                    for (uint32_t k = 0; k < patterns; ++k) {
+                        TermPtr pattern = pool.get(in.u32(), what);
+                        if (pattern == nullptr) {
+                            throw UserError(what +
+                                            ": null chunk pattern");
+                        }
+                        pair.patterns.push_back(std::move(pattern));
+                    }
+                    chunk->pairs.push_back(std::move(pair));
+                }
+                if (!chunks.emplace(signature, std::move(chunk)).second) {
+                    throw UserError(what + ": duplicate chunk signature");
+                }
+            }
+            break;
+          }
+          case SectionTag::Results: {
+            const TermPoolReader pool =
+                TermPoolReader::deserialize(in, what);
+            const uint32_t count = in.u32();
+            in.checkCount(count, 8);
+            for (uint32_t i = 0; i < count; ++i) {
+                std::string key = in.str();
+                auto result = std::make_unique<CachedResult>(
+                    readCachedResult(in, pool, what));
+                if (!results.emplace(std::move(key), std::move(result))
+                         .second) {
+                    throw UserError(what + ": duplicate result key");
+                }
+            }
+            break;
+          }
+          case SectionTag::EGraphs: {
+            const uint32_t count = in.u32();
+            in.checkCount(count, 24);
+            for (uint32_t i = 0; i < count; ++i) {
+                std::string name = in.str();
+                EGraphSnapshot snap = readSnapshot(in, what);
+                if (!egraphs.emplace(std::move(name), std::move(snap))
+                         .second) {
+                    throw UserError(what + ": duplicate e-graph name");
+                }
+            }
+            break;
+          }
+          default:
+            throw UserError(what + ": unknown section tag " +
+                            std::to_string(static_cast<uint32_t>(tag)));
+        }
+        in.expectEnd();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    strategies_ = std::move(strategies);
+    library_ = std::move(library);
+    libraryIndex_ = std::move(libraryIndex);
+    chunks_ = std::move(chunks);
+    results_ = std::move(results);
+    egraphs_ = std::move(egraphs);
+    dirty_ = false;
+}
+
+std::string
+Corpus::serializeLocked(const rules::RulesetLibrary& rules) const
+{
+    std::vector<std::pair<SectionTag, std::string>> sections;
+
+    {
+        ByteWriter out;
+        out.u32(static_cast<uint32_t>(strategies_.size()));
+        for (const auto& [workload, strategy] : strategies_) {
+            out.str(workload);
+            out.str(strategy.encode());
+        }
+        sections.emplace_back(SectionTag::Strategies, out.take());
+    }
+    {
+        TermPoolWriter pool;
+        ByteWriter body;
+        body.u32(static_cast<uint32_t>(library_.size()));
+        for (const LibraryEntry& entry : library_) {
+            body.u32(pool.id(entry.body));
+            body.str(entry.workload);
+            body.u64(entry.seen);
+        }
+        ByteWriter out;
+        pool.serialize(out);
+        out.bytes(body.take());
+        sections.emplace_back(SectionTag::Library, out.take());
+    }
+    {
+        TermPoolWriter pool;
+        ByteWriter body;
+        body.u32(static_cast<uint32_t>(chunks_.size()));
+        // std::map-like determinism for the unordered store: write in
+        // ascending signature order so save() output is reproducible.
+        std::vector<uint64_t> signatures;
+        signatures.reserve(chunks_.size());
+        for (const auto& [signature, chunk] : chunks_) {
+            signatures.push_back(signature);
+        }
+        std::sort(signatures.begin(), signatures.end());
+        for (const uint64_t signature : signatures) {
+            const rii::AuCachedChunk& chunk = *chunks_.at(signature);
+            body.u64(signature);
+            body.u64(chunk.units);
+            body.u64(chunk.memoHits);
+            body.u64(chunk.memoMisses);
+            body.u32(static_cast<uint32_t>(chunk.pairs.size()));
+            for (const rii::AuCachedPair& pair : chunk.pairs) {
+                body.u64(pair.rawCandidates);
+                body.u32(static_cast<uint32_t>(pair.patterns.size()));
+                for (const TermPtr& pattern : pair.patterns) {
+                    body.u32(pool.id(pattern));
+                }
+            }
+        }
+        ByteWriter out;
+        pool.serialize(out);
+        out.bytes(body.take());
+        sections.emplace_back(SectionTag::AuChunks, out.take());
+    }
+    {
+        TermPoolWriter pool;
+        ByteWriter body;
+        body.u32(static_cast<uint32_t>(results_.size()));
+        for (const auto& [key, result] : results_) {
+            body.str(key);
+            writeCachedResult(body, pool, *result);
+        }
+        ByteWriter out;
+        pool.serialize(out);
+        out.bytes(body.take());
+        sections.emplace_back(SectionTag::Results, out.take());
+    }
+    {
+        ByteWriter out;
+        out.u32(static_cast<uint32_t>(egraphs_.size()));
+        for (const auto& [name, snap] : egraphs_) {
+            out.str(name);
+            writeSnapshot(out, snap);
+        }
+        sections.emplace_back(SectionTag::EGraphs, out.take());
+    }
+
+    return frameFile(rulesFingerprint(rules), opSchemaFingerprint(),
+                     sections);
+}
+
+void
+Corpus::save(const std::string& path, const rules::RulesetLibrary& rules)
+{
+    std::string image;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        image = serializeLocked(rules);
+        dirty_ = false;
+    }
+    writeFileAtomic(path, image);
+}
+
+bool
+Corpus::dirty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dirty_;
+}
+
+std::optional<Strategy>
+Corpus::strategyFor(const std::string& workload) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = strategies_.find(workload);
+    if (it == strategies_.end()) {
+        it = strategies_.find("global");
+    }
+    if (it == strategies_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+void
+Corpus::recordStrategy(const std::string& workload, const Strategy& s)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = strategies_.find(workload);
+    if (it != strategies_.end() && it->second == s) {
+        return;
+    }
+    strategies_[workload] = s;
+    dirty_ = true;
+}
+
+size_t
+Corpus::strategyCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return strategies_.size();
+}
+
+size_t
+Corpus::recordMined(const std::string& workload,
+                    const std::vector<TermPtr>& bodies)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t crossHits = 0;
+    for (const TermPtr& body : bodies) {
+        if (body == nullptr) {
+            continue;
+        }
+        const TermPtr canonical = internTerm(body);
+        const auto it = libraryIndex_.find(canonical.get());
+        if (it != libraryIndex_.end()) {
+            LibraryEntry& entry = library_[it->second];
+            ++entry.seen;
+            if (entry.workload != workload) {
+                ++crossHits;
+            }
+            dirty_ = true;
+            continue;
+        }
+        if (library_.size() >= kMaxLibrary) {
+            continue;
+        }
+        LibraryEntry entry;
+        entry.body = body;
+        entry.canonical = canonical;
+        entry.workload = workload;
+        libraryIndex_.emplace(canonical.get(), library_.size());
+        library_.push_back(std::move(entry));
+        dirty_ = true;
+    }
+    return crossHits;
+}
+
+std::vector<TermPtr>
+Corpus::seedPatterns(const std::string& workload) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TermPtr> seeds;
+    for (const LibraryEntry& entry : library_) {
+        if (entry.workload != workload) {
+            seeds.push_back(entry.body);
+        }
+    }
+    return seeds;
+}
+
+size_t
+Corpus::librarySize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return library_.size();
+}
+
+const rii::AuCachedChunk*
+Corpus::lookup(uint64_t signature) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = chunks_.find(signature);
+    return it == chunks_.end() ? nullptr : it->second.get();
+}
+
+void
+Corpus::store(uint64_t signature, rii::AuCachedChunk chunk)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunks_.size() >= kMaxChunks ||
+        chunks_.count(signature) != 0) {
+        return;
+    }
+    chunks_.emplace(signature, std::make_unique<rii::AuCachedChunk>(
+                                   std::move(chunk)));
+    dirty_ = true;
+}
+
+size_t
+Corpus::chunkCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return chunks_.size();
+}
+
+const CachedResult*
+Corpus::findResult(const std::string& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = results_.find(key);
+    return it == results_.end() ? nullptr : it->second.get();
+}
+
+void
+Corpus::storeResult(const std::string& key, CachedResult result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (results_.size() >= kMaxResults || results_.count(key) != 0) {
+        return;
+    }
+    results_.emplace(key,
+                     std::make_unique<CachedResult>(std::move(result)));
+    dirty_ = true;
+}
+
+size_t
+Corpus::resultCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+void
+Corpus::storeEGraph(const std::string& name, EGraphSnapshot snapshot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (egraphs_.size() >= kMaxEGraphs && egraphs_.count(name) == 0) {
+        return;
+    }
+    egraphs_[name] = std::move(snapshot);
+    dirty_ = true;
+}
+
+const EGraphSnapshot*
+Corpus::findEGraph(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = egraphs_.find(name);
+    return it == egraphs_.end() ? nullptr : &it->second;
+}
+
+size_t
+Corpus::egraphCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return egraphs_.size();
+}
+
+size_t
+Corpus::pinnedNodeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_set<const Term*> seen;
+    size_t interned = 0;
+    const std::function<void(const TermPtr&)> walk =
+        [&](const TermPtr& term) {
+            if (term == nullptr || !seen.insert(term.get()).second) {
+                return;
+            }
+            if (term->interned) {
+                ++interned;
+            }
+            for (const TermPtr& child : term->children) {
+                walk(child);
+            }
+        };
+    for (const LibraryEntry& entry : library_) {
+        walk(entry.body);
+        walk(entry.canonical);
+    }
+    for (const auto& [signature, chunk] : chunks_) {
+        for (const rii::AuCachedPair& pair : chunk->pairs) {
+            for (const TermPtr& pattern : pair.patterns) {
+                walk(pattern);
+            }
+        }
+    }
+    for (const auto& [key, result] : results_) {
+        for (const TermPtr& body : result->registryBodies) {
+            walk(body);
+        }
+        for (const rii::Solution& s : result->front) {
+            walk(s.program);
+        }
+        for (const auto& [id, eval] : result->evaluations) {
+            walk(eval.body);
+        }
+    }
+    return interned;
+}
+
+CachedResult
+captureResult(const rii::RiiResult& result)
+{
+    CachedResult cached;
+    cached.registryBodies.reserve(result.registry.size());
+    for (size_t id = 0; id < result.registry.size(); ++id) {
+        cached.registryBodies.push_back(
+            result.registry.costBody(static_cast<int64_t>(id)));
+    }
+    cached.front = result.front;
+    cached.stats = result.stats;
+    cached.diagnostics = result.diagnostics;
+    cached.evaluations.reserve(result.evaluations.size());
+    for (const auto& [id, eval] : result.evaluations) {
+        cached.evaluations.emplace_back(id, eval);
+    }
+    std::sort(cached.evaluations.begin(), cached.evaluations.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return cached;
+}
+
+rii::RiiResult
+rehydrateResult(const CachedResult& cached)
+{
+    rii::RiiResult result;
+    for (size_t i = 0; i < cached.registryBodies.size(); ++i) {
+        const int64_t id = result.registry.add(cached.registryBodies[i]);
+        ISAMORE_USER_CHECK(
+            id == static_cast<int64_t>(i),
+            "corpus: cached registry bodies collapse to fewer ids "
+            "(corrupt or cross-build corpus)");
+    }
+    result.front = cached.front;
+    result.stats = cached.stats;
+    result.diagnostics = cached.diagnostics;
+    result.evaluations.reserve(cached.evaluations.size());
+    for (const auto& [id, eval] : cached.evaluations) {
+        result.evaluations.emplace(id, eval);
+    }
+    return result;
+}
+
+}  // namespace corpus
+}  // namespace isamore

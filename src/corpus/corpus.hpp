@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Persistent pattern corpus: cross-run and cross-workload result caching
+ * (ROADMAP item 1).
+ *
+ * A Corpus accumulates, across analysis runs, everything worth keeping:
+ *
+ *  - the **pattern library**: every costed pattern body ever mined, with
+ *    the workload that first produced it, so patterns mined from one
+ *    workload can seed candidate generation for another;
+ *  - the **AU chunk memo**: recorded anti-unification chunk results
+ *    keyed by trace signature (rii::AuChunkCache), replayed verbatim on
+ *    warm runs -- across runs and across workloads whose chunks are
+ *    isomorphic;
+ *  - **full analysis results** keyed by (workload, program, mode, rules,
+ *    config) fingerprints, so an unchanged request skips the pipeline
+ *    entirely;
+ *  - **per-workload tuned EqSat strategies** (the data previously
+ *    stranded in bench/fig10.tuned), with a "global" fallback entry;
+ *  - **named e-graph snapshots** (EGraphSnapshot round-trips, used by
+ *    the differential tests and available to tooling).
+ *
+ * Determinism contract: a warm run that hits the corpus produces output
+ * byte-identical to the cold run it replaces (modulo the "seconds"
+ * wall-clock fields), at every thread count.  The pieces that guarantee
+ * it: results are only stored from non-degraded, unconstrained,
+ * fault-free runs; AU chunks replay with the exact per-pair records and
+ * budget charges of their cold runs; and the file frame refuses any
+ * corpus written by a build with different rewrite rules or operators.
+ * Library seeding (RiiConfig::seedPatterns) is the one deliberately
+ * output-changing feature and is opt-in via --corpus-seed.
+ *
+ * Concurrency: every method takes an internal mutex; AuCachedChunk
+ * pointers returned by lookup() stay valid for the corpus's lifetime
+ * (entries are never erased, only refused past a cap).  Terms held by
+ * the corpus are strong TermPtr references, which is what pins their
+ * interned nodes across internPurge(): the interner only drops nodes
+ * with no outside reference, so corpus-held patterns survive server
+ * purge sweeps by construction (see pinnedNodeCount()).
+ */
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/format.hpp"
+#include "egraph/strategy.hpp"
+#include "isamore/isamore.hpp"
+#include "rii/au.hpp"
+#include "rii/rii.hpp"
+#include "rules/rulesets.hpp"
+
+namespace isamore {
+namespace corpus {
+
+/** One accumulated library pattern. */
+struct LibraryEntry {
+    TermPtr body;          ///< scheduling view (topology-preserving DAG)
+    /** Interned canonical form; the strong reference keeps the raw
+     *  pointer used as the library index key valid across purges. */
+    TermPtr canonical;
+    std::string workload;  ///< workload that first mined it
+    uint64_t seen = 1;     ///< runs that re-mined it (any workload)
+};
+
+/**
+ * A full analysis result in storable form: RiiResult minus the base
+ * program (the fetcher re-attaches the live AnalyzedWorkload's program)
+ * and minus wall-clock (stats.seconds is overwritten at fetch).
+ */
+struct CachedResult {
+    /** Registry scheduling views in id order; rehydrating a registry by
+     *  add()-ing these in order reproduces the original ids. */
+    std::vector<TermPtr> registryBodies;
+    std::vector<rii::Solution> front;
+    rii::RiiStats stats;
+    rii::RunDiagnostics diagnostics;
+    /** (pattern id, evaluation), ascending by id. */
+    std::vector<std::pair<int64_t, rii::PatternEval>> evaluations;
+};
+
+/** @name Invalidation fingerprints
+ *  @{ */
+
+/** Hash of the rewrite-rule library (names, flags, LHS/RHS structure). */
+uint64_t rulesFingerprint(const rules::RulesetLibrary& rules);
+
+/** Hash of the operator table (index, name, arity, flags). */
+uint64_t opSchemaFingerprint();
+
+/**
+ * Hash of an encoded program as the pipeline observes it: e-graph
+ * content (canonical classes, nodes), root, function roots, site list,
+ * profile total, and IR instruction count.
+ */
+uint64_t programFingerprint(const AnalyzedWorkload& analyzed);
+
+/**
+ * Hash of every RiiConfig field that shapes pipeline output.  Excludes
+ * au.threads and the chunk-cache pointer (thread count and cache hits
+ * are behaviour-invariant) but includes seed patterns (seeding widens
+ * the candidate set).
+ */
+uint64_t configFingerprint(const rii::RiiConfig& config);
+
+/** The Results-section key for one analysis request. */
+std::string resultKey(const std::string& workload, uint64_t programFp,
+                      rii::Mode mode, uint64_t rulesFp, uint64_t configFp);
+
+/** @} */
+
+/** The persistent corpus (see file comment). */
+class Corpus final : public rii::AuChunkCache {
+ public:
+    Corpus() = default;
+    Corpus(const Corpus&) = delete;
+    Corpus& operator=(const Corpus&) = delete;
+
+    /** @name Persistence
+     *  @{ */
+
+    /**
+     * Load @p path, replacing this corpus's contents.  The whole file is
+     * validated (frame checksum, magic, format version, rules and op
+     * hashes, every section payload) before any state changes, so a
+     * corrupt file throws UserError naming the path and leaves the
+     * corpus exactly as it was -- no partial loads.
+     */
+    void load(const std::string& path, const rules::RulesetLibrary& rules);
+
+    /** Serialize and publish to @p path via atomic rename; clears the
+     *  dirty flag.  @throws UserError naming the path on I/O failure. */
+    void save(const std::string& path, const rules::RulesetLibrary& rules);
+
+    /** Whether anything was recorded since the last load()/save(). */
+    bool dirty() const;
+
+    /** @} */
+
+    /** @name Tuned strategies
+     *  @{ */
+
+    /** Strategy recorded for @p workload, falling back to "global". */
+    std::optional<Strategy> strategyFor(const std::string& workload) const;
+
+    /** Record the tuned strategy for @p workload ("global" = fallback). */
+    void recordStrategy(const std::string& workload, const Strategy& s);
+
+    size_t strategyCount() const;
+
+    /** @} */
+
+    /** @name Pattern library
+     *  @{ */
+
+    /**
+     * Record the patterns a run of @p workload put on its Pareto front.
+     * @p bodies are registry scheduling views.  Returns the number of
+     * *cross hits*: bodies already in the library from a different
+     * workload (the cross-workload matching signal).
+     */
+    size_t recordMined(const std::string& workload,
+                       const std::vector<TermPtr>& bodies);
+
+    /**
+     * Library bodies first mined by workloads other than @p workload,
+     * in recording order -- the seed set for RiiConfig::seedPatterns.
+     */
+    std::vector<TermPtr>
+    seedPatterns(const std::string& workload) const;
+
+    size_t librarySize() const;
+
+    /** @} */
+
+    /** @name AU chunk memo (rii::AuChunkCache)
+     *  @{ */
+
+    const rii::AuCachedChunk* lookup(uint64_t signature) const override;
+    void store(uint64_t signature, rii::AuCachedChunk chunk) override;
+    size_t chunkCount() const;
+
+    /** @} */
+
+    /** @name Full results
+     *  @{ */
+
+    /** The cached result for @p key, or nullptr.  The pointer stays
+     *  valid for the corpus's lifetime. */
+    const CachedResult* findResult(const std::string& key) const;
+
+    /** Record a result (first store wins; refused past the cap). */
+    void storeResult(const std::string& key, CachedResult result);
+
+    size_t resultCount() const;
+
+    /** @} */
+
+    /** @name Named e-graph snapshots
+     *  @{ */
+
+    void storeEGraph(const std::string& name, EGraphSnapshot snapshot);
+    const EGraphSnapshot* findEGraph(const std::string& name) const;
+    size_t egraphCount() const;
+
+    /** @} */
+
+    /**
+     * Distinct interned term nodes reachable from corpus-held patterns
+     * -- the nodes the corpus's strong references pin across
+     * internPurge() (surfaced as the server.corpus_pinned_nodes gauge).
+     */
+    size_t pinnedNodeCount() const;
+
+ private:
+    std::string serializeLocked(const rules::RulesetLibrary& rules) const;
+
+    mutable std::mutex mutex_;
+    bool dirty_ = false;
+    std::map<std::string, Strategy> strategies_;
+    std::vector<LibraryEntry> library_;
+    /** Interned canonical body -> library_ index. */
+    std::unordered_map<const Term*, size_t> libraryIndex_;
+    /** unique_ptr values keep chunk addresses stable across rehash. */
+    std::unordered_map<uint64_t, std::unique_ptr<rii::AuCachedChunk>>
+        chunks_;
+    std::map<std::string, std::unique_ptr<CachedResult>> results_;
+    std::map<std::string, EGraphSnapshot> egraphs_;
+};
+
+/**
+ * Capture a finished run for the Results section.  @pre the run is not
+ * degraded (the warm path only stores clean runs).
+ */
+CachedResult captureResult(const rii::RiiResult& result);
+
+/**
+ * Rebuild a RiiResult from a cached one.  The caller re-attaches
+ * baseProgram and overwrites stats.seconds with live wall-clock.
+ * @throws UserError when the cached registry bodies do not rehydrate to
+ * stable ids (a corrupt or cross-build corpus that escaped the frame
+ * checks).
+ */
+rii::RiiResult rehydrateResult(const CachedResult& cached);
+
+}  // namespace corpus
+}  // namespace isamore

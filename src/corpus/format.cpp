@@ -1,0 +1,299 @@
+#include "corpus/format.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace isamore {
+namespace corpus {
+
+uint64_t
+fnv1a(const void* data, size_t size, uint64_t seed)
+{
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+void
+ByteWriter::u16(uint16_t v)
+{
+    u8(static_cast<uint8_t>(v));
+    u8(static_cast<uint8_t>(v >> 8));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+}
+
+void
+ByteWriter::f64(double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(const std::string& v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    buffer_ += v;
+}
+
+const char*
+ByteReader::need(size_t n)
+{
+    if (size_ - pos_ < n) {
+        throw UserError(std::string(what_) + ": truncated (need " +
+                        std::to_string(n) + " bytes at offset " +
+                        std::to_string(pos_) + " of " +
+                        std::to_string(size_) + ")");
+    }
+    const char* at = data_ + pos_;
+    pos_ += n;
+    return at;
+}
+
+uint8_t
+ByteReader::u8()
+{
+    return static_cast<uint8_t>(*need(1));
+}
+
+uint16_t
+ByteReader::u16()
+{
+    const char* at = need(2);
+    uint16_t v = 0;
+    for (int i = 1; i >= 0; --i) {
+        v = static_cast<uint16_t>((v << 8) |
+                                  static_cast<unsigned char>(at[i]));
+    }
+    return v;
+}
+
+uint32_t
+ByteReader::u32()
+{
+    const char* at = need(4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+        v = (v << 8) | static_cast<unsigned char>(at[i]);
+    }
+    return v;
+}
+
+uint64_t
+ByteReader::u64()
+{
+    const char* at = need(8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | static_cast<unsigned char>(at[i]);
+    }
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+bool
+ByteReader::boolean()
+{
+    const uint8_t v = u8();
+    if (v > 1) {
+        throw UserError(std::string(what_) + ": corrupt boolean byte " +
+                        std::to_string(v));
+    }
+    return v == 1;
+}
+
+std::string
+ByteReader::str()
+{
+    const uint32_t size = u32();
+    const char* at = need(size);
+    return std::string(at, size);
+}
+
+ByteReader
+ByteReader::sub(size_t size)
+{
+    const char* at = need(size);
+    return ByteReader(at, size, what_);
+}
+
+void
+ByteReader::expectEnd() const
+{
+    if (!atEnd()) {
+        throw UserError(std::string(what_) + ": " +
+                        std::to_string(remaining()) +
+                        " trailing bytes after a complete record");
+    }
+}
+
+void
+ByteReader::checkCount(uint64_t count, size_t perElement) const
+{
+    if (perElement != 0 && count > remaining() / perElement) {
+        throw UserError(std::string(what_) + ": corrupt element count " +
+                        std::to_string(count) + " exceeds the " +
+                        std::to_string(remaining()) + " bytes left");
+    }
+}
+
+bool
+readFile(const std::string& path, std::string& out, std::string& error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        error = "read error on " + path;
+        return false;
+    }
+    out = buffer.str();
+    return true;
+}
+
+void
+writeFileAtomic(const std::string& path, const std::string& data)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw UserError("corpus: cannot write " + tmp);
+        }
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw UserError("corpus: write error on " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw UserError("corpus: cannot rename " + tmp + " to " + path);
+    }
+}
+
+std::string
+frameFile(uint64_t rulesHash, uint64_t opSchemaHash,
+          const std::vector<std::pair<SectionTag, std::string>>& sections)
+{
+    ByteWriter out;
+    out.bytes(std::string(kMagic, sizeof(kMagic)));
+    out.u32(kFormatVersion);
+    out.u64(rulesHash);
+    out.u64(opSchemaHash);
+    out.u32(static_cast<uint32_t>(sections.size()));
+    for (const auto& [tag, payload] : sections) {
+        out.u32(static_cast<uint32_t>(tag));
+        out.u64(payload.size());
+        out.bytes(payload);
+    }
+    const uint64_t checksum = fnv1a(out.data().data(), out.size());
+    out.u64(checksum);
+    return out.take();
+}
+
+std::vector<std::pair<SectionTag, std::string>>
+unframeFile(const std::string& image, uint64_t rulesHash,
+            uint64_t opSchemaHash, const std::string& path)
+{
+    const std::string what = "corpus " + path;
+    if (image.size() < sizeof(kMagic) + 4 + 8 + 8 + 4 + 8) {
+        throw UserError(what + ": truncated (only " +
+                        std::to_string(image.size()) + " bytes)");
+    }
+    // Checksum first: a flipped byte anywhere must fail identically,
+    // regardless of which field it happens to land in.
+    const size_t bodySize = image.size() - 8;
+    ByteReader trailer(image.data() + bodySize, 8, what.c_str());
+    const uint64_t expected = trailer.u64();
+    const uint64_t actual = fnv1a(image.data(), bodySize);
+    if (expected != actual) {
+        throw UserError(what + ": checksum mismatch (file is corrupt)");
+    }
+
+    ByteReader in(image.data(), bodySize, what.c_str());
+    char magic[sizeof(kMagic)];
+    for (size_t i = 0; i < sizeof(kMagic); ++i) {
+        magic[i] = static_cast<char>(in.u8());
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        throw UserError(what + ": bad magic (not a corpus file)");
+    }
+    const uint32_t version = in.u32();
+    if (version != kFormatVersion) {
+        throw UserError(what + ": format version " +
+                        std::to_string(version) +
+                        " unsupported (this build reads version " +
+                        std::to_string(kFormatVersion) + ")");
+    }
+    const uint64_t fileRules = in.u64();
+    if (fileRules != rulesHash) {
+        throw UserError(what +
+                        ": rules hash mismatch (written by a build with "
+                        "different rewrite rules; delete or regenerate)");
+    }
+    const uint64_t fileOps = in.u64();
+    if (fileOps != opSchemaHash) {
+        throw UserError(what +
+                        ": op schema hash mismatch (written by a build "
+                        "with a different operator table)");
+    }
+    const uint32_t count = in.u32();
+    in.checkCount(count, 12);
+    std::vector<std::pair<SectionTag, std::string>> sections;
+    sections.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint32_t tag = in.u32();
+        const uint64_t size = in.u64();
+        if (size > in.remaining()) {
+            throw UserError(what + ": section " + std::to_string(tag) +
+                            " overruns the file");
+        }
+        const size_t offset = bodySize - in.remaining();
+        in.sub(static_cast<size_t>(size));
+        sections.emplace_back(static_cast<SectionTag>(tag),
+                              image.substr(offset, size));
+    }
+    in.expectEnd();
+    return sections;
+}
+
+}  // namespace corpus
+}  // namespace isamore

@@ -812,4 +812,128 @@ EGraph::classesDirtySince(uint64_t version) const
     return out;
 }
 
+EGraphSnapshot
+EGraph::exportSnapshot() const
+{
+    ISAMORE_CHECK_MSG(!needsRebuild(),
+                      "exportSnapshot requires a rebuilt graph");
+    EGraphSnapshot snap;
+    snap.clock = clock_.load(std::memory_order_relaxed);
+    snap.version = version_.load(std::memory_order_relaxed);
+    const uint32_t ids = idCount_.load(std::memory_order_acquire);
+    snap.numIds = ids;
+    snap.unionFind.reserve(ids);
+    snap.stamps.reserve(static_cast<size_t>(ids) * kStampDepths);
+    for (uint32_t id = 0; id < ids; ++id) {
+        const Slot& slot = slotRef(id);
+        snap.unionFind.push_back(find(id));
+        for (size_t j = 0; j < kStampDepths; ++j) {
+            snap.stamps.push_back(
+                slot.stamps[j].load(std::memory_order_relaxed));
+        }
+    }
+    for (uint32_t id = 0; id < ids; ++id) {
+        const EClass* data = slotRef(id).cls.load(std::memory_order_acquire);
+        if (data == nullptr) {
+            continue;
+        }
+        EGraphSnapshot::ClassImage image;
+        image.id = id;
+        image.nodes = data->nodes;
+        image.parents = data->parents;
+        snap.classes.push_back(std::move(image));
+    }
+    return snap;
+}
+
+void
+EGraph::restoreSnapshot(const EGraphSnapshot& snapshot)
+{
+    // Validate the whole image before touching any state, so a rejected
+    // snapshot leaves this graph exactly as it was.
+    const uint32_t ids = snapshot.numIds;
+    ISAMORE_USER_CHECK(
+        snapshot.unionFind.size() == ids,
+        "e-graph snapshot: union-find entry count does not match numIds");
+    ISAMORE_USER_CHECK(
+        snapshot.stamps.size() == static_cast<size_t>(ids) * kStampDepths,
+        "e-graph snapshot: stamp count does not match numIds");
+    for (uint32_t id = 0; id < ids; ++id) {
+        ISAMORE_USER_CHECK(snapshot.unionFind[id] < ids,
+                           "e-graph snapshot: union-find link out of range");
+    }
+    const auto checkNode = [&](const ENode& node) {
+        for (const EClassId child : node.children) {
+            ISAMORE_USER_CHECK(child < ids,
+                               "e-graph snapshot: node child out of range");
+        }
+    };
+    EClassId lastId = 0;
+    bool first = true;
+    for (const EGraphSnapshot::ClassImage& image : snapshot.classes) {
+        ISAMORE_USER_CHECK(image.id < ids,
+                           "e-graph snapshot: class id out of range");
+        ISAMORE_USER_CHECK(
+            first || image.id > lastId,
+            "e-graph snapshot: class images out of order or duplicated");
+        first = false;
+        lastId = image.id;
+        ISAMORE_USER_CHECK(
+            snapshot.unionFind[image.id] == image.id,
+            "e-graph snapshot: class image for a non-canonical id");
+        for (const ENode& node : image.nodes) {
+            checkNode(node);
+        }
+        for (const auto& [pnode, pclass] : image.parents) {
+            checkNode(pnode);
+            ISAMORE_USER_CHECK(
+                pclass < ids,
+                "e-graph snapshot: parent class out of range");
+        }
+    }
+
+    releaseStorage();
+    for (size_t s = 0; s < kShardCount; ++s) {
+        shards_[s].map.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(worklistMutex_);
+        worklist_.clear();
+    }
+    dirtySeeds_.clear();
+    cachesStale_.store(true, std::memory_order_relaxed);
+    idCount_.store(ids, std::memory_order_release);
+
+    for (uint32_t id = 0; id < ids; ++id) {
+        ensureSlot(id);
+        Slot& slot = slotRef(id);
+        slot.parent.store(snapshot.unionFind[id], std::memory_order_relaxed);
+        for (size_t j = 0; j < kStampDepths; ++j) {
+            slot.stamps[j].store(
+                snapshot.stamps[static_cast<size_t>(id) * kStampDepths + j],
+                std::memory_order_relaxed);
+        }
+        slot.cls.store(nullptr, std::memory_order_relaxed);
+    }
+
+    size_t classCount = 0;
+    size_t nodeCount = 0;
+    for (const EGraphSnapshot::ClassImage& image : snapshot.classes) {
+        EClass* data = new EClass();
+        data->nodes = image.nodes;
+        data->parents = image.parents;
+        slotRef(image.id).cls.store(data, std::memory_order_release);
+        for (const ENode& node : data->nodes) {
+            shardFor(node.hash()).map.emplace(node, image.id);
+        }
+        ++classCount;
+        nodeCount += data->nodes.size();
+    }
+    classCount_.store(classCount, std::memory_order_relaxed);
+    nodeCount_.store(nodeCount, std::memory_order_relaxed);
+    version_.store(snapshot.version, std::memory_order_relaxed);
+    clock_.store(snapshot.clock, std::memory_order_relaxed);
+    lastRebuild_ = RebuildStats{};
+}
+
 }  // namespace isamore

@@ -111,6 +111,32 @@ struct RebuildStats {
 };
 
 /**
+ * Flat, pointer-free image of a rebuilt e-graph, suitable for binary
+ * serialization (see corpus/).  Captures everything later graph
+ * operations can observe: the union-find resolution of every id ever
+ * allocated, the per-id dirty stamps, the modification clocks, and each
+ * canonical class's node and parent lists *in storage order* -- repair
+ * and merge tie-breaking read those orders, so preserving them verbatim
+ * is what makes a restored graph behave byte-identically.
+ */
+struct EGraphSnapshot {
+    uint64_t clock = 0;    ///< matchClock() at export
+    uint64_t version = 0;  ///< version() at export
+    uint32_t numIds = 0;   ///< total ids ever allocated
+    /** Per id: its canonical root (self for canonical ids). */
+    std::vector<EClassId> unionFind;
+    /** Per id: EGraph::kStampDepths stamp buckets, flattened. */
+    std::vector<uint64_t> stamps;
+    /** One canonical class's storage, verbatim. */
+    struct ClassImage {
+        EClassId id = 0;
+        std::vector<ENode> nodes;
+        std::vector<std::pair<ENode, EClassId>> parents;
+    };
+    std::vector<ClassImage> classes;  ///< ascending by id
+};
+
+/**
  * E-graph with deferred congruence repair.
  *
  * Beyond the core egg design, the graph maintains three derived
@@ -297,6 +323,31 @@ class EGraph {
      * contract as classIds().
      */
     uint64_t maxStampWithOp(Op op, size_t depth) const;
+
+    /** @} */
+
+    /** @name Snapshots (persistent corpus)
+     *  @{ */
+
+    /**
+     * Export a complete image of the graph.  @pre the graph is rebuilt
+     * (!needsRebuild()) and quiescent.  Restoring the image into a fresh
+     * graph reproduces one that is observationally identical: same class
+     * ids, union-find resolution, stamps, clocks, and node/parent list
+     * orders, so any later sequence of operations behaves exactly as it
+     * would on the original.
+     */
+    EGraphSnapshot exportSnapshot() const;
+
+    /**
+     * Replace this graph's entire state with @p snapshot, rebuilding the
+     * hashcons from the canonical class node lists.
+     * @throws UserError when the image is internally inconsistent (out of
+     * range ids, a non-canonical class image, size mismatches); the image
+     * is validated before any teardown, so a rejected snapshot leaves
+     * the graph unchanged.
+     */
+    void restoreSnapshot(const EGraphSnapshot& snapshot);
 
     /** @} */
 

@@ -317,7 +317,7 @@ runRii(const frontend::EncodedProgram& program,
             std::vector<PatternEval> costed;
             {
                 TELEM_SPAN("rii.cost", "rii");
-                for (const TermPtr& p : au.patterns) {
+                auto costOne = [&](const TermPtr& p) {
                     try {
                         int64_t id = result.registry.add(p);
                         costed.push_back(cost.evaluate(id, work.egraph));
@@ -326,6 +326,17 @@ runRii(const frontend::EncodedProgram& program,
                     } catch (const std::bad_alloc&) {
                         ++diag.skippedPatterns;
                     }
+                };
+                // Corpus-seeded candidates enter once, ahead of the first
+                // phase's own crop, and then compete on cost like any
+                // mined pattern.
+                if (phase == 0) {
+                    for (const TermPtr& p : config.seedPatterns) {
+                        costOne(p);
+                    }
+                }
+                for (const TermPtr& p : au.patterns) {
+                    costOne(p);
                 }
             }
             std::sort(costed.begin(), costed.end(),

@@ -3,14 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "corpus/corpus.hpp"
 #include "dsl/intern.hpp"
 #include "isamore/report.hpp"
 #include "server/queue.hpp"
@@ -90,7 +93,34 @@ struct ServeContext {
     std::atomic<bool> stopping{false};
     std::atomic<uint64_t> analyzesSinceSweep{0};
     std::atomic<uint64_t> watchdogCancellations{0};
+
+    /** Shared warm-start corpus (null = serving without one). */
+    std::unique_ptr<corpus::Corpus> corpus;
 };
+
+/**
+ * Checkpoint the corpus to disk if anything accumulated since the last
+ * save.  Failures are notices, not crashes: the in-memory corpus stays
+ * warm and the next checkpoint retries.
+ */
+void
+saveCorpusCheckpoint(ServeContext& ctx, const char* when)
+{
+    if (ctx.corpus == nullptr || ctx.options.corpusReadonly ||
+        !ctx.corpus->dirty()) {
+        return;
+    }
+    try {
+        ctx.corpus->save(ctx.options.corpusPath,
+                         ctx.state.defaultLibrary());
+        (*ctx.err) << "[isamore_serve] corpus checkpoint (" << when
+                   << "): saved " << ctx.options.corpusPath << "\n";
+    } catch (const std::exception& e) {
+        (*ctx.err) << "[isamore_serve] corpus checkpoint (" << when
+                   << ") failed: " << e.what() << "\n";
+    }
+    ctx.err->flush();
+}
 
 /**
  * Write one response line.  This is the only function that ever touches
@@ -130,6 +160,16 @@ purgeSweep(ServeContext& ctx)
     (*ctx.err) << "[isamore_serve] purge sweep: dropped " << dropped
                << " interned nodes, " << stats.terms << " live\n";
     ctx.err->flush();
+    // The purge is the corpus's checkpoint interval: still under the
+    // exclusive lane (no lane is mutating the corpus mid-request), note
+    // how many interned nodes the corpus's strong references pinned
+    // through the purge, then persist.
+    if (ctx.corpus != nullptr) {
+        telemetry::Registry::instance()
+            .gauge("server.corpus_pinned_nodes")
+            .set(static_cast<int64_t>(ctx.corpus->pinnedNodeCount()));
+        saveCorpusCheckpoint(ctx, "purge sweep");
+    }
 }
 
 /** One session lane: drain the queue until shutdown. */
@@ -226,6 +266,38 @@ serveLoop(std::istream& in, std::ostream& out, std::ostream& err,
     ctx.out = &out;
     ctx.err = &err;
 
+    if (!options.corpusPath.empty()) {
+        ctx.corpus = std::make_unique<corpus::Corpus>();
+        if (std::filesystem::exists(options.corpusPath)) {
+            // A corrupt corpus refuses startup outright (the CLI's
+            // invalid-input class): serving with silently-empty warm
+            // state would mask the operator's mistake.
+            try {
+                ctx.corpus->load(options.corpusPath,
+                                 ctx.state.defaultLibrary());
+            } catch (const std::exception& e) {
+                err << "[isamore_serve] error: " << e.what() << "\n";
+                err.flush();
+                return 3;
+            }
+            err << "[isamore_serve] corpus: loaded " << options.corpusPath
+                << " (" << ctx.corpus->resultCount() << " results, "
+                << ctx.corpus->chunkCount() << " AU chunks, "
+                << ctx.corpus->librarySize() << " patterns)\n";
+        } else if (options.corpusReadonly) {
+            err << "[isamore_serve] error: --corpus-readonly with "
+                   "missing corpus file: "
+                << options.corpusPath << "\n";
+            err.flush();
+            return 3;
+        } else {
+            err << "[isamore_serve] corpus: " << options.corpusPath
+                << " does not exist yet; starting empty\n";
+        }
+        err.flush();
+        ctx.state.attachCorpus(ctx.corpus.get());
+    }
+
     if (options.banner) {
         err << "[isamore_serve] serving JSON-lines on stdin: " << options.lanes
             << " lanes, queue " << ctx.queue.capacity() << ", purge every "
@@ -275,6 +347,7 @@ serveLoop(std::istream& in, std::ostream& out, std::ostream& err,
         lane.join();
     }
     watchdog.join();
+    saveCorpusCheckpoint(ctx, "shutdown");
 
     if (options.banner) {
         const ServerCounters counters = ctx.state.counters();

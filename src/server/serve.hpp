@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <string>
 
 namespace isamore {
 namespace server {
@@ -45,6 +46,18 @@ struct ServeOptions {
     size_t watchdogPollMs = 5;
     /** Print a startup banner and shutdown summary to the error stream. */
     bool banner = true;
+    /**
+     * Persistent corpus shared by every lane (empty = no corpus).
+     * Loaded before the lanes start (a corrupt file refuses startup,
+     * exit 3; a missing file starts empty unless read-only) and saved
+     * back -- atomic rename -- at every purge-sweep checkpoint and at
+     * shutdown, when dirty.  Corpus-held patterns pin their interned
+     * nodes across internPurge() by holding strong references.
+     */
+    std::string corpusPath;
+    /** Consult the corpus but never write the file back (and make a
+     *  missing file a startup error). */
+    bool corpusReadonly = false;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "corpus/warm.hpp"
 #include "dsl/intern.hpp"
 #include "isamore/report.hpp"
 #include "support/check.hpp"
@@ -625,6 +626,12 @@ serializeResponse(const Response& response)
 
 SharedState::SharedState() : default_(rules::defaultLibrary()) {}
 
+void
+SharedState::attachCorpus(corpus::Corpus* corpus)
+{
+    corpus_ = corpus;
+}
+
 std::shared_ptr<const AnalyzedWorkload>
 SharedState::getOrAnalyze(const std::string& name)
 {
@@ -762,8 +769,15 @@ SharedState::runAnalysis(const Request& request, Budget& rootBudget)
         config.parentBudget = &rootBudget;
         const rules::RulesetLibrary& library =
             request.extendedRules ? extendedLibrary() : default_;
+        // Thread-pinned requests exist to exercise the pipeline at that
+        // width, so they must not be satisfied from the corpus (the warm
+        // wrapper also self-bypasses its result cache under armed faults
+        // or a constrained root budget).
+        const bool warm = corpus_ != nullptr && request.threads == 0;
         rii::RiiResult result =
-            identifyInstructions(*analyzed, library, config);
+            warm ? corpus::identifyInstructions(*analyzed, library,
+                                                config, *corpus_)
+                 : identifyInstructions(*analyzed, library, config);
 
         response.result = resultToJson(*analyzed, result);
         if (result.diagnostics.degraded()) {

@@ -36,6 +36,9 @@
 #include "support/budget.hpp"
 
 namespace isamore {
+namespace corpus {
+class Corpus;
+}  // namespace corpus
 namespace server {
 
 /** @name Minimal strict JSON
@@ -232,6 +235,24 @@ class SharedState {
     /** Drop every cached response (tests; the cache is also bounded). */
     void clearResponseCache();
 
+    /**
+     * Attach a shared persistent corpus (serve startup; may be null).
+     * Analyze requests then run through the corpus warm-start path:
+     * result-cache hits skip the pipeline, AU chunks replay, and mined
+     * patterns accumulate -- all in memory.  Persisting the corpus to
+     * disk stays the serving loop's job (checkpoint saves at purge
+     * sweeps), which is how read-only mounts stay warm without writes.
+     * Requests that pin a thread count bypass the corpus entirely: their
+     * point is to exercise the pipeline at that width.
+     */
+    void attachCorpus(corpus::Corpus* corpus);
+
+    /** The attached corpus, or nullptr. */
+    corpus::Corpus* corpusStore() const { return corpus_; }
+
+    /** The process-wide default rule library (keys the corpus frame). */
+    const rules::RulesetLibrary& defaultLibrary() const { return default_; }
+
  private:
     std::shared_ptr<const AnalyzedWorkload>
     getOrAnalyze(const std::string& name);
@@ -262,6 +283,8 @@ class SharedState {
 
     mutable std::mutex countersMutex_;
     ServerCounters counters_;
+
+    corpus::Corpus* corpus_ = nullptr;  ///< shared warm-start corpus
 };
 
 }  // namespace server

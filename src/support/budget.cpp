@@ -134,6 +134,22 @@ Budget::effectiveStop() const
     return BudgetStop::None;
 }
 
+bool
+Budget::unconstrained() const
+{
+    for (const Budget* level = this; level != nullptr;
+         level = level->parent_) {
+        if (level->hasDeadline_ ||
+            level->maxUnits_ != kUnlimitedAmount ||
+            level->maxRssBytes_ != kUnlimitedAmount ||
+            level->stop_.load(std::memory_order_relaxed) !=
+                BudgetStop::None) {
+            return false;
+        }
+    }
+    return true;
+}
+
 double
 Budget::elapsedSeconds() const
 {

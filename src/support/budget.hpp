@@ -103,6 +103,15 @@ class Budget {
     /** The first limit that tripped on *this* level (None while ok). */
     BudgetStop stop() const { return stop_.load(std::memory_order_relaxed); }
 
+    /**
+     * Whether this budget and every ancestor carry no limit at all: no
+     * deadline, no unit allowance, no RSS ceiling, and no stop latched.
+     * Caching layers use this to decide whether recorded work may be
+     * replayed: only an unconstrained chain is guaranteed to reach the
+     * same outcome the recorded (uninterrupted) run reached.
+     */
+    bool unconstrained() const;
+
     /** The first tripped limit along the ancestor chain (None while ok).
      *  Does not poll the clock; call expired() first for a fresh view. */
     BudgetStop effectiveStop() const;

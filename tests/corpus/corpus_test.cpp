@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Persistent-corpus tests: serialization primitives, frame validation,
+ * per-section round-trips, corruption rejection (whole-file refusal with
+ * no partial loads), e-graph snapshot round-trips, seeded fuzz
+ * round-trips, and the warm-start determinism contract -- a warm run
+ * byte-identical to the cold run it replaces at 1, 2, and 4 threads.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "corpus/format.hpp"
+#include "corpus/warm.hpp"
+#include "dsl/intern.hpp"
+#include "egraph/rewrite.hpp"
+#include "isamore/isamore.hpp"
+#include "isamore/report.hpp"
+#include "rules/rulesets.hpp"
+#include "support/check.hpp"
+#include "support/pool.hpp"
+#include "support/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace isamore {
+namespace corpus {
+namespace {
+
+std::string
+tempPath(const std::string& name)
+{
+    return ::testing::TempDir() + "corpus_test_" + name;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+spit(const std::string& path, const std::string& data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << data;
+}
+
+/** Same wall-clock strip the golden tests and the bench apply. */
+std::string
+stripWallClock(const std::string& json)
+{
+    std::ostringstream out;
+    std::istringstream in(json);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"seconds\":") == std::string::npos) {
+            out << line << "\n";
+        }
+    }
+    return out.str();
+}
+
+TEST(CorpusFormat, PrimitivesRoundTrip)
+{
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.f64(-0.0);
+    w.f64(std::nan(""));
+    w.boolean(true);
+    w.str("hello \x01 world");
+    w.str("");
+
+    ByteReader r(w.data(), "test");
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    // Bit-pattern transport: -0.0 and NaN survive exactly.
+    EXPECT_TRUE(std::signbit(r.f64()));
+    EXPECT_TRUE(std::isnan(r.f64()));
+    EXPECT_TRUE(r.boolean());
+    EXPECT_EQ(r.str(), "hello \x01 world");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.atEnd());
+    r.expectEnd();
+}
+
+TEST(CorpusFormat, ReaderRefusesOverrunAndAbsurdCounts)
+{
+    ByteWriter w;
+    w.u32(7);
+    ByteReader r(w.data(), "test");
+    EXPECT_THROW(r.u64(), UserError);
+
+    ByteReader counts(w.data(), "test");
+    // 4 remaining bytes can never hold 7 elements of >= 4 bytes each.
+    EXPECT_THROW(counts.checkCount(7, 4), UserError);
+}
+
+TEST(CorpusFormat, FrameRoundTripAndRejection)
+{
+    const std::string image = frameFile(
+        11, 22, {{SectionTag::Strategies, "abc"}, {SectionTag::Library, ""}});
+    const auto sections = unframeFile(image, 11, 22, "good.bin");
+    ASSERT_EQ(sections.size(), 2u);
+    EXPECT_EQ(sections[0].first, SectionTag::Strategies);
+    EXPECT_EQ(sections[0].second, "abc");
+    EXPECT_EQ(sections[1].first, SectionTag::Library);
+
+    // Bad magic.
+    std::string bad = image;
+    bad[0] ^= 0x40;
+    EXPECT_THROW(unframeFile(bad, 11, 22, "bad.bin"), UserError);
+    // Stale format version (bytes 8..11).
+    bad = image;
+    bad[8] = static_cast<char>(bad[8] + 1);
+    EXPECT_THROW(unframeFile(bad, 11, 22, "bad.bin"), UserError);
+    // Rules / op-schema hash from another build.
+    EXPECT_THROW(unframeFile(image, 12, 22, "bad.bin"), UserError);
+    EXPECT_THROW(unframeFile(image, 11, 23, "bad.bin"), UserError);
+    // Truncations at every prefix length must throw, never crash.
+    for (size_t cut : {size_t{0}, size_t{4}, size_t{9}, image.size() / 2,
+                       image.size() - 1}) {
+        EXPECT_THROW(unframeFile(image.substr(0, cut), 11, 22, "bad.bin"),
+                     UserError);
+    }
+    // A flipped payload byte fails the whole-file checksum.
+    bad = image;
+    bad[image.size() / 2] ^= 0x01;
+    EXPECT_THROW(unframeFile(bad, 11, 22, "bad.bin"), UserError);
+    // The refusal names the offending path.
+    try {
+        unframeFile(bad, 11, 22, "named.bin");
+        FAIL() << "corrupt image accepted";
+    } catch (const UserError& e) {
+        EXPECT_NE(std::string(e.what()).find("named.bin"),
+                  std::string::npos);
+    }
+}
+
+TEST(Corpus, StrategiesRoundTripWithGlobalFallback)
+{
+    const rules::RulesetLibrary rules = rules::defaultLibrary();
+    const std::string path = tempPath("strategies.bin");
+
+    Corpus out;
+    out.recordStrategy("matmul", *builtinStrategy("trim"));
+    out.recordStrategy("global", *builtinStrategy("sat-first"));
+    EXPECT_TRUE(out.dirty());
+    out.save(path, rules);
+    EXPECT_FALSE(out.dirty());
+
+    Corpus in;
+    in.load(path, rules);
+    ASSERT_EQ(in.strategyCount(), 2u);
+    ASSERT_TRUE(in.strategyFor("matmul").has_value());
+    EXPECT_TRUE(*in.strategyFor("matmul") == *builtinStrategy("trim"));
+    // Unknown workloads fall back to the "global" row.
+    ASSERT_TRUE(in.strategyFor("stencil").has_value());
+    EXPECT_TRUE(*in.strategyFor("stencil") ==
+                *builtinStrategy("sat-first"));
+    std::remove(path.c_str());
+}
+
+TEST(Corpus, LibraryRoundTripPreservesDagSharing)
+{
+    const rules::RulesetLibrary rules = rules::defaultLibrary();
+    const std::string path = tempPath("library.bin");
+
+    // (shared + shared): both children are the same node, and the
+    // serializer must keep them one node, not two equal copies.
+    TermPtr shared = makeTerm(Op::Mul, {arg(0, 0), lit(3)});
+    TermPtr body = makeTerm(Op::Add, {shared, shared});
+
+    Corpus out;
+    EXPECT_EQ(out.recordMined("fft", {body}), 0u);
+    // Re-mining from another workload is the cross-workload hit.
+    EXPECT_EQ(out.recordMined("2dconv", {body}), 1u);
+    EXPECT_EQ(out.librarySize(), 1u);
+    out.save(path, rules);
+
+    Corpus in;
+    in.load(path, rules);
+    EXPECT_EQ(in.librarySize(), 1u);
+    const std::vector<TermPtr> seeds = in.seedPatterns("stencil");
+    ASSERT_EQ(seeds.size(), 1u);
+    EXPECT_TRUE(termEqualsDeep(seeds[0], body));
+    ASSERT_EQ(seeds[0]->children.size(), 2u);
+    EXPECT_EQ(seeds[0]->children[0].get(), seeds[0]->children[1].get());
+    // Patterns first mined by fft do not seed fft itself.
+    EXPECT_TRUE(in.seedPatterns("fft").empty());
+    std::remove(path.c_str());
+}
+
+TEST(Corpus, CorruptFileRefusedWithoutPartialState)
+{
+    const rules::RulesetLibrary rules = rules::defaultLibrary();
+    const std::string path = tempPath("corrupt.bin");
+
+    Corpus writer;
+    writer.recordStrategy("matmul", *builtinStrategy("trim"));
+    writer.recordMined("fft", {makeTerm(Op::Add, {arg(0, 0), lit(1)})});
+    writer.save(path, rules);
+
+    std::string image = slurp(path);
+    ASSERT_FALSE(image.empty());
+    image[image.size() / 2] ^= 0x01;
+    spit(path, image);
+
+    Corpus reader;
+    reader.recordStrategy("stencil", *builtinStrategy("sat-first"));
+    reader.recordMined("qprod", {makeTerm(Op::Mul, {arg(0, 0), lit(2)})});
+    EXPECT_THROW(reader.load(path, rules), UserError);
+    // The failed load took no partial state: everything the reader held
+    // before is still there, and nothing from the corrupt file is.
+    EXPECT_EQ(reader.strategyCount(), 1u);
+    EXPECT_TRUE(reader.strategyFor("stencil").has_value());
+    EXPECT_FALSE(reader.strategyFor("matmul").has_value());
+    EXPECT_EQ(reader.librarySize(), 1u);
+    std::remove(path.c_str());
+}
+
+EGraphSnapshot
+buildRandomSnapshot(uint64_t seed)
+{
+    Rng rng(seed);
+    EGraph g;
+    for (int i = 0; i < 6; ++i) {
+        TermPtr t = lit(static_cast<int64_t>(rng.below(4)));
+        for (int d = 0; d < 3; ++d) {
+            static const Op ops[] = {Op::Add, Op::Sub, Op::Mul, Op::And};
+            t = makeTerm(ops[rng.below(std::size(ops))],
+                         {t, arg(0, static_cast<int64_t>(rng.below(4)))});
+        }
+        g.addTerm(t);
+    }
+    static const auto sat = rules::defaultLibrary().intSat();
+    EqSatLimits limits;
+    limits.maxIterations = 3;
+    limits.maxNodes = 2000;
+    runEqSat(g, sat, limits);
+    return g.exportSnapshot();
+}
+
+void
+expectSnapshotsEqual(const EGraphSnapshot& a, const EGraphSnapshot& b)
+{
+    EXPECT_EQ(a.clock, b.clock);
+    EXPECT_EQ(a.version, b.version);
+    EXPECT_EQ(a.numIds, b.numIds);
+    EXPECT_EQ(a.unionFind, b.unionFind);
+    EXPECT_EQ(a.stamps, b.stamps);
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (size_t i = 0; i < a.classes.size(); ++i) {
+        EXPECT_EQ(a.classes[i].id, b.classes[i].id);
+        EXPECT_EQ(a.classes[i].nodes, b.classes[i].nodes);
+        EXPECT_EQ(a.classes[i].parents, b.classes[i].parents);
+    }
+}
+
+class CorpusFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusFuzz, RandomStateSurvivesSaveLoadByteExact)
+{
+    const uint64_t seed = 7100 + static_cast<uint64_t>(GetParam());
+    const rules::RulesetLibrary rules = rules::defaultLibrary();
+    const std::string path =
+        tempPath("fuzz_" + std::to_string(seed) + ".bin");
+    Rng rng(seed);
+
+    Corpus out;
+    // Random library bodies (interning collapses duplicates; the corpus
+    // must agree with that count).
+    std::vector<TermPtr> bodies;
+    for (size_t i = 0; i < 4 + rng.below(5); ++i) {
+        TermPtr t = arg(0, static_cast<int64_t>(rng.below(3)));
+        for (size_t d = 0; d < 1 + rng.below(3); ++d) {
+            static const Op ops[] = {Op::Add, Op::Mul, Op::Xor, Op::Min};
+            t = makeTerm(ops[rng.below(std::size(ops))],
+                         {t, lit(static_cast<int64_t>(rng.below(4)))});
+        }
+        bodies.push_back(t);
+    }
+    out.recordMined("fuzz_a", bodies);
+    out.recordStrategy("fuzz_a", *builtinStrategy("trim"));
+    const EGraphSnapshot snapshot = buildRandomSnapshot(seed * 33 + 1);
+    out.storeEGraph("g", snapshot);
+    out.save(path, rules);
+
+    Corpus in;
+    in.load(path, rules);
+    EXPECT_EQ(in.librarySize(), out.librarySize());
+    const std::vector<TermPtr> mine = out.seedPatterns("other");
+    const std::vector<TermPtr> theirs = in.seedPatterns("other");
+    ASSERT_EQ(mine.size(), theirs.size());
+    for (size_t i = 0; i < mine.size(); ++i) {
+        EXPECT_TRUE(termEqualsDeep(mine[i], theirs[i]));
+    }
+    const EGraphSnapshot* loaded = in.findEGraph("g");
+    ASSERT_NE(loaded, nullptr);
+    expectSnapshotsEqual(*loaded, snapshot);
+
+    // Restoring the loaded snapshot reproduces an observationally
+    // identical graph: its own export matches the original image.
+    EGraph g;
+    g.restoreSnapshot(*loaded);
+    expectSnapshotsEqual(g.exportSnapshot(), snapshot);
+
+    // A second save of the loaded state is byte-identical: the format
+    // is canonical, so save/load/save is a fixpoint.
+    const std::string image = slurp(path);
+    in.recordStrategy("fuzz_a", *builtinStrategy("trim"));  // no-op
+    const std::string rewritten = tempPath("fuzz_rw.bin");
+    in.save(rewritten, rules);
+    EXPECT_EQ(slurp(rewritten), image);
+    std::remove(path.c_str());
+    std::remove(rewritten.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusFuzz, ::testing::Range(0, 4));
+
+TEST(CorpusWarm, WarmRunByteIdenticalToColdAtEveryWidth)
+{
+    const rules::RulesetLibrary rules = rules::defaultLibrary();
+    const rii::RiiConfig config =
+        rii::RiiConfig::forMode(rii::Mode::Default);
+    const AnalyzedWorkload analyzed =
+        analyzeWorkload(workloads::makeMatMul());
+    ASSERT_TRUE(warmEligible(config));
+
+    Corpus corpus;
+    const rii::RiiResult cold =
+        identifyInstructions(analyzed, rules, config, corpus);
+    EXPECT_EQ(corpus.resultCount(), 1u);
+    EXPECT_GT(corpus.chunkCount(), 0u);
+    EXPECT_GT(corpus.librarySize(), 0u);
+    const std::string coldJson =
+        stripWallClock(resultToJson(analyzed, cold));
+
+    const size_t before = globalThreadCount();
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+        setGlobalThreads(threads);
+        const rii::RiiResult warm =
+            identifyInstructions(analyzed, rules, config, corpus);
+        EXPECT_EQ(stripWallClock(resultToJson(analyzed, warm)), coldJson)
+            << "warm result diverged from cold at " << threads
+            << " threads";
+    }
+    setGlobalThreads(before);
+    // Warm hits replay; they never re-store.
+    EXPECT_EQ(corpus.resultCount(), 1u);
+}
+
+TEST(CorpusWarm, ResultsSurviveSaveLoadAndStayIdentical)
+{
+    const rules::RulesetLibrary rules = rules::defaultLibrary();
+    const rii::RiiConfig config =
+        rii::RiiConfig::forMode(rii::Mode::Default);
+    const AnalyzedWorkload analyzed =
+        analyzeWorkload(workloads::makeMatMul());
+    const std::string path = tempPath("warm.bin");
+
+    Corpus writer;
+    const rii::RiiResult cold =
+        identifyInstructions(analyzed, rules, config, writer);
+    writer.save(path, rules);
+
+    // The restarted-process view: a fresh corpus loaded from disk must
+    // serve the same bytes the live one did.
+    Corpus reader;
+    reader.load(path, rules);
+    EXPECT_EQ(reader.resultCount(), writer.resultCount());
+    EXPECT_EQ(reader.chunkCount(), writer.chunkCount());
+    const rii::RiiResult warm =
+        identifyInstructions(analyzed, rules, config, reader);
+    EXPECT_EQ(stripWallClock(resultToJson(analyzed, warm)),
+              stripWallClock(resultToJson(analyzed, cold)));
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace isamore

@@ -22,12 +22,20 @@ daemon's robustness contract:
     width ("threads": 1/2/4, interleaved in the same daemon run, cache
     off so each one actually executes); every width must reproduce the
     same golden bytes -- the concurrent e-graph's determinism contract
-    exercised through a live daemon under load.
+    exercised through a live daemon under load;
+  * read-only corpus (--corpus <path>): the chaos session serves with a
+    shared warm-start corpus mounted --corpus-readonly (primed by a
+    short writable warm-up session when the file does not exist yet).
+    Warm-started responses must still match the goldens byte-exact even
+    while malformed lines, injected faults, and overload bursts land on
+    the other lanes, and the corpus file bytes must be untouched after
+    shutdown -- readonly means readonly.
 
 Usage:
   isamore_chaos.py --serve build/tools/isamore_serve [--requests 500]
                    [--golden-dir tests/isamore/golden] [--seed 7]
                    [--timeout 600] [--lanes 4] [--queue 16]
+                   [--corpus /tmp/chaos_corpus.bin]
                    [--workloads matmul,stencil,qprod,2dconv]
 
 Exit code 0 when every assertion holds, 1 otherwise.
@@ -190,6 +198,8 @@ def run_session(args, corpus):
         "32",
         "--quiet",
     ]
+    if args.corpus:
+        cmd += ["--corpus", args.corpus, "--corpus-readonly"]
     proc = subprocess.Popen(
         cmd,
         stdin=subprocess.PIPE,
@@ -251,6 +261,38 @@ def run_session(args, corpus):
     return proc.returncode, b"".join(stdout_chunks), b"".join(stderr_chunks)
 
 
+def prime_corpus(args):
+    """Populate the corpus file with one writable warm-up session.
+
+    One clean analyze per workload through a dedicated daemon whose
+    shutdown checkpoint writes the file; the chaos session then mounts
+    it read-only.  A pre-existing file is reused as-is.
+    """
+    if os.path.exists(args.corpus):
+        return True
+    lines = [
+        json.dumps({"id": "prime-%d" % i, "workload": w})
+        for i, w in enumerate(args.workloads.split(","))
+    ]
+    payload = ("\n".join(lines) + "\n").encode("utf-8")
+    proc = subprocess.run(
+        [args.serve, "--quiet", "--corpus", args.corpus],
+        input=payload,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=args.timeout,
+    )
+    if proc.returncode != 0 or not os.path.exists(args.corpus):
+        sys.stderr.write(proc.stderr.decode("utf-8", "replace")[-2000:])
+        print(
+            "corpus prime failed (exit %s, file %s)"
+            % (proc.returncode, os.path.exists(args.corpus)),
+            flush=True,
+        )
+        return False
+    return True
+
+
 def load_goldens(args):
     goldens = {}
     if not args.golden_dir:
@@ -275,9 +317,21 @@ def main():
     parser.add_argument("--queue", type=int, default=16)
     parser.add_argument("--golden-dir", default="",
                         help="dir of committed goldens for byte-identity")
+    parser.add_argument("--corpus", default="",
+                        help="serve with this warm-start corpus mounted "
+                             "read-only (primed if missing)")
     parser.add_argument("--workloads",
                         default="matmul,stencil,qprod,2dconv")
     args = parser.parse_args()
+
+    corpus_before = b""
+    if args.corpus:
+        if not prime_corpus(args):
+            return 1
+        with open(args.corpus, "rb") as f:
+            corpus_before = f.read()
+        print("corpus: read-only phase with %s (%d bytes)"
+              % (args.corpus, len(corpus_before)), flush=True)
 
     rng = random.Random(args.seed)
     corpus = build_corpus(args, rng)
@@ -407,6 +461,22 @@ def main():
                 failures.append(
                     "TAXONOMY: deadline %s answered %s" % (exp["id"], status)
                 )
+
+    if args.corpus:
+        if b"corpus: loaded" not in stderr:
+            failures.append(
+                "CORPUS: daemon never reported loading %s" % args.corpus
+            )
+        try:
+            with open(args.corpus, "rb") as f:
+                corpus_after = f.read()
+        except OSError:
+            corpus_after = None
+        if corpus_after != corpus_before:
+            failures.append(
+                "CORPUS READONLY: %s changed under --corpus-readonly"
+                % args.corpus
+            )
 
     n_malformed = sum(
         1 for _, exp in corpus if exp["kind"] == "malformed"

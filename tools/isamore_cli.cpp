@@ -7,6 +7,7 @@
  *   isamore_cli run <workload> [--mode default|astsize|kdsample|vector|
  *                                      noeqsat|llmt]
  *                   [--strategy <name-or-spec>]
+ *                   [--corpus <path>] [--corpus-readonly] [--corpus-seed]
  *                   [--emit-verilog] [--rocc] [--dump-egraph] [--json]
  *                   [--extended-rules] [--inject <faults>] [--threads <n>]
  *
@@ -39,7 +40,23 @@
  * "exhaustive", "sat-first", "trim") or a full `name=...;phase=...`
  * spec (see src/egraph/strategy.hpp).  The default adaptive strategy
  * produces output byte-identical to "exhaustive"; other named
- * strategies may trade completeness for EqSat time.
+ * strategies may trade completeness for EqSat time.  Precedence: when
+ * both are set, --strategy wins and ISAMORE_STRATEGY is ignored
+ * entirely (its value is not even parsed).  A bad flag value is a usage
+ * error (exit 2); a bad environment value is invalid input (exit 3).
+ * The literal value "corpus" (flag only) resolves the strategy from the
+ * loaded --corpus by workload name, falling back to its "global" entry.
+ *
+ * `--corpus <path>` loads a persistent pattern corpus before the run
+ * (starting empty if the file does not exist yet) and saves it back
+ * afterwards, warm-starting this and future runs: cached results,
+ * memoized AU chunks, tuned strategies, and the cross-workload pattern
+ * library (see src/corpus/warm.hpp).  `--corpus-readonly` consults the
+ * corpus without writing the file (and makes a missing file an error);
+ * `--corpus-seed` additionally injects patterns mined from *other*
+ * workloads as candidates -- output-changing, so never used on
+ * golden-checked runs.  A corrupt, truncated, or cross-build corpus
+ * file is refused entirely (exit 3); delete or regenerate it.
  *
  * `--trace-out <path>` / `--metrics-out <path>` switch the telemetry
  * layer on for the run and export a Chrome trace-event JSON (load it in
@@ -51,11 +68,14 @@
  */
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "backend/rocc.hpp"
 #include "backend/verilog.hpp"
+#include "corpus/warm.hpp"
 #include "egraph/dump.hpp"
 #include "isamore/isamore.hpp"
 #include "isamore/report.hpp"
@@ -175,8 +195,16 @@ printUsage(std::ostream& os)
           "noeqsat | llmt\n"
        << "  --strategy <s>     EqSat scheduling strategy: "
           "default | exhaustive | sat-first | trim,\n"
-       << "                     or a name=...;phase=... spec "
-          "(src/egraph/strategy.hpp)\n"
+       << "                     a name=...;phase=... spec "
+          "(src/egraph/strategy.hpp), or \"corpus\"\n"
+       << "                     to resolve from the loaded --corpus "
+          "(workload entry, then \"global\")\n"
+       << "  --corpus <path>    load the persistent corpus (created if "
+          "missing) and save it back\n"
+       << "  --corpus-readonly  never write the corpus file back "
+          "(missing file becomes an error)\n"
+       << "  --corpus-seed      seed candidates from other workloads' "
+          "corpus patterns (output-changing)\n"
        << "  --json             append the machine-readable result JSON "
           "(with runSummary)\n"
        << "  --emit-verilog     print Verilog for the best solution's "
@@ -195,7 +223,10 @@ printUsage(std::ostream& os)
        << "environment:\n"
        << "  ISAMORE_THREADS    default pool size (--threads wins)\n"
        << "  ISAMORE_FAULTS     fault spec (--inject wins)\n"
-       << "  ISAMORE_STRATEGY   EqSat strategy (--strategy wins)\n"
+       << "  ISAMORE_STRATEGY   EqSat strategy; --strategy wins and the "
+          "env value is then ignored unparsed\n"
+       << "                     (bad flag value: exit 2; bad env value: "
+          "exit 3)\n"
        << "  ISAMORE_TRACE      \"1\" enables telemetry; any other value "
           "is a trace output path\n"
        << "\n"
@@ -224,11 +255,15 @@ runCommand(int argc, char** argv)
     const std::string name = argv[2];
     rii::Mode mode = rii::Mode::Default;
     std::optional<Strategy> strategy;
+    bool strategy_from_corpus = false;
     bool emit_verilog = false;
     bool rocc = false;
     bool dump = false;
     bool json = false;
     bool extended = false;
+    std::string corpus_path;
+    bool corpus_readonly = false;
+    bool corpus_seed = false;
     std::string trace_out;
     std::string metrics_out;
     // A value-taking flag at the end of the command line is a usage
@@ -269,6 +304,14 @@ runCommand(int argc, char** argv)
             if (value == nullptr) {
                 return kExitUsage;
             }
+            if (std::strcmp(value, "corpus") == 0) {
+                // Resolved against the loaded corpus below, once the
+                // workload name is known.
+                strategy_from_corpus = true;
+                strategy.reset();
+                continue;
+            }
+            strategy_from_corpus = false;
             std::string error;
             strategy = parseStrategy(value, error);
             if (!strategy.has_value()) {
@@ -276,6 +319,16 @@ runCommand(int argc, char** argv)
                           << "\n";
                 return kExitUsage;
             }
+        } else if (flag == "--corpus") {
+            const char* value = value_of(i);
+            if (value == nullptr) {
+                return kExitUsage;
+            }
+            corpus_path = value;
+        } else if (flag == "--corpus-readonly") {
+            corpus_readonly = true;
+        } else if (flag == "--corpus-seed") {
+            corpus_seed = true;
         } else if (flag == "--inject") {
             const char* value = value_of(i);
             if (value == nullptr) {
@@ -330,21 +383,63 @@ runCommand(int argc, char** argv)
     if (!trace_out.empty() || !metrics_out.empty()) {
         telemetry::setEnabled(true);
     }
-    // ISAMORE_STRATEGY mirrors --strategy for scripted runs (flag wins).
-    // Unlike the flag, a bad value here is invalid input (exit 3): the
-    // command line itself was well-formed.
+    // ISAMORE_STRATEGY mirrors --strategy for scripted runs (flag wins,
+    // including "--strategy corpus": the env value is then ignored
+    // without being parsed).  Unlike the flag, a bad value here is
+    // invalid input (exit 3): the command line itself was well-formed.
     if (const char* env = std::getenv("ISAMORE_STRATEGY");
-        env != nullptr && *env != '\0' && !strategy.has_value()) {
+        env != nullptr && *env != '\0' && !strategy.has_value() &&
+        !strategy_from_corpus) {
         std::string error;
         strategy = parseStrategy(env, error);
         ISAMORE_USER_CHECK(strategy.has_value(),
                            "bad ISAMORE_STRATEGY: " + error);
     }
 
+    if (corpus_path.empty() &&
+        (strategy_from_corpus || corpus_readonly || corpus_seed)) {
+        std::cerr << "error: --strategy corpus, --corpus-readonly and "
+                     "--corpus-seed require --corpus <path>\n";
+        return kExitUsage;
+    }
+
     auto workload = findWorkload(name);
     ISAMORE_USER_CHECK(workload.has_value(),
                        "unknown workload: " + name +
                            " (try `isamore_cli list`)");
+
+    // The corpus frame is keyed by the rules library in use, so the
+    // library must be fixed before loading.
+    const rules::RulesetLibrary library =
+        extended ? rules::extendedLibrary() : rules::defaultLibrary();
+    std::unique_ptr<corpus::Corpus> corpusStore;
+    if (!corpus_path.empty()) {
+        corpusStore = std::make_unique<corpus::Corpus>();
+        if (std::filesystem::exists(corpus_path)) {
+            corpusStore->load(corpus_path, library);
+            std::cerr << "corpus: loaded " << corpus_path << " ("
+                      << corpusStore->resultCount() << " results, "
+                      << corpusStore->chunkCount() << " AU chunks, "
+                      << corpusStore->librarySize() << " patterns, "
+                      << corpusStore->strategyCount() << " strategies)\n";
+        } else {
+            ISAMORE_USER_CHECK(!corpus_readonly,
+                               "--corpus-readonly with missing corpus "
+                               "file: " +
+                                   corpus_path);
+            std::cerr << "corpus: " << corpus_path
+                      << " does not exist yet; starting empty\n";
+        }
+    }
+    if (strategy_from_corpus) {
+        auto resolved = corpusStore->strategyFor(workload->name);
+        ISAMORE_USER_CHECK(resolved.has_value(),
+                           "corpus " + corpus_path +
+                               " has no strategy for workload \"" +
+                               workload->name +
+                               "\" and no \"global\" fallback");
+        strategy = std::move(resolved);
+    }
 
     bool degraded = false;
     std::cout << "workload: " << workload->name << " -- "
@@ -362,10 +457,18 @@ runCommand(int argc, char** argv)
     if (strategy.has_value()) {
         config.eqsat.strategy = *strategy;
     }
+    corpus::WarmOptions warmOptions;
+    warmOptions.seedLibrary = corpus_seed;
     rii::RiiResult result =
-        extended ? identifyInstructions(analyzed,
-                                        rules::extendedLibrary(), config)
-                 : identifyInstructions(analyzed, config);
+        corpusStore != nullptr
+            ? corpus::identifyInstructions(analyzed, library, config,
+                                           *corpusStore, warmOptions)
+            : identifyInstructions(analyzed, library, config);
+    if (corpusStore != nullptr && !corpus_readonly &&
+        corpusStore->dirty()) {
+        corpusStore->save(corpus_path, library);
+        std::cerr << "corpus: saved " << corpus_path << "\n";
+    }
     std::cout << "\nmode " << rii::modeName(mode) << ":\n"
               << describeResult(result)
               << "\nphases=" << result.stats.phasesRun

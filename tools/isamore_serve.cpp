@@ -5,6 +5,7 @@
  * Usage:
  *   isamore_serve [--lanes <n>] [--queue <n>] [--purge-every <n>]
  *                 [--threads <n>] [--watchdog-ms <n>] [--quiet]
+ *                 [--corpus <path>] [--corpus-readonly]
  *
  * Reads one JSON request object per stdin line and writes one JSON
  * response object per stdout line; everything else (banner, purge
@@ -21,7 +22,14 @@
  * taxonomy (see DESIGN.md "Server mode & overload taxonomy"); the
  * `result` field carries the byte-exact single-shot CLI JSON document.
  *
- * Exit codes: 0 on clean EOF shutdown, 2 on bad usage.
+ * `--corpus <path>` loads a persistent pattern corpus shared by every
+ * lane (warm-starting analyze requests across daemon restarts) and
+ * checkpoints it back -- atomic rename -- at every purge sweep and at
+ * shutdown; `--corpus-readonly` never writes the file back.
+ *
+ * Exit codes: 0 on clean EOF shutdown, 2 on bad usage, 3 when --corpus
+ * names a corrupt or cross-build file (or --corpus-readonly a missing
+ * one).
  */
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +54,12 @@ usage(std::ostream& os)
        << "                     (default 64; 0 disables sweeps)\n"
        << "  --watchdog-ms <n>  deadline-watchdog poll period (default 5)\n"
        << "  --threads <n>      size the work-stealing pool (>= 1)\n"
+       << "  --corpus <path>    persistent warm-start corpus, shared by "
+          "all lanes; loaded at\n"
+       << "                     startup (created if missing) and "
+          "checkpointed at purge sweeps\n"
+       << "  --corpus-readonly  never write the corpus file back "
+          "(missing file: exit 3)\n"
        << "  --quiet            no banner/summary on stderr\n"
        << "  --help             this text\n"
        << "Protocol: one JSON request per stdin line, one JSON response per\n"
@@ -125,12 +139,27 @@ main(int argc, char** argv)
             // Pool sizing is process-wide and must happen before the
             // first parallelFor; the serve loop never resizes it.
             setGlobalThreads(threads);
+        } else if (flag == "--corpus") {
+            const char* value = nextValue();
+            if (value == nullptr || *value == '\0') {
+                std::cerr << "isamore_serve: bad --corpus value\n";
+                return kExitUsage;
+            }
+            options.corpusPath = value;
+        } else if (flag == "--corpus-readonly") {
+            options.corpusReadonly = true;
         } else {
             std::cerr << "isamore_serve: unknown flag '" << flag
                       << "'\n";
             usage(std::cerr);
             return kExitUsage;
         }
+    }
+
+    if (options.corpusReadonly && options.corpusPath.empty()) {
+        std::cerr << "isamore_serve: --corpus-readonly requires "
+                     "--corpus <path>\n";
+        return kExitUsage;
     }
 
     std::ios::sync_with_stdio(false);

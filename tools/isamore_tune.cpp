@@ -23,15 +23,24 @@
  *
  * `global` is the fastest candidate admissible on *every* tuned workload
  * (geometric-mean time), used for workloads absent from the map.
+ *
+ * `--corpus <path>` additionally records the winners (per workload plus
+ * the `global` row) into a persistent corpus -- created if missing,
+ * merged if present -- so warm-started runs (`isamore --strategy corpus
+ * --corpus <path>`, `isamore_serve --corpus <path>`) pick their EqSat
+ * schedule from tuning history instead of a side-channel map file.
  */
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "corpus/corpus.hpp"
 #include "egraph/rewrite.hpp"
 #include "egraph/strategy.hpp"
 #include "isamore/isamore.hpp"
@@ -149,6 +158,7 @@ main(int argc, char** argv)
                                       "stencil", "qprod",  "sha"};
     size_t reps = 15;
     std::string outPath;
+    std::string corpusPath;
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--workloads" && i + 1 < argc) {
@@ -157,12 +167,15 @@ main(int argc, char** argv)
             reps = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
         } else if (flag == "--out" && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (flag == "--corpus" && i + 1 < argc) {
+            corpusPath = argv[++i];
         } else if (flag == "--threads" && i + 1 < argc) {
             setGlobalThreads(static_cast<size_t>(
                 std::strtoull(argv[++i], nullptr, 10)));
         } else {
             std::cerr << "usage: isamore_tune [--workloads <a,b,c>] "
-                         "[--reps <n>] [--threads <n>] [--out <path>]\n";
+                         "[--reps <n>] [--threads <n>] [--out <path>] "
+                         "[--corpus <path>]\n";
             return flag == "--help" ? 0 : 2;
         }
     }
@@ -178,7 +191,23 @@ main(int argc, char** argv)
         pool.push_back(std::move(c));
     }
 
-    std::vector<std::pair<std::string, std::string>> winners;
+    // Load (or start) the persistent corpus the winners merge into.
+    // Corrupt/cross-build files are refused up front -- before minutes
+    // of timing -- with the invalid-input exit class the CLI uses.
+    std::unique_ptr<corpus::Corpus> corpusStore;
+    if (!corpusPath.empty()) {
+        corpusStore = std::make_unique<corpus::Corpus>();
+        if (std::filesystem::exists(corpusPath)) {
+            try {
+                corpusStore->load(corpusPath, library);
+            } catch (const std::exception& e) {
+                std::cerr << "error: " << e.what() << "\n";
+                return 3;
+            }
+        }
+    }
+
+    std::vector<std::pair<std::string, Strategy>> winners;
     for (const std::string& name : names) {
         workloads::Workload (*factory)() = nullptr;
         for (const auto& [key, make] : tuneFactories()) {
@@ -239,7 +268,7 @@ main(int argc, char** argv)
             }
         }
         std::cout << "  -> " << pool[best].strategy.name << "\n";
-        winners.emplace_back(name, pool[best].strategy.encode());
+        winners.emplace_back(name, pool[best].strategy);
     }
 
     // Global pick: fastest by geometric mean among candidates admissible
@@ -270,10 +299,25 @@ main(int argc, char** argv)
         }
         os << "# generated by isamore_tune; consumed by isamore_bench "
               "--tuned @<this file>\n";
-        for (const auto& [workload, spec] : winners) {
-            os << workload << " " << spec << "\n";
+        for (const auto& [workload, strategy] : winners) {
+            os << workload << " " << strategy.encode() << "\n";
         }
         os << "global " << pool[globalBest].strategy.encode() << "\n";
+    }
+
+    if (corpusStore != nullptr) {
+        for (const auto& [workload, strategy] : winners) {
+            corpusStore->recordStrategy(workload, strategy);
+        }
+        corpusStore->recordStrategy("global", pool[globalBest].strategy);
+        if (corpusStore->dirty()) {
+            corpusStore->save(corpusPath, library);
+            std::cout << "corpus: saved " << corpusPath << " ("
+                      << corpusStore->strategyCount() << " strategies)\n";
+        } else {
+            std::cout << "corpus: " << corpusPath
+                      << " already carries these winners\n";
+        }
     }
     return 0;
 }
