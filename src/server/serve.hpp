@@ -31,6 +31,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "server/observe.hpp"
+
 namespace isamore {
 namespace server {
 
@@ -58,6 +60,22 @@ struct ServeOptions {
     /** Consult the corpus but never write the file back (and make a
      *  missing file a startup error). */
     bool corpusReadonly = false;
+    /**
+     * Live observability (DESIGN.md "Live observability").  The serving
+     * loop always runs with telemetry enabled and per-request latency
+     * digests + flight-recorder rings live (the enabled-overhead CI
+     * gate keeps that below 2%); these options additionally turn on the
+     * stderr event log and automatic flight dumps.  None of it touches
+     * response `result` bytes -- goldens stay byte-identical.
+     */
+    ObserveOptions observe;
+    /** Write a metrics snapshot (<metricsPath>.json + .prom, atomic
+     *  rename) every this many milliseconds (0 = only at shutdown, and
+     *  only when metricsPath is set). */
+    size_t metricsIntervalMs = 0;
+    /** Snapshot base path; defaults to "isamore_metrics" when an
+     *  interval is set without a path. */
+    std::string metricsPath;
 };
 
 /**

@@ -11,10 +11,12 @@
 #include "corpus/warm.hpp"
 #include "dsl/intern.hpp"
 #include "isamore/report.hpp"
+#include "server/observe.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/pool.hpp"
 #include "support/stopwatch.hpp"
+#include "support/telemetry.hpp"
 #include "workloads/libraries.hpp"
 
 namespace isamore {
@@ -436,12 +438,29 @@ statusCode(Status status)
     return static_cast<int>(status);
 }
 
+const char*
+opName(RequestOp op)
+{
+    switch (op) {
+      case RequestOp::Analyze: return "analyze";
+      case RequestOp::Ping: return "ping";
+      case RequestOp::Stats: return "stats";
+      case RequestOp::Metrics: return "metrics";
+      case RequestOp::Corpus: return "corpus";
+    }
+    return "?";
+}
+
 Request
 parseRequest(const std::string& line, uint64_t seq)
 {
     Request request;
     request.seq = seq;
     request.idJson = std::to_string(seq);
+    // The stable wire id, assigned before any validation can bail so
+    // even a reject is attributable: seq is the 1-based stdin line
+    // number (the reader counts every line, blank or not).
+    request.requestId = "r-" + std::to_string(seq);
 
     JsonValue root;
     std::string error;
@@ -563,9 +582,13 @@ parseRequest(const std::string& line, uint64_t seq)
         request.op = RequestOp::Ping;
     } else if (opText == "stats") {
         request.op = RequestOp::Stats;
+    } else if (opText == "metrics") {
+        request.op = RequestOp::Metrics;
+    } else if (opText == "corpus") {
+        request.op = RequestOp::Corpus;
     } else {
         request.error = "unknown op '" + opText +
-                        "' (expected analyze|ping|stats)";
+                        "' (expected analyze|ping|stats|metrics|corpus)";
         return request;
     }
 
@@ -590,8 +613,12 @@ std::string
 serializeResponse(const Response& response)
 {
     std::ostringstream os;
-    os << "{\"id\": " << response.idJson << ", \"status\": \""
-       << statusName(response.status)
+    os << "{\"id\": " << response.idJson;
+    if (!response.requestId.empty()) {
+        os << ", \"req\": \"" << jsonEscapeString(response.requestId)
+           << "\"";
+    }
+    os << ", \"status\": \"" << statusName(response.status)
        << "\", \"code\": " << statusCode(response.status);
     if (!response.workload.empty()) {
         os << ", \"workload\": \"" << jsonEscapeString(response.workload)
@@ -602,6 +629,16 @@ serializeResponse(const Response& response)
     }
     if (!response.statsJson.empty()) {
         os << ", \"stats\": " << response.statsJson;
+    }
+    if (!response.metricsJson.empty()) {
+        os << ", \"metrics\": " << response.metricsJson;
+    }
+    if (!response.exposition.empty()) {
+        os << ", \"exposition\": \""
+           << jsonEscapeString(response.exposition) << "\"";
+    }
+    if (!response.corpusJson.empty()) {
+        os << ", \"corpus\": " << response.corpusJson;
     }
     if (response.cached) {
         os << ", \"cached\": true";
@@ -813,6 +850,15 @@ Response
 SharedState::executeRequest(const Request& request, Budget& rootBudget)
 {
     Stopwatch watch;
+    // The request-level span: with a RequestSink installed on this
+    // thread (the serve loop does that), every pipeline span closed in
+    // here lands in the request's flight trace under this root.
+    TELEM_SPAN_ARGS("server.request", "server",
+                    "\"req\": \"" +
+                        telemetry::jsonEscape(request.requestId) +
+                        "\", \"op\": \"" + opName(request.op) +
+                        "\", \"workload\": \"" +
+                        telemetry::jsonEscape(request.workload) + "\"");
     Response response;
     response.idJson = request.idJson;
     try {
@@ -841,6 +887,18 @@ SharedState::executeRequest(const Request& request, Budget& rootBudget)
             response.statsJson = os.str();
             break;
           }
+          case RequestOp::Metrics:
+            // Live snapshot: counters are mutex-guarded, registry
+            // metrics are relaxed atomics, latency digests lock one
+            // lane slot at a time -- no lane quiesces for this.
+            response.metricsJson = buildMetricsJson(*this, observability_);
+            response.exposition = buildExposition(*this, observability_);
+            response.status = Status::Ok;
+            break;
+          case RequestOp::Corpus:
+            response.corpusJson = corpusStatusJson(*this);
+            response.status = Status::Ok;
+            break;
           case RequestOp::Analyze:
             response = runAnalysis(request, rootBudget);
             break;
@@ -854,6 +912,10 @@ SharedState::executeRequest(const Request& request, Budget& rootBudget)
         response.status = Status::Internal;
         response.error = "unknown exception";
     }
+    // Centralized so every path -- including a response-cache copy,
+    // whose stored requestId belongs to the request that filled it --
+    // echoes the id of *this* request.
+    response.requestId = request.requestId;
     response.elapsedMs = watch.seconds() * 1e3;
     return response;
 }
@@ -864,6 +926,7 @@ SharedState::overloadedResponse(const Request& request,
 {
     Response response;
     response.idJson = request.idJson;
+    response.requestId = request.requestId;
     response.status = Status::Overloaded;
     response.error = "request queue full (capacity " +
                      std::to_string(queueCapacity) +
@@ -876,6 +939,7 @@ SharedState::badRequestResponse(const Request& request)
 {
     Response response;
     response.idJson = request.idJson;
+    response.requestId = request.requestId;
     response.status = Status::BadRequest;
     response.error = request.error.empty() ? "malformed request"
                                            : request.error;
@@ -907,12 +971,13 @@ SharedState::recordServed(Status status, bool cached)
     }
 }
 
-void
+ServerCounters
 SharedState::recordPurge(size_t droppedNodes)
 {
     std::lock_guard<std::mutex> lock(countersMutex_);
     ++counters_.purgeSweeps;
     counters_.purgedNodes += droppedNodes;
+    return counters_;
 }
 
 void

@@ -41,6 +41,8 @@ class Corpus;
 }  // namespace corpus
 namespace server {
 
+class Observability;
+
 /** @name Minimal strict JSON
  *  Just enough JSON for the request protocol: objects, arrays, strings,
  *  finite numbers, booleans, null; UTF-8 passed through opaquely;
@@ -92,7 +94,10 @@ const char* statusName(Status status);
 int statusCode(Status status);
 
 /** What a request asks the server to do. */
-enum class RequestOp { Analyze, Ping, Stats };
+enum class RequestOp { Analyze, Ping, Stats, Metrics, Corpus };
+
+/** Wire name of an op ("analyze", "ping", ...). */
+const char* opName(RequestOp op);
 
 /**
  * One parsed request line.  `valid == false` means the line failed
@@ -102,6 +107,16 @@ enum class RequestOp { Analyze, Ping, Stats };
 struct Request {
     uint64_t seq = 0;     ///< arrival index (used as the default id)
     std::string idJson;   ///< client id, re-serialized as a JSON token
+    /**
+     * Server-assigned stable request id, "r-<line>" where <line> is the
+     * 1-based stdin line number.  Assigned by parseRequest to every
+     * request -- including malformed ones -- threaded through the
+     * event log, latency digests, pipeline spans, and flight-recorder
+     * dumps, and echoed back as the response's "req" field so a client
+     * can join its logs against the server's.
+     */
+    std::string requestId;
+    uint64_t acceptNs = 0;  ///< accept instant (telemetry clock)
     RequestOp op = RequestOp::Analyze;
     std::string workload;
     /**
@@ -153,12 +168,16 @@ BudgetSpec requestBudgetSpec(const Request& request);
 /** One response line, pre-serialization. */
 struct Response {
     std::string idJson = "null";
+    std::string requestId;    ///< echoed "req" field (empty = omitted)
     Status status = Status::Internal;
     std::string workload;     ///< echoed for analyze responses
     std::string result;       ///< raw resultToJson() bytes (may be empty)
     std::string diagnostics;  ///< RunDiagnostics::summary() when degraded
     std::string error;        ///< human-readable failure reason
     std::string statsJson;    ///< inline object for the stats op
+    std::string metricsJson;  ///< inline object for the metrics op
+    std::string exposition;   ///< Prometheus text for the metrics op
+    std::string corpusJson;   ///< inline object for the corpus op
     bool pong = false;        ///< ping marker
     double elapsedMs = 0.0;
     bool cached = false;      ///< served from the response cache
@@ -216,8 +235,15 @@ class SharedState {
     /** Bump one counter cell by status (and the served total). */
     void recordServed(Status status, bool cached);
 
-    /** Record a purge sweep's result. */
-    void recordPurge(size_t droppedNodes);
+    /**
+     * Record a purge sweep's result and return the counters as they
+     * stood at that instant, snapshotted under the same lock acquisition
+     * as the increment.  The purge-sweep log line reports this single
+     * snapshot -- re-reading counters() after releasing the lock could
+     * interleave with a concurrent lane's recordServed and log a torn
+     * view.
+     */
+    ServerCounters recordPurge(size_t droppedNodes);
 
     /** Record a watchdog cancellation. */
     void recordCancelled();
@@ -249,6 +275,16 @@ class SharedState {
 
     /** The attached corpus, or nullptr. */
     corpus::Corpus* corpusStore() const { return corpus_; }
+
+    /**
+     * Attach the serve loop's observability state (may be null, the
+     * default).  The metrics op renders its latency digests; nothing on
+     * the execution path reads it otherwise.
+     */
+    void attachObservability(const Observability* observability)
+    {
+        observability_ = observability;
+    }
 
     /** The process-wide default rule library (keys the corpus frame). */
     const rules::RulesetLibrary& defaultLibrary() const { return default_; }
@@ -285,6 +321,7 @@ class SharedState {
     ServerCounters counters_;
 
     corpus::Corpus* corpus_ = nullptr;  ///< shared warm-start corpus
+    const Observability* observability_ = nullptr;  ///< serve-loop state
 };
 
 }  // namespace server

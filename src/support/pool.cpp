@@ -6,6 +6,7 @@
 
 #include "support/check.hpp"
 #include "support/reclaim.hpp"
+#include "support/telemetry.hpp"
 
 namespace isamore {
 
@@ -151,7 +152,13 @@ ThreadPool::workerMain(size_t lane)
             }
             seen = epoch_;
         }
+        // Adopt the submitter's request sink for this job (published
+        // before the epoch bump, so the wait above orders the read), and
+        // drop it before joining: a worker must never hold a sink past
+        // the job that installed it.
+        telemetry::setThreadRequestSink(jobSink_);
         runLane(lane);
+        telemetry::setThreadRequestSink(nullptr);
         // Check back in.  The submitter returns only after every worker
         // joined the epoch, so no stale thief can still be sweeping the
         // deques when the next job is preloaded.
@@ -198,6 +205,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& body)
                            std::memory_order_seq_cst);
     }
     body_ = &body;
+    jobSink_ = telemetry::threadRequestSink();
     error_ = nullptr;
     joined_ = 0;
 
@@ -215,6 +223,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& body)
         doneCv_.wait(lock, [&] { return joined_ == lanes_ - 1; });
     }
     body_ = nullptr;
+    jobSink_ = nullptr;
     inParallelFor_ = false;
     if (error_) {
         std::exception_ptr error = error_;

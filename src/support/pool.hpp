@@ -43,6 +43,10 @@
 
 namespace isamore {
 
+namespace telemetry {
+class RequestSink;
+}  // namespace telemetry
+
 /**
  * Cumulative work accounting for one ThreadPool since construction.
  * `tasks` counts body(i) invocations per lane (serial fallbacks charge
@@ -137,6 +141,10 @@ class ThreadPool {
     std::mutex submitMutex_;
     bool inParallelFor_ = false;  // reentrancy check
     const std::function<void(size_t)>* body_ = nullptr;
+    /** The submitter's per-request telemetry sink, forwarded to worker
+     *  lanes for the job's duration so spans closed on workers still
+     *  attribute to the request being served (see telemetry.hpp). */
+    telemetry::RequestSink* jobSink_ = nullptr;
     std::mutex errorMutex_;
     std::exception_ptr error_;
 

@@ -1,6 +1,8 @@
 #include "support/telemetry.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,6 +12,7 @@ namespace telemetry {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+thread_local RequestSink* t_requestSink = nullptr;
 }  // namespace detail
 
 void
@@ -177,6 +180,20 @@ Tracer::eventCount() const
     return total;
 }
 
+std::vector<RequestSink::Entry>
+RequestSink::take()
+{
+    const size_t claimed = next_.load(std::memory_order_relaxed);
+    const size_t used = claimed < slots_.size() ? claimed : slots_.size();
+    std::vector<Entry> out(slots_.begin(),
+                           slots_.begin() + static_cast<ptrdiff_t>(used));
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Entry& a, const Entry& b) {
+                         return a.event.startNs < b.event.startNs;
+                     });
+    return out;
+}
+
 uint64_t
 Tracer::droppedCount() const
 {
@@ -264,13 +281,13 @@ void
 writeNested(std::ostream& os,
             const std::map<std::string, std::string>& entries,
             size_t begin, size_t end, size_t depth,
-            const std::string& prefix)
+            const std::string& prefix, bool pretty)
 {
     // Materialize the [begin, end) slice of entries whose keys start with
     // prefix; group by the next dot-segment.
     auto it = entries.begin();
     std::advance(it, begin);
-    std::string indent(2 * (depth + 1), ' ');
+    std::string indent(pretty ? 2 * (depth + 1) : 0, ' ');
     os << "{";
     bool first = true;
     size_t index = begin;
@@ -283,7 +300,8 @@ writeNested(std::ostream& os,
             brace < dot) {
             dot = std::string::npos;  // dots inside a label stay put
         }
-        os << (first ? "\n" : ",\n") << indent;
+        os << (first ? (pretty ? "\n" : "") : (pretty ? ",\n" : ", "))
+           << indent;
         first = false;
         if (dot == std::string::npos) {
             // Leaf at this level.
@@ -304,11 +322,11 @@ writeNested(std::ostream& os,
             ++span;
         }
         os << "\"" << jsonEscape(segment) << "\": ";
-        writeNested(os, entries, index, span, depth + 1, child);
+        writeNested(os, entries, index, span, depth + 1, child, pretty);
         it = probe;
         index = span;
     }
-    if (!first) {
+    if (!first && pretty) {
         os << "\n" << std::string(2 * depth, ' ');
     }
     os << "}";
@@ -316,18 +334,20 @@ writeNested(std::ostream& os,
 
 void
 writeSection(std::ostream& os, const char* title,
-             const std::map<std::string, std::string>& entries, bool last)
+             const std::map<std::string, std::string>& entries, bool last,
+             bool pretty)
 {
-    os << "  \"" << title << "\": ";
-    writeNested(os, entries, 0, entries.size(), 1, "");
-    os << (last ? "\n" : ",\n");
+    os << (pretty ? "  " : "") << "\"" << title << "\": ";
+    writeNested(os, entries, 0, entries.size(), 1, "", pretty);
+    os << (last ? "" : ",") << (pretty ? "\n" : (last ? "" : " "));
 }
 
 }  // namespace
 
 std::string
-Registry::toJson() const
+Registry::toJson(bool compact) const
 {
+    const bool pretty = !compact;
     std::lock_guard<std::mutex> lock(mutex_);
     std::map<std::string, std::string> counters;
     for (const auto& [name, counter] : counters_) {
@@ -367,12 +387,143 @@ Registry::toJson() const
     }
 
     std::ostringstream os;
-    os << "{\n";
-    writeSection(os, "counters", counters, false);
-    writeSection(os, "gauges", gauges, false);
-    writeSection(os, "histograms", histograms, false);
-    writeSection(os, "records", records, true);
-    os << "}\n";
+    os << (pretty ? "{\n" : "{");
+    writeSection(os, "counters", counters, false, pretty);
+    writeSection(os, "gauges", gauges, false, pretty);
+    writeSection(os, "histograms", histograms, false, pretty);
+    writeSection(os, "records", records, true, pretty);
+    os << (pretty ? "}\n" : "}");
+    return os.str();
+}
+
+namespace {
+
+/**
+ * Split a registry metric name into a Prometheus family name and label
+ * set: dots (and any other character outside [a-zA-Z0-9_]) become
+ * underscores under an `isamore_` prefix, and a trailing
+ * `{key=value,...}` suffix becomes `{key="value",...}`.
+ */
+void
+promName(const std::string& name, std::string* family, std::string* labels)
+{
+    const size_t brace = name.find('{');
+    const std::string base =
+        brace == std::string::npos ? name : name.substr(0, brace);
+    *family = "isamore_";
+    for (char c : base) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        *family += ok ? c : '_';
+    }
+    labels->clear();
+    if (brace == std::string::npos || name.back() != '}') {
+        return;
+    }
+    const std::string inside =
+        name.substr(brace + 1, name.size() - brace - 2);
+    size_t pos = 0;
+    while (pos < inside.size()) {
+        size_t comma = inside.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = inside.size();
+        }
+        const std::string pair = inside.substr(pos, comma - pos);
+        const size_t eq = pair.find('=');
+        if (eq != std::string::npos) {
+            if (!labels->empty()) {
+                *labels += ",";
+            }
+            *labels += pair.substr(0, eq) + "=\"" +
+                       jsonEscape(pair.substr(eq + 1)) + "\"";
+        }
+        pos = comma + 1;
+    }
+}
+
+void
+promSample(std::ostream& os, const std::string& family,
+           const std::string& labels, uint64_t value)
+{
+    os << family;
+    if (!labels.empty()) {
+        os << "{" << labels << "}";
+    }
+    os << " " << value << "\n";
+}
+
+}  // namespace
+
+std::string
+Registry::toPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+
+    // Group samples by family so each `# TYPE` header prints once even
+    // when a family fans out over labels.
+    auto renderScalars = [&os](const auto& metrics, const char* type) {
+        std::map<std::string, std::vector<std::pair<std::string, int64_t>>>
+            families;
+        for (const auto& [name, metric] : metrics) {
+            std::string family;
+            std::string labels;
+            promName(name, &family, &labels);
+            families[family].emplace_back(
+                labels, static_cast<int64_t>(metric->value()));
+        }
+        for (const auto& [family, samples] : families) {
+            os << "# TYPE " << family << " " << type << "\n";
+            for (const auto& [labels, value] : samples) {
+                os << family;
+                if (!labels.empty()) {
+                    os << "{" << labels << "}";
+                }
+                os << " " << value << "\n";
+            }
+        }
+    };
+    renderScalars(counters_, "counter");
+    renderScalars(gauges_, "gauge");
+
+    std::map<std::string,
+             std::vector<std::pair<std::string, const Histogram*>>>
+        histFamilies;
+    for (const auto& [name, histogram] : histograms_) {
+        std::string family;
+        std::string labels;
+        promName(name, &family, &labels);
+        histFamilies[family].emplace_back(labels, histogram.get());
+    }
+    for (const auto& [family, samples] : histFamilies) {
+        os << "# TYPE " << family << " histogram\n";
+        for (const auto& [labels, histogram] : samples) {
+            const std::string sep = labels.empty() ? "" : ",";
+            uint64_t cumulative = 0;
+            for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+                const uint64_t n = histogram->bucket(i);
+                if (n == 0) {
+                    continue;
+                }
+                cumulative += n;
+                // Bucket i holds integer samples in [2^(i-1), 2^i), so
+                // the inclusive upper bound is 2^i - 1 (bucket 0 is the
+                // exact-zero bucket).
+                std::string le = "+Inf";
+                if (i == 0) {
+                    le = "0";
+                } else if (i < 64) {
+                    le = std::to_string((uint64_t{1} << i) - 1);
+                }
+                promSample(os, family + "_bucket",
+                           labels + sep + "le=\"" + le + "\"", cumulative);
+            }
+            promSample(os, family + "_bucket",
+                       labels + sep + "le=\"+Inf\"", histogram->count());
+            promSample(os, family + "_sum", labels, histogram->sum());
+            promSample(os, family + "_count", labels, histogram->count());
+        }
+    }
     return os.str();
 }
 

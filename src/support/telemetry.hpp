@@ -131,8 +131,96 @@ class Tracer {
 
     ThreadBuffer& localBuffer();
 
+ public:
+    /** Stable trace id of the calling thread (registers its buffer). */
+    uint32_t localTid() { return localBuffer().tid; }
+
+ private:
     mutable std::mutex mutex_;  ///< guards buffers_ registration/export
     std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * A bounded, lock-free collector for the spans of *one* request.
+ *
+ * The server installs a sink on the lane thread before executing a
+ * request (and the thread pool forwards it to workers for the job's
+ * duration), so every span closed while the request runs is copied here
+ * in addition to the global Tracer.  Writers claim a slot with one
+ * relaxed fetch_add; a claim past the capacity only bumps `dropped`.
+ * take() must run after the request quiesces (lane-side, after the
+ * pool job joined) -- the join supplies the happens-before edge for
+ * the plain slot writes.
+ */
+class RequestSink {
+ public:
+    struct Entry {
+        TraceEvent event;
+        uint32_t tid = 0;
+    };
+
+    explicit RequestSink(size_t capacity) : slots_(capacity) {}
+
+    /** Copy @p event into the next free slot (lock-free, wait-free). */
+    void
+    record(const TraceEvent& event, uint32_t tid)
+    {
+        const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slots_[i].event = event;
+        slots_[i].tid = tid;
+    }
+
+    /** Drain recorded entries sorted by start time (quiescent only). */
+    std::vector<Entry> take();
+
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+ private:
+    std::vector<Entry> slots_;
+    std::atomic<size_t> next_{0};
+    std::atomic<uint64_t> dropped_{0};
+};
+
+namespace detail {
+extern thread_local RequestSink* t_requestSink;
+}  // namespace detail
+
+/** The calling thread's request sink, or null when none is installed. */
+inline RequestSink*
+threadRequestSink()
+{
+    return detail::t_requestSink;
+}
+
+/** Install (or clear, with nullptr) the calling thread's request sink. */
+inline void
+setThreadRequestSink(RequestSink* sink)
+{
+    detail::t_requestSink = sink;
+}
+
+/** RAII install/restore of the calling thread's request sink. */
+class RequestSinkScope {
+ public:
+    explicit RequestSinkScope(RequestSink* sink)
+        : previous_(detail::t_requestSink)
+    {
+        detail::t_requestSink = sink;
+    }
+    ~RequestSinkScope() { detail::t_requestSink = previous_; }
+
+    RequestSinkScope(const RequestSinkScope&) = delete;
+    RequestSinkScope& operator=(const RequestSinkScope&) = delete;
+
+ private:
+    RequestSink* previous_;
 };
 
 /**
@@ -179,6 +267,9 @@ class Span {
         event.startNs = start_;
         event.durNs = nowNs() - start_;
         event.args = std::move(args_);
+        if (RequestSink* sink = detail::t_requestSink) {
+            sink->record(event, Tracer::instance().localTid());
+        }
         Tracer::instance().record(std::move(event));
     }
 
@@ -269,9 +360,21 @@ class Registry {
 
     /**
      * Render the registry as one JSON document with counters, gauges,
-     * histograms and records in dot-nested, key-sorted form.
+     * histograms and records in dot-nested, key-sorted form.  With
+     * @p compact the document is a single line (no indentation), fit
+     * for embedding inside a JSON-lines response.
      */
-    std::string toJson() const;
+    std::string toJson(bool compact = false) const;
+
+    /**
+     * Render counters, gauges, and histograms as Prometheus text
+     * exposition (one `# TYPE` line per family; dots become
+     * underscores under an `isamore_` prefix; the optional
+     * `{label=value}` name suffix becomes Prometheus labels;
+     * histograms export cumulative `_bucket{le="..."}` series plus
+     * `_sum`/`_count`).  Record streams are JSON-only and skipped.
+     */
+    std::string toPrometheus() const;
 
     /** Drop every metric and record (tests / between runs). */
     void reset();

@@ -29,7 +29,23 @@ daemon's robustness contract:
     Warm-started responses must still match the goldens byte-exact even
     while malformed lines, injected faults, and overload bursts land on
     the other lanes, and the corpus file bytes must be untouched after
-    shutdown -- readonly means readonly.
+    shutdown -- readonly means readonly;
+  * request-id echo: every response carries `req` == "r-<stdin line>",
+    each line number appears exactly once, and the bad_request reqs are
+    exactly the malformed corpus positions;
+  * event log: the daemon runs with --events; every stderr line opening
+    with "{" must parse as JSON carrying event/req/ns (plus the
+    per-kind fields), and every response's req must show exactly one
+    terminal event (done/reject/shed) consistent with its status;
+  * flight recorder: the daemon runs with --flight-dir; the set of
+    flight_<req>.json dumps equals the set of non-ok responses exactly
+    (no SLO is armed, so ok responses never dump), and each dump is
+    Perfetto-loadable JSON whose server.request span names the req;
+  * live ops: a `metrics` and a `corpus` op at the head of the corpus
+    (the queue is empty, so they cannot be shed) must answer ok with
+    the full JSON metrics document + Prometheus exposition and the
+    corpus attachment status; a few mid-soak metrics scrapes are
+    validated whenever they are not shed.
 
 Usage:
   isamore_chaos.py --serve build/tools/isamore_serve [--requests 500]
@@ -45,8 +61,10 @@ import argparse
 import json
 import os
 import random
+import shutil
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 
@@ -177,6 +195,34 @@ def build_corpus(args, rng):
         )
 
     rng.shuffle(corpus)
+
+    # Live-observability ops: metrics + corpus status probes at the head
+    # (the queue is empty there, so they can never be shed -- their
+    # answers are hard assertions) and a few mid-soak metrics scrapes
+    # that may legally be shed under burst (validated only when not).
+    for _ in range(3):
+        rid = next_id("scrape")
+        corpus.insert(
+            rng.randrange(len(corpus) + 1),
+            (
+                json.dumps({"id": rid, "op": "metrics"}),
+                {"id": rid, "kind": "metrics_soft"},
+            ),
+        )
+    corpus.insert(
+        0,
+        (
+            json.dumps({"id": "op-corpus", "op": "corpus"}),
+            {"id": "op-corpus", "kind": "corpus_op"},
+        ),
+    )
+    corpus.insert(
+        0,
+        (
+            json.dumps({"id": "op-metrics", "op": "metrics"}),
+            {"id": "op-metrics", "kind": "metrics_op"},
+        ),
+    )
     return corpus
 
 
@@ -197,6 +243,9 @@ def run_session(args, corpus):
         "--purge-every",
         "32",
         "--quiet",
+        "--events",
+        "--flight-dir",
+        args.flight_dir,
     ]
     if args.corpus:
         cmd += ["--corpus", args.corpus, "--corpus-readonly"]
@@ -305,6 +354,203 @@ def load_goldens(args):
     return goldens
 
 
+EVENT_TERMINAL = ("done", "reject", "shed")
+EVENT_FIELDS = {
+    "accept": ("op", "parseUs"),
+    "dispatch": ("lane", "queueWaitUs"),
+    "done": ("status", "code", "cached", "elapsedMs", "spans"),
+    "reject": ("status",),
+    "shed": ("status",),
+}
+
+
+def validate_observability(args, corpus, responses, by_id, stderr, failures):
+    """PR-10 contract: request-id echo, event log, flight dumps, ops."""
+    # Request-id echo.  The daemon assigns "r-<stdin line>" and the
+    # harness never sends blank lines, so req == corpus position + 1.
+    expected_req = {
+        "r-%d" % (i + 1): exp for i, (_, exp) in enumerate(corpus)
+    }
+    seen_req = {}
+    for doc in responses:
+        req = doc.get("req")
+        if not isinstance(req, str):
+            failures.append(
+                "REQ ECHO: response without req (id %r)" % (doc.get("id"),)
+            )
+            continue
+        seen_req[req] = seen_req.get(req, 0) + 1
+        exp = expected_req.get(req)
+        if exp is None:
+            failures.append("REQ ECHO: unknown req %s" % req)
+            continue
+        if (exp["kind"] == "malformed") != (doc["status"] == "bad_request"):
+            failures.append(
+                "REQ ECHO: %s answered %s but corpus line %s was %s"
+                % (req, doc["status"], req[2:], exp["kind"])
+            )
+        if "id" in exp and doc.get("id") != exp["id"]:
+            failures.append(
+                "REQ ECHO: %s answered id %r, corpus line had %r"
+                % (req, doc.get("id"), exp["id"])
+            )
+    dupes = sorted(r for r, c in seen_req.items() if c > 1)
+    if dupes:
+        failures.append("REQ ECHO: duplicated reqs: %s" % dupes[:5])
+    missing = sorted(set(expected_req) - set(seen_req))
+    if missing:
+        failures.append(
+            "REQ ECHO: %d request lines never echoed (e.g. %s)"
+            % (len(missing), missing[:5])
+        )
+
+    # Event-log schema.  Events are the stderr lines opening with "{"
+    # (notices open with "[isamore_serve]" or "corpus:").
+    events_by_req = {}
+    for lineno, raw in enumerate(stderr.splitlines(), 1):
+        text = raw.decode("utf-8", "replace")
+        if not text.startswith("{"):
+            continue
+        try:
+            ev = json.loads(text)
+        except ValueError:
+            failures.append(
+                "EVENT LOG: stderr line %d is not JSON: %r"
+                % (lineno, text[:80])
+            )
+            continue
+        kind = ev.get("event")
+        if kind not in EVENT_FIELDS:
+            failures.append(
+                "EVENT LOG: line %d has unknown event %r" % (lineno, kind)
+            )
+            continue
+        if not isinstance(ev.get("req"), str) or not isinstance(
+            ev.get("ns"), int
+        ):
+            failures.append(
+                "EVENT LOG: %s event lacks req/ns: %r" % (kind, text[:80])
+            )
+            continue
+        absent = [f for f in EVENT_FIELDS[kind] if f not in ev]
+        if absent:
+            failures.append(
+                "EVENT LOG: %s event lacks %s: %r"
+                % (kind, absent, text[:80])
+            )
+            continue
+        events_by_req.setdefault(ev["req"], []).append(kind)
+
+    for doc in responses:
+        req = doc.get("req")
+        if not isinstance(req, str):
+            continue
+        kinds = events_by_req.get(req, [])
+        terminal = [k for k in kinds if k in EVENT_TERMINAL]
+        status = doc["status"]
+        want = (
+            "reject"
+            if status == "bad_request"
+            else "shed" if status == "overloaded" else "done"
+        )
+        if terminal != [want]:
+            failures.append(
+                "EVENT LOG: %s ended %s but its terminal events are %s"
+                % (req, status, terminal)
+            )
+            continue
+        if want != "reject" and "accept" not in kinds:
+            failures.append("EVENT LOG: %s was never accepted" % req)
+        if want == "done" and "dispatch" not in kinds:
+            failures.append("EVENT LOG: %s was never dispatched" % req)
+
+    # Flight recorder: exactly the non-ok responses dump (no SLO armed,
+    # so an ok response must never leave a file).
+    non_ok = {
+        doc["req"]
+        for doc in responses
+        if doc["status"] != "ok" and isinstance(doc.get("req"), str)
+    }
+    try:
+        dumped = set(os.listdir(args.flight_dir))
+    except OSError:
+        dumped = set()
+    expected_files = {"flight_%s.json" % r for r in non_ok}
+    missing_dumps = sorted(expected_files - dumped)
+    if missing_dumps:
+        failures.append(
+            "FLIGHT: %d non-ok responses left no dump (e.g. %s)"
+            % (len(missing_dumps), missing_dumps[:5])
+        )
+    stray = sorted(dumped - expected_files)
+    if stray:
+        failures.append(
+            "FLIGHT: %d dumps without a non-ok response (e.g. %s)"
+            % (len(stray), stray[:5])
+        )
+    for name in sorted(dumped & expected_files):
+        req = name[len("flight_") : -len(".json")]
+        try:
+            with open(os.path.join(args.flight_dir, name)) as f:
+                trace = json.load(f)
+        except (OSError, ValueError):
+            failures.append("FLIGHT: %s is not readable JSON" % name)
+            continue
+        spans = trace.get("traceEvents")
+        if not isinstance(spans, list) or not spans:
+            failures.append("FLIGHT: %s has no traceEvents" % name)
+            continue
+        roots = [s for s in spans if s.get("name") == "server.request"]
+        if not roots or roots[0].get("args", {}).get("req") != req:
+            failures.append(
+                "FLIGHT: %s lacks a server.request span naming %s"
+                % (name, req)
+            )
+
+    # Live ops.
+    for _, exp in corpus:
+        kind = exp["kind"]
+        if kind not in ("metrics_op", "corpus_op", "metrics_soft"):
+            continue
+        doc = by_id.get(exp["id"])
+        if doc is None:
+            failures.append("OPS: no response for %s" % exp["id"])
+            continue
+        status = doc["status"]
+        if kind == "metrics_soft" and status == "overloaded":
+            continue  # legal under burst
+        if status != "ok":
+            failures.append("OPS: %s answered %s" % (exp["id"], status))
+            continue
+        if kind in ("metrics_op", "metrics_soft"):
+            metrics = doc.get("metrics")
+            if not isinstance(metrics, dict) or not all(
+                k in metrics for k in ("server", "latency", "registry")
+            ):
+                failures.append(
+                    "OPS: %s metrics payload incomplete" % exp["id"]
+                )
+            if "# TYPE isamore_server_served counter" not in doc.get(
+                "exposition", ""
+            ):
+                failures.append(
+                    "OPS: %s exposition lacks its TYPE lines" % exp["id"]
+                )
+        else:
+            status_doc = doc.get("corpus")
+            attached = bool(args.corpus)
+            if (
+                not isinstance(status_doc, dict)
+                or status_doc.get("attached") is not attached
+            ):
+                failures.append(
+                    "OPS: corpus op reported %r (want attached=%s)"
+                    % (status_doc, attached)
+                )
+            elif attached and "sections" not in status_doc:
+                failures.append("OPS: corpus status lacks sections")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--serve", required=True,
@@ -324,6 +570,16 @@ def main():
                         default="matmul,stencil,qprod,2dconv")
     args = parser.parse_args()
 
+    # The flight-recorder dir lives for the whole session (daemon run +
+    # dump validation) and is always cleaned up, pass or fail.
+    args.flight_dir = tempfile.mkdtemp(prefix="isamore_flight_")
+    try:
+        return run_chaos(args)
+    finally:
+        shutil.rmtree(args.flight_dir, ignore_errors=True)
+
+
+def run_chaos(args):
     corpus_before = b""
     if args.corpus:
         if not prime_corpus(args):
@@ -486,6 +742,11 @@ def main():
         failures.append(
             "TAXONOMY: %d malformed lines but %d bad_request responses"
             % (n_malformed, n_bad)
+        )
+
+    if returncode == 0:
+        validate_observability(
+            args, corpus, responses, by_id, stderr, failures
         )
 
     if goldens:

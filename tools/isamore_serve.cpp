@@ -6,6 +6,9 @@
  *   isamore_serve [--lanes <n>] [--queue <n>] [--purge-every <n>]
  *                 [--threads <n>] [--watchdog-ms <n>] [--quiet]
  *                 [--corpus <path>] [--corpus-readonly]
+ *                 [--events] [--flight-dir <dir>] [--flight-ring <n>]
+ *                 [--slo-ms <n>] [--metrics-interval <ms>]
+ *                 [--metrics-out <base>]
  *
  * Reads one JSON request object per stdin line and writes one JSON
  * response object per stdout line; everything else (banner, purge
@@ -16,11 +19,23 @@
  *   "ok"
  *
  * Request fields: workload (required for analyze), op
- * (analyze|ping|stats), mode, extendedRules, deadlineMs, maxUnits,
- * inject, cache, threads, id.  Response `status`/`code` mirror the CLI
- * exit-code
- * taxonomy (see DESIGN.md "Server mode & overload taxonomy"); the
- * `result` field carries the byte-exact single-shot CLI JSON document.
+ * (analyze|ping|stats|metrics|corpus), mode, extendedRules, deadlineMs,
+ * maxUnits, inject, cache, threads, id.  Response `status`/`code`
+ * mirror the CLI exit-code taxonomy (see DESIGN.md "Server mode &
+ * overload taxonomy"); the `result` field carries the byte-exact
+ * single-shot CLI JSON document.  Every response additionally echoes
+ * the server-assigned request id as `req` ("r-<stdin line>").
+ *
+ * Live observability (DESIGN.md "Live observability"): `--events`
+ * streams a JSON-lines event log (accept/dispatch/done/reject/shed) on
+ * stderr; `--flight-dir <dir>` auto-dumps a Perfetto trace of every
+ * request that ends degraded/internal/overloaded/invalid/bad_request
+ * (plus ok requests slower than `--slo-ms`); `--metrics-interval <ms>`
+ * + `--metrics-out <base>` periodically snapshot the full telemetry
+ * registry, server counters, and latency percentile digests to
+ * <base>.json and <base>.prom (Prometheus text exposition, atomic
+ * rename -- tail or scrape mid-run without quiescing lanes).  The
+ * `metrics` op returns the same two documents inline.
  *
  * `--corpus <path>` loads a persistent pattern corpus shared by every
  * lane (warm-starting analyze requests across daemon restarts) and
@@ -60,6 +75,21 @@ usage(std::ostream& os)
           "checkpointed at purge sweeps\n"
        << "  --corpus-readonly  never write the corpus file back "
           "(missing file: exit 3)\n"
+       << "  --events           JSON-lines event log on stderr (accept/"
+          "dispatch/done/...)\n"
+       << "  --flight-dir <d>   auto-dump a Perfetto trace of every "
+          "non-ok (or SLO-busting)\n"
+       << "                     request to <d>/flight_<req>.json\n"
+       << "  --flight-ring <n>  per-lane flight-recorder ring size "
+          "(default 16)\n"
+       << "  --slo-ms <n>       latency SLO: ok responses slower than "
+          "this also dump\n"
+       << "  --metrics-interval <ms>  write metrics snapshots every "
+          "<ms> milliseconds\n"
+       << "  --metrics-out <base>     snapshot base path -> <base>.json "
+          "+ <base>.prom\n"
+       << "                     (default isamore_metrics when an "
+          "interval is set)\n"
        << "  --quiet            no banner/summary on stderr\n"
        << "  --help             this text\n"
        << "Protocol: one JSON request per stdin line, one JSON response per\n"
@@ -148,6 +178,45 @@ main(int argc, char** argv)
             options.corpusPath = value;
         } else if (flag == "--corpus-readonly") {
             options.corpusReadonly = true;
+        } else if (flag == "--events") {
+            options.observe.events = true;
+        } else if (flag == "--flight-dir") {
+            const char* value = nextValue();
+            if (value == nullptr || *value == '\0') {
+                std::cerr << "isamore_serve: bad --flight-dir value\n";
+                return kExitUsage;
+            }
+            options.observe.flightDir = value;
+        } else if (flag == "--flight-ring") {
+            const char* value = nextValue();
+            if (value == nullptr ||
+                !parseCount(value, options.observe.flightRing, false)) {
+                std::cerr << "isamore_serve: bad --flight-ring value\n";
+                return kExitUsage;
+            }
+        } else if (flag == "--slo-ms") {
+            const char* value = nextValue();
+            size_t sloMs = 0;
+            if (value == nullptr || !parseCount(value, sloMs, false)) {
+                std::cerr << "isamore_serve: bad --slo-ms value\n";
+                return kExitUsage;
+            }
+            options.observe.sloMs = static_cast<double>(sloMs);
+        } else if (flag == "--metrics-interval") {
+            const char* value = nextValue();
+            if (value == nullptr ||
+                !parseCount(value, options.metricsIntervalMs, false)) {
+                std::cerr
+                    << "isamore_serve: bad --metrics-interval value\n";
+                return kExitUsage;
+            }
+        } else if (flag == "--metrics-out") {
+            const char* value = nextValue();
+            if (value == nullptr || *value == '\0') {
+                std::cerr << "isamore_serve: bad --metrics-out value\n";
+                return kExitUsage;
+            }
+            options.metricsPath = value;
         } else {
             std::cerr << "isamore_serve: unknown flag '" << flag
                       << "'\n";
